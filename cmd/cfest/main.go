@@ -1,0 +1,150 @@
+// Command cfest estimates the compression fraction of an index using
+// sampling (the paper's SampleCF, Fig. 2).
+//
+// Estimate from a CSV file:
+//
+//	cfest -csv data.csv -schema "name:char:20,qty:int" -codec nullsuppression -fraction 0.01
+//
+// Estimate on a generated table (no file needed):
+//
+//	cfest -gen -n 1000000 -d 10000 -k 20 -codec globaldict-p4 -fraction 0.01
+//
+// Flags -cols selects the index columns (default: all), -truth additionally
+// computes the exact CF by compressing everything (slow — that is the
+// point), and -seed fixes the sample.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"samplecf/internal/compress"
+	"samplecf/internal/core"
+	"samplecf/internal/csvio"
+	"samplecf/internal/distrib"
+	"samplecf/internal/value"
+	"samplecf/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "cfest: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		csvPath    = flag.String("csv", "", "CSV file to estimate (requires -schema)")
+		schemaSpec = flag.String("schema", "", "schema spec, e.g. \"name:char:20,qty:int\"")
+		header     = flag.Bool("header", true, "CSV file has a header row")
+		gen        = flag.Bool("gen", false, "use a generated table instead of a CSV file")
+		n          = flag.Int64("n", 1_000_000, "generated table rows")
+		dDistinct  = flag.Int64("d", 10_000, "generated distinct values")
+		k          = flag.Int("k", 20, "generated CHAR(k) width")
+		codecName  = flag.String("codec", "nullsuppression", "codec: "+strings.Join(compress.Names(), ", "))
+		fraction   = flag.Float64("fraction", 0.01, "sampling fraction f")
+		rows       = flag.Int64("rows", 0, "explicit sample size r (overrides -fraction)")
+		cols       = flag.String("cols", "", "comma-separated index columns (default: all)")
+		seed       = flag.Uint64("seed", 1, "sampling seed")
+		withTruth  = flag.Bool("truth", false, "also compute exact CF by compressing everything")
+		buildIndex = flag.Bool("build-index", false, "materialize a real B+-tree on the sample")
+	)
+	flag.Parse()
+
+	codec, err := compress.Lookup(*codecName)
+	if err != nil {
+		return err
+	}
+
+	var tab *workload.Table
+	switch {
+	case *gen:
+		col, err := workload.NewStringColumn(value.Char(*k), distrib.NewUniform(*dDistinct), distrib.NewUniformLen(0, *k), *seed)
+		if err != nil {
+			return err
+		}
+		tab, err = workload.Generate(workload.Spec{
+			Name: "generated", N: *n, Seed: *seed,
+			Cols: []workload.SpecColumn{{Name: "a", Gen: col}},
+		})
+		if err != nil {
+			return err
+		}
+	case *csvPath != "":
+		if *schemaSpec == "" {
+			return fmt.Errorf("-csv requires -schema")
+		}
+		schema, err := csvio.ParseSchemaSpec(*schemaSpec)
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rws, err := csvio.ReadRows(f, schema, *header)
+		if err != nil {
+			return err
+		}
+		tab, err = workload.NewTableFromRows(*csvPath, schema, rws)
+		if err != nil {
+			return err
+		}
+	default:
+		flag.Usage()
+		return fmt.Errorf("provide -csv FILE or -gen")
+	}
+
+	var keyCols []string
+	if *cols != "" {
+		keyCols = strings.Split(*cols, ",")
+	}
+	est, err := core.SampleCF(tab, tab.Schema(), core.Options{
+		Fraction:   *fraction,
+		SampleRows: *rows,
+		Codec:      codec,
+		KeyColumns: keyCols,
+		Seed:       *seed,
+		BuildIndex: *buildIndex,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("table rows        : %d\n", tab.NumRows())
+	fmt.Printf("sample rows (r)   : %d\n", est.SampleRows)
+	fmt.Printf("sample distinct d': %d\n", est.SampleDistinct)
+	fmt.Printf("codec             : %s\n", codec.Name())
+	fmt.Printf("estimated CF      : %.6f\n", est.CF)
+	fmt.Printf("estimated savings : %.1f%%\n", (1-est.CF)*100)
+	if strings.HasPrefix(codec.Name(), "nullsuppression") {
+		lo, hi := core.NSConfidenceInterval(est.CF, est.SampleRows, 2)
+		fmt.Printf("2σ interval (T1)  : [%.6f, %.6f]\n", lo, hi)
+	}
+	fmt.Printf("durations         : sample %v, build %v, compress %v\n",
+		est.SampleDuration, est.BuildDuration, est.CompressDuration)
+
+	if *withTruth {
+		truth, err := core.TrueCF(tab, keyCols, codec, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("exact CF          : %.6f (ratio error %.4f)\n",
+			truth.CF(), ratioErr(est.CF, truth.CF()))
+	}
+	return nil
+}
+
+func ratioErr(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	if a > b {
+		return a / b
+	}
+	return b / a
+}

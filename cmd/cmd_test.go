@@ -1,0 +1,123 @@
+// Package cmd_test builds and exercises the command-line tools end to end:
+// datagen → cfest over a real file, and cfbench's registry. These are the
+// only tests that run the binaries as a user would.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one command into a temp dir and returns the binary path.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "samplecf/cmd/"+name)
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestDatagenThenCfest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	datagen := buildTool(t, "datagen")
+	cfest := buildTool(t, "cfest")
+	csv := filepath.Join(t.TempDir(), "data.csv")
+
+	out := run(t, datagen, "-n", "5000", "-d", "200", "-k", "20", "-seed", "3", "-o", csv, "-stats")
+	if !strings.Contains(out, "analytic CF") {
+		t.Fatalf("datagen -stats output missing analytics:\n%s", out)
+	}
+	if fi, err := os.Stat(csv); err != nil || fi.Size() == 0 {
+		t.Fatalf("datagen produced no file: %v", err)
+	}
+
+	out = run(t, cfest, "-csv", csv, "-schema", "a:char:20", "-codec", "nullsuppression",
+		"-fraction", "0.1", "-seed", "1", "-truth")
+	for _, want := range []string{"estimated CF", "exact CF", "sample rows (r)   : 500", "2σ interval"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cfest output missing %q:\n%s", want, out)
+		}
+	}
+	// The ratio error printed must be small at a 10% sample.
+	if !strings.Contains(out, "ratio error 1.0") {
+		t.Fatalf("cfest ratio error not near 1:\n%s", out)
+	}
+}
+
+func TestCfestGeneratedMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	cfest := buildTool(t, "cfest")
+	out := run(t, cfest, "-gen", "-n", "20000", "-d", "500", "-codec", "globaldict-p4",
+		"-fraction", "0.05", "-seed", "2")
+	if !strings.Contains(out, "codec             : globaldict(p=4)") {
+		t.Fatalf("unexpected codec line:\n%s", out)
+	}
+	// Error paths: missing inputs exit non-zero.
+	if err := exec.Command(cfest).Run(); err == nil {
+		t.Fatal("cfest with no inputs succeeded")
+	}
+	if err := exec.Command(cfest, "-csv", "/nonexistent.csv", "-schema", "a:char:5").Run(); err == nil {
+		t.Fatal("cfest with missing file succeeded")
+	}
+	if err := exec.Command(cfest, "-gen", "-codec", "bogus").Run(); err == nil {
+		t.Fatal("cfest with unknown codec succeeded")
+	}
+}
+
+func TestCfbenchListAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	cfbench := buildTool(t, "cfbench")
+	out := run(t, cfbench, "-list")
+	for _, id := range []string{"E1", "E5", "E10", "E13"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("cfbench -list missing %s:\n%s", id, out)
+		}
+	}
+	out = run(t, cfbench, "-exp", "E5", "-scale", "0.02", "-seed", "7")
+	if !strings.Contains(out, "Table II") || !strings.Contains(out, "completed in") {
+		t.Fatalf("cfbench E5 output malformed:\n%s", out)
+	}
+	if err := exec.Command(cfbench, "-exp", "E99").Run(); err == nil {
+		t.Fatal("cfbench with unknown experiment succeeded")
+	}
+}

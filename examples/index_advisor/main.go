@@ -1,0 +1,93 @@
+// Index advisor: pick indexes — possibly compressed — under a storage
+// budget, sizing every compressed candidate with SampleCF instead of
+// building it. This is the automated-physical-design application the
+// paper's introduction motivates.
+//
+//	go run ./examples/index_advisor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"samplecf"
+)
+
+func main() {
+	const n = 200_000
+
+	region, err := samplecf.NewStringColumn(
+		samplecf.Char(24), samplecf.Uniform(50), samplecf.UniformLen(4, 12), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	product, err := samplecf.NewStringColumn(
+		samplecf.Char(40), samplecf.Zipf(8000, 0.7), samplecf.UniformLen(10, 30), 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	orderID, err := samplecf.NewIntColumn(samplecf.Int64(), samplecf.Uniform(n), 10_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sales, err := samplecf.Generate(samplecf.TableSpec{
+		Name: "sales", N: n, Seed: 3,
+		Cols: []samplecf.TableColumn{
+			{Name: "region", Gen: region},
+			{Name: "product", Gen: product},
+			{Name: "order_id", Gen: orderID},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	row, err := samplecf.LookupCodec("nullsuppression")
+	if err != nil {
+		log.Fatal(err)
+	}
+	page, err := samplecf.LookupCodec("page")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	queries := []samplecf.AdvisorQuery{
+		{Name: "sales-by-region", Columns: []string{"region"}, Weight: 10, Selectivity: 0.05},
+		{Name: "product-drilldown", Columns: []string{"product"}, Weight: 6, Selectivity: 0.002},
+		{Name: "order-lookup", Columns: []string{"order_id"}, Weight: 4, Selectivity: 0.00001},
+	}
+	var candidates []samplecf.AdvisorCandidate
+	for _, key := range []string{"region", "product", "order_id"} {
+		candidates = append(candidates,
+			samplecf.AdvisorCandidate{Name: "ix_" + key, Table: sales, KeyColumns: []string{key}},
+			samplecf.AdvisorCandidate{Name: "ix_" + key + "_row", Table: sales, KeyColumns: []string{key}, Codec: row},
+			samplecf.AdvisorCandidate{Name: "ix_" + key + "_page", Table: sales, KeyColumns: []string{key}, Codec: page},
+		)
+	}
+
+	budget := int64(n * 45) // bytes — tight enough to force compression
+	rec, err := samplecf.Recommend(candidates, queries, budget, samplecf.AdvisorOptions{
+		SampleFraction: 0.02, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("storage budget: %d KiB\n\nchosen:\n", budget/1024)
+	for _, s := range rec.Chosen {
+		codecName := "(uncompressed)"
+		if s.Codec != nil {
+			codecName = s.Codec.Name()
+		}
+		fmt.Printf("  %-20s %-16s est. CF %.3f  est. size %6d KiB\n",
+			s.Name, codecName, s.EstimatedCF, s.EstimatedBytes/1024)
+	}
+	fmt.Printf("\ntotal estimated: %d KiB of %d KiB budget; workload benefit %.0f weighted page reads saved\n",
+		rec.TotalBytes/1024, budget/1024, rec.TotalBenefit)
+	if len(rec.Rejected) > 0 {
+		fmt.Println("\nrejected:")
+		for _, r := range rec.Rejected {
+			fmt.Printf("  - %s\n", r)
+		}
+	}
+}

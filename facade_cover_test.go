@@ -1,0 +1,118 @@
+package samplecf_test
+
+import (
+	"testing"
+
+	"samplecf"
+)
+
+// TestFacadeSurface exercises the remaining public wrappers end to end so
+// the facade stays in sync with the internals it re-exports.
+func TestFacadeSurface(t *testing.T) {
+	// Types.
+	if samplecf.VarChar(10).String() != "VARCHAR(10)" {
+		t.Error("VarChar wrapper")
+	}
+	if samplecf.Int64().String() != "BIGINT" {
+		t.Error("Int64 wrapper")
+	}
+	if string(samplecf.BigInt(5)) == "" {
+		t.Error("BigInt wrapper")
+	}
+
+	// Distributions.
+	for _, d := range []interface{ Domain() int64 }{
+		samplecf.Uniform(10),
+		samplecf.Zipf(10, 0.5),
+		samplecf.HotSet(10, 0.2, 0.8),
+	} {
+		if d.Domain() != 10 {
+			t.Errorf("distribution domain %d", d.Domain())
+		}
+	}
+	for _, l := range []interface{ MaxLen() int }{
+		samplecf.ConstantLen(5),
+		samplecf.UniformLen(1, 5),
+		samplecf.NormalLen(3, 1, 0, 5),
+		samplecf.BimodalLen(1, 5, 0.5),
+	} {
+		if l.MaxLen() != 5 {
+			t.Errorf("length dist max %d", l.MaxLen())
+		}
+	}
+
+	// Layouts generate.
+	col, err := samplecf.NewStringColumn(samplecf.Char(8), samplecf.Uniform(5), samplecf.ConstantLen(3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := samplecf.Generate(samplecf.TableSpec{
+		Name: "t", N: 100, Seed: 1, Layout: samplecf.LayoutClustered,
+		Cols: []samplecf.TableColumn{{Name: "a", Gen: col}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 100 {
+		t.Fatal("generate failed")
+	}
+
+	// Theorem bound wrappers.
+	if b, err := samplecf.DictRatioErrorBoundSmallD(1000, 10, 0.1, 20, 4); err != nil || b < 1 {
+		t.Errorf("small-d bound %v %v", b, err)
+	}
+	if b, err := samplecf.DictRatioErrorBoundLargeD(0.5, 0.1, 20, 4); err != nil || b < 1 {
+		t.Errorf("large-d bound %v %v", b, err)
+	}
+	if samplecf.RatioError(2, 1) != 2 {
+		t.Error("RatioError wrapper")
+	}
+
+	// Sampling method constants route through Options.
+	codec, err := samplecf.LookupCodec("nullsuppression")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := samplecf.Estimate(tab, samplecf.Options{
+		Fraction: 0.5, Codec: codec, Method: samplecf.UniformWOR, Seed: 1,
+	}); err != nil {
+		t.Errorf("UniformWOR estimate: %v", err)
+	}
+	pv, err := tab.AsPageSource(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := samplecf.Estimate(tab, samplecf.Options{
+		Fraction: 0.5, Codec: codec, Method: samplecf.BlockSampling, Pages: pv, Seed: 1,
+	}); err != nil {
+		t.Errorf("BlockSampling estimate: %v", err)
+	}
+
+	// Embedded engine via the facade.
+	eng := samplecf.NewDatabase(0)
+	schema, err := samplecf.NewSchema(samplecf.Column{Name: "v", Type: samplecf.VarChar(12)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt, err := eng.CreateTable("t", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := dt.Insert(samplecf.Row{samplecf.String("abc")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := dt.CreateIndex("ix", nil, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := ix.EstimateCF(nil, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VARCHAR(12) holding "abc": CF = 4/12 exactly.
+	if est.CF != 4.0/12.0 {
+		t.Errorf("engine estimate %v, want 1/3", est.CF)
+	}
+}

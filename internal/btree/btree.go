@@ -1,0 +1,504 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"samplecf/internal/heap"
+	"samplecf/internal/page"
+)
+
+// Tree is a B+-tree over a page store. Keys are arbitrary byte strings
+// compared with bytes.Compare; callers encode typed rows with
+// value.EncodeKey, which is order-preserving. Duplicate keys are allowed
+// (indexes on non-unique columns are the paper's common case).
+type Tree struct {
+	store heap.PageStore
+
+	root       uint32
+	height     int // 1 = root is a leaf
+	numEntries int64
+	firstLeaf  uint32
+}
+
+// ErrEmptyTree is returned by operations that need at least one node.
+var ErrEmptyTree = errors.New("btree: empty tree")
+
+// New creates an empty tree (a single empty leaf) on store.
+func New(store heap.PageStore) (*Tree, error) {
+	leaf := newNode(store.PageSize(), 0, 0)
+	pageNo, err := store.Append(leaf.p)
+	if err != nil {
+		return nil, fmt.Errorf("btree: new: %w", err)
+	}
+	return &Tree{store: store, root: pageNo, height: 1, firstLeaf: pageNo}, nil
+}
+
+// Height returns the number of levels (1 = just a root leaf).
+func (t *Tree) Height() int { return t.height }
+
+// NumEntries returns the number of stored (key, payload) pairs.
+func (t *Tree) NumEntries() int64 { return t.numEntries }
+
+// Root returns the root page number (for diagnostics).
+func (t *Tree) Root() uint32 { return t.root }
+
+// readNode loads the node stored at pageNo.
+func (t *Tree) readNode(pageNo uint32) (node, error) {
+	p, err := t.store.Read(pageNo)
+	if err != nil {
+		return node{}, err
+	}
+	return fromPage(p, pageNo)
+}
+
+// writeNode persists a node.
+func (t *Tree) writeNode(n node) error { return t.store.Write(n.pageNo, n.p) }
+
+// appendNode persists a brand-new node and records its page number.
+func (t *Tree) appendNode(n *node) error {
+	pageNo, err := t.store.Append(n.p)
+	if err != nil {
+		return err
+	}
+	n.pageNo = pageNo
+	n.p.SetID(uint64(pageNo))
+	// Re-write so the page id stored in the header matches its position.
+	return t.store.Write(pageNo, n.p)
+}
+
+// searchEntries binary-searches a node's entries for key, returning the
+// index of the first entry >= key and whether an exact match exists there.
+func searchEntries(n node, key []byte) (int, bool) {
+	cnt := n.numEntries()
+	i := sort.Search(cnt, func(i int) bool {
+		return bytes.Compare(decodeEntryKey(n.entry(i)), key) >= 0
+	})
+	if i < cnt && bytes.Equal(decodeEntryKey(n.entry(i)), key) {
+		return i, true
+	}
+	return i, false
+}
+
+// childIndex returns the entry index of the child to descend into for key:
+// the last entry with separator <= key (clamped to 0). Used by Insert,
+// which appends new duplicates after existing equal keys.
+func childIndex(n node, key []byte) int {
+	i, exact := searchEntries(n, key)
+	if exact {
+		return i
+	}
+	if i > 0 {
+		return i - 1
+	}
+	return 0
+}
+
+// childIndexFirst returns the child to descend into when seeking the FIRST
+// occurrence of key. When a separator EQUALS key, occurrences of key may
+// begin at the tail of the PRECEDING subtree (a separator is its child's
+// minimum; a run of duplicates that starts mid-leaf leaves no trace in the
+// separators), so the descent goes one child left and the leaf-level
+// forward walk covers the rest via sibling pointers.
+func childIndexFirst(n node, key []byte) int {
+	i, _ := searchEntries(n, key)
+	if i > 0 {
+		return i - 1
+	}
+	return 0
+}
+
+// SearchFirst returns the payload of the first entry with exactly the given
+// key. ok is false if the key is absent.
+func (t *Tree) SearchFirst(key []byte) (payload []byte, ok bool, err error) {
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return nil, false, err
+	}
+	for !n.isLeaf() {
+		if n.numEntries() == 0 {
+			return nil, false, fmt.Errorf("btree: internal node %d empty", n.pageNo)
+		}
+		child := decodeInternalChild(n.entry(childIndexFirst(n, key)))
+		if n, err = t.readNode(child); err != nil {
+			return nil, false, err
+		}
+	}
+	// The first match may be in a following leaf when duplicates span
+	// leaves; walk forward while keys equal.
+	for {
+		i, exact := searchEntries(n, key)
+		if exact {
+			return append([]byte(nil), decodeLeafPayload(n.entry(i))...), true, nil
+		}
+		if i < n.numEntries() || n.next() == noNext {
+			return nil, false, nil
+		}
+		if n, err = t.readNode(n.next()); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// Ascend iterates entries with key >= start (or all entries when start is
+// nil) in key order, calling fn with aliased key/payload slices valid only
+// during the call. Iteration stops when fn returns false.
+func (t *Tree) Ascend(start []byte, fn func(key, payload []byte) bool) error {
+	var n node
+	var err error
+	var i int
+	if start == nil {
+		if n, err = t.readNode(t.firstLeaf); err != nil {
+			return err
+		}
+	} else {
+		if n, err = t.readNode(t.root); err != nil {
+			return err
+		}
+		for !n.isLeaf() {
+			if n.numEntries() == 0 {
+				return fmt.Errorf("btree: internal node %d empty", n.pageNo)
+			}
+			child := decodeInternalChild(n.entry(childIndexFirst(n, start)))
+			if n, err = t.readNode(child); err != nil {
+				return err
+			}
+		}
+		i, _ = searchEntries(n, start)
+	}
+	for {
+		for ; i < n.numEntries(); i++ {
+			rec := n.entry(i)
+			if !fn(decodeEntryKey(rec), decodeLeafPayload(rec)) {
+				return nil
+			}
+		}
+		if n.next() == noNext {
+			return nil
+		}
+		if n, err = t.readNode(n.next()); err != nil {
+			return err
+		}
+		i = 0
+	}
+}
+
+// LeafPages iterates the leaf level in key order, passing each leaf's page.
+// Compression codecs consume the index through this: real engines compress
+// the leaf (data) level of an index.
+func (t *Tree) LeafPages(fn func(pageNo uint32, p *page.Page) error) error {
+	pn := t.firstLeaf
+	for {
+		n, err := t.readNode(pn)
+		if err != nil {
+			return err
+		}
+		if err := fn(pn, n.p); err != nil {
+			return err
+		}
+		if n.next() == noNext {
+			return nil
+		}
+		pn = n.next()
+	}
+}
+
+// NumLeafPages counts leaf pages by walking the sibling chain.
+func (t *Tree) NumLeafPages() (int, error) {
+	count := 0
+	err := t.LeafPages(func(uint32, *page.Page) error {
+		count++
+		return nil
+	})
+	return count, err
+}
+
+// pathStep records one level of a root-to-leaf descent: the node visited and
+// which child entry was followed.
+type pathStep struct {
+	n        node
+	childIdx int
+}
+
+// Insert adds a (key, payload) pair, splitting nodes as needed. Duplicate
+// keys are permitted and are stored adjacent to existing equal keys.
+func (t *Tree) Insert(key, payload []byte) error {
+	rec := encodeLeafEntry(key, payload)
+	// Descend, remembering the path for split propagation.
+	var path []pathStep
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return err
+	}
+	for !n.isLeaf() {
+		if n.numEntries() == 0 {
+			return fmt.Errorf("btree: internal node %d empty", n.pageNo)
+		}
+		idx := childIndex(n, key)
+		path = append(path, pathStep{n, idx})
+		child := decodeInternalChild(n.entry(idx))
+		if n, err = t.readNode(child); err != nil {
+			return err
+		}
+	}
+
+	// Insert into the leaf at the upper bound position (after equal keys, so
+	// duplicates preserve insertion order).
+	pos := upperBound(n, key)
+	err = n.p.InsertAt(entrySlot0+pos, rec)
+	if errors.Is(err, page.ErrPageFull) {
+		n.p.Compact()
+		err = n.p.InsertAt(entrySlot0+pos, rec)
+	}
+	if err == nil {
+		t.numEntries++
+		return t.writeNode(n)
+	}
+	if !errors.Is(err, page.ErrPageFull) {
+		return err
+	}
+
+	// Split the leaf, insert into the proper half, then propagate.
+	promoted, newRight, err := t.splitLeaf(n, pos, rec)
+	if err != nil {
+		return err
+	}
+	t.numEntries++
+	return t.propagateSplit(path, promoted, newRight)
+}
+
+// upperBound returns the entry index after the last entry with key <= key.
+func upperBound(n node, key []byte) int {
+	cnt := n.numEntries()
+	return sort.Search(cnt, func(i int) bool {
+		return bytes.Compare(decodeEntryKey(n.entry(i)), key) > 0
+	})
+}
+
+// splitLeaf splits leaf n around the middle, inserting rec at logical entry
+// position pos. It returns the separator key for the new right node and the
+// right node's page number.
+func (t *Tree) splitLeaf(n node, pos int, rec []byte) (separator []byte, rightPage uint32, err error) {
+	cnt := n.numEntries()
+	mid := cnt / 2
+	right := newNode(t.store.PageSize(), 0, 0)
+	// Move entries [mid, cnt) to the right node.
+	for i := mid; i < cnt; i++ {
+		e := n.entry(i)
+		if _, err := right.p.Insert(e); err != nil {
+			return nil, 0, fmt.Errorf("btree: split move: %w", err)
+		}
+	}
+	for i := cnt - 1; i >= mid; i-- {
+		if err := n.p.RemoveAt(entrySlot0 + i); err != nil {
+			return nil, 0, fmt.Errorf("btree: split trim: %w", err)
+		}
+	}
+	n.p.Compact()
+
+	// Insert the new record into whichever half owns its position.
+	if pos <= mid {
+		if err := n.p.InsertAt(entrySlot0+pos, rec); err != nil {
+			return nil, 0, fmt.Errorf("btree: split insert left: %w", err)
+		}
+	} else {
+		if err := right.p.InsertAt(entrySlot0+(pos-mid), rec); err != nil {
+			return nil, 0, fmt.Errorf("btree: split insert right: %w", err)
+		}
+	}
+
+	// Wire sibling pointers and persist.
+	right.setNext(n.next())
+	if err := t.appendNode(&right); err != nil {
+		return nil, 0, err
+	}
+	n.setNext(right.pageNo)
+	if err := t.writeNode(n); err != nil {
+		return nil, 0, err
+	}
+	sep := append([]byte(nil), decodeEntryKey(right.entry(0))...)
+	return sep, right.pageNo, nil
+}
+
+// splitInternal splits internal node n, which failed to accept rec at entry
+// position pos. Same contract as splitLeaf.
+func (t *Tree) splitInternal(n node, pos int, rec []byte) (separator []byte, rightPage uint32, err error) {
+	cnt := n.numEntries()
+	mid := cnt / 2
+	right := newNode(t.store.PageSize(), 0, n.level())
+	for i := mid; i < cnt; i++ {
+		if _, err := right.p.Insert(n.entry(i)); err != nil {
+			return nil, 0, fmt.Errorf("btree: split move: %w", err)
+		}
+	}
+	for i := cnt - 1; i >= mid; i-- {
+		if err := n.p.RemoveAt(entrySlot0 + i); err != nil {
+			return nil, 0, fmt.Errorf("btree: split trim: %w", err)
+		}
+	}
+	n.p.Compact()
+	if pos <= mid {
+		if err := n.p.InsertAt(entrySlot0+pos, rec); err != nil {
+			return nil, 0, fmt.Errorf("btree: split insert left: %w", err)
+		}
+	} else {
+		if err := right.p.InsertAt(entrySlot0+(pos-mid), rec); err != nil {
+			return nil, 0, fmt.Errorf("btree: split insert right: %w", err)
+		}
+	}
+	if err := t.appendNode(&right); err != nil {
+		return nil, 0, err
+	}
+	if err := t.writeNode(n); err != nil {
+		return nil, 0, err
+	}
+	sep := append([]byte(nil), decodeEntryKey(right.entry(0))...)
+	return sep, right.pageNo, nil
+}
+
+// propagateSplit walks back up the saved path inserting separators, growing
+// the tree at the root if necessary.
+func (t *Tree) propagateSplit(path []pathStep, promoted []byte, rightPage uint32) error {
+	for lvl := len(path) - 1; lvl >= 0; lvl-- {
+		parent := path[lvl].n
+		rec := encodeInternalEntry(promoted, rightPage)
+		pos := path[lvl].childIdx + 1
+		err := parent.p.InsertAt(entrySlot0+pos, rec)
+		if errors.Is(err, page.ErrPageFull) {
+			parent.p.Compact()
+			err = parent.p.InsertAt(entrySlot0+pos, rec)
+		}
+		if err == nil {
+			return t.writeNode(parent)
+		}
+		if !errors.Is(err, page.ErrPageFull) {
+			return err
+		}
+		promoted, rightPage, err = t.splitInternal(parent, pos, rec)
+		if err != nil {
+			return err
+		}
+	}
+	// Root split: create a new root one level up.
+	oldRoot, err := t.readNode(t.root)
+	if err != nil {
+		return err
+	}
+	newRoot := newNode(t.store.PageSize(), 0, oldRoot.level()+1)
+	leftSep, err := t.minKey(oldRoot)
+	if err != nil {
+		return err
+	}
+	if _, err := newRoot.p.Insert(encodeInternalEntry(leftSep, t.root)); err != nil {
+		return fmt.Errorf("btree: new root: %w", err)
+	}
+	if _, err := newRoot.p.Insert(encodeInternalEntry(promoted, rightPage)); err != nil {
+		return fmt.Errorf("btree: new root: %w", err)
+	}
+	if err := t.appendNode(&newRoot); err != nil {
+		return err
+	}
+	t.root = newRoot.pageNo
+	t.height++
+	return nil
+}
+
+// minKey returns the smallest key under node n.
+func (t *Tree) minKey(n node) ([]byte, error) {
+	for !n.isLeaf() {
+		if n.numEntries() == 0 {
+			return nil, fmt.Errorf("btree: internal node %d empty", n.pageNo)
+		}
+		child := decodeInternalChild(n.entry(0))
+		var err error
+		if n, err = t.readNode(child); err != nil {
+			return nil, err
+		}
+	}
+	if n.numEntries() == 0 {
+		return nil, ErrEmptyTree
+	}
+	return append([]byte(nil), decodeEntryKey(n.entry(0))...), nil
+}
+
+// DeleteMatching removes the first entry whose key AND payload both match,
+// scanning forward through duplicate keys (across leaf boundaries if
+// needed). It reports whether an entry was removed. Index maintenance uses
+// this to drop exactly the (key, RID) pair of a deleted heap row.
+func (t *Tree) DeleteMatching(key, payload []byte) (bool, error) {
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return false, err
+	}
+	for !n.isLeaf() {
+		if n.numEntries() == 0 {
+			return false, fmt.Errorf("btree: internal node %d empty", n.pageNo)
+		}
+		child := decodeInternalChild(n.entry(childIndexFirst(n, key)))
+		if n, err = t.readNode(child); err != nil {
+			return false, err
+		}
+	}
+	i, _ := searchEntries(n, key)
+	for {
+		for ; i < n.numEntries(); i++ {
+			rec := n.entry(i)
+			k := decodeEntryKey(rec)
+			cmp := bytes.Compare(k, key)
+			if cmp > 0 {
+				return false, nil
+			}
+			if cmp == 0 && bytes.Equal(decodeLeafPayload(rec), payload) {
+				if err := n.p.RemoveAt(entrySlot0 + i); err != nil {
+					return false, err
+				}
+				t.numEntries--
+				return true, t.writeNode(n)
+			}
+		}
+		if n.next() == noNext {
+			return false, nil
+		}
+		if n, err = t.readNode(n.next()); err != nil {
+			return false, err
+		}
+		i = 0
+	}
+}
+
+// Delete removes the first entry exactly matching key, reporting whether one
+// was found. Like several bulk-load-oriented engines, it does not rebalance:
+// underfull nodes are tolerated (the estimators never delete).
+func (t *Tree) Delete(key []byte) (bool, error) {
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return false, err
+	}
+	for !n.isLeaf() {
+		if n.numEntries() == 0 {
+			return false, fmt.Errorf("btree: internal node %d empty", n.pageNo)
+		}
+		child := decodeInternalChild(n.entry(childIndexFirst(n, key)))
+		if n, err = t.readNode(child); err != nil {
+			return false, err
+		}
+	}
+	for {
+		i, exact := searchEntries(n, key)
+		if exact {
+			if err := n.p.RemoveAt(entrySlot0 + i); err != nil {
+				return false, err
+			}
+			t.numEntries--
+			return true, t.writeNode(n)
+		}
+		if i < n.numEntries() || n.next() == noNext {
+			return false, nil
+		}
+		if n, err = t.readNode(n.next()); err != nil {
+			return false, err
+		}
+	}
+}

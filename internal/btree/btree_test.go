@@ -1,0 +1,563 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"samplecf/internal/heap"
+	"samplecf/internal/page"
+	"samplecf/internal/rng"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("val-%d", i)) }
+
+func newTestTree(t testing.TB) *Tree {
+	t.Helper()
+	tr, err := New(heap.NewMemStore(page.MinSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := newTestTree(t)
+	if tr.NumEntries() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty tree: entries=%d height=%d", tr.NumEntries(), tr.Height())
+	}
+	if _, ok, err := tr.SearchFirst([]byte("x")); err != nil || ok {
+		t.Fatalf("search on empty: ok=%v err=%v", ok, err)
+	}
+	count := 0
+	if err := tr.Ascend(nil, func(_, _ []byte) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("ascend on empty visited %d", count)
+	}
+}
+
+func TestInsertAndSearchAcrossSplits(t *testing.T) {
+	tr := newTestTree(t)
+	const n = 2000 // forces multiple levels at 512-byte pages
+	perm := rng.New(1).Perm(n)
+	for _, i := range perm {
+		if err := tr.Insert(key(i), val(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if tr.NumEntries() != n {
+		t.Fatalf("NumEntries = %d", tr.NumEntries())
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("expected height >= 3, got %d", tr.Height())
+	}
+	for i := 0; i < n; i++ {
+		got, ok, err := tr.SearchFirst(key(i))
+		if err != nil || !ok {
+			t.Fatalf("search %d: ok=%v err=%v", i, ok, err)
+		}
+		if !bytes.Equal(got, val(i)) {
+			t.Fatalf("search %d: got %q want %q", i, got, val(i))
+		}
+	}
+	if _, ok, _ := tr.SearchFirst([]byte("key-99999999")); ok {
+		t.Fatal("found nonexistent key")
+	}
+}
+
+func TestAscendFullOrder(t *testing.T) {
+	tr := newTestTree(t)
+	const n = 1500
+	for _, i := range rng.New(2).Perm(n) {
+		if err := tr.Insert(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var prev []byte
+	count := 0
+	err := tr.Ascend(nil, func(k, v []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) > 0 {
+			t.Fatalf("order violation: %q after %q", k, prev)
+		}
+		prev = append(prev[:0], k...)
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("ascend visited %d of %d", count, n)
+	}
+}
+
+func TestAscendFromStart(t *testing.T) {
+	tr := newTestTree(t)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	err := tr.Ascend(key(490), func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != string(key(490)) {
+		t.Fatalf("range scan got %v", got)
+	}
+	// Early termination.
+	count := 0
+	if err := tr.Ascend(nil, func(_, _ []byte) bool { count++; return count < 7 }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 7 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := newTestTree(t)
+	k := []byte("dup")
+	const n = 300 // duplicates spanning multiple leaves
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(k, val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Insert([]byte("aaa"), val(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert([]byte("zzz"), val(0)); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	err := tr.Ascend(k, func(kk, _ []byte) bool {
+		if bytes.Equal(kk, k) {
+			count++
+			return true
+		}
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("found %d duplicates, want %d", count, n)
+	}
+	if _, ok, err := tr.SearchFirst(k); err != nil || !ok {
+		t.Fatalf("SearchFirst on dup key: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newTestTree(t)
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		found, err := tr.Delete(key(i))
+		if err != nil || !found {
+			t.Fatalf("delete %d: found=%v err=%v", i, found, err)
+		}
+	}
+	if tr.NumEntries() != n/2 {
+		t.Fatalf("NumEntries after deletes = %d", tr.NumEntries())
+	}
+	for i := 0; i < n; i++ {
+		_, ok, err := tr.SearchFirst(key(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("key %d present=%v want %v", i, ok, want)
+		}
+	}
+	if found, err := tr.Delete([]byte("missing")); err != nil || found {
+		t.Fatalf("delete missing: %v %v", found, err)
+	}
+}
+
+func TestBulkLoadMatchesInsert(t *testing.T) {
+	const n = 3000
+	items := make([]Item, n)
+	for i := 0; i < n; i++ {
+		items[i] = Item{Key: key(i), Payload: val(i)}
+	}
+	tr, err := BulkLoadItems(heap.NewMemStore(page.MinSize), items, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumEntries() != n {
+		t.Fatalf("NumEntries = %d", tr.NumEntries())
+	}
+	// Every key findable; iteration ordered and complete.
+	for i := 0; i < n; i += 37 {
+		got, ok, err := tr.SearchFirst(key(i))
+		if err != nil || !ok || !bytes.Equal(got, val(i)) {
+			t.Fatalf("bulk search %d: %q ok=%v err=%v", i, got, ok, err)
+		}
+	}
+	i := 0
+	if err := tr.Ascend(nil, func(k, v []byte) bool {
+		if !bytes.Equal(k, key(i)) || !bytes.Equal(v, val(i)) {
+			t.Fatalf("bulk ascend at %d: %q/%q", i, k, v)
+		}
+		i++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Fatalf("bulk ascend visited %d", i)
+	}
+}
+
+func TestBulkLoadEmptyAndSingle(t *testing.T) {
+	tr, err := BulkLoadItems(heap.NewMemStore(page.MinSize), nil, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumEntries() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty bulk: entries=%d height=%d", tr.NumEntries(), tr.Height())
+	}
+	tr, err = BulkLoadItems(heap.NewMemStore(page.MinSize),
+		[]Item{{Key: []byte("only"), Payload: []byte("one")}}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := tr.SearchFirst([]byte("only"))
+	if err != nil || !ok || string(got) != "one" {
+		t.Fatalf("single bulk: %q %v %v", got, ok, err)
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	items := []Item{
+		{Key: []byte("b"), Payload: nil},
+		{Key: []byte("a"), Payload: nil},
+	}
+	if _, err := BulkLoadItems(heap.NewMemStore(page.MinSize), items, 1.0); err == nil {
+		t.Fatal("unsorted input accepted")
+	}
+}
+
+func TestBulkLoadFillFactorAffectsLeafCount(t *testing.T) {
+	const n = 2000
+	items := make([]Item, n)
+	for i := 0; i < n; i++ {
+		items[i] = Item{Key: key(i), Payload: val(i)}
+	}
+	full, err := BulkLoadItems(heap.NewMemStore(page.MinSize), items, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := BulkLoadItems(heap.NewMemStore(page.MinSize), items, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullLeaves, err := full.NumLeafPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	halfLeaves, err := half.NumLeafPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if halfLeaves <= fullLeaves {
+		t.Fatalf("fill=0.5 leaves (%d) not more than fill=1.0 (%d)", halfLeaves, fullLeaves)
+	}
+	if _, err := BulkLoadItems(heap.NewMemStore(page.MinSize), items, 0); err == nil {
+		t.Fatal("fill=0 accepted")
+	}
+}
+
+func TestLeafPagesCoverAllEntries(t *testing.T) {
+	const n = 1000
+	items := make([]Item, n)
+	for i := 0; i < n; i++ {
+		items[i] = Item{Key: key(i), Payload: val(i)}
+	}
+	tr, err := BulkLoadItems(heap.NewMemStore(page.MinSize), items, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := 0
+	err = tr.LeafPages(func(_ uint32, p *page.Page) error {
+		entries += p.NumRecords() - 1 // minus meta record
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != n {
+		t.Fatalf("leaf pages hold %d entries, want %d", entries, n)
+	}
+}
+
+// TestPropertyTreeMatchesSortedMap cross-checks random insert/search/delete
+// sequences against a reference map.
+func TestPropertyTreeMatchesSortedMap(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		tr, err := New(heap.NewMemStore(page.MinSize))
+		if err != nil {
+			return false
+		}
+		model := map[string]string{}
+		for op := 0; op < 400; op++ {
+			k := fmt.Sprintf("k%04d", r.Intn(300))
+			switch r.Intn(3) {
+			case 0, 1:
+				v := fmt.Sprintf("v%d", op)
+				if _, dup := model[k]; dup {
+					continue // keep model a map: skip duplicate keys
+				}
+				if err := tr.Insert([]byte(k), []byte(v)); err != nil {
+					return false
+				}
+				model[k] = v
+			case 2:
+				found, err := tr.Delete([]byte(k))
+				if err != nil {
+					return false
+				}
+				if _, inModel := model[k]; inModel != found {
+					return false
+				}
+				delete(model, k)
+			}
+		}
+		// Verify all lookups.
+		for k, v := range model {
+			got, ok, err := tr.SearchFirst([]byte(k))
+			if err != nil || !ok || string(got) != v {
+				return false
+			}
+		}
+		// Verify iteration matches sorted model keys.
+		keys := make([]string, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		i := 0
+		okAll := true
+		_ = tr.Ascend(nil, func(k, _ []byte) bool {
+			if i >= len(keys) || string(k) != keys[i] {
+				okAll = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okAll && i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	tr, err := New(heap.NewMemStore(page.DefaultSize))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := []byte(fmt.Sprintf("key-%016d", r.Uint64()))
+		if err := tr.Insert(k, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBulkLoad10k(b *testing.B) {
+	const n = 10000
+	items := make([]Item, n)
+	for i := 0; i < n; i++ {
+		items[i] = Item{Key: key(i), Payload: val(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BulkLoadItems(heap.NewMemStore(page.DefaultSize), items, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	const n = 100000
+	items := make([]Item, n)
+	for i := 0; i < n; i++ {
+		items[i] = Item{Key: key(i), Payload: val(i)}
+	}
+	tr, err := BulkLoadItems(heap.NewMemStore(page.DefaultSize), items, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := tr.SearchFirst(key(r.Intn(n))); err != nil || !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func TestDeleteMatching(t *testing.T) {
+	tr := newTestTree(t)
+	// Many duplicates of one key with distinct payloads, spanning leaves.
+	k := []byte("dupkey")
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(k, val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Insert([]byte("aaa"), val(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Remove a specific payload deep in the duplicate run.
+	found, err := tr.DeleteMatching(k, val(137))
+	if err != nil || !found {
+		t.Fatalf("DeleteMatching: found=%v err=%v", found, err)
+	}
+	if tr.NumEntries() != n {
+		t.Fatalf("NumEntries = %d, want %d", tr.NumEntries(), n)
+	}
+	// The removed payload is gone; others remain.
+	remaining := map[string]bool{}
+	_ = tr.Ascend(k, func(kk, v []byte) bool {
+		if !bytes.Equal(kk, k) {
+			return false
+		}
+		remaining[string(v)] = true
+		return true
+	})
+	if remaining[string(val(137))] {
+		t.Fatal("payload 137 still present")
+	}
+	if len(remaining) != n-1 {
+		t.Fatalf("remaining %d, want %d", len(remaining), n-1)
+	}
+	// Mismatched payload: no removal.
+	if found, err := tr.DeleteMatching(k, []byte("nope")); err != nil || found {
+		t.Fatalf("phantom delete: %v %v", found, err)
+	}
+	// Missing key entirely.
+	if found, err := tr.DeleteMatching([]byte("zzz"), val(0)); err != nil || found {
+		t.Fatalf("missing key delete: %v %v", found, err)
+	}
+}
+
+// TestBulkLoadedDuplicatesAcrossLeaves is the regression test for the
+// separator-equality descent bug: when a duplicate run starts mid-leaf and
+// continues into later leaves, exact-match descents must start at the
+// PRECEDING subtree (bulk-loaded trees have exact separators, which exposed
+// the miss).
+func TestBulkLoadedDuplicatesAcrossLeaves(t *testing.T) {
+	// Keys: 10 distinct values × 120 copies each, bulk loaded: every value's
+	// run crosses leaf boundaries at 512-byte pages.
+	var items []Item
+	for v := 0; v < 10; v++ {
+		for c := 0; c < 120; c++ {
+			items = append(items, Item{Key: key(v), Payload: val(v*1000 + c)})
+		}
+	}
+	tr, err := BulkLoadItems(heap.NewMemStore(page.MinSize), items, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 10; v++ {
+		// SearchFirst must return the FIRST payload of the run.
+		got, ok, err := tr.SearchFirst(key(v))
+		if err != nil || !ok {
+			t.Fatalf("SearchFirst(%d): ok=%v err=%v", v, ok, err)
+		}
+		if !bytes.Equal(got, val(v*1000)) {
+			t.Fatalf("SearchFirst(%d) = %q, want first payload %q", v, got, val(v*1000))
+		}
+		// Ascend from the key must see every copy.
+		count := 0
+		err = tr.Ascend(key(v), func(k, _ []byte) bool {
+			if !bytes.Equal(k, key(v)) {
+				return false
+			}
+			count++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != 120 {
+			t.Fatalf("Ascend(%d) found %d of 120 duplicates", v, count)
+		}
+	}
+	// DeleteMatching must reach payloads anywhere in a cross-leaf run.
+	for c := 0; c < 120; c++ {
+		found, err := tr.DeleteMatching(key(5), val(5000+c))
+		if err != nil || !found {
+			t.Fatalf("DeleteMatching copy %d: found=%v err=%v", c, found, err)
+		}
+	}
+	if _, ok, _ := tr.SearchFirst(key(5)); ok {
+		t.Fatal("key 5 still present after deleting all copies")
+	}
+	if tr.NumEntries() != 9*120 {
+		t.Fatalf("NumEntries = %d", tr.NumEntries())
+	}
+}
+
+func TestNodeAccessorsAndErrors(t *testing.T) {
+	tr := newTestTree(t)
+	if tr.Root() != 0 {
+		t.Fatalf("Root = %d", tr.Root())
+	}
+	// fromPage rejects non-node pages.
+	plain := page.New(page.MinSize, 9)
+	if _, err := fromPage(plain, 9); err == nil {
+		t.Fatal("non-node page accepted")
+	}
+	// LeafEntries rejects internal pages and non-node pages.
+	if _, _, err := LeafEntries(plain); err == nil {
+		t.Fatal("LeafEntries accepted non-node page")
+	}
+	internal := newNode(page.MinSize, 5, 1)
+	if _, _, err := LeafEntries(internal.p); err == nil {
+		t.Fatal("LeafEntries accepted internal node")
+	}
+	// LeafEntries on a real leaf returns aligned keys/payloads.
+	if err := tr.Insert([]byte("k1"), []byte("p1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert([]byte("k0"), []byte("p0")); err != nil {
+		t.Fatal(err)
+	}
+	err := tr.LeafPages(func(_ uint32, p *page.Page) error {
+		keys, payloads, err := LeafEntries(p)
+		if err != nil {
+			return err
+		}
+		if len(keys) != 2 || string(keys[0]) != "k0" || string(payloads[0]) != "p0" {
+			t.Fatalf("LeafEntries = %q/%q", keys, payloads)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

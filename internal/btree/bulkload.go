@@ -1,0 +1,171 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"samplecf/internal/heap"
+)
+
+// Item is one (key, payload) pair for bulk loading.
+type Item struct {
+	Key     []byte
+	Payload []byte
+}
+
+// Iterator supplies bulk-load input in key order.
+type Iterator interface {
+	// Next returns the next pair. ok is false at end of input.
+	Next() (key, payload []byte, ok bool, err error)
+}
+
+// sliceIter iterates over an in-memory Item slice.
+type sliceIter struct {
+	items []Item
+	pos   int
+}
+
+// NewSliceIterator wraps a sorted Item slice as an Iterator.
+func NewSliceIterator(items []Item) Iterator { return &sliceIter{items: items} }
+
+// Next implements Iterator.
+func (s *sliceIter) Next() ([]byte, []byte, bool, error) {
+	if s.pos >= len(s.items) {
+		return nil, nil, false, nil
+	}
+	it := s.items[s.pos]
+	s.pos++
+	return it.Key, it.Payload, true, nil
+}
+
+// BulkLoad builds a B+-tree from items, which MUST arrive in non-decreasing
+// key order (duplicates allowed); out-of-order input is rejected. fill in
+// (0, 1] is the target leaf utilization: 1.0 packs leaves completely (the
+// deterministic layout the CF experiments measure), lower values model the
+// free space real engines leave for future inserts.
+func BulkLoad(store heap.PageStore, items Iterator, fill float64) (*Tree, error) {
+	if fill <= 0 || fill > 1 {
+		return nil, fmt.Errorf("btree: fill factor %v outside (0,1]", fill)
+	}
+	t := &Tree{store: store}
+	pageSize := store.PageSize()
+	// Spendable bytes per node = free space of a fresh node plus the slot
+	// entry FreeSpace already reserves (cost accounting below includes the
+	// slot in each entry's cost).
+	budget := int(fill * float64(newNode(pageSize, 0, 0).p.FreeSpace()+4))
+
+	type childRef struct {
+		minKey []byte
+		pageNo uint32
+	}
+	var level []childRef
+
+	// Build the leaf level.
+	var prev *node // previous completed leaf, already appended
+	cur := newNode(pageSize, 0, 0)
+	curCount := 0
+	curBytes := 0
+	var curMin []byte
+	var lastKey []byte
+
+	finishLeaf := func() error {
+		if err := t.appendNode(&cur); err != nil {
+			return err
+		}
+		level = append(level, childRef{minKey: curMin, pageNo: cur.pageNo})
+		if prev != nil {
+			prev.setNext(cur.pageNo)
+			if err := t.writeNode(*prev); err != nil {
+				return err
+			}
+		} else {
+			t.firstLeaf = cur.pageNo
+		}
+		c := cur
+		prev = &c
+		return nil
+	}
+
+	for {
+		key, payload, ok, err := items.Next()
+		if err != nil {
+			return nil, fmt.Errorf("btree: bulk load input: %w", err)
+		}
+		if !ok {
+			break
+		}
+		if lastKey != nil && bytes.Compare(key, lastKey) < 0 {
+			return nil, fmt.Errorf("btree: bulk load input out of order: %q after %q", key, lastKey)
+		}
+		lastKey = append(lastKey[:0], key...)
+		rec := encodeLeafEntry(key, payload)
+		cost := len(rec) + 4 // record + slot entry
+		if curCount > 0 && curBytes+cost > budget {
+			if err := finishLeaf(); err != nil {
+				return nil, err
+			}
+			cur = newNode(pageSize, 0, 0)
+			curCount, curBytes, curMin = 0, 0, nil
+		}
+		if _, err := cur.p.Insert(rec); err != nil {
+			return nil, fmt.Errorf("btree: bulk load entry of %d bytes: %w", len(rec), err)
+		}
+		if curCount == 0 {
+			curMin = append([]byte(nil), key...)
+		}
+		curCount++
+		curBytes += cost
+		t.numEntries++
+	}
+	if err := finishLeaf(); err != nil { // final (possibly empty) leaf
+		return nil, err
+	}
+
+	// Build internal levels bottom-up until a single node remains.
+	t.height = 1
+	for len(level) > 1 {
+		var next []childRef
+		n := newNode(pageSize, 0, t.height)
+		nCount, nBytes := 0, 0
+		var nMin []byte
+		finish := func() error {
+			if err := t.appendNode(&n); err != nil {
+				return err
+			}
+			next = append(next, childRef{minKey: nMin, pageNo: n.pageNo})
+			return nil
+		}
+		for _, ref := range level {
+			rec := encodeInternalEntry(ref.minKey, ref.pageNo)
+			cost := len(rec) + 4
+			if nCount > 0 && nBytes+cost > budget {
+				if err := finish(); err != nil {
+					return nil, err
+				}
+				n = newNode(pageSize, 0, t.height)
+				nCount, nBytes, nMin = 0, 0, nil
+			}
+			if _, err := n.p.Insert(rec); err != nil {
+				return nil, fmt.Errorf("btree: bulk load separator: %w", err)
+			}
+			if nCount == 0 {
+				nMin = ref.minKey
+			}
+			nCount++
+			nBytes += cost
+		}
+		if err := finish(); err != nil {
+			return nil, err
+		}
+		level = next
+		t.height++
+	}
+	t.root = level[0].pageNo
+	return t, nil
+}
+
+// BulkLoadItems sorts nothing and copies nothing: it is a convenience for
+// callers holding a pre-sorted slice.
+func BulkLoadItems(store heap.PageStore, items []Item, fill float64) (*Tree, error) {
+	return BulkLoad(store, NewSliceIterator(items), fill)
+}

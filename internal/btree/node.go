@@ -1,0 +1,174 @@
+// Package btree implements a page-based B+-tree.
+//
+// SampleCF's pipeline is "draw a sample, BUILD AN INDEX on it, compress the
+// index" (paper Fig. 2, step 2); this package is that index. It supports the
+// two paths the estimator and the examples need:
+//
+//   - Bulk load from a sorted stream — how both the real index and the
+//     sample index are built.
+//   - Incremental insert with node splits — used by the examples and to
+//     validate the bulk-loaded structure against an independently grown one.
+//
+// Nodes live in slotted pages (package page). Slot 0 of every node holds a
+// fixed meta record {level, next-leaf}; slots 1..n hold entries in key
+// order. Leaf entries are (key, payload); internal entries are
+// (separator key, child page number) where the separator is the smallest key
+// in the child's subtree.
+package btree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"samplecf/internal/page"
+)
+
+// FlagNode marks pages that are B+-tree nodes (leaf or internal).
+const FlagNode uint16 = 1 << 1
+
+// noNext is the next-leaf sentinel for the last leaf.
+const noNext = ^uint32(0)
+
+// metaSlot is the slot index of the node meta record; entries start after it.
+const metaSlot = 0
+
+// entrySlot0 is the slot index of the first entry.
+const entrySlot0 = 1
+
+// node wraps a page with B+-tree accessors. It is a transient, in-memory
+// view; persistence goes through the tree's page store.
+type node struct {
+	p      *page.Page
+	pageNo uint32
+}
+
+// newNode initializes an empty node of the given level on a fresh page.
+func newNode(pageSize int, pageNo uint32, level int) node {
+	p := page.New(pageSize, uint64(pageNo))
+	p.SetFlags(FlagNode)
+	var meta [5]byte
+	meta[0] = byte(level)
+	binary.LittleEndian.PutUint32(meta[1:], noNext)
+	if _, err := p.Insert(meta[:]); err != nil {
+		// A fresh page always fits 5 bytes; failure is a programming error.
+		panic(fmt.Sprintf("btree: meta insert: %v", err))
+	}
+	return node{p: p, pageNo: pageNo}
+}
+
+// fromPage wraps an existing node page.
+func fromPage(p *page.Page, pageNo uint32) (node, error) {
+	if p.Flags()&FlagNode == 0 {
+		return node{}, fmt.Errorf("btree: page %d is not a node", pageNo)
+	}
+	if p.NumSlots() < 1 {
+		return node{}, fmt.Errorf("btree: page %d missing meta record", pageNo)
+	}
+	return node{p: p, pageNo: pageNo}, nil
+}
+
+// level returns 0 for leaves, >0 for internal nodes.
+func (n node) level() int {
+	rec, err := n.p.Record(metaSlot)
+	if err != nil {
+		panic(fmt.Sprintf("btree: node %d meta: %v", n.pageNo, err))
+	}
+	return int(rec[0])
+}
+
+// isLeaf reports whether the node is a leaf.
+func (n node) isLeaf() bool { return n.level() == 0 }
+
+// next returns the next-leaf pointer (valid for leaves).
+func (n node) next() uint32 {
+	rec, err := n.p.Record(metaSlot)
+	if err != nil {
+		panic(fmt.Sprintf("btree: node %d meta: %v", n.pageNo, err))
+	}
+	return binary.LittleEndian.Uint32(rec[1:])
+}
+
+// setNext updates the next-leaf pointer in place (meta record has fixed
+// size, so the page layout is unchanged).
+func (n node) setNext(next uint32) {
+	rec, err := n.p.Record(metaSlot)
+	if err != nil {
+		panic(fmt.Sprintf("btree: node %d meta: %v", n.pageNo, err))
+	}
+	binary.LittleEndian.PutUint32(rec[1:], next)
+}
+
+// numEntries returns the number of key entries (excluding the meta record).
+func (n node) numEntries() int { return n.p.NumSlots() - 1 }
+
+// entry returns the raw entry record at entry index i (0-based).
+func (n node) entry(i int) []byte {
+	rec, err := n.p.Record(entrySlot0 + i)
+	if err != nil {
+		panic(fmt.Sprintf("btree: node %d entry %d: %v", n.pageNo, i, err))
+	}
+	return rec
+}
+
+// encodeLeafEntry builds a leaf entry record: [klen u16][key][payload].
+func encodeLeafEntry(key, payload []byte) []byte {
+	rec := make([]byte, 2+len(key)+len(payload))
+	binary.LittleEndian.PutUint16(rec, uint16(len(key)))
+	copy(rec[2:], key)
+	copy(rec[2+len(key):], payload)
+	return rec
+}
+
+// decodeEntryKey extracts the key from any entry record.
+func decodeEntryKey(rec []byte) []byte {
+	klen := int(binary.LittleEndian.Uint16(rec))
+	return rec[2 : 2+klen]
+}
+
+// decodeLeafPayload extracts the payload from a leaf entry record.
+func decodeLeafPayload(rec []byte) []byte {
+	klen := int(binary.LittleEndian.Uint16(rec))
+	return rec[2+klen:]
+}
+
+// encodeInternalEntry builds an internal entry record:
+// [klen u16][key][child u32].
+func encodeInternalEntry(key []byte, child uint32) []byte {
+	rec := make([]byte, 2+len(key)+4)
+	binary.LittleEndian.PutUint16(rec, uint16(len(key)))
+	copy(rec[2:], key)
+	binary.LittleEndian.PutUint32(rec[2+len(key):], child)
+	return rec
+}
+
+// decodeInternalChild extracts the child pointer from an internal entry.
+func decodeInternalChild(rec []byte) uint32 {
+	klen := int(binary.LittleEndian.Uint16(rec))
+	return binary.LittleEndian.Uint32(rec[2+klen:])
+}
+
+// leafEntryOverhead is the per-entry encoding overhead beyond key+payload:
+// the 2-byte key-length prefix. (The page adds its own 4-byte slot entry.)
+const leafEntryOverhead = 2
+
+// LeafEntries extracts the keys and payloads stored in a leaf node page, in
+// key order. It is how downstream consumers (compression measurement) read
+// an index's data level. The returned slices alias the page buffer.
+func LeafEntries(p *page.Page) (keys, payloads [][]byte, err error) {
+	n, err := fromPage(p, uint32(p.ID()))
+	if err != nil {
+		return nil, nil, err
+	}
+	if !n.isLeaf() {
+		return nil, nil, fmt.Errorf("btree: page %d is not a leaf", p.ID())
+	}
+	cnt := n.numEntries()
+	keys = make([][]byte, cnt)
+	payloads = make([][]byte, cnt)
+	for i := 0; i < cnt; i++ {
+		rec := n.entry(i)
+		keys[i] = decodeEntryKey(rec)
+		payloads[i] = decodeLeafPayload(rec)
+	}
+	return keys, payloads, nil
+}

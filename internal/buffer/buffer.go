@@ -1,0 +1,140 @@
+// Package buffer implements a small LRU buffer pool over a heap.PageStore.
+//
+// The estimators themselves are storage-agnostic, but block-level sampling
+// (experiment E7) and the physical-design advisor read pages through this
+// pool so that page-access counts — the I/O cost model the paper's
+// motivation section appeals to — are observable.
+package buffer
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"samplecf/internal/heap"
+	"samplecf/internal/page"
+)
+
+// Stats reports buffer pool effectiveness counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 when no accesses happened.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type entry struct {
+	pageNo uint32
+	p      *page.Page
+	lruEl  *list.Element
+}
+
+// Pool is a read-through LRU cache of pages. Pages returned by Get are
+// shared and must be treated as read-only; writers should go directly to the
+// store and call Invalidate.
+type Pool struct {
+	store    heap.PageStore
+	capacity int
+
+	mu      sync.Mutex
+	entries map[uint32]*entry
+	lru     *list.List // front = most recently used; values are *entry
+	stats   Stats
+}
+
+// NewPool creates a pool caching up to capacity pages. It panics if
+// capacity <= 0.
+func NewPool(store heap.PageStore, capacity int) *Pool {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("buffer: capacity %d must be positive", capacity))
+	}
+	return &Pool{
+		store:    store,
+		capacity: capacity,
+		entries:  make(map[uint32]*entry, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Get returns the page at pageNo, reading through to the store on a miss.
+func (p *Pool) Get(pageNo uint32) (*page.Page, error) {
+	p.mu.Lock()
+	if e, ok := p.entries[pageNo]; ok {
+		p.lru.MoveToFront(e.lruEl)
+		p.stats.Hits++
+		pg := e.p
+		p.mu.Unlock()
+		return pg, nil
+	}
+	p.stats.Misses++
+	p.mu.Unlock()
+
+	// Read outside the lock; concurrent misses on the same page are benign
+	// (last one in wins the cache slot).
+	pg, err := p.store.Read(pageNo)
+	if err != nil {
+		return nil, err
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.entries[pageNo]; ok {
+		// Someone else cached it while we read; prefer theirs.
+		p.lru.MoveToFront(e.lruEl)
+		return e.p, nil
+	}
+	for len(p.entries) >= p.capacity {
+		tail := p.lru.Back()
+		if tail == nil {
+			break
+		}
+		victim := tail.Value.(*entry)
+		p.lru.Remove(tail)
+		delete(p.entries, victim.pageNo)
+		p.stats.Evictions++
+	}
+	e := &entry{pageNo: pageNo, p: pg}
+	e.lruEl = p.lru.PushFront(e)
+	p.entries[pageNo] = e
+	return pg, nil
+}
+
+// Invalidate drops the cached copy of pageNo, if any. Call after writing the
+// page directly to the store.
+func (p *Pool) Invalidate(pageNo uint32) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.entries[pageNo]; ok {
+		p.lru.Remove(e.lruEl)
+		delete(p.entries, pageNo)
+	}
+}
+
+// Len returns the number of cached pages.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the counters (cache contents are kept).
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}

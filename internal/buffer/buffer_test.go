@@ -1,0 +1,181 @@
+package buffer
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"samplecf/internal/heap"
+	"samplecf/internal/page"
+)
+
+// fillStore appends n pages, each holding one record identifying the page.
+func fillStore(t testing.TB, n int) *heap.MemStore {
+	t.Helper()
+	st := heap.NewMemStore(page.MinSize)
+	for i := 0; i < n; i++ {
+		p := page.New(page.MinSize, uint64(i))
+		if _, err := p.Insert([]byte(fmt.Sprintf("p%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func TestPoolReadThrough(t *testing.T) {
+	st := fillStore(t, 4)
+	pool := NewPool(st, 2)
+	for i := 0; i < 4; i++ {
+		pg, err := pool.Get(uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := pg.Record(0)
+		if err != nil || string(rec) != fmt.Sprintf("p%d", i) {
+			t.Fatalf("page %d content %q %v", i, rec, err)
+		}
+	}
+	s := pool.Stats()
+	if s.Misses != 4 || s.Hits != 0 {
+		t.Fatalf("stats %+v, want 4 misses", s)
+	}
+	if s.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", s.Evictions)
+	}
+}
+
+func TestPoolHitsAndLRU(t *testing.T) {
+	st := fillStore(t, 3)
+	pool := NewPool(st, 2)
+	mustGet := func(i uint32) {
+		t.Helper()
+		if _, err := pool.Get(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet(0) // miss, cache {0}
+	mustGet(1) // miss, cache {0,1}
+	mustGet(0) // hit, 0 MRU
+	mustGet(2) // miss, evicts 1 (LRU)
+	mustGet(0) // hit (still cached)
+	mustGet(1) // miss (was evicted)
+	s := pool.Stats()
+	if s.Hits != 2 || s.Misses != 4 {
+		t.Fatalf("stats %+v, want 2 hits / 4 misses", s)
+	}
+	if got := s.HitRate(); got != 2.0/6.0 {
+		t.Fatalf("HitRate = %v", got)
+	}
+}
+
+func TestPoolInvalidate(t *testing.T) {
+	st := fillStore(t, 1)
+	pool := NewPool(st, 2)
+	if _, err := pool.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite page 0 behind the pool's back.
+	p := page.New(page.MinSize, 0)
+	if _, err := p.Insert([]byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Write(0, p); err != nil {
+		t.Fatal(err)
+	}
+	// Without invalidation the stale copy is served.
+	pg, err := pool.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := pg.Record(0); string(rec) != "p0" {
+		t.Fatalf("expected stale copy, got %q", rec)
+	}
+	pool.Invalidate(0)
+	pg, err = pool.Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := pg.Record(0); string(rec) != "new" {
+		t.Fatalf("after invalidate got %q", rec)
+	}
+	if pool.Len() != 1 {
+		t.Fatalf("Len = %d", pool.Len())
+	}
+}
+
+func TestPoolErrorPropagation(t *testing.T) {
+	st := fillStore(t, 1)
+	pool := NewPool(st, 1)
+	if _, err := pool.Get(99); err == nil {
+		t.Fatal("missing page did not error")
+	}
+}
+
+func TestPoolConcurrentReaders(t *testing.T) {
+	st := fillStore(t, 8)
+	pool := NewPool(st, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				pg, err := pool.Get(uint32((g + i) % 8))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if pg.NumRecords() != 1 {
+					t.Error("bad page")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := pool.Stats()
+	if s.Hits+s.Misses != 1600 {
+		t.Fatalf("accesses = %d, want 1600", s.Hits+s.Misses)
+	}
+}
+
+func TestPoolCapacityOne(t *testing.T) {
+	st := fillStore(t, 2)
+	pool := NewPool(st, 1)
+	if _, err := pool.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", pool.Len())
+	}
+}
+
+func TestNewPoolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool(_,0) did not panic")
+		}
+	}()
+	NewPool(heap.NewMemStore(page.MinSize), 0)
+}
+
+func TestResetStats(t *testing.T) {
+	st := fillStore(t, 1)
+	pool := NewPool(st, 1)
+	if _, err := pool.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	pool.ResetStats()
+	if s := pool.Stats(); s.Hits != 0 || s.Misses != 0 || s.Evictions != 0 {
+		t.Fatalf("stats not reset: %+v", s)
+	}
+	if pool.Len() != 1 {
+		t.Fatal("reset dropped cache contents")
+	}
+}

@@ -1,0 +1,91 @@
+package compress
+
+import (
+	"fmt"
+
+	"samplecf/internal/value"
+)
+
+// PickBest encodes each page with every member codec and keeps the smallest
+// result, prefixed with a 1-byte member tag. This mirrors how engines decide
+// per page whether richer compression pays for itself — and it is exactly
+// the kind of codec a sampling estimator must stay agnostic to, since the
+// winning member can differ between the sample and the full index.
+type PickBest struct {
+	Members []PageCodec
+	Label   string
+}
+
+// NewPageCompression returns the default composite approximating commercial
+// "PAGE" compression: NS, prefix, page dictionary (row-compressed entries),
+// and RLE compete per page.
+func NewPageCompression() *PickBest {
+	return &PickBest{
+		Label: "page",
+		Members: []PageCodec{
+			NullSuppression{},
+			Prefix{},
+			&PageDict{EntryNS: true},
+			RLE{},
+		},
+	}
+}
+
+// Name implements PageCodec.
+func (p *PickBest) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "pickbest"
+}
+
+// EncodePage implements PageCodec.
+func (p *PickBest) EncodePage(schema *value.Schema, records [][]byte) ([]byte, error) {
+	if len(p.Members) == 0 || len(p.Members) > 255 {
+		return nil, fmt.Errorf("compress: pickbest needs 1..255 members, has %d", len(p.Members))
+	}
+	var best []byte
+	bestTag := -1
+	for tag, m := range p.Members {
+		enc, err := m.EncodePage(schema, records)
+		if err != nil {
+			return nil, fmt.Errorf("compress: member %s: %w", m.Name(), err)
+		}
+		if bestTag < 0 || len(enc) < len(best) {
+			best = enc
+			bestTag = tag
+		}
+	}
+	out := make([]byte, 0, len(best)+1)
+	out = append(out, byte(bestTag))
+	return append(out, best...), nil
+}
+
+// DecodePage implements PageCodec.
+func (p *PickBest) DecodePage(schema *value.Schema, data []byte) ([][]byte, error) {
+	if len(data) < 1 {
+		return nil, ErrCorrupt
+	}
+	tag := int(data[0])
+	if tag >= len(p.Members) {
+		return nil, ErrCorrupt
+	}
+	return p.Members[tag].DecodePage(schema, data[1:])
+}
+
+// lastDictEntries surfaces the dictionary size when the winning member was
+// a dictionary codec. Conservative: reports the PageDict member's last
+// encode, which PickBest always invokes.
+func (p *PickBest) lastDictEntries() int64 {
+	var total int64
+	for _, m := range p.Members {
+		if de, ok := m.(dictEntryCounter); ok {
+			total += de.lastDictEntries()
+		}
+	}
+	return total
+}
+
+func init() {
+	Register("page", func() Codec { return Paged{PC: NewPageCompression()} })
+}

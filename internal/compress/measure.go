@@ -1,0 +1,70 @@
+package compress
+
+import (
+	"fmt"
+
+	"samplecf/internal/btree"
+	"samplecf/internal/page"
+	"samplecf/internal/value"
+)
+
+// MeasureTree compresses the leaf level of an index with codec and returns
+// the whole-index Result, from which CF follows. The index must store, as
+// each leaf entry's PAYLOAD, the fixed-width encoding of the keySchema row
+// (value.EncodeRecord output) — the actual index record; the memcomparable
+// search key is excluded from CF, matching the paper's model in which index
+// rows are the column values themselves.
+func MeasureTree(t *btree.Tree, keySchema *value.Schema, codec Codec) (Result, error) {
+	sess, err := codec.NewSession(keySchema)
+	if err != nil {
+		return Result{}, err
+	}
+	err = t.LeafPages(func(_ uint32, p *page.Page) error {
+		_, payloads, err := btree.LeafEntries(p)
+		if err != nil {
+			return err
+		}
+		return sess.AddPage(payloads)
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("compress: measure tree: %w", err)
+	}
+	return sess.Finish()
+}
+
+// MeasureRecords chunks fixed-width records into synthetic pages of
+// rowsPerPage and compresses them with codec. It is the array-backed
+// fast path used by estimators that skip materializing a B+-tree.
+func MeasureRecords(keySchema *value.Schema, codec Codec, records [][]byte, rowsPerPage int) (Result, error) {
+	if rowsPerPage <= 0 {
+		return Result{}, fmt.Errorf("compress: rowsPerPage %d must be positive", rowsPerPage)
+	}
+	sess, err := codec.NewSession(keySchema)
+	if err != nil {
+		return Result{}, err
+	}
+	for start := 0; start < len(records); start += rowsPerPage {
+		end := start + rowsPerPage
+		if end > len(records) {
+			end = len(records)
+		}
+		if err := sess.AddPage(records[start:end]); err != nil {
+			return Result{}, err
+		}
+	}
+	return sess.Finish()
+}
+
+// RowsPerPage returns how many fixed-width records of keySchema fit in one
+// uncompressed page of pageSize bytes, accounting for the page header and
+// per-record slot entries. This defines the page grouping used when
+// compressing without a materialized index.
+func RowsPerPage(keySchema *value.Schema, pageSize int) int {
+	per := pageSize - page.HeaderSize
+	cost := keySchema.RowWidth() + 4
+	n := per / cost
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,125 @@
+package compress
+
+import (
+	"encoding/binary"
+
+	"samplecf/internal/value"
+)
+
+// RLE is per-page, per-column run-length encoding: consecutive equal values
+// collapse into (count, value) pairs. Sorted leaf pages of low-cardinality
+// indexes — where every distinct value forms one long run — are its best
+// case; on unsorted or high-cardinality data it degenerates to NS plus a
+// 2-byte run header per value.
+//
+// Encoded page layout:
+//
+//	[rows uint16]
+//	per column: [runs uint16] then per run [count uint16][len h][bytes]
+type RLE struct{}
+
+// Name implements PageCodec.
+func (RLE) Name() string { return "rle" }
+
+// EncodePage implements PageCodec.
+func (RLE) EncodePage(schema *value.Schema, records [][]byte) ([]byte, error) {
+	if err := checkRecords(schema, records); err != nil {
+		return nil, err
+	}
+	if len(records) > maxPageRows {
+		return nil, ErrCorrupt
+	}
+	cols := columnOffsets(schema)
+	var out []byte
+	var hdr [2]byte
+	binary.LittleEndian.PutUint16(hdr[:], uint16(len(records)))
+	out = append(out, hdr[:]...)
+	for c := range cols {
+		t := schema.Column(c).Type
+		h := lenHeaderSize(t.FixedWidth())
+		// Collect runs.
+		type run struct {
+			val   []byte
+			count int
+		}
+		var runs []run
+		for _, rec := range records {
+			v := rec[cols[c][0]:cols[c][1]]
+			if len(runs) > 0 && string(runs[len(runs)-1].val) == string(v) && runs[len(runs)-1].count < maxPageRows {
+				runs[len(runs)-1].count++
+			} else {
+				runs = append(runs, run{val: v, count: 1})
+			}
+		}
+		binary.LittleEndian.PutUint16(hdr[:], uint16(len(runs)))
+		out = append(out, hdr[:]...)
+		for _, r := range runs {
+			binary.LittleEndian.PutUint16(hdr[:], uint16(r.count))
+			out = append(out, hdr[:]...)
+			sup := suppressColumn(t, r.val)
+			out = putLen(out, len(sup), h)
+			out = append(out, sup...)
+		}
+	}
+	return out, nil
+}
+
+// DecodePage implements PageCodec.
+func (RLE) DecodePage(schema *value.Schema, data []byte) ([][]byte, error) {
+	if len(data) < 2 {
+		return nil, ErrCorrupt
+	}
+	rows := int(binary.LittleEndian.Uint16(data))
+	data = data[2:]
+	cols := columnOffsets(schema)
+	records := make([][]byte, rows)
+	for i := range records {
+		records[i] = make([]byte, schema.RowWidth())
+	}
+	for c := range cols {
+		t := schema.Column(c).Type
+		w := t.FixedWidth()
+		h := lenHeaderSize(w)
+		if len(data) < 2 {
+			return nil, ErrCorrupt
+		}
+		nRuns := int(binary.LittleEndian.Uint16(data))
+		data = data[2:]
+		row := 0
+		for r := 0; r < nRuns; r++ {
+			if len(data) < 2 {
+				return nil, ErrCorrupt
+			}
+			count := int(binary.LittleEndian.Uint16(data))
+			data = data[2:]
+			l, rest, err := getLen(data, h)
+			if err != nil {
+				return nil, err
+			}
+			if l > w || len(rest) < l {
+				return nil, ErrCorrupt
+			}
+			full := make([]byte, w)
+			expandInto(t, rest[:l], full)
+			data = rest[l:]
+			for i := 0; i < count; i++ {
+				if row >= rows {
+					return nil, ErrCorrupt
+				}
+				copy(records[row][cols[c][0]:cols[c][1]], full)
+				row++
+			}
+		}
+		if row != rows {
+			return nil, ErrCorrupt
+		}
+	}
+	if len(data) != 0 {
+		return nil, ErrCorrupt
+	}
+	return records, nil
+}
+
+func init() {
+	Register("rle", func() Codec { return Paged{PC: RLE{}} })
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"samplecf/internal/distinct"
+	"samplecf/internal/value"
+)
+
+// AnalyticNS computes the paper's closed-form NS estimate from a sample:
+// CF'_NS = Σ_sample (ℓⱼ + h) / (r·k), generalized to multi-column schemas by
+// summing per-column contributions over the row width. It is the analytical
+// twin of running SampleCF with the NS codec — Theorem 1 is about this
+// quantity.
+func AnalyticNS(keySchema *value.Schema, sample []value.Row) (float64, error) {
+	if len(sample) == 0 {
+		return 0, fmt.Errorf("core: empty sample")
+	}
+	var sum float64
+	for _, row := range sample {
+		if err := value.ValidateRow(keySchema, row); err != nil {
+			return 0, err
+		}
+		for c := 0; c < keySchema.NumColumns(); c++ {
+			t := keySchema.Column(c).Type
+			l := value.NullSuppressedLen(t, row[c])
+			sum += float64(l) + float64(lenHeaderBytes(t.FixedWidth()))
+		}
+	}
+	return sum / (float64(len(sample)) * float64(keySchema.RowWidth())), nil
+}
+
+// lenHeaderBytes is the paper's h for a column of width k.
+func lenHeaderBytes(k int) int {
+	if k < 1<<8 {
+		return 1
+	}
+	return 2
+}
+
+// AnalyticDict computes the simplified-model dictionary estimate
+// CF'_D = p/k + d̂/n, where d̂ comes from any distinct-value estimator over
+// the sample profile. With distinct.NaiveScale this is EXACTLY what
+// SampleCF's global-dictionary run converges to (d̂ = d'·n/r ⇒
+// d̂/n = d'/r); with GEE/Chao/Shlosser it is the baseline family of
+// experiment E8.
+func AnalyticDict(k, p int, profile distinct.Profile, est distinct.Estimator) (float64, error) {
+	if k <= 0 || p <= 0 {
+		return 0, fmt.Errorf("core: invalid k=%d p=%d", k, p)
+	}
+	if profile.N <= 0 {
+		return 0, fmt.Errorf("core: profile has no table size")
+	}
+	dHat := est.Estimate(profile)
+	return float64(p)/float64(k) + dHat/float64(profile.N), nil
+}
+
+// SampleCFDictClosedForm is the paper's expression for what SampleCF
+// returns under the simplified dictionary model: CF'_D = p/k + d'/r.
+func SampleCFDictClosedForm(k, p int, dPrime, r int64) (float64, error) {
+	if k <= 0 || p <= 0 || r <= 0 {
+		return 0, fmt.Errorf("core: invalid k=%d p=%d r=%d", k, p, r)
+	}
+	return float64(p)/float64(k) + float64(dPrime)/float64(r), nil
+}

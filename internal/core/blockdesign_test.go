@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"samplecf/internal/distrib"
+	"samplecf/internal/stats"
+	"samplecf/internal/value"
+	"samplecf/internal/workload"
+)
+
+// blockTable builds the adversarial layout for block sampling: bimodal
+// lengths tied to values (every value is all-short or all-long), so a
+// clustered layout makes pages internally homogeneous (ρ → 1).
+func blockTable(t testing.TB, n int64, layout workload.Layout) *workload.Table {
+	t.Helper()
+	col, err := workload.NewStringColumn(
+		value.Char(20), distrib.NewUniform(200), distrib.NewBimodalLen(0, 20, 0.5), 51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := workload.Generate(workload.Spec{
+		Name: "bd", N: n, Seed: 51, Layout: layout,
+		Cols: []workload.SpecColumn{{Name: "a", Gen: col}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestDesignEffectShuffledVsClustered(t *testing.T) {
+	const n = 20000
+	const perPage = 100
+	shuffled := blockTable(t, n, workload.LayoutShuffled)
+	clustered := blockTable(t, n, workload.LayoutClustered)
+
+	psS, err := shuffled.AsPageSource(perPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psC, err := clustered.AsPageSource(perPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deS, err := EstimateDesignEffect(psS, shuffled.Schema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deC, err := EstimateDesignEffect(psC, clustered.Schema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deS.Rho > 0.05 {
+		t.Errorf("shuffled layout ρ = %v, want ≈0", deS.Rho)
+	}
+	if deS.Deff > 5 {
+		t.Errorf("shuffled deff = %v, want ≈1", deS.Deff)
+	}
+	// Clustered: 100 rows per value run / 100 rows per page — a typical page
+	// straddles two runs, so ρ is high but below 1 (measured ≈ 0.68).
+	if deC.Rho < 0.5 {
+		t.Errorf("clustered ρ = %v, want substantially positive", deC.Rho)
+	}
+	if deC.Deff < 50 {
+		t.Errorf("clustered deff = %v, want near %d", deC.Deff, perPage)
+	}
+	if deC.Rows != n || deC.Pages != n/perPage {
+		t.Errorf("population accounting: rows=%d pages=%d", deC.Rows, deC.Pages)
+	}
+}
+
+func TestBlockSamplingBoundCorrection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	// On the adversarial clustered layout, measured block-sampling spread
+	// VIOLATES the naive Theorem-1 bound but respects the deff-corrected
+	// one — the quantitative reason the paper flags page sampling as
+	// needing its own analysis.
+	const n = 20000
+	const perPage = 100
+	const f = 0.05
+	clustered := blockTable(t, n, workload.LayoutClustered)
+	ps, err := clustered.AsPageSource(perPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	de, err := EstimateDesignEffect(ps, clustered.Schema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := mustCodec(t, "nullsuppression")
+	var acc stats.Accumulator
+	var r int64
+	for seed := uint64(0); seed < 60; seed++ {
+		est, err := SampleCF(clustered, clustered.Schema(), Options{
+			Fraction: f, Method: MethodBlock, Pages: ps, Codec: codec, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(est.CF)
+		r = est.SampleRows
+	}
+	naive := Theorem1StdDevBound(r)
+	corrected := BlockSamplingNSStdDevBound(r, de.Deff)
+	if acc.StdDev() <= naive {
+		t.Fatalf("expected naive bound violation: sd %v <= naive %v (deff %v)",
+			acc.StdDev(), naive, de.Deff)
+	}
+	if acc.StdDev() > 1.5*corrected {
+		t.Fatalf("corrected bound failed: sd %v > 1.5×%v", acc.StdDev(), corrected)
+	}
+}
+
+func TestDesignEffectValidation(t *testing.T) {
+	tab := blockTable(t, 50, workload.LayoutShuffled)
+	ps, err := tab.AsPageSource(100) // single page
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateDesignEffect(ps, tab.Schema(), nil); err == nil {
+		t.Fatal("single-page population accepted")
+	}
+}

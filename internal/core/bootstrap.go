@@ -1,0 +1,160 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"samplecf/internal/compress"
+	"samplecf/internal/rng"
+	"samplecf/internal/sampling"
+	"samplecf/internal/stats"
+	"samplecf/internal/value"
+)
+
+// Theorem 1 gives a distribution-free interval for NULL SUPPRESSION only;
+// for dictionary compression (and any other codec) the paper offers ratio
+// bounds, not intervals. Bootstrap resampling fills part of that gap:
+// resample the already-drawn sample with replacement B times, re-run steps
+// 2-4 of Fig. 2 on each resample, and report percentile bounds of the B
+// estimates. The extra cost is O(B·r) — independent of n — and requires
+// nothing from the codec beyond the same closed-box interface SampleCF
+// already uses.
+//
+// VALIDITY CAVEAT. The percentile bootstrap is sound for codecs whose CF is
+// an additive per-row statistic (null suppression: a scaled mean of ℓ), and
+// its SD then approximates Theorem 1's σ empirically. For CARDINALITY-
+// SENSITIVE codecs (dictionary, RLE) the naive bootstrap is biased LOW:
+// a WR resample of r rows from r rows contains only ≈ (1-1/e) ≈ 63% of the
+// sample's distinct values, so resampled d' — and hence resampled CF —
+// systematically undershoots the point estimate. The interval then brackets
+// the resampling distribution, not E[CF']. TestBootstrapDictCollapse pins
+// this behaviour; callers estimating dictionary CF should rely on the ratio
+// bounds (Theorems 2-3) instead.
+
+// BootstrapCI is a percentile confidence interval from resampled estimates.
+type BootstrapCI struct {
+	// Lo and Hi bound the (1-Alpha) central interval.
+	Lo, Hi float64
+	// Alpha is the total tail mass (0.05 ⇒ 95% interval).
+	Alpha float64
+	// Resamples is B.
+	Resamples int
+	// SD is the bootstrap standard deviation of the estimate — the
+	// empirical analogue of Theorem 1's σ, available for ANY codec.
+	SD float64
+}
+
+// Bootstrap computes a percentile CI for the CF estimate by resampling the
+// sample underlying est. The sample rows must be re-supplied (Estimate does
+// not retain them); use SampleCFWithRows to get both in one call.
+func Bootstrap(sampleRows []value.Row, keySchema *value.Schema, codec compress.Codec,
+	pageSize int, resamples int, alpha float64, seed uint64) (BootstrapCI, error) {
+	if resamples < 10 {
+		return BootstrapCI{}, fmt.Errorf("core: bootstrap needs >= 10 resamples, got %d", resamples)
+	}
+	if alpha <= 0 || alpha >= 1 {
+		return BootstrapCI{}, fmt.Errorf("core: bootstrap alpha %v outside (0,1)", alpha)
+	}
+	if len(sampleRows) == 0 {
+		return BootstrapCI{}, fmt.Errorf("core: bootstrap on empty sample")
+	}
+	// Pre-encode each sample row once.
+	type entry struct {
+		key, rec []byte
+	}
+	base := make([]entry, len(sampleRows))
+	for i, row := range sampleRows {
+		rec, err := value.EncodeRecord(keySchema, row, nil)
+		if err != nil {
+			return BootstrapCI{}, err
+		}
+		key, err := value.EncodeKey(keySchema, row, nil)
+		if err != nil {
+			return BootstrapCI{}, err
+		}
+		base[i] = entry{key: key, rec: rec}
+	}
+	rpp := compress.RowsPerPage(keySchema, pageSizeOrDefault(pageSize))
+	g := rng.New(seed)
+	cfs := make([]float64, 0, resamples)
+	var acc stats.Accumulator
+	resample := make([]entry, len(base))
+	for b := 0; b < resamples; b++ {
+		for i := range resample {
+			resample[i] = base[g.Intn(len(base))]
+		}
+		// Re-sort: the index on the resample is ordered (Fig. 2 step 2).
+		sort.Slice(resample, func(i, j int) bool {
+			return bytes.Compare(resample[i].key, resample[j].key) < 0
+		})
+		recs := make([][]byte, len(resample))
+		for i := range resample {
+			recs[i] = resample[i].rec
+		}
+		res, err := compress.MeasureRecords(keySchema, codec, recs, rpp)
+		if err != nil {
+			return BootstrapCI{}, fmt.Errorf("core: bootstrap resample %d: %w", b, err)
+		}
+		cfs = append(cfs, res.CF())
+		acc.Add(res.CF())
+	}
+	sort.Float64s(cfs)
+	return BootstrapCI{
+		Lo:        stats.Quantile(cfs, alpha/2),
+		Hi:        stats.Quantile(cfs, 1-alpha/2),
+		Alpha:     alpha,
+		Resamples: resamples,
+		SD:        acc.StdDev(),
+	}, nil
+}
+
+// pageSizeOrDefault applies the package default.
+func pageSizeOrDefault(ps int) int {
+	if ps == 0 {
+		return 8192
+	}
+	return ps
+}
+
+// SampleCFWithRows runs SampleCF (uniform WR only) and returns the drawn
+// sample's key-projected rows alongside the estimate, so callers can
+// bootstrap without re-sampling the table.
+func SampleCFWithRows(src sampling.RowSource, schema *value.Schema, opts Options) (Estimate, []value.Row, error) {
+	opts = opts.withDefaults()
+	if opts.Codec == nil {
+		return Estimate{}, nil, fmt.Errorf("core: Options.Codec is required")
+	}
+	if opts.Method != MethodUniformWR {
+		return Estimate{}, nil, fmt.Errorf("core: bootstrap path supports only uniform WR sampling")
+	}
+	keySchema, project, err := keyProjection(schema, opts.KeyColumns)
+	if err != nil {
+		return Estimate{}, nil, err
+	}
+	n := src.NumRows()
+	if n == 0 {
+		return Estimate{}, nil, fmt.Errorf("core: source table is empty")
+	}
+	r := opts.SampleRows
+	if r <= 0 {
+		r = sampling.SampleSize(n, opts.Fraction)
+	}
+	if r <= 0 {
+		return Estimate{}, nil, fmt.Errorf("core: sample size is zero")
+	}
+	rows, err := sampling.UniformWR(src, r, rng.New(opts.Seed))
+	if err != nil {
+		return Estimate{}, nil, err
+	}
+	// Project once so the bootstrap re-encodes only key columns.
+	projected := make([]value.Row, len(rows))
+	for i, row := range rows {
+		projected[i] = projectRow(row, project)
+	}
+	est, err := estimateFromSample(rows, n, keySchema, project, opts)
+	if err != nil {
+		return Estimate{}, nil, err
+	}
+	return est, projected, nil
+}

@@ -1,0 +1,341 @@
+// Package core implements the paper's contribution: the SampleCF estimator
+// (Fig. 2) for the compression fraction of an index, its analytical
+// counterparts, and the theorem-level accuracy bounds (Theorems 1-3,
+// Example 1, Table II).
+//
+// SampleCF(T, f, S, C):
+//  1. T' = uniform random sample of f·n rows of T (with replacement);
+//  2. build index I'(S) on T';
+//  3. compress I' using C;
+//  4. return the compression fraction of I' as the estimate.
+//
+// The implementation is codec-agnostic by construction — the codec is a
+// closed box invoked through the compress.Codec interface — which is the
+// property the paper identifies as the estimator's main practical virtue.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"samplecf/internal/btree"
+	"samplecf/internal/compress"
+	"samplecf/internal/distinct"
+	"samplecf/internal/heap"
+	"samplecf/internal/page"
+	"samplecf/internal/rng"
+	"samplecf/internal/sampling"
+	"samplecf/internal/value"
+)
+
+// Method selects the sampling scheme for step 1.
+type Method int
+
+const (
+	// MethodUniformWR is the paper's model: uniform with replacement.
+	MethodUniformWR Method = iota
+	// MethodUniformWOR samples without replacement (ablation).
+	MethodUniformWOR
+	// MethodBlock samples whole pages (what commercial systems do;
+	// the paper's future work). Requires a PageSource.
+	MethodBlock
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodUniformWR:
+		return "uniform-wr"
+	case MethodUniformWOR:
+		return "uniform-wor"
+	case MethodBlock:
+		return "block"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options configure one SampleCF run.
+type Options struct {
+	// Fraction is the paper's f; the sample size is r = ⌈f·n⌉.
+	// Ignored when SampleRows > 0.
+	Fraction float64
+	// SampleRows fixes r directly.
+	SampleRows int64
+	// Codec is the compression technique C. Required.
+	Codec compress.Codec
+	// Method selects the sampling scheme (default uniform WR).
+	Method Method
+	// Pages is the PageSource for MethodBlock.
+	Pages sampling.PageSource
+	// KeyColumns is the index column sequence S; empty means all columns.
+	KeyColumns []string
+	// Seed makes the run reproducible.
+	Seed uint64
+	// BuildIndex, when true, materializes a real B+-tree on the sample
+	// (Fig. 2 step 2 taken literally) and compresses its leaf pages.
+	// When false (default), the sample is sorted and chunked into
+	// equivalent pages without the tree — same CF for per-record codecs,
+	// orders of magnitude faster for large experiment sweeps.
+	BuildIndex bool
+	// PageSize is the index page size (default page.DefaultSize).
+	PageSize int
+	// FillFactor is the bulk-load leaf utilization (default 1.0).
+	FillFactor float64
+}
+
+// withDefaults normalizes zero-valued options.
+func (o Options) withDefaults() Options {
+	if o.PageSize == 0 {
+		o.PageSize = page.DefaultSize
+	}
+	if o.FillFactor == 0 {
+		o.FillFactor = 1.0
+	}
+	return o
+}
+
+// Estimate is the outcome of one SampleCF run.
+type Estimate struct {
+	// CF is the estimated compression fraction CF'.
+	CF float64
+	// SampleRows is the realized r (block sampling makes it data-dependent).
+	SampleRows int64
+	// SampleDistinct is d': distinct index keys in the sample.
+	SampleDistinct int64
+	// Profile is the sample's frequency-of-frequency profile, reusable by
+	// analytical estimators without re-sampling.
+	Profile distinct.Profile
+	// Result carries the underlying compression measurement.
+	Result compress.Result
+	// SampleDuration, BuildDuration and CompressDuration break down cost.
+	SampleDuration   time.Duration
+	BuildDuration    time.Duration
+	CompressDuration time.Duration
+}
+
+// SampleCF runs the estimator of Fig. 2 against src.
+func SampleCF(src sampling.RowSource, schema *value.Schema, opts Options) (Estimate, error) {
+	opts = opts.withDefaults()
+	if opts.Codec == nil {
+		return Estimate{}, fmt.Errorf("core: Options.Codec is required")
+	}
+	keySchema, project, err := keyProjection(schema, opts.KeyColumns)
+	if err != nil {
+		return Estimate{}, err
+	}
+	n := src.NumRows()
+	if n == 0 {
+		return Estimate{}, fmt.Errorf("core: source table is empty")
+	}
+	r := opts.SampleRows
+	if r <= 0 {
+		r = sampling.SampleSize(n, opts.Fraction)
+	}
+	if r <= 0 {
+		return Estimate{}, fmt.Errorf("core: sample size is zero (fraction %v)", opts.Fraction)
+	}
+
+	g := rng.New(opts.Seed)
+	start := time.Now()
+	var rows []value.Row
+	switch opts.Method {
+	case MethodUniformWR:
+		rows, err = sampling.UniformWR(src, r, g)
+	case MethodUniformWOR:
+		rows, err = sampling.UniformWOR(src, r, g)
+	case MethodBlock:
+		if opts.Pages == nil {
+			return Estimate{}, fmt.Errorf("core: block sampling requires Options.Pages")
+		}
+		pagesWanted := int(float64(opts.Pages.NumPages())*float64(r)/float64(n) + 0.5)
+		if pagesWanted < 1 {
+			pagesWanted = 1
+		}
+		if pagesWanted > opts.Pages.NumPages() {
+			pagesWanted = opts.Pages.NumPages()
+		}
+		rows, err = sampling.BlockSample(opts.Pages, pagesWanted, g)
+	default:
+		return Estimate{}, fmt.Errorf("core: unknown sampling method %v", opts.Method)
+	}
+	if err != nil {
+		return Estimate{}, fmt.Errorf("core: sampling: %w", err)
+	}
+	sampleDur := time.Since(start)
+
+	est, err := estimateFromSample(rows, n, keySchema, project, opts)
+	if err != nil {
+		return Estimate{}, err
+	}
+	est.SampleDuration = sampleDur
+	return est, nil
+}
+
+// estimateFromSample runs steps 2-4 of Fig. 2 on an already-drawn sample
+// from a table of n rows.
+func estimateFromSample(rows []value.Row, n int64, keySchema *value.Schema, project []int, opts Options) (Estimate, error) {
+	buildStart := time.Now()
+	// Encode each sampled row's index record (fixed width) and search key
+	// (memcomparable), then order by key — the sort an index build performs.
+	type entry struct {
+		key, rec []byte
+	}
+	entries := make([]entry, len(rows))
+	for i, row := range rows {
+		krow := projectRow(row, project)
+		rec, err := value.EncodeRecord(keySchema, krow, nil)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("core: encode sample row: %w", err)
+		}
+		key, err := value.EncodeKey(keySchema, krow, nil)
+		if err != nil {
+			return Estimate{}, fmt.Errorf("core: encode sample key: %w", err)
+		}
+		entries[i] = entry{key: key, rec: rec}
+	}
+	sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i].key, entries[j].key) < 0 })
+
+	// d' and the frequency profile come from the sorted run in one pass.
+	profile := distinct.Profile{N: n, F: make(map[int64]int64)}
+	runLen := int64(0)
+	for i := range entries {
+		if i > 0 && !bytes.Equal(entries[i].key, entries[i-1].key) {
+			profile.F[runLen]++
+			profile.D++
+			runLen = 0
+		}
+		runLen++
+	}
+	if len(entries) > 0 {
+		profile.F[runLen]++
+		profile.D++
+	}
+	profile.R = int64(len(entries))
+
+	est := Estimate{
+		SampleRows:     int64(len(entries)),
+		SampleDistinct: profile.D,
+		Profile:        profile,
+	}
+
+	var res compress.Result
+	var err error
+	if opts.BuildIndex {
+		// Literal Fig. 2: bulk-load a real B+-tree on the sample, then
+		// compress its leaf pages.
+		items := make([]btree.Item, len(entries))
+		for i, e := range entries {
+			items[i] = btree.Item{Key: e.key, Payload: e.rec}
+		}
+		store := heap.NewMemStore(opts.PageSize)
+		tree, err2 := btree.BulkLoadItems(store, items, opts.FillFactor)
+		if err2 != nil {
+			return Estimate{}, fmt.Errorf("core: build sample index: %w", err2)
+		}
+		est.BuildDuration = time.Since(buildStart)
+		compressStart := time.Now()
+		res, err = compress.MeasureTree(tree, keySchema, opts.Codec)
+		est.CompressDuration = time.Since(compressStart)
+	} else {
+		recs := make([][]byte, len(entries))
+		for i, e := range entries {
+			recs[i] = e.rec
+		}
+		est.BuildDuration = time.Since(buildStart)
+		compressStart := time.Now()
+		rpp := compress.RowsPerPage(keySchema, opts.PageSize)
+		res, err = compress.MeasureRecords(keySchema, opts.Codec, recs, rpp)
+		est.CompressDuration = time.Since(compressStart)
+	}
+	if err != nil {
+		return Estimate{}, fmt.Errorf("core: compress sample index: %w", err)
+	}
+	est.Result = res
+	est.CF = res.CF()
+	return est, nil
+}
+
+// keyProjection resolves the index column sequence S into a key schema and
+// the positions of the key columns within full rows.
+func keyProjection(schema *value.Schema, keyCols []string) (*value.Schema, []int, error) {
+	if len(keyCols) == 0 {
+		idx := make([]int, schema.NumColumns())
+		for i := range idx {
+			idx[i] = i
+		}
+		return schema, idx, nil
+	}
+	keySchema, err := schema.Project(keyCols...)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx := make([]int, len(keyCols))
+	for i, name := range keyCols {
+		pos, ok := schema.ColumnIndex(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: no column %q", name)
+		}
+		idx[i] = pos
+	}
+	return keySchema, idx, nil
+}
+
+// projectRow extracts the key columns of a row.
+func projectRow(row value.Row, idx []int) value.Row {
+	out := make(value.Row, len(idx))
+	for i, p := range idx {
+		out[i] = row[p]
+	}
+	return out
+}
+
+// RowScanner is the full-iteration table shape TrueCF consumes. Both
+// workload.Table and workload.VirtualTable implement it.
+type RowScanner interface {
+	Schema() *value.Schema
+	NumRows() int64
+	Scan(fn func(i int64, row value.Row) error) error
+}
+
+// TrueCF computes the exact compression fraction of the index I(S) on the
+// FULL table: the ground truth SampleCF estimates, obtained the expensive
+// way the paper's introduction warns about (build + compress everything).
+func TrueCF(src RowScanner, keyCols []string, codec compress.Codec, pageSize int) (compress.Result, error) {
+	if pageSize == 0 {
+		pageSize = page.DefaultSize
+	}
+	schema := src.Schema()
+	keySchema, project, err := keyProjection(schema, keyCols)
+	if err != nil {
+		return compress.Result{}, err
+	}
+	type entry struct {
+		key, rec []byte
+	}
+	entries := make([]entry, 0, src.NumRows())
+	err = src.Scan(func(_ int64, row value.Row) error {
+		krow := projectRow(row, project)
+		rec, err := value.EncodeRecord(keySchema, krow, nil)
+		if err != nil {
+			return err
+		}
+		key, err := value.EncodeKey(keySchema, krow, nil)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, entry{key: key, rec: rec})
+		return nil
+	})
+	if err != nil {
+		return compress.Result{}, fmt.Errorf("core: true CF scan: %w", err)
+	}
+	sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i].key, entries[j].key) < 0 })
+	recs := make([][]byte, len(entries))
+	for i, e := range entries {
+		recs[i] = e.rec
+	}
+	return compress.MeasureRecords(keySchema, codec, recs, compress.RowsPerPage(keySchema, pageSize))
+}

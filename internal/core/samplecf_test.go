@@ -1,0 +1,348 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"samplecf/internal/compress"
+	"samplecf/internal/distrib"
+	"samplecf/internal/stats"
+	"samplecf/internal/value"
+	"samplecf/internal/workload"
+)
+
+// genTable materializes a single-CHAR(20)-column table with d distinct
+// values and the given length distribution.
+func genTable(t testing.TB, n, d int64, lengths distrib.Lengths, seed uint64) *workload.Table {
+	t.Helper()
+	col, err := workload.NewStringColumn(value.Char(20), distrib.NewUniform(d), lengths, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := workload.Generate(workload.Spec{
+		Name: "t", N: n, Seed: seed,
+		Cols: []workload.SpecColumn{{Name: "a", Gen: col}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func mustCodec(t testing.TB, name string) compress.Codec {
+	t.Helper()
+	c, err := compress.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSampleCFBasicRun(t *testing.T) {
+	tab := genTable(t, 10000, 100, distrib.NewUniformLen(2, 18), 1)
+	est, err := SampleCF(tab, tab.Schema(), Options{
+		Fraction: 0.05,
+		Codec:    mustCodec(t, "nullsuppression"),
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.SampleRows != 500 {
+		t.Fatalf("SampleRows = %d, want 500", est.SampleRows)
+	}
+	if est.CF <= 0 || est.CF >= 1 {
+		t.Fatalf("CF = %v, want in (0,1)", est.CF)
+	}
+	if est.SampleDistinct <= 0 || est.SampleDistinct > 100 {
+		t.Fatalf("d' = %d", est.SampleDistinct)
+	}
+	if err := est.Profile.Validate(); err != nil {
+		t.Fatalf("profile invalid: %v", err)
+	}
+}
+
+func TestSampleCFValidation(t *testing.T) {
+	tab := genTable(t, 100, 10, distrib.NewConstantLen(5), 1)
+	if _, err := SampleCF(tab, tab.Schema(), Options{Fraction: 0.1}); err == nil {
+		t.Error("missing codec accepted")
+	}
+	if _, err := SampleCF(tab, tab.Schema(), Options{Codec: mustCodec(t, "nullsuppression")}); err == nil {
+		t.Error("zero sample size accepted")
+	}
+	if _, err := SampleCF(tab, tab.Schema(), Options{
+		Fraction: 0.1, Codec: mustCodec(t, "nullsuppression"), KeyColumns: []string{"zzz"},
+	}); err == nil {
+		t.Error("bad key column accepted")
+	}
+	if _, err := SampleCF(tab, tab.Schema(), Options{
+		Fraction: 0.1, Codec: mustCodec(t, "nullsuppression"), Method: MethodBlock,
+	}); err == nil {
+		t.Error("block sampling without Pages accepted")
+	}
+	empty, err := workload.NewTableFromRows("e", tab.Schema(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SampleCF(empty, tab.Schema(), Options{
+		Fraction: 0.5, Codec: mustCodec(t, "nullsuppression"),
+	}); err == nil {
+		t.Error("empty table accepted")
+	}
+}
+
+func TestSampleCFDeterministicInSeed(t *testing.T) {
+	tab := genTable(t, 5000, 200, distrib.NewUniformLen(1, 19), 3)
+	opts := Options{Fraction: 0.02, Codec: mustCodec(t, "nullsuppression"), Seed: 99}
+	a, err := SampleCF(tab, tab.Schema(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SampleCF(tab, tab.Schema(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CF != b.CF || a.SampleDistinct != b.SampleDistinct {
+		t.Fatalf("same seed, different results: %v vs %v", a, b)
+	}
+	opts.Seed = 100
+	c, err := SampleCF(tab, tab.Schema(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CF == c.CF {
+		t.Log("different seeds gave identical CF (possible but unlikely)")
+	}
+}
+
+func TestSampleCFFullSampleMatchesTruthNS(t *testing.T) {
+	// f = 1 with WOR sampling = the whole table: the estimate IS the truth.
+	tab := genTable(t, 2000, 50, distrib.NewUniformLen(0, 20), 5)
+	est, err := SampleCF(tab, tab.Schema(), Options{
+		Fraction: 1.0,
+		Method:   MethodUniformWOR,
+		Codec:    mustCodec(t, "nullsuppression"),
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := TrueCF(tab, nil, mustCodec(t, "nullsuppression"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.CF-truth.CF()) > 1e-12 {
+		t.Fatalf("full-sample estimate %v != truth %v", est.CF, truth.CF())
+	}
+	// And both match the analytical formula from exact column stats.
+	st, err := workload.ComputeStats(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := st[0].CFNullSuppression(20, 1)
+	if math.Abs(truth.CF()-want) > 1e-12 {
+		t.Fatalf("engine truth %v != analytic %v", truth.CF(), want)
+	}
+}
+
+func TestSampleCFIndexPathMatchesFastPathNS(t *testing.T) {
+	// For per-record codecs (NS), compressing B+-tree leaves and
+	// compressing sorted record chunks must give identical CF.
+	tab := genTable(t, 3000, 100, distrib.NewUniformLen(2, 18), 8)
+	base := Options{Fraction: 0.1, Codec: mustCodec(t, "nullsuppression"), Seed: 4}
+	fast, err := SampleCF(tab, tab.Schema(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withIndex := base
+	withIndex.BuildIndex = true
+	idx, err := SampleCF(tab, tab.Schema(), withIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fast.CF-idx.CF) > 1e-12 {
+		t.Fatalf("fast path CF %v != index path CF %v", fast.CF, idx.CF)
+	}
+	if fast.SampleDistinct != idx.SampleDistinct {
+		t.Fatalf("d' differs: %d vs %d", fast.SampleDistinct, idx.SampleDistinct)
+	}
+}
+
+func TestSampleCFIndexPathClosePageDict(t *testing.T) {
+	// For page-grouping-sensitive codecs the two paths differ only through
+	// rows-per-page effects; CF must agree within a few percent.
+	tab := genTable(t, 5000, 40, distrib.NewConstantLen(10), 9)
+	base := Options{Fraction: 0.2, Codec: mustCodec(t, "pagedict"), Seed: 4}
+	fast, err := SampleCF(tab, tab.Schema(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withIndex := base
+	withIndex.BuildIndex = true
+	idx, err := SampleCF(tab, tab.Schema(), withIndex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(fast.CF-idx.CF) / idx.CF; rel > 0.05 {
+		t.Fatalf("paths diverge: fast %v vs index %v (rel %v)", fast.CF, idx.CF, rel)
+	}
+}
+
+func TestSampleCFAgnosticAcrossCodecs(t *testing.T) {
+	// The pipeline must run unchanged for every registered codec — the
+	// paper's "requires no modification for a new compression technique".
+	tab := genTable(t, 2000, 30, distrib.NewUniformLen(3, 17), 11)
+	for _, name := range compress.Names() {
+		est, err := SampleCF(tab, tab.Schema(), Options{
+			Fraction: 0.05, Codec: mustCodec(t, name), Seed: 2,
+		})
+		if err != nil {
+			t.Errorf("codec %s: %v", name, err)
+			continue
+		}
+		if est.CF <= 0 || math.IsNaN(est.CF) {
+			t.Errorf("codec %s: CF = %v", name, est.CF)
+		}
+	}
+}
+
+func TestSampleCFKeyColumnsProjection(t *testing.T) {
+	// Two-column table, index on the second column only.
+	sc, err := workload.NewStringColumn(value.Char(12), distrib.NewUniform(500), distrib.NewUniformLen(2, 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := workload.NewIntColumn(value.Int32(), distrib.NewUniform(10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := workload.Generate(workload.Spec{
+		Name: "two", N: 3000, Seed: 6,
+		Cols: []workload.SpecColumn{{Name: "s", Gen: sc}, {Name: "id", Gen: ic}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := SampleCF(tab, tab.Schema(), Options{
+		Fraction:   0.1,
+		Codec:      mustCodec(t, "globaldict-p4"),
+		KeyColumns: []string{"id"},
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only 10 distinct ids exist.
+	if est.SampleDistinct > 10 {
+		t.Fatalf("d' = %d on a 10-value column", est.SampleDistinct)
+	}
+	if est.Result.UncompressedBytes != est.SampleRows*4 {
+		t.Fatalf("uncompressed = %d, want %d (INT width 4)", est.Result.UncompressedBytes, est.SampleRows*4)
+	}
+}
+
+func TestSampleCFBlockSampling(t *testing.T) {
+	tab := genTable(t, 4000, 50, distrib.NewUniformLen(2, 18), 13)
+	pv, err := tab.AsPageSource(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := SampleCF(tab, tab.Schema(), Options{
+		Fraction: 0.1,
+		Method:   MethodBlock,
+		Pages:    pv,
+		Codec:    mustCodec(t, "nullsuppression"),
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10% of 40 pages = 4 pages × 100 rows.
+	if est.SampleRows != 400 {
+		t.Fatalf("block sample rows = %d, want 400", est.SampleRows)
+	}
+}
+
+func TestTrueCFGlobalDictMatchesClosedForm(t *testing.T) {
+	tab := genTable(t, 3000, 150, distrib.NewConstantLen(8), 17)
+	res, err := TrueCF(tab, nil, compress.GlobalDict{PointerBytes: 4}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := workload.ComputeStats(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := st[0].CFGlobalDict(20, 4)
+	// The engine result includes a few framing bytes; tolerance is tiny.
+	if math.Abs(res.CF()-want) > 0.001 {
+		t.Fatalf("engine CF %v vs closed form %v", res.CF(), want)
+	}
+	if res.DictEntries != st[0].Distinct {
+		t.Fatalf("dict entries %d vs true distinct %d", res.DictEntries, st[0].Distinct)
+	}
+}
+
+func TestSampleCFEstimatesTruthWithinTolerance(t *testing.T) {
+	// End-to-end accuracy smoke test: NS estimate within 3·bound of truth.
+	tab := genTable(t, 20000, 500, distrib.NewUniformLen(0, 20), 19)
+	truth, err := TrueCF(tab, nil, mustCodec(t, "nullsuppression"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc stats.Accumulator
+	for seed := uint64(0); seed < 20; seed++ {
+		est, err := SampleCF(tab, tab.Schema(), Options{
+			Fraction: 0.01, Codec: mustCodec(t, "nullsuppression"), Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc.Add(est.CF)
+	}
+	bound := Theorem1StdDevBound(200)
+	if math.Abs(acc.Mean()-truth.CF()) > 3*bound {
+		t.Fatalf("mean estimate %v vs truth %v (3·bound = %v)", acc.Mean(), truth.CF(), 3*bound)
+	}
+	if acc.StdDev() > bound*1.2 { // sampling error on the SD itself
+		t.Fatalf("σ = %v exceeds Theorem 1 bound %v", acc.StdDev(), bound)
+	}
+}
+
+func BenchmarkSampleCFNS1Pct(b *testing.B) {
+	tab := genTable(b, 100000, 1000, distrib.NewUniformLen(2, 18), 1)
+	codec := mustCodec(b, "nullsuppression")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SampleCF(tab, tab.Schema(), Options{
+			Fraction: 0.01, Codec: codec, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSampleCFWithIndexBuild(b *testing.B) {
+	tab := genTable(b, 100000, 1000, distrib.NewUniformLen(2, 18), 1)
+	codec := mustCodec(b, "nullsuppression")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SampleCF(tab, tab.Schema(), Options{
+			Fraction: 0.01, Codec: codec, Seed: uint64(i), BuildIndex: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrueCFFullCompression(b *testing.B) {
+	// The naive alternative SampleCF exists to avoid (paper §I).
+	tab := genTable(b, 100000, 1000, distrib.NewUniformLen(2, 18), 1)
+	codec := mustCodec(b, "nullsuppression")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrueCF(tab, nil, codec, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package csvio moves tables between CSV files and the in-memory table
+// representation, for the command-line tools (cmd/cfest, cmd/datagen).
+//
+// Schema specifications use a compact flag-friendly syntax:
+//
+//	"name:char:20,qty:int,total:bigint,note:varchar:100"
+//
+// i.e. comma-separated column specs of the form NAME:KIND[:LENGTH], with
+// kinds char, varchar (length required), int, bigint.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"samplecf/internal/value"
+)
+
+// ParseSchemaSpec parses the compact schema syntax described in the package
+// comment.
+func ParseSchemaSpec(spec string) (*value.Schema, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("csvio: empty schema spec")
+	}
+	var cols []value.Column
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("csvio: column spec %q needs NAME:KIND[:LENGTH]", part)
+		}
+		name := strings.TrimSpace(fields[0])
+		kind := strings.ToLower(strings.TrimSpace(fields[1]))
+		var t value.Type
+		switch kind {
+		case "char", "varchar":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("csvio: %q requires a length (e.g. %s:%s:20)", part, name, kind)
+			}
+			l, err := strconv.Atoi(strings.TrimSpace(fields[2]))
+			if err != nil {
+				return nil, fmt.Errorf("csvio: bad length in %q: %w", part, err)
+			}
+			if kind == "char" {
+				t = value.Char(l)
+			} else {
+				t = value.VarChar(l)
+			}
+		case "int", "int32":
+			t = value.Int32()
+		case "bigint", "int64":
+			t = value.Int64()
+		default:
+			return nil, fmt.Errorf("csvio: unknown kind %q in %q (want char/varchar/int/bigint)", kind, part)
+		}
+		cols = append(cols, value.Column{Name: name, Type: t})
+	}
+	return value.NewSchema(cols...)
+}
+
+// FormatSchemaSpec renders a schema back into the compact syntax.
+func FormatSchemaSpec(s *value.Schema) string {
+	parts := make([]string, s.NumColumns())
+	for i := 0; i < s.NumColumns(); i++ {
+		c := s.Column(i)
+		switch c.Type.Kind {
+		case value.KindChar:
+			parts[i] = fmt.Sprintf("%s:char:%d", c.Name, c.Type.Length)
+		case value.KindVarChar:
+			parts[i] = fmt.Sprintf("%s:varchar:%d", c.Name, c.Type.Length)
+		case value.KindInt32:
+			parts[i] = fmt.Sprintf("%s:int", c.Name)
+		case value.KindInt64:
+			parts[i] = fmt.Sprintf("%s:bigint", c.Name)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// ReadRows parses CSV data into rows under schema. When header is true the
+// first record is validated against the schema's column names.
+func ReadRows(r io.Reader, schema *value.Schema, header bool) ([]value.Row, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = schema.NumColumns()
+	var rows []value.Row
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csvio: read: %w", err)
+		}
+		if first && header {
+			first = false
+			for i, name := range rec {
+				if name != schema.Column(i).Name {
+					return nil, fmt.Errorf("csvio: header column %d is %q, schema says %q", i, name, schema.Column(i).Name)
+				}
+			}
+			continue
+		}
+		first = false
+		row := make(value.Row, len(rec))
+		for i, cell := range rec {
+			payload, err := parseCell(schema.Column(i).Type, cell)
+			if err != nil {
+				return nil, fmt.Errorf("csvio: row %d column %q: %w", len(rows)+1, schema.Column(i).Name, err)
+			}
+			row[i] = payload
+		}
+		if err := value.ValidateRow(schema, row); err != nil {
+			return nil, fmt.Errorf("csvio: row %d: %w", len(rows)+1, err)
+		}
+		rows = append(rows, row)
+	}
+}
+
+// parseCell converts one CSV cell into a typed payload.
+func parseCell(t value.Type, cell string) ([]byte, error) {
+	switch t.Kind {
+	case value.KindChar, value.KindVarChar:
+		if len(cell) > t.Length {
+			return nil, fmt.Errorf("value %q exceeds %s", cell, t)
+		}
+		return []byte(cell), nil
+	case value.KindInt32:
+		v, err := strconv.ParseInt(cell, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad INT %q: %w", cell, err)
+		}
+		return value.IntValue(int32(v)), nil
+	case value.KindInt64:
+		v, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad BIGINT %q: %w", cell, err)
+		}
+		return value.Int64Value(v), nil
+	default:
+		return nil, fmt.Errorf("unsupported type %v", t)
+	}
+}
+
+// Scanner is the row-iteration shape WriteRows consumes (satisfied by
+// workload.Table and workload.VirtualTable).
+type Scanner interface {
+	Schema() *value.Schema
+	Scan(fn func(i int64, row value.Row) error) error
+}
+
+// WriteRows emits a table as CSV, with a header row.
+func WriteRows(w io.Writer, src Scanner) error {
+	schema := src.Schema()
+	cw := csv.NewWriter(w)
+	header := make([]string, schema.NumColumns())
+	for i := 0; i < schema.NumColumns(); i++ {
+		header[i] = schema.Column(i).Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("csvio: write header: %w", err)
+	}
+	cells := make([]string, schema.NumColumns())
+	err := src.Scan(func(_ int64, row value.Row) error {
+		for i, payload := range row {
+			switch schema.Column(i).Type.Kind {
+			case value.KindInt32:
+				cells[i] = strconv.FormatInt(int64(value.DecodeInt32(payload)), 10)
+			case value.KindInt64:
+				cells[i] = strconv.FormatInt(value.DecodeInt64(payload), 10)
+			default:
+				cells[i] = string(payload)
+			}
+		}
+		return cw.Write(cells)
+	})
+	if err != nil {
+		return fmt.Errorf("csvio: write rows: %w", err)
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,142 @@
+package csvio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"samplecf/internal/distrib"
+	"samplecf/internal/value"
+	"samplecf/internal/workload"
+)
+
+func TestParseSchemaSpec(t *testing.T) {
+	s, err := ParseSchemaSpec("name:char:20, qty:int ,total:bigint,note:varchar:50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumColumns() != 4 {
+		t.Fatalf("columns = %d", s.NumColumns())
+	}
+	if s.Column(0).Type != value.Char(20) {
+		t.Errorf("col 0 = %v", s.Column(0).Type)
+	}
+	if s.Column(1).Type != value.Int32() {
+		t.Errorf("col 1 = %v", s.Column(1).Type)
+	}
+	if s.Column(2).Type != value.Int64() {
+		t.Errorf("col 2 = %v", s.Column(2).Type)
+	}
+	if s.Column(3).Type != value.VarChar(50) {
+		t.Errorf("col 3 = %v", s.Column(3).Type)
+	}
+}
+
+func TestParseSchemaSpecErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"name",         // missing kind
+		"name:char",    // missing length
+		"name:char:x",  // bad length
+		"name:float",   // unknown kind
+		"a:int,a:int",  // duplicate
+		"name:char:0",  // invalid length
+		"name:varchar", // missing length
+	}
+	for _, spec := range cases {
+		if _, err := ParseSchemaSpec(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	spec := "name:char:20,qty:int,total:bigint,note:varchar:50"
+	s, err := ParseSchemaSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatSchemaSpec(s); got != spec {
+		t.Fatalf("FormatSchemaSpec = %q, want %q", got, spec)
+	}
+}
+
+func TestReadRows(t *testing.T) {
+	s, err := ParseSchemaSpec("name:char:10,qty:int")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvData := "name,qty\nwidget,5\ngadget,-17\n"
+	rows, err := ReadRows(strings.NewReader(csvData), s, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if string(rows[0][0]) != "widget" || value.DecodeInt32(rows[0][1]) != 5 {
+		t.Fatalf("row 0 = %v", rows[0])
+	}
+	if value.DecodeInt32(rows[1][1]) != -17 {
+		t.Fatalf("row 1 qty = %d", value.DecodeInt32(rows[1][1]))
+	}
+}
+
+func TestReadRowsErrors(t *testing.T) {
+	s, err := ParseSchemaSpec("name:char:4,qty:int")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name, data string
+		header     bool
+	}{
+		{"bad header", "wrong,qty\na,1\n", true},
+		{"too long", "name,qty\ntoolong,1\n", true},
+		{"bad int", "name,qty\nab,xyz\n", true},
+		{"wrong arity", "ab\n", false},
+	}
+	for _, c := range cases {
+		if _, err := ReadRows(strings.NewReader(c.data), s, c.header); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	col, err := workload.NewStringColumn(value.Char(12), distrib.NewUniform(20), distrib.NewUniformLen(1, 8), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := workload.NewIntColumn(value.Int64(), distrib.NewUniform(100), -50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := workload.Generate(workload.Spec{
+		Name: "t", N: 100, Seed: 9,
+		Cols: []workload.SpecColumn{{Name: "s", Gen: col}, {Name: "v", Gen: ic}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteRows(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ReadRows(&buf, tab.Schema(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(rows)) != tab.NumRows() {
+		t.Fatalf("round trip rows = %d", len(rows))
+	}
+	for i := range rows {
+		orig, _ := tab.Row(int64(i))
+		if string(rows[i][0]) != string(orig[0]) {
+			t.Fatalf("row %d name: %q vs %q", i, rows[i][0], orig[0])
+		}
+		if value.DecodeInt64(rows[i][1]) != value.DecodeInt64(orig[1]) {
+			t.Fatalf("row %d int mismatch", i)
+		}
+	}
+}

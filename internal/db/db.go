@@ -1,0 +1,420 @@
+// Package db is a miniature embedded database engine tying the substrates
+// together: tables are heap files, indexes are B+-trees maintained on
+// insert/delete, and compression-fraction estimation is a first-class
+// operation on any index — the way a commercial engine surfaces
+// sp_estimate_data_compression_savings.
+//
+// It is deliberately small (no SQL, no concurrency control, no recovery)
+// but end-to-end real: every row lives in slotted pages, every index entry
+// carries the heap RID, and estimates run against the same storage the
+// exact answers are computed from. The package doubles as the integration
+// test bed for heap + btree + compress + core.
+package db
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"samplecf/internal/btree"
+	"samplecf/internal/compress"
+	"samplecf/internal/core"
+	"samplecf/internal/heap"
+	"samplecf/internal/page"
+	"samplecf/internal/value"
+)
+
+// Database is a named collection of tables.
+type Database struct {
+	mu       sync.RWMutex
+	pageSize int
+	tables   map[string]*Table
+}
+
+// New creates an empty database. pageSize 0 selects page.DefaultSize.
+func New(pageSize int) *Database {
+	if pageSize == 0 {
+		pageSize = page.DefaultSize
+	}
+	return &Database{pageSize: pageSize, tables: make(map[string]*Table)}
+}
+
+// CreateTable registers a new heap-backed table.
+func (d *Database) CreateTable(name string, schema *value.Schema) (*Table, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.tables[name]; dup {
+		return nil, fmt.Errorf("db: table %q already exists", name)
+	}
+	file, err := heap.Create(heap.NewMemStore(d.pageSize), schema)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		db:      d,
+		name:    name,
+		schema:  schema,
+		file:    file,
+		indexes: make(map[string]*Index),
+	}
+	d.tables[name] = t
+	return t, nil
+}
+
+// Table returns a table by name.
+func (d *Database) Table(name string) (*Table, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	t, ok := d.tables[name]
+	return t, ok
+}
+
+// DropTable removes a table and its indexes.
+func (d *Database) DropTable(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.tables[name]; !ok {
+		return fmt.Errorf("db: no table %q", name)
+	}
+	delete(d.tables, name)
+	return nil
+}
+
+// TableNames lists tables, sorted.
+func (d *Database) TableNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, 0, len(d.tables))
+	for n := range d.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table is one heap-backed table plus its maintained indexes.
+type Table struct {
+	db     *Database
+	name   string
+	schema *value.Schema
+	file   *heap.File
+
+	mu      sync.RWMutex
+	indexes map[string]*Index
+	// ridDir caches row-position → RID for random-access sampling; nil
+	// when stale.
+	ridDir []heap.RID
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *value.Schema { return t.schema }
+
+// NumRows returns the live row count.
+func (t *Table) NumRows() int64 { return t.file.NumRows() }
+
+// Insert appends a row and maintains every index.
+func (t *Table) Insert(row value.Row) (heap.RID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rid, err := t.file.Append(row)
+	if err != nil {
+		return heap.RID{}, err
+	}
+	t.ridDir = nil
+	for _, ix := range t.indexes {
+		if err := ix.insertEntry(row, rid); err != nil {
+			return heap.RID{}, fmt.Errorf("db: maintain index %s: %w", ix.name, err)
+		}
+	}
+	return rid, nil
+}
+
+// Delete removes the row at rid from the heap and every index.
+func (t *Table) Delete(rid heap.RID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row, err := t.file.Get(rid)
+	if err != nil {
+		return err
+	}
+	if err := t.file.Delete(rid); err != nil {
+		return err
+	}
+	t.ridDir = nil
+	for _, ix := range t.indexes {
+		if err := ix.deleteEntry(row, rid); err != nil {
+			return fmt.Errorf("db: maintain index %s: %w", ix.name, err)
+		}
+	}
+	return nil
+}
+
+// Get fetches a row by RID.
+func (t *Table) Get(rid heap.RID) (value.Row, error) { return t.file.Get(rid) }
+
+// Scan iterates all rows (core.RowScanner / workload.Scanner shape).
+func (t *Table) Scan(fn func(i int64, row value.Row) error) error {
+	i := int64(0)
+	return t.file.Scan(func(_ heap.RID, row value.Row) error {
+		err := fn(i, row)
+		i++
+		return err
+	})
+}
+
+// Row provides uniform random access for sampling (sampling.RowSource).
+// The first call after a mutation rebuilds an RID directory with one scan.
+func (t *Table) Row(i int64) (value.Row, error) {
+	t.mu.Lock()
+	if t.ridDir == nil {
+		dir := make([]heap.RID, 0, t.file.NumRows())
+		err := t.file.Scan(func(rid heap.RID, _ value.Row) error {
+			dir = append(dir, rid)
+			return nil
+		})
+		if err != nil {
+			t.mu.Unlock()
+			return nil, err
+		}
+		t.ridDir = dir
+	}
+	dir := t.ridDir
+	t.mu.Unlock()
+	if i < 0 || i >= int64(len(dir)) {
+		return nil, fmt.Errorf("db: row %d out of range [0,%d)", i, len(dir))
+	}
+	return t.file.Get(dir[i])
+}
+
+// CreateIndex builds a B+-tree index on keyCols (empty = all columns) with
+// an optional target codec recorded for estimation. Existing rows are
+// bulk-loaded; subsequent Insert/Delete maintain the tree incrementally.
+func (t *Table) CreateIndex(name string, keyCols []string, codec compress.Codec) (*Index, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.indexes[name]; dup {
+		return nil, fmt.Errorf("db: index %q already exists", name)
+	}
+	keySchema := t.schema
+	var err error
+	if len(keyCols) > 0 {
+		keySchema, err = t.schema.Project(keyCols...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ix := &Index{
+		name:      name,
+		table:     t,
+		keyCols:   keyCols,
+		keySchema: keySchema,
+		codec:     codec,
+	}
+	// Bulk load from a sorted snapshot of the heap.
+	type ent struct {
+		key, payload []byte
+	}
+	var ents []ent
+	err = t.file.Scan(func(rid heap.RID, row value.Row) error {
+		key, payload, err := ix.encodeEntry(row, rid)
+		if err != nil {
+			return err
+		}
+		ents = append(ents, ent{key, payload})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(ents, func(i, j int) bool { return bytes.Compare(ents[i].key, ents[j].key) < 0 })
+	items := make([]btree.Item, len(ents))
+	for i, e := range ents {
+		items[i] = btree.Item{Key: e.key, Payload: e.payload}
+	}
+	tree, err := btree.BulkLoadItems(heap.NewMemStore(t.db.pageSize), items, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	ix.tree = tree
+	t.indexes[name] = ix
+	return ix, nil
+}
+
+// Index returns a table's index by name.
+func (t *Table) Index(name string) (*Index, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, ok := t.indexes[name]
+	return ix, ok
+}
+
+// IndexNames lists the table's indexes, sorted.
+func (t *Table) IndexNames() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.indexes))
+	for n := range t.indexes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Index is a maintained B+-tree over a table's key columns. Leaf payloads
+// are the fixed-width key record followed by the 6-byte heap RID.
+type Index struct {
+	name      string
+	table     *Table
+	keyCols   []string
+	keySchema *value.Schema
+	codec     compress.Codec
+	tree      *btree.Tree
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// KeyColumns returns the indexed column names (nil = all).
+func (ix *Index) KeyColumns() []string { return ix.keyCols }
+
+// NumEntries returns the number of index entries.
+func (ix *Index) NumEntries() int64 { return ix.tree.NumEntries() }
+
+// ridSize is the encoded RID width (4-byte page + 2-byte slot).
+const ridSize = 6
+
+// encodeEntry builds the (search key, payload) pair for a row.
+func (ix *Index) encodeEntry(row value.Row, rid heap.RID) (key, payload []byte, err error) {
+	krow := ix.projectRow(row)
+	key, err = value.EncodeKey(ix.keySchema, krow, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	payload, err = value.EncodeRecord(ix.keySchema, krow, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	payload = append(payload,
+		byte(rid.Page), byte(rid.Page>>8), byte(rid.Page>>16), byte(rid.Page>>24),
+		byte(rid.Slot), byte(rid.Slot>>8))
+	return key, payload, nil
+}
+
+// decodeRID extracts the RID suffix from a payload.
+func decodeRID(payload []byte) heap.RID {
+	s := payload[len(payload)-ridSize:]
+	return heap.RID{
+		Page: uint32(s[0]) | uint32(s[1])<<8 | uint32(s[2])<<16 | uint32(s[3])<<24,
+		Slot: uint16(s[4]) | uint16(s[5])<<8,
+	}
+}
+
+// projectRow extracts the key columns from a full row.
+func (ix *Index) projectRow(row value.Row) value.Row {
+	if len(ix.keyCols) == 0 {
+		return row
+	}
+	out := make(value.Row, len(ix.keyCols))
+	for i, name := range ix.keyCols {
+		pos, _ := ix.table.schema.ColumnIndex(name)
+		out[i] = row[pos]
+	}
+	return out
+}
+
+// insertEntry maintains the tree for one new row.
+func (ix *Index) insertEntry(row value.Row, rid heap.RID) error {
+	key, payload, err := ix.encodeEntry(row, rid)
+	if err != nil {
+		return err
+	}
+	return ix.tree.Insert(key, payload)
+}
+
+// deleteEntry maintains the tree for one removed row.
+func (ix *Index) deleteEntry(row value.Row, rid heap.RID) error {
+	key, payload, err := ix.encodeEntry(row, rid)
+	if err != nil {
+		return err
+	}
+	found, err := ix.tree.DeleteMatching(key, payload)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("db: index %s out of sync: entry for %v missing", ix.name, rid)
+	}
+	return nil
+}
+
+// Lookup returns the RIDs of all rows whose key columns equal keyRow.
+func (ix *Index) Lookup(keyRow value.Row) ([]heap.RID, error) {
+	key, err := value.EncodeKey(ix.keySchema, keyRow, nil)
+	if err != nil {
+		return nil, err
+	}
+	var rids []heap.RID
+	err = ix.tree.Ascend(key, func(k, payload []byte) bool {
+		if !bytes.Equal(k, key) {
+			return false
+		}
+		rids = append(rids, decodeRID(payload))
+		return true
+	})
+	return rids, err
+}
+
+// EstimateCF runs SampleCF against the live table for this index's key
+// columns, using the given codec (nil = the codec declared at CreateIndex).
+func (ix *Index) EstimateCF(codec compress.Codec, fraction float64, seed uint64) (core.Estimate, error) {
+	if codec == nil {
+		codec = ix.codec
+	}
+	if codec == nil {
+		return core.Estimate{}, fmt.Errorf("db: index %s has no codec; pass one", ix.name)
+	}
+	return core.SampleCF(ix.table, ix.table.schema, core.Options{
+		Fraction:   fraction,
+		Codec:      codec,
+		KeyColumns: ix.keyCols,
+		Seed:       seed,
+		PageSize:   ix.table.db.pageSize,
+	})
+}
+
+// ExactCF compresses the index's actual leaf records (RID suffixes
+// excluded, matching the paper's model) and returns the true result.
+func (ix *Index) ExactCF(codec compress.Codec) (compress.Result, error) {
+	if codec == nil {
+		codec = ix.codec
+	}
+	if codec == nil {
+		return compress.Result{}, fmt.Errorf("db: index %s has no codec; pass one", ix.name)
+	}
+	sess, err := codec.NewSession(ix.keySchema)
+	if err != nil {
+		return compress.Result{}, err
+	}
+	err = ix.tree.LeafPages(func(_ uint32, p *page.Page) error {
+		_, payloads, err := btree.LeafEntries(p)
+		if err != nil {
+			return err
+		}
+		recs := make([][]byte, len(payloads))
+		for i, pl := range payloads {
+			if len(pl) < ridSize {
+				return fmt.Errorf("db: index %s: malformed payload", ix.name)
+			}
+			recs[i] = pl[:len(pl)-ridSize]
+		}
+		return sess.AddPage(recs)
+	})
+	if err != nil {
+		return compress.Result{}, err
+	}
+	return sess.Finish()
+}

@@ -1,0 +1,275 @@
+package db
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"samplecf/internal/compress"
+	"samplecf/internal/heap"
+	"samplecf/internal/rng"
+	"samplecf/internal/stats"
+	"samplecf/internal/value"
+)
+
+func itemsSchema(t testing.TB) *value.Schema {
+	t.Helper()
+	return value.MustSchema(
+		value.Column{Name: "name", Type: value.Char(20)},
+		value.Column{Name: "qty", Type: value.Int32()},
+	)
+}
+
+func mustCodec(t testing.TB, name string) compress.Codec {
+	t.Helper()
+	c, err := compress.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDatabaseTableLifecycle(t *testing.T) {
+	d := New(0)
+	tab, err := d.CreateTable("items", itemsSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CreateTable("items", itemsSchema(t)); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	got, ok := d.Table("items")
+	if !ok || got != tab {
+		t.Fatal("Table lookup failed")
+	}
+	if names := d.TableNames(); len(names) != 1 || names[0] != "items" {
+		t.Fatalf("TableNames = %v", names)
+	}
+	if err := d.DropTable("items"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DropTable("items"); err == nil {
+		t.Fatal("double drop accepted")
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	d := New(0)
+	tab, err := d.CreateTable("items", itemsSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := tab.Insert(value.Row{value.StringValue("widget"), value.IntValue(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := tab.Get(rid)
+	if err != nil || string(row[0]) != "widget" {
+		t.Fatalf("Get: %v %v", row, err)
+	}
+	if err := tab.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Get(rid); err == nil {
+		t.Fatal("deleted row readable")
+	}
+	if tab.NumRows() != 0 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+}
+
+func TestIndexMaintenanceThroughMutations(t *testing.T) {
+	d := New(0)
+	tab, err := d.CreateTable("items", itemsSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"alpha", "beta", "gamma", "delta"}
+	for i := 0; i < 200; i++ {
+		name := names[i%len(names)]
+		if _, err := tab.Insert(value.Row{value.StringValue(name), value.IntValue(int32(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := tab.CreateIndex("ix_name", []string{"name"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.CreateIndex("ix_name", []string{"name"}, nil); err == nil {
+		t.Fatal("duplicate index accepted")
+	}
+	if ix.NumEntries() != 200 {
+		t.Fatalf("bulk-loaded entries = %d", ix.NumEntries())
+	}
+	alphas, err := ix.Lookup(value.Row{value.StringValue("alpha")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alphas) != 50 {
+		t.Fatalf("alpha rids = %d, want 50", len(alphas))
+	}
+	for _, rid := range alphas {
+		row, err := tab.Get(rid)
+		if err != nil || string(row[0]) != "alpha" {
+			t.Fatalf("rid %v resolves to %q (%v)", rid, row, err)
+		}
+	}
+	// Incremental insert is reflected.
+	if _, err := tab.Insert(value.Row{value.StringValue("alpha"), value.IntValue(999)}); err != nil {
+		t.Fatal(err)
+	}
+	alphas, err = ix.Lookup(value.Row{value.StringValue("alpha")})
+	if err != nil || len(alphas) != 51 {
+		t.Fatalf("after insert: %d (%v)", len(alphas), err)
+	}
+	// Delete removes exactly the right entry.
+	if err := tab.Delete(alphas[0]); err != nil {
+		t.Fatal(err)
+	}
+	alphas, err = ix.Lookup(value.Row{value.StringValue("alpha")})
+	if err != nil || len(alphas) != 50 {
+		t.Fatalf("after delete: %d (%v)", len(alphas), err)
+	}
+	if ix.NumEntries() != 200 {
+		t.Fatalf("entries after +1/-1 = %d", ix.NumEntries())
+	}
+	if names := tab.IndexNames(); len(names) != 1 || names[0] != "ix_name" {
+		t.Fatalf("IndexNames = %v", names)
+	}
+}
+
+func TestEstimateVsExactOnLiveIndex(t *testing.T) {
+	d := New(0)
+	tab, err := d.CreateTable("items", itemsSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	for i := 0; i < 20000; i++ {
+		name := fmt.Sprintf("n%04d", r.Intn(500))
+		if _, err := tab.Insert(value.Row{value.StringValue(name), value.IntValue(int32(r.Intn(1000)))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	codec := mustCodec(t, "nullsuppression")
+	ix, err := tab.CreateIndex("ix_name", []string{"name"}, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ix.ExactCF(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Rows != 20000 {
+		t.Fatalf("exact rows = %d", exact.Rows)
+	}
+	est, err := ix.EstimateCF(nil, 0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := stats.RatioError(est.CF, exact.CF()); re > 1.05 {
+		t.Fatalf("estimate %v vs exact %v (ratio %v)", est.CF, exact.CF(), re)
+	}
+	// The uncompressed denominator must exclude the RID suffix.
+	if exact.UncompressedBytes != 20000*20 {
+		t.Fatalf("uncompressed = %d, want %d", exact.UncompressedBytes, 20000*20)
+	}
+	// Missing codec errors cleanly.
+	plain, err := tab.CreateIndex("ix_plain", []string{"qty"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.EstimateCF(nil, 0.01, 1); err == nil {
+		t.Fatal("estimate without codec accepted")
+	}
+	if _, err := plain.ExactCF(nil); err == nil {
+		t.Fatal("exact without codec accepted")
+	}
+}
+
+func TestEstimateAfterMutations(t *testing.T) {
+	// The estimator reads the LIVE table: after heavy deletes the estimate
+	// must track the new composition, not the original.
+	d := New(0)
+	tab, err := d.CreateTable("items", itemsSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var longRids []heap.RID
+	for i := 0; i < 2000; i++ {
+		rid, err := tab.Insert(value.Row{value.StringValue("aaaaaaaaaaaaaaaaaaaa"), value.IntValue(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		longRids = append(longRids, rid)
+		if _, err := tab.Insert(value.Row{value.StringValue("b"), value.IntValue(2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	codec := mustCodec(t, "nullsuppression")
+	ix, err := tab.CreateIndex("ix_name", []string{"name"}, codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := ix.EstimateCF(nil, 0.25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rid := range longRids {
+		if err := tab.Delete(rid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := ix.EstimateCF(nil, 0.25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.CF >= before.CF {
+		t.Fatalf("CF did not drop after deleting long rows: %v -> %v", before.CF, after.CF)
+	}
+	if math.Abs(after.CF-0.1) > 0.01 { // (ℓ=1 + h=1)/k=20
+		t.Fatalf("post-delete CF = %v, want ≈0.10", after.CF)
+	}
+}
+
+func TestRowRandomAccessAfterDeletes(t *testing.T) {
+	d := New(0)
+	tab, err := d.CreateTable("items", itemsSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rids []heap.RID
+	for i := 0; i < 100; i++ {
+		rid, err := tab.Insert(value.Row{value.StringValue(fmt.Sprintf("r%d", i)), value.IntValue(int32(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	for i := 0; i < 100; i += 2 {
+		if err := tab.Delete(rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Random access covers exactly the 50 survivors.
+	if tab.NumRows() != 50 {
+		t.Fatalf("NumRows = %d", tab.NumRows())
+	}
+	seen := map[string]bool{}
+	for i := int64(0); i < 50; i++ {
+		row, err := tab.Row(i)
+		if err != nil {
+			t.Fatalf("Row(%d): %v", i, err)
+		}
+		if value.DecodeInt32(row[1])%2 != 1 {
+			t.Fatalf("Row(%d) returned deleted row %v", i, row)
+		}
+		seen[string(row[0])] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("random access covered %d distinct rows", len(seen))
+	}
+	if _, err := tab.Row(50); err == nil {
+		t.Fatal("out of range accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package db
+
+import (
+	"fmt"
+	"testing"
+
+	"samplecf/internal/value"
+)
+
+func TestLookupFindsAllDuplicates(t *testing.T) {
+	d := New(4096)
+	tab, err := d.CreateTable("t", itemsSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const names = 300
+	const rows = 60000
+	for i := 0; i < rows; i++ {
+		name := fmt.Sprintf("city-%03d", i%names)
+		if _, err := tab.Insert(value.Row{value.StringValue(name), value.IntValue(int32(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := tab.CreateIndex("ix", []string{"name"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < names; v++ {
+		rids, err := ix.Lookup(value.Row{value.StringValue(fmt.Sprintf("city-%03d", v))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rids) != rows/names {
+			t.Errorf("city %d: %d rids, want %d", v, len(rids), rows/names)
+			if v > 3 {
+				t.FailNow()
+			}
+		}
+	}
+}

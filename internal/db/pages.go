@@ -1,0 +1,55 @@
+package db
+
+import (
+	"fmt"
+
+	"samplecf/internal/buffer"
+	"samplecf/internal/value"
+)
+
+// HeapPages exposes a table's REAL heap pages for block-level sampling,
+// reading through an LRU buffer pool so the page-access economics that make
+// block sampling attractive to commercial systems (one I/O yields a whole
+// page of rows) are observable via PoolStats.
+type HeapPages struct {
+	t    *Table
+	pool *buffer.Pool
+}
+
+// AsPageSource flushes the table's tail page and returns a block-sampling
+// view backed by a buffer pool of poolPages frames.
+func (t *Table) AsPageSource(poolPages int) (*HeapPages, error) {
+	if poolPages <= 0 {
+		return nil, fmt.Errorf("db: pool size %d must be positive", poolPages)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.file.Flush(); err != nil {
+		return nil, err
+	}
+	return &HeapPages{t: t, pool: buffer.NewPool(t.file.Store(), poolPages)}, nil
+}
+
+// NumPages implements sampling.PageSource.
+func (h *HeapPages) NumPages() int { return h.t.file.NumPages() }
+
+// PageRows implements sampling.PageSource: all live rows on heap page p.
+func (h *HeapPages) PageRows(p int) ([]value.Row, error) {
+	pg, err := h.pool.Get(uint32(p))
+	if err != nil {
+		return nil, err
+	}
+	var rows []value.Row
+	err = pg.Records(func(_ int, rec []byte) error {
+		row, err := value.DecodeRecord(h.t.schema, rec)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row.Clone())
+		return nil
+	})
+	return rows, err
+}
+
+// PoolStats reports buffer pool hits/misses/evictions accumulated so far.
+func (h *HeapPages) PoolStats() buffer.Stats { return h.pool.Stats() }

@@ -1,0 +1,276 @@
+// Package distinct implements sampling-based distinct-value estimators.
+//
+// The paper reduces dictionary-compression CF estimation to distinct-value
+// estimation (CF_D = p/k + d/n with only d unknown) and leans on the
+// negative result of Charikar et al. (PODS 2000): no sampling estimator can
+// avoid large worst-case ratio error. The estimators here serve two roles:
+//
+//   - baselines: an analytical estimator CF = p/k + d̂/n using any of these
+//     d̂ can be compared against SampleCF (experiment E8);
+//   - diagnosis: the frequency-of-frequency profile explains WHY SampleCF's
+//     implicit estimate d̂ = d'·(n/r)… no — d̂_SampleCF = d'·(r-scaling is
+//     the point: SampleCF uses d'/r in place of d/n, i.e. the naive
+//     scale-up, which Theorems 2–3 show is good enough in two regimes.
+//
+// Formulas follow Haas, Naughton, Seshadri & Stokes (VLDB 1995) and
+// Charikar, Chaudhuri, Motwani & Narasayya (PODS 2000). Goodman's unbiased
+// estimator is deliberately omitted: it is numerically explosive beyond toy
+// sizes and every survey recommends against using it.
+package distinct
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Profile summarizes a sample for distinct-value estimation.
+type Profile struct {
+	// N is the table size n, R the sample size r.
+	N, R int64
+	// D is the number of distinct values in the sample (the paper's d').
+	D int64
+	// F maps i → f_i, the number of distinct values occurring exactly i
+	// times in the sample. Σ f_i = D and Σ i·f_i = R.
+	F map[int64]int64
+}
+
+// NewProfile builds a Profile from per-value sample counts.
+func NewProfile(counts map[string]int64, n int64) Profile {
+	p := Profile{N: n, F: make(map[int64]int64)}
+	for _, c := range counts {
+		p.D++
+		p.R += c
+		p.F[c]++
+	}
+	return p
+}
+
+// ProfileBytes builds a Profile from raw sampled values.
+func ProfileBytes(values [][]byte, n int64) Profile {
+	counts := make(map[string]int64, len(values))
+	for _, v := range values {
+		counts[string(v)]++
+	}
+	return NewProfile(counts, n)
+}
+
+// f returns f_i.
+func (p Profile) f(i int64) int64 { return p.F[i] }
+
+// Validate checks internal consistency.
+func (p Profile) Validate() error {
+	var d, r int64
+	for i, fi := range p.F {
+		if i <= 0 || fi < 0 {
+			return fmt.Errorf("distinct: invalid f_%d = %d", i, fi)
+		}
+		d += fi
+		r += i * fi
+	}
+	if d != p.D || r != p.R {
+		return fmt.Errorf("distinct: profile inconsistent: Σf=%d vs D=%d, Σif=%d vs R=%d", d, p.D, r, p.R)
+	}
+	if p.R > 0 && p.N < 1 {
+		return fmt.Errorf("distinct: table size %d invalid", p.N)
+	}
+	return nil
+}
+
+// Estimator estimates the table-level distinct count d from a sample
+// profile.
+type Estimator interface {
+	// Name identifies the estimator in experiment output.
+	Name() string
+	// Estimate returns d̂. Implementations clamp to [D, N].
+	Estimate(p Profile) float64
+}
+
+// clamp keeps estimates within the feasible range [d', n].
+func clamp(est float64, p Profile) float64 {
+	if est < float64(p.D) {
+		return float64(p.D)
+	}
+	if p.N > 0 && est > float64(p.N) {
+		return float64(p.N)
+	}
+	return est
+}
+
+// NaiveScale is the estimator SampleCF implicitly applies to dictionary
+// compression: d̂ = d'·(n/r), i.e. assume the sample's distinct-per-row rate
+// holds globally.
+type NaiveScale struct{}
+
+// Name implements Estimator.
+func (NaiveScale) Name() string { return "naive-scale" }
+
+// Estimate implements Estimator.
+func (NaiveScale) Estimate(p Profile) float64 {
+	if p.R == 0 {
+		return 0
+	}
+	return clamp(float64(p.D)*float64(p.N)/float64(p.R), p)
+}
+
+// SampleOnly returns d' unscaled — the "do nothing" floor.
+type SampleOnly struct{}
+
+// Name implements Estimator.
+func (SampleOnly) Name() string { return "sample-d'" }
+
+// Estimate implements Estimator.
+func (SampleOnly) Estimate(p Profile) float64 { return float64(p.D) }
+
+// GEE is the Guaranteed-Error Estimator of Charikar et al.:
+// d̂ = √(n/r)·f₁ + Σ_{i≥2} f_i, which matches the √(n/r) lower bound on
+// worst-case ratio error.
+type GEE struct{}
+
+// Name implements Estimator.
+func (GEE) Name() string { return "GEE" }
+
+// Estimate implements Estimator.
+func (GEE) Estimate(p Profile) float64 {
+	if p.R == 0 {
+		return 0
+	}
+	est := math.Sqrt(float64(p.N)/float64(p.R)) * float64(p.f(1))
+	for i, fi := range p.F {
+		if i >= 2 {
+			est += float64(fi)
+		}
+	}
+	return clamp(est, p)
+}
+
+// Chao is Chao's 1984 lower-bound estimator d̂ = d' + f₁²/(2f₂).
+type Chao struct{}
+
+// Name implements Estimator.
+func (Chao) Name() string { return "Chao" }
+
+// Estimate implements Estimator.
+func (Chao) Estimate(p Profile) float64 {
+	f1, f2 := float64(p.f(1)), float64(p.f(2))
+	if f2 == 0 {
+		// Standard bias-corrected fallback.
+		return clamp(float64(p.D)+f1*(f1-1)/2, p)
+	}
+	return clamp(float64(p.D)+f1*f1/(2*f2), p)
+}
+
+// ChaoLee is the coverage-based estimator of Chao & Lee (1992):
+// Ĉ = 1 - f₁/r, d̂ = d'/Ĉ + r(1-Ĉ)/Ĉ · γ̂², with γ̂² the squared
+// coefficient of frequency variation.
+type ChaoLee struct{}
+
+// Name implements Estimator.
+func (ChaoLee) Name() string { return "Chao-Lee" }
+
+// Estimate implements Estimator.
+func (ChaoLee) Estimate(p Profile) float64 {
+	r := float64(p.R)
+	if r == 0 {
+		return 0
+	}
+	f1 := float64(p.f(1))
+	c := 1 - f1/r
+	if c <= 0 {
+		// All-singletons sample: coverage unknown; fall back to GEE which is
+		// designed for exactly this case.
+		return GEE{}.Estimate(p)
+	}
+	d0 := float64(p.D) / c
+	var sumII float64
+	for i, fi := range p.F {
+		sumII += float64(i) * float64(i-1) * float64(fi)
+	}
+	gamma2 := d0*sumII/(r*(r-1)) - 1
+	if gamma2 < 0 || r <= 1 {
+		gamma2 = 0
+	}
+	return clamp(d0+r*(1-c)/c*gamma2, p)
+}
+
+// Shlosser is Shlosser's 1981 estimator, derived for Bernoulli sampling at
+// rate q = r/n:
+// d̂ = d' + f₁ · Σ(1-q)^i f_i / Σ i·q·(1-q)^{i-1} f_i.
+type Shlosser struct{}
+
+// Name implements Estimator.
+func (Shlosser) Name() string { return "Shlosser" }
+
+// Estimate implements Estimator.
+func (Shlosser) Estimate(p Profile) float64 {
+	if p.R == 0 || p.N == 0 {
+		return 0
+	}
+	q := float64(p.R) / float64(p.N)
+	if q >= 1 {
+		return float64(p.D)
+	}
+	var num, den float64
+	for i, fi := range p.F {
+		num += math.Pow(1-q, float64(i)) * float64(fi)
+		den += float64(i) * q * math.Pow(1-q, float64(i-1)) * float64(fi)
+	}
+	if den == 0 {
+		return float64(p.D)
+	}
+	return clamp(float64(p.D)+float64(p.f(1))*num/den, p)
+}
+
+// Jackknife1 is the first-order jackknife of Haas et al.:
+// d̂ = d' / (1 - (1-q)·f₁/r).
+type Jackknife1 struct{}
+
+// Name implements Estimator.
+func (Jackknife1) Name() string { return "jackknife1" }
+
+// Estimate implements Estimator.
+func (Jackknife1) Estimate(p Profile) float64 {
+	if p.R == 0 || p.N == 0 {
+		return 0
+	}
+	q := float64(p.R) / float64(p.N)
+	denom := 1 - (1-q)*float64(p.f(1))/float64(p.R)
+	if denom <= 0 {
+		return GEE{}.Estimate(p)
+	}
+	return clamp(float64(p.D)/denom, p)
+}
+
+// All returns every estimator, in a stable order for experiment tables.
+func All() []Estimator {
+	return []Estimator{
+		SampleOnly{},
+		NaiveScale{},
+		GEE{},
+		Chao{},
+		ChaoLee{},
+		Shlosser{},
+		Jackknife1{},
+	}
+}
+
+// Names returns the names of All(), sorted.
+func Names() []string {
+	ests := All()
+	out := make([]string, len(ests))
+	for i, e := range ests {
+		out[i] = e.Name()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName returns the estimator with the given name.
+func ByName(name string) (Estimator, error) {
+	for _, e := range All() {
+		if e.Name() == name {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("distinct: unknown estimator %q (have %v)", name, Names())
+}

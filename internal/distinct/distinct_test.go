@@ -1,0 +1,240 @@
+package distinct
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"samplecf/internal/rng"
+	"samplecf/internal/stats"
+)
+
+func TestProfileFromCounts(t *testing.T) {
+	counts := map[string]int64{"a": 1, "b": 1, "c": 3, "d": 5}
+	p := NewProfile(counts, 100)
+	if p.D != 4 || p.R != 10 {
+		t.Fatalf("D=%d R=%d", p.D, p.R)
+	}
+	if p.F[1] != 2 || p.F[3] != 1 || p.F[5] != 1 {
+		t.Fatalf("F = %v", p.F)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileBytes(t *testing.T) {
+	vals := [][]byte{[]byte("x"), []byte("y"), []byte("x"), []byte("z")}
+	p := ProfileBytes(vals, 40)
+	if p.D != 3 || p.R != 4 || p.F[1] != 2 || p.F[2] != 1 {
+		t.Fatalf("profile %+v", p)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	p := Profile{N: 10, R: 5, D: 2, F: map[int64]int64{1: 1, 2: 1}}
+	if err := p.Validate(); err == nil { // Σ i·f_i = 3 ≠ 5
+		t.Fatal("inconsistent profile accepted")
+	}
+	p = Profile{N: 10, R: 3, D: 2, F: map[int64]int64{0: 1, 3: 1}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("f_0 accepted")
+	}
+}
+
+// uniformSampleProfile draws a WR sample from a uniform-frequency table
+// with d distinct values and n rows.
+func uniformSampleProfile(g *rng.RNG, n, d, r int64) Profile {
+	counts := make(map[string]int64)
+	for i := int64(0); i < r; i++ {
+		v := g.Int63n(d)
+		counts[fmt.Sprintf("v%d", v)]++
+	}
+	return NewProfile(counts, n)
+}
+
+func TestEstimatorsOnUniformData(t *testing.T) {
+	// On uniform data with a 10% sample, the frequency-aware estimators
+	// should land within 2x of the truth on average. naive-scale and
+	// sample-d' are excluded: their bias on low-cardinality uniform data is
+	// exactly the phenomenon the paper's Theorems 2-3 characterize (they are
+	// tested in their own valid regime below).
+	g := rng.New(1)
+	const n = 100000
+	const d = 1000
+	const r = 10000
+	for _, est := range All() {
+		switch est.Name() {
+		case "sample-d'", "naive-scale":
+			continue
+		}
+		var acc stats.Accumulator
+		for trial := 0; trial < 30; trial++ {
+			p := uniformSampleProfile(g, n, d, r)
+			acc.Add(est.Estimate(p))
+		}
+		ratio := stats.RatioError(acc.Mean(), d)
+		if ratio > 2.0 {
+			t.Errorf("%s: mean estimate %.0f vs truth %d (ratio %.2f)", est.Name(), acc.Mean(), d, ratio)
+		}
+	}
+}
+
+func TestNaiveScaleAccurateWhenDScalesWithN(t *testing.T) {
+	// Theorem 3 regime: d = βn. Drawing r rows WR from d = n/2 distinct
+	// values leaves most sampled rows unique, so d'/r ≈ the per-row distinct
+	// rate and naive scaling is roughly right (within the constant the
+	// theorem promises).
+	g := rng.New(2)
+	const n = 100000
+	const d = n / 2
+	const r = 5000
+	var acc stats.Accumulator
+	for trial := 0; trial < 20; trial++ {
+		p := uniformSampleProfile(g, n, d, r)
+		acc.Add((NaiveScale{}).Estimate(p))
+	}
+	if ratio := stats.RatioError(acc.Mean(), d); ratio > 2.1 {
+		t.Errorf("naive-scale in its regime: mean %.0f vs %d (ratio %.2f)", acc.Mean(), d, ratio)
+	}
+}
+
+func TestEstimatorsClampToFeasibleRange(t *testing.T) {
+	// All-singleton sample (hardest case): estimates stay within [d', n].
+	p := Profile{N: 1000, R: 100, D: 100, F: map[int64]int64{1: 100}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, est := range All() {
+		got := est.Estimate(p)
+		if got < float64(p.D) || got > float64(p.N) {
+			t.Errorf("%s: estimate %v outside [%d,%d]", est.Name(), got, p.D, p.N)
+		}
+	}
+}
+
+func TestEstimatorsEmptySample(t *testing.T) {
+	p := Profile{N: 1000, F: map[int64]int64{}}
+	for _, est := range All() {
+		got := est.Estimate(p)
+		if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 {
+			t.Errorf("%s: empty sample estimate %v", est.Name(), got)
+		}
+	}
+}
+
+func TestNaiveScaleExact(t *testing.T) {
+	// d'=50 from r=100 of n=1000 → d̂ = 500.
+	p := Profile{N: 1000, R: 100, D: 50, F: map[int64]int64{2: 50}}
+	if got := (NaiveScale{}).Estimate(p); got != 500 {
+		t.Fatalf("naive scale = %v, want 500", got)
+	}
+}
+
+func TestGEEFormula(t *testing.T) {
+	// f1=10, f2=5, n/r=100 → 10·10 + 5 = 105.
+	p := Profile{N: 2000, R: 20, D: 15, F: map[int64]int64{1: 10, 2: 5}}
+	if got := (GEE{}).Estimate(p); got != 105 {
+		t.Fatalf("GEE = %v, want 105", got)
+	}
+}
+
+func TestChaoFormula(t *testing.T) {
+	// d'=26, f1=20, f2=5 → 26 + 400/10 = 66.
+	p := Profile{N: 10000, R: 40, D: 26, F: map[int64]int64{1: 20, 2: 5, 10: 1}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := (Chao{}).Estimate(p); got != 66 {
+		t.Fatalf("Chao = %v, want 66", got)
+	}
+}
+
+func TestChaoNoDoubletons(t *testing.T) {
+	p := Profile{N: 10000, R: 13, D: 4, F: map[int64]int64{1: 3, 10: 1}}
+	got := (Chao{}).Estimate(p)
+	// Fallback d' + f1(f1-1)/2 = 4 + 3 = 7.
+	if got != 7 {
+		t.Fatalf("Chao fallback = %v, want 7", got)
+	}
+}
+
+func TestShlosserSkewAwareness(t *testing.T) {
+	// Heavy-hitter + singleton mix at q=0.1: Shlosser should scale up the
+	// singleton count substantially (more than Chao's lower bound).
+	p := Profile{N: 10000, R: 1000, D: 110, F: map[int64]int64{1: 100, 90: 10}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sh := (Shlosser{}).Estimate(p)
+	if sh <= 150 {
+		t.Fatalf("Shlosser = %v, expected substantial scale-up", sh)
+	}
+}
+
+func TestEstimatorsMonotoneInSingletons(t *testing.T) {
+	// More singletons (holding r fixed) must not DECREASE d̂ for the
+	// scale-up family.
+	mk := func(f1 int64) Profile {
+		// r = f1 + 2·(100-f1/?) … keep r fixed at 200: f1 singletons and
+		// (200-f1)/2 doubletons.
+		f2 := (200 - f1) / 2
+		return Profile{N: 100000, R: f1 + 2*f2, D: f1 + f2,
+			F: map[int64]int64{1: f1, 2: f2}}
+	}
+	for _, est := range []Estimator{GEE{}, Chao{}, NaiveScale{}} {
+		prev := -1.0
+		for _, f1 := range []int64{0, 50, 100, 150, 200} {
+			p := mk(f1)
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			got := est.Estimate(p)
+			if got < prev-1e-9 {
+				t.Errorf("%s not monotone at f1=%d: %v < %v", est.Name(), f1, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, e := range All() {
+		got, err := ByName(e.Name())
+		if err != nil || got.Name() != e.Name() {
+			t.Errorf("ByName(%q): %v %v", e.Name(), got, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("unknown estimator accepted")
+	}
+}
+
+func TestGEEWorstCaseGuarantee(t *testing.T) {
+	// Charikar et al.: GEE's expected ratio error is O(√(n/r)). Verify the
+	// measured ratio error stays within a small multiple of √(n/r) on the
+	// adversarial all-singletons-vs-all-duplicates pair of tables.
+	g := rng.New(9)
+	const n = 100000
+	const r = 1000
+	bound := 5 * math.Sqrt(float64(n)/float64(r))
+
+	// Table A: all rows one value (d=1).
+	countsA := map[string]int64{"only": r}
+	pA := NewProfile(countsA, n)
+	gotA := (GEE{}).Estimate(pA)
+	if stats.RatioError(gotA, 1) > bound {
+		t.Errorf("GEE on constant table: %v (bound %v)", gotA, bound)
+	}
+
+	// Table B: all rows distinct (d=n).
+	countsB := map[string]int64{}
+	for i := 0; i < r; i++ {
+		countsB[fmt.Sprintf("u%d-%d", i, g.Uint64())] = 1
+	}
+	pB := NewProfile(countsB, n)
+	gotB := (GEE{}).Estimate(pB)
+	if stats.RatioError(gotB, n) > bound {
+		t.Errorf("GEE on all-distinct table: %v vs %d (bound %v)", gotB, n, bound)
+	}
+}

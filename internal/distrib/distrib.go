@@ -1,0 +1,241 @@
+// Package distrib implements the parameterized value and length
+// distributions used by the synthetic workload generators.
+//
+// The paper's analysis depends on exactly three properties of the data:
+// the number of rows n, the number of distinct values d (and their
+// frequency skew), and the distribution of null-suppressed lengths ℓ.
+// The distributions here sweep those knobs:
+//
+//   - Discrete distributions choose WHICH distinct value a row holds
+//     (uniform, Zipf, self-similar, hot-set, sequential), controlling d and
+//     the skew that drives distinct-value estimation difficulty.
+//   - Length distributions choose how long each distinct value is,
+//     controlling the ℓ spectrum that drives null-suppression variance.
+//
+// All draws take the caller's RNG so that experiments are reproducible and
+// sub-streams (per trial, per row) can be derived deterministically.
+package distrib
+
+import (
+	"fmt"
+	"math"
+
+	"samplecf/internal/rng"
+)
+
+// Discrete is a distribution over the domain indices [0, Domain()).
+// Domain index i identifies the i-th distinct value of a column.
+type Discrete interface {
+	// Draw samples a domain index using r.
+	Draw(r *rng.RNG) int64
+	// Domain returns the domain size d (number of possible distinct values).
+	Domain() int64
+	// Name identifies the distribution in experiment output.
+	Name() string
+}
+
+// Uniform draws every domain index with equal probability.
+type Uniform struct {
+	D int64
+}
+
+// NewUniform returns a uniform distribution over [0, d). It panics if d <= 0.
+func NewUniform(d int64) Uniform {
+	if d <= 0 {
+		panic(fmt.Sprintf("distrib: uniform domain %d must be positive", d))
+	}
+	return Uniform{D: d}
+}
+
+// Draw implements Discrete.
+func (u Uniform) Draw(r *rng.RNG) int64 { return r.Int63n(u.D) }
+
+// Domain implements Discrete.
+func (u Uniform) Domain() int64 { return u.D }
+
+// Name implements Discrete.
+func (u Uniform) Name() string { return fmt.Sprintf("uniform(d=%d)", u.D) }
+
+// Zipf draws domain indices with Zipfian skew: P(rank i) ∝ 1/(i+1)^Theta.
+// Theta in (0, 1) is the classic database-benchmark regime (Gray et al.,
+// "Quickly Generating Billion-Record Synthetic Databases", SIGMOD 1994);
+// Theta = 0 degenerates to uniform.
+type Zipf struct {
+	D     int64
+	Theta float64
+
+	zetaN float64 // zeta(D, Theta), precomputed
+	alpha float64
+	eta   float64
+}
+
+// maxExactZetaTerms bounds the exact summation when precomputing zeta; the
+// tail beyond it is approximated by the integral ∫ x^-θ dx, whose error is
+// negligible at that scale.
+const maxExactZetaTerms = 1 << 22
+
+// NewZipf precomputes the constants for Gray's quick Zipf sampler.
+// It panics if d <= 0 or theta is outside [0, 1).
+func NewZipf(d int64, theta float64) *Zipf {
+	if d <= 0 {
+		panic(fmt.Sprintf("distrib: zipf domain %d must be positive", d))
+	}
+	if theta < 0 || theta >= 1 {
+		panic(fmt.Sprintf("distrib: zipf theta %v must be in [0,1)", theta))
+	}
+	z := &Zipf{D: d, Theta: theta}
+	z.zetaN = zeta(d, theta)
+	z.alpha = 1 / (1 - theta)
+	zeta2 := zeta(2, theta)
+	z.eta = (1 - math.Pow(2/float64(d), 1-theta)) / (1 - zeta2/z.zetaN)
+	return z
+}
+
+// zeta computes (or approximates, for very large n) the generalized harmonic
+// number H_{n,theta} = sum_{i=1..n} i^-theta.
+func zeta(n int64, theta float64) float64 {
+	exact := n
+	if exact > maxExactZetaTerms {
+		exact = maxExactZetaTerms
+	}
+	sum := 0.0
+	for i := int64(1); i <= exact; i++ {
+		sum += math.Pow(float64(i), -theta)
+	}
+	if exact < n {
+		// Integral tail: ∫_{exact}^{n} x^-θ dx.
+		sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(exact), 1-theta)) / (1 - theta)
+	}
+	return sum
+}
+
+// Draw implements Discrete using Gray's O(1) approximation. Rank 0 is the
+// most frequent value.
+func (z *Zipf) Draw(r *rng.RNG) int64 {
+	u := r.Float64()
+	uz := u * z.zetaN
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.Theta) {
+		return 1
+	}
+	rank := int64(float64(z.D) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if rank >= z.D {
+		rank = z.D - 1
+	}
+	return rank
+}
+
+// Domain implements Discrete.
+func (z *Zipf) Domain() int64 { return z.D }
+
+// Name implements Discrete.
+func (z *Zipf) Name() string { return fmt.Sprintf("zipf(d=%d,θ=%.2f)", z.D, z.Theta) }
+
+// SelfSimilar draws from Gray's self-similar (80/20-style) distribution:
+// a fraction H of the probability mass lands on the first H·D values,
+// recursively.
+type SelfSimilar struct {
+	D int64
+	H float64 // skew, e.g. 0.2 means 80% of draws hit the first 20% of values
+}
+
+// NewSelfSimilar validates parameters. It panics if d <= 0 or h ∉ (0, 1).
+func NewSelfSimilar(d int64, h float64) SelfSimilar {
+	if d <= 0 {
+		panic(fmt.Sprintf("distrib: self-similar domain %d must be positive", d))
+	}
+	if h <= 0 || h >= 1 {
+		panic(fmt.Sprintf("distrib: self-similar h %v must be in (0,1)", h))
+	}
+	return SelfSimilar{D: d, H: h}
+}
+
+// Draw implements Discrete. Per Gray et al., drawing D·u^(log h / log(1-h))
+// puts 1-h of the mass on the first h·D values, recursively.
+func (s SelfSimilar) Draw(r *rng.RNG) int64 {
+	u := r.Float64()
+	v := int64(float64(s.D) * math.Pow(u, math.Log(s.H)/math.Log(1-s.H)))
+	if v >= s.D {
+		v = s.D - 1
+	}
+	return v
+}
+
+// Domain implements Discrete.
+func (s SelfSimilar) Domain() int64 { return s.D }
+
+// Name implements Discrete.
+func (s SelfSimilar) Name() string { return fmt.Sprintf("selfsim(d=%d,h=%.2f)", s.D, s.H) }
+
+// HotSet splits the domain into a hot prefix and a cold suffix: with
+// probability HotProb a draw is uniform over the hot values, otherwise
+// uniform over the cold ones. It models the "few heavy hitters plus a long
+// tail of near-singletons" shape that makes distinct-value estimation hard
+// (Charikar et al., PODS 2000).
+type HotSet struct {
+	D       int64
+	HotFrac float64 // fraction of domain that is hot
+	HotProb float64 // probability a row draws from the hot set
+}
+
+// NewHotSet validates parameters. Both fractions must be in (0, 1).
+func NewHotSet(d int64, hotFrac, hotProb float64) HotSet {
+	if d <= 0 {
+		panic(fmt.Sprintf("distrib: hotset domain %d must be positive", d))
+	}
+	if hotFrac <= 0 || hotFrac >= 1 || hotProb <= 0 || hotProb >= 1 {
+		panic("distrib: hotset fractions must be in (0,1)")
+	}
+	return HotSet{D: d, HotFrac: hotFrac, HotProb: hotProb}
+}
+
+// Draw implements Discrete.
+func (h HotSet) Draw(r *rng.RNG) int64 {
+	hot := int64(float64(h.D) * h.HotFrac)
+	if hot < 1 {
+		hot = 1
+	}
+	if hot >= h.D {
+		hot = h.D - 1
+	}
+	if r.Float64() < h.HotProb {
+		return r.Int63n(hot)
+	}
+	return hot + r.Int63n(h.D-hot)
+}
+
+// Domain implements Discrete.
+func (h HotSet) Domain() int64 { return h.D }
+
+// Name implements Discrete.
+func (h HotSet) Name() string {
+	return fmt.Sprintf("hotset(d=%d,%.0f%%→%.0f%%)", h.D, h.HotFrac*100, h.HotProb*100)
+}
+
+// Sequential assigns domain indices round-robin: row i gets value i mod D.
+// It is the "every value appears n/d times, clustered" layout that makes
+// block sampling interesting. Draw picks uniformly (a random row's value is
+// uniform); use with workload row-indexed generation for the clustered
+// layout.
+type Sequential struct {
+	D int64
+}
+
+// NewSequential returns a sequential distribution. It panics if d <= 0.
+func NewSequential(d int64) Sequential {
+	if d <= 0 {
+		panic(fmt.Sprintf("distrib: sequential domain %d must be positive", d))
+	}
+	return Sequential{D: d}
+}
+
+// Draw implements Discrete.
+func (s Sequential) Draw(r *rng.RNG) int64 { return r.Int63n(s.D) }
+
+// Domain implements Discrete.
+func (s Sequential) Domain() int64 { return s.D }
+
+// Name implements Discrete.
+func (s Sequential) Name() string { return fmt.Sprintf("sequential(d=%d)", s.D) }

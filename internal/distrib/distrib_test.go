@@ -1,0 +1,267 @@
+package distrib
+
+import (
+	"math"
+	"testing"
+
+	"samplecf/internal/rng"
+)
+
+func TestUniformCoverage(t *testing.T) {
+	const d = 50
+	u := NewUniform(d)
+	r := rng.New(1)
+	seen := make(map[int64]int)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := u.Draw(r)
+		if v < 0 || v >= d {
+			t.Fatalf("draw %d out of domain", v)
+		}
+		seen[v]++
+	}
+	if len(seen) != d {
+		t.Fatalf("uniform covered %d of %d values", len(seen), d)
+	}
+	want := float64(n) / d
+	for v, c := range seen {
+		if math.Abs(float64(c)-want) > 6*math.Sqrt(want) {
+			t.Errorf("value %d count %d far from %f", v, c, want)
+		}
+	}
+}
+
+func TestZipfSkewOrdering(t *testing.T) {
+	z := NewZipf(1000, 0.8)
+	r := rng.New(2)
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := z.Draw(r)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("zipf draw %d out of domain", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate, and mass must decay with rank (coarsely).
+	if counts[0] < counts[10] {
+		t.Errorf("rank 0 (%d) not more frequent than rank 10 (%d)", counts[0], counts[10])
+	}
+	head := 0
+	for i := 0; i < 100; i++ {
+		head += counts[i]
+	}
+	if frac := float64(head) / n; frac < 0.5 {
+		t.Errorf("zipf(0.8): top 10%% of values got %.2f of mass, want > 0.5", frac)
+	}
+}
+
+func TestZipfThetaZeroIsUniformish(t *testing.T) {
+	z := NewZipf(100, 0)
+	r := rng.New(3)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Draw(r)]++
+	}
+	want := float64(n) / 100
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 8*math.Sqrt(want) {
+			t.Errorf("theta=0 value %d count %d far from uniform %f", v, c, want)
+		}
+	}
+}
+
+func TestZetaApproximationContinuity(t *testing.T) {
+	// The approximate tail must agree with exact summation at moderate n.
+	for _, theta := range []float64{0.2, 0.5, 0.9} {
+		exact := 0.0
+		const n = 100000
+		for i := int64(1); i <= n; i++ {
+			exact += math.Pow(float64(i), -theta)
+		}
+		got := zeta(n, theta)
+		if math.Abs(got-exact)/exact > 1e-9 {
+			t.Errorf("zeta(%d, %v) = %v, want %v", n, theta, got, exact)
+		}
+	}
+}
+
+func TestSelfSimilarSkew(t *testing.T) {
+	s := NewSelfSimilar(1000, 0.2)
+	r := rng.New(4)
+	inHot := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.Draw(r)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("draw %d out of domain", v)
+		}
+		if v < 200 {
+			inHot++
+		}
+	}
+	// By construction ~80% of draws land in the first 20% of the domain.
+	if frac := float64(inHot) / n; math.Abs(frac-0.8) > 0.03 {
+		t.Errorf("self-similar hot fraction %.3f, want ≈0.80", frac)
+	}
+}
+
+func TestHotSetSkew(t *testing.T) {
+	h := NewHotSet(1000, 0.1, 0.9)
+	r := rng.New(5)
+	inHot := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := h.Draw(r)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("draw %d out of domain", v)
+		}
+		if v < 100 {
+			inHot++
+		}
+	}
+	if frac := float64(inHot) / n; math.Abs(frac-0.9) > 0.02 {
+		t.Errorf("hot-set fraction %.3f, want ≈0.90", frac)
+	}
+}
+
+func TestSequentialDomain(t *testing.T) {
+	s := NewSequential(10)
+	r := rng.New(6)
+	for i := 0; i < 1000; i++ {
+		if v := s.Draw(r); v < 0 || v >= 10 {
+			t.Fatalf("sequential draw %d out of domain", v)
+		}
+	}
+	if s.Domain() != 10 {
+		t.Fatal("wrong domain")
+	}
+}
+
+func TestDiscreteConstructorsPanic(t *testing.T) {
+	cases := []func(){
+		func() { NewUniform(0) },
+		func() { NewZipf(0, 0.5) },
+		func() { NewZipf(10, 1.0) },
+		func() { NewZipf(10, -0.1) },
+		func() { NewSelfSimilar(10, 0) },
+		func() { NewSelfSimilar(0, 0.2) },
+		func() { NewHotSet(10, 0, 0.5) },
+		func() { NewHotSet(10, 0.5, 1) },
+		func() { NewSequential(-1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: constructor did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLengthDistributionsBoundsAndMean(t *testing.T) {
+	r := rng.New(7)
+	dists := []Lengths{
+		NewConstantLen(5),
+		NewUniformLen(0, 20),
+		NewUniformLen(3, 3),
+		NewNormalLen(10, 3, 0, 20),
+		NewBimodalLen(2, 18, 0.7),
+	}
+	for _, d := range dists {
+		var sum float64
+		const n = 200000
+		for i := 0; i < n; i++ {
+			l := d.DrawLen(r)
+			if l < d.MinLen() || l > d.MaxLen() {
+				t.Fatalf("%s: length %d outside [%d,%d]", d.Name(), l, d.MinLen(), d.MaxLen())
+			}
+			sum += float64(l)
+		}
+		got := sum / n
+		want := d.Mean()
+		// Monte-Carlo tolerance: 4 sigma of the sample mean, with range-based variance bound.
+		rangeHalf := float64(d.MaxLen()-d.MinLen()) / 2
+		tol := 4*rangeHalf/math.Sqrt(n) + 1e-9
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s: empirical mean %.4f vs declared %.4f (tol %.4f)", d.Name(), got, want, tol)
+		}
+	}
+}
+
+func TestNormalLenSigmaZero(t *testing.T) {
+	d := NewNormalLen(25, 0, 0, 20)
+	if got := d.Mean(); got != 20 {
+		t.Errorf("clamped mean = %v, want 20", got)
+	}
+	r := rng.New(8)
+	if l := d.DrawLen(r); l != 20 {
+		t.Errorf("DrawLen = %d, want 20", l)
+	}
+}
+
+func TestLengthConstructorsPanic(t *testing.T) {
+	cases := []func(){
+		func() { NewConstantLen(-1) },
+		func() { NewUniformLen(5, 4) },
+		func() { NewUniformLen(-1, 4) },
+		func() { NewNormalLen(5, -1, 0, 10) },
+		func() { NewBimodalLen(5, 4, 0.5) },
+		func() { NewBimodalLen(1, 4, 1.5) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: constructor did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNamesAreDistinctive(t *testing.T) {
+	names := []string{
+		NewUniform(5).Name(),
+		NewZipf(5, 0.5).Name(),
+		NewSelfSimilar(5, 0.2).Name(),
+		NewHotSet(5, 0.2, 0.8).Name(),
+		NewSequential(5).Name(),
+		NewConstantLen(5).Name(),
+		NewUniformLen(1, 5).Name(),
+		NewNormalLen(3, 1, 0, 5).Name(),
+		NewBimodalLen(1, 5, 0.5).Name(),
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" || seen[n] {
+			t.Errorf("duplicate or empty distribution name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func BenchmarkZipfDraw(b *testing.B) {
+	z := NewZipf(1_000_000, 0.8)
+	r := rng.New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += z.Draw(r)
+	}
+	_ = sink
+}
+
+func BenchmarkUniformDraw(b *testing.B) {
+	u := NewUniform(1_000_000)
+	r := rng.New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += u.Draw(r)
+	}
+	_ = sink
+}

@@ -1,0 +1,202 @@
+package distrib
+
+import (
+	"fmt"
+	"math"
+
+	"samplecf/internal/rng"
+)
+
+// Lengths is a distribution over value lengths in bytes, bounded by [Min, Max].
+// It controls the null-suppressed length ℓ of generated character values,
+// the quantity Theorem 1's variance bound is about.
+type Lengths interface {
+	// DrawLen samples a length using r. The result is always within
+	// [MinLen(), MaxLen()].
+	DrawLen(r *rng.RNG) int
+	// MinLen and MaxLen bound the support.
+	MinLen() int
+	MaxLen() int
+	// Mean returns the exact expected length (used for closed-form CF).
+	Mean() float64
+	// Name identifies the distribution in experiment output.
+	Name() string
+}
+
+// ConstantLen always returns L: every value has the same actual length.
+// With L = k this yields incompressible (fully used) CHAR(k) columns.
+type ConstantLen struct {
+	L int
+}
+
+// NewConstantLen returns the constant length distribution. Panics if l < 0.
+func NewConstantLen(l int) ConstantLen {
+	if l < 0 {
+		panic(fmt.Sprintf("distrib: constant length %d must be non-negative", l))
+	}
+	return ConstantLen{L: l}
+}
+
+// DrawLen implements Lengths.
+func (c ConstantLen) DrawLen(*rng.RNG) int { return c.L }
+
+// MinLen implements Lengths.
+func (c ConstantLen) MinLen() int { return c.L }
+
+// MaxLen implements Lengths.
+func (c ConstantLen) MaxLen() int { return c.L }
+
+// Mean implements Lengths.
+func (c ConstantLen) Mean() float64 { return float64(c.L) }
+
+// Name implements Lengths.
+func (c ConstantLen) Name() string { return fmt.Sprintf("const(%d)", c.L) }
+
+// UniformLen draws lengths uniformly from [Lo, Hi]. This is the
+// maximum-variance case for a given range, the regime where Theorem 1's
+// bound is closest to tight.
+type UniformLen struct {
+	Lo, Hi int
+}
+
+// NewUniformLen validates the range. Panics unless 0 <= lo <= hi.
+func NewUniformLen(lo, hi int) UniformLen {
+	if lo < 0 || hi < lo {
+		panic(fmt.Sprintf("distrib: uniform length range [%d,%d] invalid", lo, hi))
+	}
+	return UniformLen{Lo: lo, Hi: hi}
+}
+
+// DrawLen implements Lengths.
+func (u UniformLen) DrawLen(r *rng.RNG) int { return u.Lo + r.Intn(u.Hi-u.Lo+1) }
+
+// MinLen implements Lengths.
+func (u UniformLen) MinLen() int { return u.Lo }
+
+// MaxLen implements Lengths.
+func (u UniformLen) MaxLen() int { return u.Hi }
+
+// Mean implements Lengths.
+func (u UniformLen) Mean() float64 { return float64(u.Lo+u.Hi) / 2 }
+
+// Name implements Lengths.
+func (u UniformLen) Name() string { return fmt.Sprintf("unif[%d,%d]", u.Lo, u.Hi) }
+
+// NormalLen draws lengths from a normal distribution truncated (by clamping)
+// to [Lo, Hi]. Models the typical "most values are around the mean" text
+// column.
+type NormalLen struct {
+	Mu, Sigma float64
+	Lo, Hi    int
+}
+
+// NewNormalLen validates parameters. Panics unless 0 <= lo <= hi and sigma >= 0.
+func NewNormalLen(mu, sigma float64, lo, hi int) NormalLen {
+	if lo < 0 || hi < lo {
+		panic(fmt.Sprintf("distrib: normal length range [%d,%d] invalid", lo, hi))
+	}
+	if sigma < 0 {
+		panic(fmt.Sprintf("distrib: normal sigma %v must be non-negative", sigma))
+	}
+	return NormalLen{Mu: mu, Sigma: sigma, Lo: lo, Hi: hi}
+}
+
+// DrawLen implements Lengths.
+func (n NormalLen) DrawLen(r *rng.RNG) int {
+	v := int(math.Round(n.Mu + n.Sigma*r.NormFloat64()))
+	if v < n.Lo {
+		v = n.Lo
+	}
+	if v > n.Hi {
+		v = n.Hi
+	}
+	return v
+}
+
+// MinLen implements Lengths.
+func (n NormalLen) MinLen() int { return n.Lo }
+
+// MaxLen implements Lengths.
+func (n NormalLen) MaxLen() int { return n.Hi }
+
+// Mean implements Lengths. The clamping bias is negligible when
+// [Lo, Hi] covers ±3σ; we report the exact mean of the clamped variable via
+// numeric integration over the discrete support.
+func (n NormalLen) Mean() float64 {
+	if n.Sigma == 0 {
+		v := math.Round(n.Mu)
+		if v < float64(n.Lo) {
+			v = float64(n.Lo)
+		}
+		if v > float64(n.Hi) {
+			v = float64(n.Hi)
+		}
+		return v
+	}
+	// Sum over the support: P(round(X) clamps to l) * l.
+	mean := 0.0
+	for l := n.Lo; l <= n.Hi; l++ {
+		var p float64
+		switch l {
+		case n.Lo:
+			p = normCDF((float64(l)+0.5-n.Mu)/n.Sigma) - 0
+		case n.Hi:
+			p = 1 - normCDF((float64(l)-0.5-n.Mu)/n.Sigma)
+		default:
+			p = normCDF((float64(l)+0.5-n.Mu)/n.Sigma) - normCDF((float64(l)-0.5-n.Mu)/n.Sigma)
+		}
+		mean += p * float64(l)
+	}
+	return mean
+}
+
+// Name implements Lengths.
+func (n NormalLen) Name() string {
+	return fmt.Sprintf("norm(μ=%.0f,σ=%.0f)[%d,%d]", n.Mu, n.Sigma, n.Lo, n.Hi)
+}
+
+// normCDF is the standard normal CDF.
+func normCDF(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+
+// BimodalLen draws ShortLen with probability PShort and LongLen otherwise:
+// the two-cluster "codes and descriptions in one column" shape, which is the
+// worst case for NS variance at a given mean.
+type BimodalLen struct {
+	ShortLen, LongLen int
+	PShort            float64
+}
+
+// NewBimodalLen validates parameters.
+func NewBimodalLen(short, long int, pShort float64) BimodalLen {
+	if short < 0 || long < short {
+		panic(fmt.Sprintf("distrib: bimodal lengths (%d,%d) invalid", short, long))
+	}
+	if pShort < 0 || pShort > 1 {
+		panic(fmt.Sprintf("distrib: bimodal pShort %v must be in [0,1]", pShort))
+	}
+	return BimodalLen{ShortLen: short, LongLen: long, PShort: pShort}
+}
+
+// DrawLen implements Lengths.
+func (b BimodalLen) DrawLen(r *rng.RNG) int {
+	if r.Float64() < b.PShort {
+		return b.ShortLen
+	}
+	return b.LongLen
+}
+
+// MinLen implements Lengths.
+func (b BimodalLen) MinLen() int { return b.ShortLen }
+
+// MaxLen implements Lengths.
+func (b BimodalLen) MaxLen() int { return b.LongLen }
+
+// Mean implements Lengths.
+func (b BimodalLen) Mean() float64 {
+	return b.PShort*float64(b.ShortLen) + (1-b.PShort)*float64(b.LongLen)
+}
+
+// Name implements Lengths.
+func (b BimodalLen) Name() string {
+	return fmt.Sprintf("bimodal(%d|%d,p=%.2f)", b.ShortLen, b.LongLen, b.PShort)
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"io"
+
+	"samplecf/internal/compress"
+	"samplecf/internal/core"
+	"samplecf/internal/distrib"
+	"samplecf/internal/stats"
+	"samplecf/internal/workload"
+)
+
+// E14 is the figure an empirical section would lead with: estimation
+// accuracy as a function of the sampling fraction f, for both analyzed
+// codecs on one table. It shows (a) NS error decaying as 1/√r toward zero —
+// every extra sample row helps; and (b) dictionary ratio error falling only
+// as the SLOW structural rate 1 + (d/r)(k/p): at mid cardinality the error
+// stays multiples above 1 until r grows past d·k/p, two orders of magnitude
+// more sample than NS needs for the same relative accuracy. That contrast
+// is the paper's two-theorem story in a single sweep.
+func init() {
+	register(Experiment{
+		ID:       "E14",
+		Artifact: "accuracy-vs-cost figure",
+		Title:    "estimation error vs sampling fraction: NS decays fast, dictionary slowly",
+		Run:      runE14,
+	})
+}
+
+func runE14(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	n := cfg.scaleN(500_000, 50_000)
+	trials := cfg.scaleTrials(40, 20)
+	dDomain := n / 50 // mid-cardinality: the hard regime for the dictionary
+
+	tab, err := genChar("e14", n, dDomain, dictK, distrib.NewUniformLen(0, dictK), cfg.Seed+131, workload.LayoutShuffled)
+	if err != nil {
+		return err
+	}
+	cs, err := columnStat(tab)
+	if err != nil {
+		return err
+	}
+	nsTruth := cs.CFNullSuppression(dictK, 1)
+	dictTruth := cs.CFGlobalDict(dictK, dictP)
+	nsCodec, err := compress.Lookup("nullsuppression")
+	if err != nil {
+		return err
+	}
+	dictCodec := compress.GlobalDict{PointerBytes: dictP}
+
+	tbl := NewTable("E14: error vs sampling fraction (figure series)",
+		"f", "r", "NS |bias|", "NS sd", "NS bound", "dict E[ratio-err]")
+	for _, f := range []float64{0.001, 0.005, 0.01, 0.02, 0.05, 0.1} {
+		nsCFs, err := parallelTrials(trials, func(trial int) (float64, error) {
+			est, err := core.SampleCF(tab, tab.Schema(), core.Options{
+				Fraction: f, Codec: nsCodec, Seed: cfg.Seed ^ uint64(trial)*15485863,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return est.CF, nil
+		})
+		if err != nil {
+			return err
+		}
+		dictRatios, err := parallelTrials(trials, func(trial int) (float64, error) {
+			est, err := core.SampleCF(tab, tab.Schema(), core.Options{
+				Fraction: f, Codec: dictCodec, Seed: cfg.Seed ^ uint64(trial)*32452843,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return stats.RatioError(est.CF, dictTruth), nil
+		})
+		if err != nil {
+			return err
+		}
+		var nsAcc, ratioAcc stats.Accumulator
+		for _, cf := range nsCFs {
+			nsAcc.Add(cf)
+		}
+		for _, re := range dictRatios {
+			ratioAcc.Add(re)
+		}
+		bias := nsAcc.Mean() - nsTruth
+		if bias < 0 {
+			bias = -bias
+		}
+		r := int64(f * float64(n))
+		tbl.AddRow(g3(f), d(r), f6(bias), f6(nsAcc.StdDev()),
+			f6(core.Theorem1StdDevBound(r)), f4(ratioAcc.Mean()))
+	}
+	tbl.AddNote("NS sd halves with each 4× increase in f (the 1/√r law) and bias → 0")
+	tbl.AddNote("dictionary error decays only at the structural rate 1+(d/r)(k/p): at d/n=%.3f it needs r ≫ %d to approach 1 — sample size is a far weaker lever than for NS (Theorems 2-3 in one sweep)", float64(cs.Distinct)/float64(n), cs.Distinct*int64(dictK)/int64(dictP))
+	_, err = tbl.WriteTo(w)
+	return err
+}

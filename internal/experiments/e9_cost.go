@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"samplecf/internal/compress"
+	"samplecf/internal/core"
+	"samplecf/internal/distrib"
+	"samplecf/internal/workload"
+)
+
+// E9 measures the economics that motivate the paper (§I, Fig. 2): the cost
+// of SampleCF versus actually building and compressing the full index. The
+// estimate's cost scales with r = f·n; the naive path scales with n and is
+// "prohibitively inefficient" at physical-design-tool call rates.
+func init() {
+	register(Experiment{
+		ID:       "E9",
+		Artifact: "Fig. 2 pipeline / §I motivation",
+		Title:    "estimation cost: SampleCF vs full build-and-compress",
+		Run:      runE9,
+	})
+}
+
+func runE9(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	trials := cfg.scaleTrials(5, 3)
+	const f = 0.01
+	codec, err := compress.Lookup("page")
+	if err != nil {
+		return err
+	}
+
+	tbl := NewTable("E9: cost of estimation (PAGE composite codec, f=1%)",
+		"n", "sampleCF(ms)", "sampleCF+index(ms)", "fullCF(ms)", "speedup", "est.CF", "trueCF")
+	for _, nFull := range []int64{10_000, 100_000, 1_000_000} {
+		n := cfg.scaleN(nFull, 5_000)
+		tab, err := genChar("e9", n, n/50, dictK, distrib.NewUniformLen(2, 18), cfg.Seed+79, workload.LayoutShuffled)
+		if err != nil {
+			return err
+		}
+		var fastMS, idxMS, fullMS float64
+		var estCF, trueCFv float64
+		for trial := 0; trial < trials; trial++ {
+			start := time.Now()
+			est, err := core.SampleCF(tab, tab.Schema(), core.Options{
+				Fraction: f, Codec: codec, Seed: cfg.Seed ^ uint64(trial),
+			})
+			if err != nil {
+				return err
+			}
+			fastMS += float64(time.Since(start).Microseconds()) / 1000
+			estCF = est.CF
+
+			start = time.Now()
+			if _, err := core.SampleCF(tab, tab.Schema(), core.Options{
+				Fraction: f, Codec: codec, Seed: cfg.Seed ^ uint64(trial), BuildIndex: true,
+			}); err != nil {
+				return err
+			}
+			idxMS += float64(time.Since(start).Microseconds()) / 1000
+
+			start = time.Now()
+			truth, err := core.TrueCF(tab, nil, codec, 0)
+			if err != nil {
+				return err
+			}
+			fullMS += float64(time.Since(start).Microseconds()) / 1000
+			trueCFv = truth.CF()
+		}
+		fastMS /= float64(trials)
+		idxMS /= float64(trials)
+		fullMS /= float64(trials)
+		speedup := 0.0
+		if fastMS > 0 {
+			speedup = fullMS / fastMS
+		}
+		tbl.AddRow(d(n), f4(fastMS), f4(idxMS), f4(fullMS), f4(speedup), f6(estCF), f6(trueCFv))
+	}
+	tbl.AddNote("speedup grows linearly with n at fixed f: the estimator touches r = f·n rows")
+	tbl.AddNote("sampleCF+index includes materializing a real B+-tree on the sample (Fig. 2 taken literally)")
+	tbl.AddNote("est.CF ≫ trueCF here: the PAGE composite's RLE stage thrives on long sorted runs that a row sample destroys — a codec regime outside the paper's NS/dictionary analysis (cf. E6/E7)")
+	_, err = tbl.WriteTo(w)
+	return err
+}

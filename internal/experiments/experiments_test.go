@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 14 {
+		ids := make([]string, len(all))
+		for i, e := range all {
+			ids[i] = e.ID
+		}
+		t.Fatalf("expected 14 experiments, have %v", ids)
+	}
+	// IDs must be E1..E10 in order.
+	for i, e := range all {
+		want := "E" + itoa(i+1)
+		if e.ID != want {
+			t.Errorf("position %d: id %s, want %s", i, e.ID, want)
+		}
+		if e.Artifact == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("%s: incomplete metadata", e.ID)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n >= 10 {
+		return string(rune('0'+n/10)) + string(rune('0'+n%10))
+	}
+	return string(rune('0' + n))
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E5")
+	if err != nil || e.ID != "E5" {
+		t.Fatalf("ByID(E5): %v %v", e.ID, err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Demo", "col-a", "b")
+	tbl.AddRow("x", "1")
+	tbl.AddRow("longer-cell", "2")
+	tbl.AddNote("note %d", 7)
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Demo", "col-a", "longer-cell", "note: note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tbl.NumRows())
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row did not panic")
+		}
+	}()
+	NewTable("x", "a", "b").AddRow("only-one")
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("t", "a", "b")
+	tbl.AddRow(`va"l`, "with,comma")
+	var buf bytes.Buffer
+	if err := tbl.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"va\"\"l\",\"with,comma\"\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestConfigScaling(t *testing.T) {
+	cfg := Config{Scale: 0.1}.withDefaults()
+	if n := cfg.scaleN(1000, 10); n != 100 {
+		t.Fatalf("scaleN = %d", n)
+	}
+	if n := cfg.scaleN(50, 10); n != 10 {
+		t.Fatalf("floor not applied: %d", n)
+	}
+	if tr := cfg.scaleTrials(100, 5); tr != 10 {
+		t.Fatalf("scaleTrials = %d", tr)
+	}
+	zero := Config{}.withDefaults()
+	if zero.Scale != 1.0 {
+		t.Fatalf("default scale = %v", zero.Scale)
+	}
+}
+
+// TestE1SanityAssertions: the Theorem-1 claims hold at test scale.
+func TestE1SanityAssertions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	sdRatio, bias, err := e1SanityCheck(Config{Scale: 0.3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// σ/bound ≤ 1 modulo estimation noise from ~40 trials.
+	if sdRatio > 1.35 {
+		t.Errorf("sd/bound = %v, Theorem 1 violated", sdRatio)
+	}
+	// Bimodal worst case should also be reasonably TIGHT (>0.5) — evidence
+	// that the bound is the right order, not vacuous.
+	if sdRatio < 0.4 {
+		t.Errorf("sd/bound = %v suspiciously loose for the worst-case distribution", sdRatio)
+	}
+	if bias > 0.02 {
+		t.Errorf("bias = %v, unbiasedness violated", bias)
+	}
+}
+
+// TestAllExperimentsRunTiny smoke-runs every experiment at minimal scale,
+// checking they complete and produce table output.
+func TestAllExperimentsRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	cfg := Config{Scale: 0.02, Seed: 3}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(e, cfg, &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, e.ID+":") && !strings.Contains(out, e.ID+" ") && !strings.Contains(out, "===") {
+				t.Errorf("%s produced no recognizable output:\n%s", e.ID, out)
+			}
+			if len(out) < 100 {
+				t.Errorf("%s output suspiciously short:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestParallelTrialsDeterministicAndComplete(t *testing.T) {
+	// Results arrive in trial order regardless of scheduling.
+	got, err := parallelTrials(100, func(trial int) (float64, error) {
+		return float64(trial * trial), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != float64(i*i) {
+			t.Fatalf("trial %d = %v", i, v)
+		}
+	}
+	// Errors propagate with the trial index.
+	_, err = parallelTrials(10, func(trial int) (float64, error) {
+		if trial == 7 {
+			return 0, errSentinel
+		}
+		return 0, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "trial 7") {
+		t.Fatalf("error propagation: %v", err)
+	}
+	// Empty input.
+	if out, err := parallelTrials(0, nil); err != nil || out != nil {
+		t.Fatalf("empty: %v %v", out, err)
+	}
+}
+
+var errSentinel = errors.New("sentinel")
+
+// TestExperimentOutputDeterministic: identical config ⇒ byte-identical
+// output, including through the parallel trial runner.
+func TestExperimentOutputDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an experiment twice")
+	}
+	e, err := ByID("E5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func() string {
+		var buf bytes.Buffer
+		if err := e.Run(Config{Scale: 0.05, Seed: 17}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("same config produced different output:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+}

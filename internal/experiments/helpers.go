@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"samplecf/internal/distrib"
+	"samplecf/internal/value"
+	"samplecf/internal/workload"
+)
+
+// charSpec builds the paper's model table: a single CHAR(k) column with d
+// distinct values and the given length distribution.
+func charSpec(name string, n, dDomain int64, k int, lengths distrib.Lengths, seed uint64, layout workload.Layout) (workload.Spec, error) {
+	col, err := workload.NewStringColumn(value.Char(k), distrib.NewUniform(dDomain), lengths, seed)
+	if err != nil {
+		return workload.Spec{}, err
+	}
+	return workload.Spec{
+		Name: name, N: n, Seed: seed, Layout: layout,
+		Cols: []workload.SpecColumn{{Name: "a", Gen: col}},
+	}, nil
+}
+
+// charSpecDist is charSpec with an arbitrary discrete distribution.
+func charSpecDist(name string, n int64, k int, dist distrib.Discrete, lengths distrib.Lengths, seed uint64, layout workload.Layout) (workload.Spec, error) {
+	col, err := workload.NewStringColumn(value.Char(k), dist, lengths, seed)
+	if err != nil {
+		return workload.Spec{}, err
+	}
+	return workload.Spec{
+		Name: name, N: n, Seed: seed, Layout: layout,
+		Cols: []workload.SpecColumn{{Name: "a", Gen: col}},
+	}, nil
+}
+
+// genChar materializes charSpec.
+func genChar(name string, n, dDomain int64, k int, lengths distrib.Lengths, seed uint64, layout workload.Layout) (*workload.Table, error) {
+	spec, err := charSpec(name, n, dDomain, k, lengths, seed, layout)
+	if err != nil {
+		return nil, err
+	}
+	return workload.Generate(spec)
+}
+
+// columnStat computes the single column's exact stats.
+func columnStat(src workload.Scanner) (workload.ColumnStats, error) {
+	st, err := workload.ComputeStats(src)
+	if err != nil {
+		return workload.ColumnStats{}, err
+	}
+	if len(st) != 1 {
+		return workload.ColumnStats{}, fmt.Errorf("experiments: expected 1 column, got %d", len(st))
+	}
+	return st[0], nil
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelTrials runs fn(trial) for every trial in [0, n) across a bounded
+// worker pool and returns the results in trial order. Because each trial
+// derives its randomness from its own index, and accumulation happens over
+// the ordered result slice, output is bit-identical to a sequential run —
+// parallelism changes wall-clock only.
+func parallelTrials(n int, fn func(trial int) (float64, error)) ([]float64, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	results := make([]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := range next {
+				results[trial], errs[trial] = fn(trial)
+			}
+		}()
+	}
+	for trial := 0; trial < n; trial++ {
+		next <- trial
+	}
+	close(next)
+	wg.Wait()
+	for trial, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: trial %d: %w", trial, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,145 @@
+package heap
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"samplecf/internal/page"
+	"samplecf/internal/value"
+)
+
+func TestAccessors(t *testing.T) {
+	st := NewMemStore(page.MinSize)
+	f, err := Create(st, testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Schema() != testSchema(t) && f.Schema().String() != testSchema(t).String() {
+		t.Fatal("Schema accessor broken")
+	}
+	if f.PageSize() != page.MinSize {
+		t.Fatalf("PageSize = %d", f.PageSize())
+	}
+	if f.Store() != PageStore(st) {
+		t.Fatal("Store accessor broken")
+	}
+	rid := RID{Page: 3, Slot: 7}
+	if rid.String() != "3:7" {
+		t.Fatalf("RID.String = %q", rid.String())
+	}
+	if st.TotalBytes() != 0 {
+		t.Fatalf("empty TotalBytes = %d", st.TotalBytes())
+	}
+	if _, err := f.Append(value.Row{value.StringValue("x"), value.IntValue(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalBytes() != page.MinSize {
+		t.Fatalf("TotalBytes = %d", st.TotalBytes())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.NumPages() != 0 {
+		t.Fatal("Close did not drop pages")
+	}
+}
+
+func TestClosedFileOperations(t *testing.T) {
+	st := NewMemStore(page.MinSize)
+	f, err := Create(st, testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := f.Append(value.Row{value.StringValue("x"), value.IntValue(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := f.Flush(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Flush on closed: %v", err)
+	}
+	if err := f.Delete(rid); !errors.Is(err, ErrClosed) {
+		t.Errorf("Delete on closed: %v", err)
+	}
+	if err := f.Vacuum(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Vacuum on closed: %v", err)
+	}
+	if _, err := f.Get(rid); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get on closed: %v", err)
+	}
+	if err := f.Scan(func(RID, value.Row) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Errorf("Scan on closed: %v", err)
+	}
+}
+
+func TestOpenFileStoreBadSize(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "odd.pages")
+	st, err := CreateFileStore(path, page.MinSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := page.New(page.MinSize, 0)
+	if _, err := st.Append(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-open with a mismatched page size that does not divide the file.
+	if _, err := OpenFileStore(path, 768); err == nil {
+		t.Fatal("misaligned page size accepted")
+	}
+}
+
+func TestFileStoreErrors(t *testing.T) {
+	dir := t.TempDir()
+	st, err := CreateFileStore(filepath.Join(dir, "s.pages"), page.MinSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.Read(0); !errors.Is(err, ErrPageRange) {
+		t.Errorf("Read empty: %v", err)
+	}
+	if err := st.Write(0, page.New(page.MinSize, 0)); !errors.Is(err, ErrPageRange) {
+		t.Errorf("Write empty: %v", err)
+	}
+	if _, err := st.Append(page.New(1024, 0)); err == nil {
+		t.Error("wrong page size accepted")
+	}
+	if err := st.Write(0, page.New(1024, 0)); err == nil {
+		t.Error("wrong page size accepted on write")
+	}
+}
+
+func TestHeapDeleteOnTailPage(t *testing.T) {
+	// Delete a record that still lives on the unflushed tail page.
+	st := NewMemStore(page.MinSize)
+	f, err := Create(st, testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := f.Append(value.Row{value.StringValue("tail"), value.IntValue(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumRows() != 0 {
+		t.Fatalf("NumRows = %d", f.NumRows())
+	}
+	if _, err := f.Get(rid); err == nil {
+		t.Fatal("deleted tail row readable")
+	}
+}

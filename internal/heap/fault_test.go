@@ -1,0 +1,246 @@
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"samplecf/internal/page"
+	"samplecf/internal/value"
+)
+
+// faultStore wraps a PageStore and fails operations once a countdown
+// reaches zero — deterministic failure injection for error-path coverage.
+type faultStore struct {
+	PageStore
+	failAfter int // operations until failure; -1 = never
+}
+
+var errInjected = errors.New("injected fault")
+
+func (f *faultStore) tick() error {
+	if f.failAfter < 0 {
+		return nil
+	}
+	if f.failAfter == 0 {
+		return errInjected
+	}
+	f.failAfter--
+	return nil
+}
+
+func (f *faultStore) Read(pageNo uint32) (*page.Page, error) {
+	if err := f.tick(); err != nil {
+		return nil, err
+	}
+	return f.PageStore.Read(pageNo)
+}
+
+func (f *faultStore) Write(pageNo uint32, p *page.Page) error {
+	if err := f.tick(); err != nil {
+		return err
+	}
+	return f.PageStore.Write(pageNo, p)
+}
+
+func (f *faultStore) Append(p *page.Page) (uint32, error) {
+	if err := f.tick(); err != nil {
+		return 0, err
+	}
+	return f.PageStore.Append(p)
+}
+
+func TestHeapDelete(t *testing.T) {
+	st := NewMemStore(page.MinSize)
+	f, err := Create(st, testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rids []RID
+	for i := 0; i < 60; i++ {
+		rid, err := f.Append(value.Row{value.StringValue(fmt.Sprintf("r%02d", i)), value.IntValue(int32(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete every third record, including some on flushed pages and some
+	// conceptually on the tail.
+	deleted := map[RID]bool{}
+	for i := 0; i < 60; i += 3 {
+		if err := f.Delete(rids[i]); err != nil {
+			t.Fatalf("delete %v: %v", rids[i], err)
+		}
+		deleted[rids[i]] = true
+	}
+	if f.NumRows() != 40 {
+		t.Fatalf("NumRows = %d, want 40", f.NumRows())
+	}
+	// Deleted rows unreadable; survivors intact.
+	for i, rid := range rids {
+		row, err := f.Get(rid)
+		if deleted[rid] {
+			if err == nil {
+				t.Fatalf("deleted row %d readable", i)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("survivor %d unreadable: %v", i, err)
+		}
+		if value.DecodeInt32(row[1]) != int32(i) {
+			t.Fatalf("survivor %d corrupted", i)
+		}
+	}
+	// Scan sees exactly the survivors.
+	count := 0
+	if err := f.Scan(func(rid RID, _ value.Row) error {
+		if deleted[rid] {
+			t.Fatalf("scan visited deleted rid %v", rid)
+		}
+		count++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 40 {
+		t.Fatalf("scan count = %d", count)
+	}
+	// Double delete errors.
+	if err := f.Delete(rids[0]); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestHeapVacuumReclaims(t *testing.T) {
+	st := NewMemStore(page.MinSize)
+	f, err := Create(st, testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rids []RID
+	for i := 0; i < 100; i++ {
+		rid, err := f.Append(value.Row{value.StringValue("xxxxxxxxxx"), value.IntValue(int32(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i += 2 {
+		if err := f.Delete(rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	usedBefore, err := f.UsedBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Vacuum(); err != nil {
+		t.Fatal(err)
+	}
+	usedAfter, err := f.UsedBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// UsedBytes already excludes tombstoned payloads, so it is unchanged;
+	// what Vacuum restores is contiguous free space per page.
+	if usedAfter != usedBefore {
+		t.Fatalf("used bytes changed: %d -> %d", usedBefore, usedAfter)
+	}
+	// Survivors still intact after vacuum.
+	for i := 1; i < 100; i += 2 {
+		row, err := f.Get(rids[i])
+		if err != nil || value.DecodeInt32(row[1]) != int32(i) {
+			t.Fatalf("row %d lost after vacuum: %v", i, err)
+		}
+	}
+}
+
+func TestHeapFaultPropagation(t *testing.T) {
+	// Every store failure must surface as an error, never a panic or
+	// silent corruption.
+	for failAt := 0; failAt < 8; failAt++ {
+		mem := NewMemStore(page.MinSize)
+		fs := &faultStore{PageStore: mem, failAfter: -1}
+		f, err := Create(fs, testSchema(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fill enough to force page flushes.
+		var appendErr error
+		fs.failAfter = failAt
+		for i := 0; i < 200 && appendErr == nil; i++ {
+			_, appendErr = f.Append(value.Row{value.StringValue("abcdefgh"), value.IntValue(int32(i))})
+		}
+		if appendErr != nil && !errors.Is(appendErr, errInjected) {
+			t.Fatalf("failAt=%d: unexpected error %v", failAt, appendErr)
+		}
+		// The file remains usable for reads of whatever was persisted.
+		fs.failAfter = -1
+		if err := f.Flush(); err != nil && !errors.Is(err, errInjected) {
+			t.Fatalf("flush after fault: %v", err)
+		}
+	}
+}
+
+func TestHeapScanFaultPropagation(t *testing.T) {
+	mem := NewMemStore(page.MinSize)
+	fs := &faultStore{PageStore: mem, failAfter: -1}
+	f, err := Create(fs, testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := f.Append(value.Row{value.StringValue("abcdefgh"), value.IntValue(int32(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fs.failAfter = 1 // first page read succeeds, second fails
+	err = f.Scan(func(RID, value.Row) error { return nil })
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("scan error = %v, want injected fault", err)
+	}
+}
+
+func TestHeapDeleteFaults(t *testing.T) {
+	mem := NewMemStore(page.MinSize)
+	fs := &faultStore{PageStore: mem, failAfter: -1}
+	f, err := Create(fs, testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rid RID
+	for i := 0; i < 50; i++ {
+		r, err := f.Append(value.Row{value.StringValue("abcdefgh"), value.IntValue(int32(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			rid = r
+		}
+	}
+	if err := f.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := f.NumRows()
+	fs.failAfter = 0 // fail the read inside Delete
+	if err := f.Delete(rid); !errors.Is(err, errInjected) {
+		t.Fatalf("delete error = %v", err)
+	}
+	if f.NumRows() != before {
+		t.Fatal("failed delete mutated row count")
+	}
+	fs.failAfter = -1
+	if err := f.Delete(rid); err != nil {
+		t.Fatalf("delete after recovery: %v", err)
+	}
+}

@@ -1,0 +1,291 @@
+package heap
+
+import (
+	"errors"
+	"fmt"
+
+	"samplecf/internal/page"
+	"samplecf/internal/value"
+)
+
+// RID identifies a record: page number plus slot within the page.
+type RID struct {
+	Page uint32
+	Slot uint16
+}
+
+// String renders the RID as "page:slot".
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// ErrClosed is returned by operations on a closed heap file.
+var ErrClosed = errors.New("heap: file closed")
+
+// File is a heap file: an append-oriented, unordered record collection over
+// a PageStore. Records are fixed-width encodings of rows under the file's
+// schema (the uncompressed representation whose size is the CF denominator).
+type File struct {
+	store  PageStore
+	schema *value.Schema
+
+	numRows int64
+	// cur is the tail page still being filled; curNo is its page number in
+	// the store, valid only when cur != nil.
+	cur    *page.Page
+	curNo  uint32
+	closed bool
+}
+
+// Create initializes an empty heap file over store.
+func Create(store PageStore, schema *value.Schema) (*File, error) {
+	if schema.RowWidth() > page.New(store.PageSize(), 0).Capacity() {
+		return nil, fmt.Errorf("heap: row width %d exceeds page capacity %d",
+			schema.RowWidth(), page.New(store.PageSize(), 0).Capacity())
+	}
+	return &File{store: store, schema: schema}, nil
+}
+
+// Open attaches to an existing store, recounting rows with a page scan.
+func Open(store PageStore, schema *value.Schema) (*File, error) {
+	f, err := Create(store, schema)
+	if err != nil {
+		return nil, err
+	}
+	for pn := 0; pn < store.NumPages(); pn++ {
+		p, err := store.Read(uint32(pn))
+		if err != nil {
+			return nil, fmt.Errorf("heap: open scan: %w", err)
+		}
+		f.numRows += int64(p.NumRecords())
+	}
+	return f, nil
+}
+
+// Schema returns the file's row schema.
+func (f *File) Schema() *value.Schema { return f.schema }
+
+// NumRows returns the number of live records.
+func (f *File) NumRows() int64 { return f.numRows }
+
+// NumPages returns the number of pages, including the unflushed tail page.
+func (f *File) NumPages() int {
+	n := f.store.NumPages()
+	if f.cur != nil && int(f.curNo) == n {
+		n++
+	}
+	return n
+}
+
+// PageSize returns the store's page size.
+func (f *File) PageSize() int { return f.store.PageSize() }
+
+// Store exposes the underlying page store for readers that need direct
+// page access (buffer pools, block samplers). Call Flush first so the tail
+// page is visible.
+func (f *File) Store() PageStore { return f.store }
+
+// Append encodes row and stores it, returning its RID.
+func (f *File) Append(row value.Row) (RID, error) {
+	if f.closed {
+		return RID{}, ErrClosed
+	}
+	rec, err := value.EncodeRecord(f.schema, row, nil)
+	if err != nil {
+		return RID{}, err
+	}
+	return f.AppendRecord(rec)
+}
+
+// AppendRecord stores an already-encoded record. It is used by bulk paths
+// that have pre-encoded data.
+func (f *File) AppendRecord(rec []byte) (RID, error) {
+	if f.closed {
+		return RID{}, ErrClosed
+	}
+	if f.cur == nil {
+		f.cur = page.New(f.store.PageSize(), uint64(f.store.NumPages()))
+		f.curNo = uint32(f.store.NumPages())
+	}
+	slot, err := f.cur.Insert(rec)
+	if errors.Is(err, page.ErrPageFull) {
+		if err := f.flushCur(); err != nil {
+			return RID{}, err
+		}
+		f.cur = page.New(f.store.PageSize(), uint64(f.store.NumPages()))
+		f.curNo = uint32(f.store.NumPages())
+		slot, err = f.cur.Insert(rec)
+	}
+	if err != nil {
+		return RID{}, err
+	}
+	f.numRows++
+	return RID{Page: f.curNo, Slot: uint16(slot)}, nil
+}
+
+// flushCur seals and persists the tail page.
+func (f *File) flushCur() error {
+	if f.cur == nil {
+		return nil
+	}
+	if int(f.curNo) < f.store.NumPages() {
+		if err := f.store.Write(f.curNo, f.cur); err != nil {
+			return err
+		}
+	} else if _, err := f.store.Append(f.cur); err != nil {
+		return err
+	}
+	f.cur = nil
+	return nil
+}
+
+// Flush persists any buffered tail page. Call before handing the store to
+// readers that bypass this File.
+func (f *File) Flush() error {
+	if f.closed {
+		return ErrClosed
+	}
+	return f.flushCur()
+}
+
+// Delete removes the record at rid, leaving a tombstone in its page (RIDs
+// of other records stay stable). Space is reclaimed page-locally on the
+// next Vacuum.
+func (f *File) Delete(rid RID) error {
+	if f.closed {
+		return ErrClosed
+	}
+	if f.cur != nil && rid.Page == f.curNo {
+		if err := f.cur.Delete(int(rid.Slot)); err != nil {
+			return err
+		}
+		f.numRows--
+		return nil
+	}
+	p, err := f.store.Read(rid.Page)
+	if err != nil {
+		return err
+	}
+	if err := p.Delete(int(rid.Slot)); err != nil {
+		return err
+	}
+	if err := f.store.Write(rid.Page, p); err != nil {
+		return err
+	}
+	f.numRows--
+	return nil
+}
+
+// Vacuum compacts every page, reclaiming space freed by Delete. Page count
+// is unchanged (no page merging), matching heap semantics in real engines.
+func (f *File) Vacuum() error {
+	if f.closed {
+		return ErrClosed
+	}
+	for pn := 0; pn < f.store.NumPages(); pn++ {
+		p, err := f.store.Read(uint32(pn))
+		if err != nil {
+			return err
+		}
+		p.Compact()
+		if err := f.store.Write(uint32(pn), p); err != nil {
+			return err
+		}
+	}
+	if f.cur != nil {
+		f.cur.Compact()
+	}
+	return nil
+}
+
+// Get fetches the row at rid.
+func (f *File) Get(rid RID) (value.Row, error) {
+	if f.closed {
+		return nil, ErrClosed
+	}
+	p, err := f.pageAt(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := p.Record(int(rid.Slot))
+	if err != nil {
+		return nil, err
+	}
+	row, err := value.DecodeRecord(f.schema, rec)
+	if err != nil {
+		return nil, err
+	}
+	return row.Clone(), nil
+}
+
+// pageAt returns the page, serving the unflushed tail from memory.
+func (f *File) pageAt(pageNo uint32) (*page.Page, error) {
+	if f.cur != nil && pageNo == f.curNo {
+		return f.cur, nil
+	}
+	return f.store.Read(pageNo)
+}
+
+// Scan iterates all live rows in storage order. The row passed to fn is
+// only valid for the duration of the call.
+func (f *File) Scan(fn func(rid RID, row value.Row) error) error {
+	if f.closed {
+		return ErrClosed
+	}
+	return f.ScanPages(func(pageNo uint32, p *page.Page) error {
+		return p.Records(func(slot int, rec []byte) error {
+			row, err := value.DecodeRecord(f.schema, rec)
+			if err != nil {
+				return err
+			}
+			return fn(RID{Page: pageNo, Slot: uint16(slot)}, row)
+		})
+	})
+}
+
+// ScanPages iterates all pages (including the unflushed tail) in order.
+func (f *File) ScanPages(fn func(pageNo uint32, p *page.Page) error) error {
+	if f.closed {
+		return ErrClosed
+	}
+	n := f.NumPages()
+	for pn := 0; pn < n; pn++ {
+		p, err := f.pageAt(uint32(pn))
+		if err != nil {
+			return err
+		}
+		if err := fn(uint32(pn), p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UncompressedBytes returns the physical size of the heap file: pages times
+// page size. This is the CF denominator at the storage level.
+func (f *File) UncompressedBytes() int64 {
+	return int64(f.NumPages()) * int64(f.store.PageSize())
+}
+
+// UsedBytes returns header + slot + record bytes actually occupied,
+// excluding per-page fragmentation. This is the CF denominator at the
+// logical level.
+func (f *File) UsedBytes() (int64, error) {
+	var total int64
+	err := f.ScanPages(func(_ uint32, p *page.Page) error {
+		total += int64(p.UsedBytes())
+		return nil
+	})
+	return total, err
+}
+
+// Close flushes and closes the file (but not the underlying store, which
+// may be shared).
+func (f *File) Close() error {
+	if f.closed {
+		return nil
+	}
+	if err := f.flushCur(); err != nil {
+		return err
+	}
+	f.closed = true
+	return nil
+}

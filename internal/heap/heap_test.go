@@ -1,0 +1,345 @@
+package heap
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"samplecf/internal/page"
+	"samplecf/internal/value"
+)
+
+func testSchema(t *testing.T) *value.Schema {
+	t.Helper()
+	return value.MustSchema(
+		value.Column{Name: "name", Type: value.Char(16)},
+		value.Column{Name: "id", Type: value.Int32()},
+	)
+}
+
+func TestMemStoreBasics(t *testing.T) {
+	st := NewMemStore(page.MinSize)
+	if st.NumPages() != 0 {
+		t.Fatal("new store not empty")
+	}
+	p := page.New(page.MinSize, 0)
+	if _, err := p.Insert([]byte("rec")); err != nil {
+		t.Fatal(err)
+	}
+	no, err := st.Append(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if no != 0 || st.NumPages() != 1 {
+		t.Fatalf("append got page %d, NumPages %d", no, st.NumPages())
+	}
+	got, err := st.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := got.Record(0)
+	if err != nil || string(rec) != "rec" {
+		t.Fatalf("read back %q, %v", rec, err)
+	}
+	// Read returns a private copy: mutating it must not affect the store.
+	if _, err := got.Insert([]byte("extra")); err != nil {
+		t.Fatal(err)
+	}
+	again, err := st.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.NumRecords() != 1 {
+		t.Fatal("Read did not return a private copy")
+	}
+	// Write persists changes.
+	if err := st.Write(0, got); err != nil {
+		t.Fatal(err)
+	}
+	final, err := st.Read(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.NumRecords() != 2 {
+		t.Fatal("Write did not persist")
+	}
+}
+
+func TestMemStoreErrors(t *testing.T) {
+	st := NewMemStore(page.MinSize)
+	if _, err := st.Read(0); !errors.Is(err, ErrPageRange) {
+		t.Errorf("Read(0) on empty store: %v", err)
+	}
+	if err := st.Write(0, page.New(page.MinSize, 0)); !errors.Is(err, ErrPageRange) {
+		t.Errorf("Write(0) on empty store: %v", err)
+	}
+	if _, err := st.Append(page.New(1024, 0)); err == nil {
+		t.Error("Append with wrong page size accepted")
+	}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.pages")
+	st, err := CreateFileStore(path, page.MinSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		p := page.New(page.MinSize, uint64(i))
+		if _, err := p.Insert([]byte(fmt.Sprintf("page-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenFileStore(path, page.MinSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.NumPages() != 5 {
+		t.Fatalf("NumPages = %d", st2.NumPages())
+	}
+	for i := 0; i < 5; i++ {
+		p, err := st2.Read(uint32(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := p.Record(0)
+		if err != nil || string(rec) != fmt.Sprintf("page-%d", i) {
+			t.Fatalf("page %d: %q %v", i, rec, err)
+		}
+	}
+	// Overwrite page 2 and re-read.
+	p := page.New(page.MinSize, 2)
+	if _, err := p.Insert([]byte("rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Write(2, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := st2.Read(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := back.Record(0); string(rec) != "rewritten" {
+		t.Fatalf("overwrite lost: %q", rec)
+	}
+}
+
+func TestOpenFileStoreValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenFileStore(filepath.Join(dir, "missing"), page.MinSize); err == nil {
+		t.Error("opened missing file")
+	}
+}
+
+func TestHeapAppendGetScan(t *testing.T) {
+	st := NewMemStore(page.MinSize)
+	f, err := Create(st, testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100 // enough to span multiple MinSize pages (20 bytes/row)
+	rids := make([]RID, n)
+	for i := 0; i < n; i++ {
+		row := value.Row{
+			value.StringValue(fmt.Sprintf("row-%d", i)),
+			value.IntValue(int32(i)),
+		}
+		rid, err := f.Append(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	if f.NumRows() != n {
+		t.Fatalf("NumRows = %d", f.NumRows())
+	}
+	if f.NumPages() < 2 {
+		t.Fatalf("expected multiple pages, got %d", f.NumPages())
+	}
+	// Random access via RID, including rows on the unflushed tail page.
+	for i, rid := range rids {
+		row, err := f.Get(rid)
+		if err != nil {
+			t.Fatalf("Get(%v): %v", rid, err)
+		}
+		if want := fmt.Sprintf("row-%d", i); string(row[0]) != want {
+			t.Errorf("rid %v: name %q, want %q", rid, row[0], want)
+		}
+		if value.DecodeInt32(row[1]) != int32(i) {
+			t.Errorf("rid %v: id %d, want %d", rid, value.DecodeInt32(row[1]), i)
+		}
+	}
+	// Scan visits all rows in order.
+	i := 0
+	err = f.Scan(func(rid RID, row value.Row) error {
+		if rid != rids[i] {
+			t.Errorf("scan order: got %v want %v", rid, rids[i])
+		}
+		if value.DecodeInt32(row[1]) != int32(i) {
+			t.Errorf("scan row %d wrong id", i)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Fatalf("scan visited %d rows", i)
+	}
+}
+
+func TestHeapFlushAndOpen(t *testing.T) {
+	st := NewMemStore(page.MinSize)
+	f, err := Create(st, testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := f.Append(value.Row{value.StringValue("x"), value.IntValue(int32(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append(value.Row{value.StringValue("x"), value.IntValue(0)}); !errors.Is(err, ErrClosed) {
+		t.Fatal("append on closed file accepted")
+	}
+
+	g, err := Open(st, testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRows() != 50 {
+		t.Fatalf("reopened NumRows = %d", g.NumRows())
+	}
+	sum := 0
+	if err := g.Scan(func(_ RID, row value.Row) error {
+		sum += int(value.DecodeInt32(row[1]))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 49*50/2 {
+		t.Fatalf("scan sum %d", sum)
+	}
+}
+
+func TestHeapRowTooWide(t *testing.T) {
+	st := NewMemStore(page.MinSize)
+	wide := value.MustSchema(value.Column{Name: "a", Type: value.Char(page.MinSize)})
+	if _, err := Create(st, wide); err == nil {
+		t.Fatal("row wider than page accepted")
+	}
+}
+
+func TestHeapSizeAccounting(t *testing.T) {
+	st := NewMemStore(page.MinSize)
+	f, err := Create(st, testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	for i := 0; i < n; i++ {
+		if _, err := f.Append(value.Row{value.StringValue("abc"), value.IntValue(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	phys := f.UncompressedBytes()
+	if phys != int64(f.NumPages())*page.MinSize {
+		t.Fatalf("UncompressedBytes = %d", phys)
+	}
+	used, err := f.UsedBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each record is RowWidth bytes + 4-byte slot; plus 24-byte header/page.
+	wantMin := int64(n * testSchema(t).RowWidth())
+	if used < wantMin || used > phys {
+		t.Fatalf("UsedBytes = %d, want within [%d,%d]", used, wantMin, phys)
+	}
+}
+
+func TestHeapScanRowAliasing(t *testing.T) {
+	// Documented contract: rows passed to Scan callbacks are only valid
+	// during the call; Get returns a stable copy.
+	st := NewMemStore(page.MinSize)
+	f, err := Create(st, testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := f.Append(value.Row{value.StringValue("stable"), value.IntValue(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := f.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row[0][0] = 'X' // mutate the copy
+	again, err := f.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again[0], []byte("stable")) {
+		t.Fatal("Get returned aliased storage")
+	}
+}
+
+func BenchmarkHeapAppend(b *testing.B) {
+	st := NewMemStore(page.DefaultSize)
+	schema := value.MustSchema(
+		value.Column{Name: "name", Type: value.Char(16)},
+		value.Column{Name: "id", Type: value.Int32()},
+	)
+	f, err := Create(st, schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := value.Row{value.StringValue("benchmark"), value.IntValue(1)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Append(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeapScan(b *testing.B) {
+	st := NewMemStore(page.DefaultSize)
+	schema := value.MustSchema(
+		value.Column{Name: "name", Type: value.Char(16)},
+		value.Column{Name: "id", Type: value.Int32()},
+	)
+	f, err := Create(st, schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if _, err := f.Append(value.Row{value.StringValue("scanrow"), value.IntValue(int32(i))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		if err := f.Scan(func(RID, value.Row) error { count++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if count != 10000 {
+			b.Fatal("wrong count")
+		}
+	}
+}

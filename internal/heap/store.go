@@ -1,0 +1,208 @@
+// Package heap implements heap files — unordered collections of records
+// stored in slotted pages — together with the page-store abstraction that
+// backs both heap files and B+-tree indexes.
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"samplecf/internal/page"
+)
+
+// PageStore abstracts page-granular storage. Implementations must be safe
+// for concurrent readers; writers require external coordination (a heap file
+// or index owns its store).
+type PageStore interface {
+	// PageSize returns the fixed page size of this store.
+	PageSize() int
+	// NumPages returns the number of pages currently in the store.
+	NumPages() int
+	// Read returns the page stored at pageNo. The returned page is a
+	// private copy; mutations are not visible until Write.
+	Read(pageNo uint32) (*page.Page, error)
+	// Write replaces the page at pageNo (which must exist).
+	Write(pageNo uint32, p *page.Page) error
+	// Append adds a new page and returns its page number.
+	Append(p *page.Page) (uint32, error)
+	// Close releases resources. The store is unusable afterwards.
+	Close() error
+}
+
+// ErrPageRange is returned for out-of-range page numbers.
+var ErrPageRange = errors.New("heap: page number out of range")
+
+// MemStore is an in-memory PageStore holding sealed (serialized,
+// checksummed) pages. Serialization on every Write keeps its behaviour
+// identical to FileStore, so tests exercise the real encode/verify path.
+type MemStore struct {
+	mu       sync.RWMutex
+	pageSize int
+	pages    [][]byte
+}
+
+// NewMemStore returns an empty in-memory store with the given page size.
+func NewMemStore(pageSize int) *MemStore {
+	return &MemStore{pageSize: pageSize}
+}
+
+// PageSize implements PageStore.
+func (m *MemStore) PageSize() int { return m.pageSize }
+
+// NumPages implements PageStore.
+func (m *MemStore) NumPages() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.pages)
+}
+
+// Read implements PageStore.
+func (m *MemStore) Read(pageNo uint32) (*page.Page, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if int(pageNo) >= len(m.pages) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrPageRange, pageNo, len(m.pages))
+	}
+	buf := append([]byte(nil), m.pages[pageNo]...)
+	return page.FromBytes(buf)
+}
+
+// Write implements PageStore.
+func (m *MemStore) Write(pageNo uint32, p *page.Page) error {
+	if p.Size() != m.pageSize {
+		return fmt.Errorf("heap: page size %d does not match store %d", p.Size(), m.pageSize)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(pageNo) >= len(m.pages) {
+		return fmt.Errorf("%w: %d of %d", ErrPageRange, pageNo, len(m.pages))
+	}
+	m.pages[pageNo] = append([]byte(nil), p.Seal()...)
+	return nil
+}
+
+// Append implements PageStore.
+func (m *MemStore) Append(p *page.Page) (uint32, error) {
+	if p.Size() != m.pageSize {
+		return 0, fmt.Errorf("heap: page size %d does not match store %d", p.Size(), m.pageSize)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pages = append(m.pages, append([]byte(nil), p.Seal()...))
+	return uint32(len(m.pages) - 1), nil
+}
+
+// Close implements PageStore.
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pages = nil
+	return nil
+}
+
+// TotalBytes returns the physical size of the store (pages × page size).
+func (m *MemStore) TotalBytes() int64 {
+	return int64(m.NumPages()) * int64(m.pageSize)
+}
+
+// FileStore is a PageStore backed by a single OS file of page-aligned
+// blocks. It exists so that large generated datasets and the CLI tools can
+// spill to disk; the estimator paths are store-agnostic.
+type FileStore struct {
+	mu       sync.Mutex
+	f        *os.File
+	pageSize int
+	numPages int
+}
+
+// CreateFileStore creates (truncating) a file-backed store at path.
+func CreateFileStore(path string, pageSize int) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("heap: create store: %w", err)
+	}
+	return &FileStore{f: f, pageSize: pageSize}, nil
+}
+
+// OpenFileStore opens an existing file-backed store.
+func OpenFileStore(path string, pageSize int) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("heap: open store: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("heap: stat store: %w", err)
+	}
+	if st.Size()%int64(pageSize) != 0 {
+		f.Close()
+		return nil, fmt.Errorf("heap: store size %d not a multiple of page size %d", st.Size(), pageSize)
+	}
+	return &FileStore{f: f, pageSize: pageSize, numPages: int(st.Size() / int64(pageSize))}, nil
+}
+
+// PageSize implements PageStore.
+func (s *FileStore) PageSize() int { return s.pageSize }
+
+// NumPages implements PageStore.
+func (s *FileStore) NumPages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.numPages
+}
+
+// Read implements PageStore.
+func (s *FileStore) Read(pageNo uint32) (*page.Page, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(pageNo) >= s.numPages {
+		return nil, fmt.Errorf("%w: %d of %d", ErrPageRange, pageNo, s.numPages)
+	}
+	buf := make([]byte, s.pageSize)
+	if _, err := s.f.ReadAt(buf, int64(pageNo)*int64(s.pageSize)); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("heap: read page %d: %w", pageNo, err)
+	}
+	return page.FromBytes(buf)
+}
+
+// Write implements PageStore.
+func (s *FileStore) Write(pageNo uint32, p *page.Page) error {
+	if p.Size() != s.pageSize {
+		return fmt.Errorf("heap: page size %d does not match store %d", p.Size(), s.pageSize)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(pageNo) >= s.numPages {
+		return fmt.Errorf("%w: %d of %d", ErrPageRange, pageNo, s.numPages)
+	}
+	if _, err := s.f.WriteAt(p.Seal(), int64(pageNo)*int64(s.pageSize)); err != nil {
+		return fmt.Errorf("heap: write page %d: %w", pageNo, err)
+	}
+	return nil
+}
+
+// Append implements PageStore.
+func (s *FileStore) Append(p *page.Page) (uint32, error) {
+	if p.Size() != s.pageSize {
+		return 0, fmt.Errorf("heap: page size %d does not match store %d", p.Size(), s.pageSize)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pageNo := uint32(s.numPages)
+	if _, err := s.f.WriteAt(p.Seal(), int64(pageNo)*int64(s.pageSize)); err != nil {
+		return 0, fmt.Errorf("heap: append page: %w", err)
+	}
+	s.numPages++
+	return pageNo, nil
+}
+
+// Close implements PageStore.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

@@ -1,0 +1,156 @@
+package page
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"samplecf/internal/rng"
+)
+
+func TestInsertAtOrdering(t *testing.T) {
+	p := New(MinSize, 1)
+	// Insert out of order via positions, expect slot order = logical order.
+	if err := p.InsertAt(0, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InsertAt(1, []byte("d")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InsertAt(0, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InsertAt(2, []byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c", "d"}
+	for i, w := range want {
+		rec, err := p.Record(i)
+		if err != nil || string(rec) != w {
+			t.Fatalf("slot %d = %q (%v), want %q", i, rec, err, w)
+		}
+	}
+}
+
+func TestInsertAtBounds(t *testing.T) {
+	p := New(MinSize, 1)
+	if err := p.InsertAt(-1, []byte("x")); !errors.Is(err, ErrBadSlot) {
+		t.Errorf("InsertAt(-1): %v", err)
+	}
+	if err := p.InsertAt(1, []byte("x")); !errors.Is(err, ErrBadSlot) {
+		t.Errorf("InsertAt past end: %v", err)
+	}
+	if err := p.InsertAt(0, make([]byte, MinSize)); !errors.Is(err, ErrRecordTooLarge) {
+		t.Errorf("oversized: %v", err)
+	}
+}
+
+func TestRemoveAt(t *testing.T) {
+	p := New(MinSize, 1)
+	for _, s := range []string{"a", "b", "c", "d"} {
+		if err := p.InsertAt(p.NumSlots(), []byte(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.RemoveAt(1); err != nil { // remove "b"
+		t.Fatal(err)
+	}
+	want := []string{"a", "c", "d"}
+	if p.NumSlots() != 3 {
+		t.Fatalf("NumSlots = %d", p.NumSlots())
+	}
+	for i, w := range want {
+		rec, err := p.Record(i)
+		if err != nil || string(rec) != w {
+			t.Fatalf("slot %d = %q (%v), want %q", i, rec, err, w)
+		}
+	}
+	if err := p.RemoveAt(3); !errors.Is(err, ErrBadSlot) {
+		t.Errorf("RemoveAt out of range: %v", err)
+	}
+	if err := p.RemoveAt(-1); !errors.Is(err, ErrBadSlot) {
+		t.Errorf("RemoveAt(-1): %v", err)
+	}
+}
+
+func TestRemoveAtThenCompactReclaims(t *testing.T) {
+	p := New(MinSize, 1)
+	for i := 0; i < 6; i++ {
+		if err := p.InsertAt(i, bytes.Repeat([]byte{byte('a' + i)}, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	free := p.FreeSpace()
+	if err := p.RemoveAt(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RemoveAt(0); err != nil {
+		t.Fatal(err)
+	}
+	p.Compact()
+	if p.FreeSpace() <= free {
+		t.Fatalf("compact after RemoveAt reclaimed nothing: %d <= %d", p.FreeSpace(), free)
+	}
+	// Remaining records intact and still ordered.
+	for i := 0; i < 4; i++ {
+		rec, err := p.Record(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec[0] != byte('a'+i+2) {
+			t.Fatalf("slot %d = %c, want %c", i, rec[0], 'a'+i+2)
+		}
+	}
+}
+
+// TestPropertyOrderedMaintenance models a sorted-array structure on a page:
+// random ordered inserts and removals must match a reference slice.
+func TestPropertyOrderedMaintenance(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		p := New(2048, 1)
+		var model []string
+		for op := 0; op < 200; op++ {
+			if r.Intn(3) != 0 || len(model) == 0 {
+				// Insert a random short string at its sorted position.
+				s := string([]byte{byte('a' + r.Intn(26)), byte('a' + r.Intn(26))})
+				pos := sort.SearchStrings(model, s)
+				err := p.InsertAt(pos, []byte(s))
+				if errors.Is(err, ErrPageFull) {
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				model = append(model, "")
+				copy(model[pos+1:], model[pos:])
+				model[pos] = s
+			} else {
+				pos := r.Intn(len(model))
+				if err := p.RemoveAt(pos); err != nil {
+					return false
+				}
+				model = append(model[:pos], model[pos+1:]...)
+			}
+			if p.NumSlots() != len(model) {
+				return false
+			}
+			for i, w := range model {
+				rec, err := p.Record(i)
+				if err != nil || string(rec) != w {
+					return false
+				}
+			}
+			// Model must stay sorted if the page mirrors sorted inserts.
+			if !sort.StringsAreSorted(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,351 @@
+// Package page implements fixed-size slotted pages, the storage unit shared
+// by heap files, B+-tree nodes, and the compression codecs.
+//
+// Layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       2     magic (0x5047, "PG")
+//	2       2     flags (bit 0: compressed payload)
+//	4       8     page id
+//	12      2     slot count
+//	14      2     free-space start (end of slot directory, grows up)
+//	16      2     free-space end   (start of record heap, grows down)
+//	18      4     CRC-32C checksum of the page with this field zeroed
+//	22      2     reserved
+//	24      ...   slot directory: per slot {offset uint16, length uint16}
+//	...     ...   free space
+//	...     end   record heap (grows downward from the end of the page)
+//
+// A deleted record leaves a tombstone slot (offset = 0); Compact reclaims the
+// heap space while preserving slot numbers, mirroring how real engines keep
+// RIDs stable.
+package page
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// DefaultSize is the default page size in bytes (8 KiB, the SQL Server page
+// size the paper's in-lined dictionaries live in).
+const DefaultSize = 8192
+
+// MinSize and MaxSize bound supported page sizes.
+const (
+	MinSize = 512
+	MaxSize = 32 * 1024 // slot offsets and free pointers must fit in uint16
+)
+
+// HeaderSize is the fixed page header size in bytes.
+const HeaderSize = 24
+
+// slotSize is the size of one slot directory entry.
+const slotSize = 4
+
+const magic = 0x5047
+
+// Header field offsets.
+const (
+	offMagic     = 0
+	offFlags     = 2
+	offPageID    = 4
+	offNumSlots  = 12
+	offFreeStart = 14
+	offFreeEnd   = 16
+	offChecksum  = 18
+)
+
+// Flag bits.
+const (
+	// FlagCompressed marks pages whose record payloads are codec-encoded.
+	FlagCompressed uint16 = 1 << 0
+)
+
+// Exported errors.
+var (
+	// ErrPageFull is returned by Insert when the record cannot fit.
+	ErrPageFull = errors.New("page: full")
+	// ErrRecordTooLarge is returned when a record can never fit in an empty
+	// page of this size.
+	ErrRecordTooLarge = errors.New("page: record larger than page capacity")
+	// ErrBadSlot is returned for out-of-range or tombstoned slots.
+	ErrBadSlot = errors.New("page: invalid slot")
+	// ErrCorrupt is returned by FromBytes when magic or checksum mismatch.
+	ErrCorrupt = errors.New("page: corrupt")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Page is a single slotted page. The zero value is not usable; construct via
+// New or FromBytes.
+type Page struct {
+	buf []byte
+}
+
+// New returns an empty page of the given size with the given id.
+// It panics if size is out of [MinSize, MaxSize].
+func New(size int, id uint64) *Page {
+	if size < MinSize || size > MaxSize {
+		panic(fmt.Sprintf("page: size %d outside [%d,%d]", size, MinSize, MaxSize))
+	}
+	p := &Page{buf: make([]byte, size)}
+	binary.LittleEndian.PutUint16(p.buf[offMagic:], magic)
+	binary.LittleEndian.PutUint64(p.buf[offPageID:], id)
+	p.setNumSlots(0)
+	p.setFreeStart(HeaderSize)
+	p.setFreeEndInt(size)
+	return p
+}
+
+// FromBytes wraps an existing serialized page, verifying magic and checksum.
+// The page takes ownership of buf.
+func FromBytes(buf []byte) (*Page, error) {
+	if len(buf) < MinSize || len(buf) > MaxSize {
+		return nil, fmt.Errorf("%w: bad length %d", ErrCorrupt, len(buf))
+	}
+	if binary.LittleEndian.Uint16(buf[offMagic:]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	stored := binary.LittleEndian.Uint32(buf[offChecksum:])
+	p := &Page{buf: buf}
+	if stored != p.computeChecksum() {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return p, nil
+}
+
+// Size returns the page size in bytes.
+func (p *Page) Size() int { return len(p.buf) }
+
+// ID returns the page id stored in the header.
+func (p *Page) ID() uint64 { return binary.LittleEndian.Uint64(p.buf[offPageID:]) }
+
+// SetID updates the page id.
+func (p *Page) SetID(id uint64) { binary.LittleEndian.PutUint64(p.buf[offPageID:], id) }
+
+// Flags returns the header flag bits.
+func (p *Page) Flags() uint16 { return binary.LittleEndian.Uint16(p.buf[offFlags:]) }
+
+// SetFlags stores the header flag bits.
+func (p *Page) SetFlags(f uint16) { binary.LittleEndian.PutUint16(p.buf[offFlags:], f) }
+
+func (p *Page) numSlots() int      { return int(binary.LittleEndian.Uint16(p.buf[offNumSlots:])) }
+func (p *Page) setNumSlots(n int)  { binary.LittleEndian.PutUint16(p.buf[offNumSlots:], uint16(n)) }
+func (p *Page) freeStart() int     { return int(binary.LittleEndian.Uint16(p.buf[offFreeStart:])) }
+func (p *Page) setFreeStart(v int) { binary.LittleEndian.PutUint16(p.buf[offFreeStart:], uint16(v)) }
+
+// freeEnd is the exclusive offset where the record heap begins; it always
+// fits in uint16 because MaxSize is 32 KiB.
+func (p *Page) freeEnd() int {
+	return int(binary.LittleEndian.Uint16(p.buf[offFreeEnd:]))
+}
+
+func (p *Page) setFreeEndInt(v int) {
+	binary.LittleEndian.PutUint16(p.buf[offFreeEnd:], uint16(v))
+}
+
+// slotAt returns the directory entry for slot i (no bounds check).
+func (p *Page) slotAt(i int) (off, length int) {
+	base := HeaderSize + i*slotSize
+	return int(binary.LittleEndian.Uint16(p.buf[base:])),
+		int(binary.LittleEndian.Uint16(p.buf[base+2:]))
+}
+
+func (p *Page) setSlot(i, off, length int) {
+	base := HeaderSize + i*slotSize
+	binary.LittleEndian.PutUint16(p.buf[base:], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[base+2:], uint16(length))
+}
+
+// NumSlots returns the total slot count, including tombstones.
+func (p *Page) NumSlots() int { return p.numSlots() }
+
+// NumRecords returns the number of live (non-deleted) records.
+func (p *Page) NumRecords() int {
+	n := 0
+	for i := 0; i < p.numSlots(); i++ {
+		if off, _ := p.slotAt(i); off != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// FreeSpace returns the bytes available for one more record including its
+// slot entry. Negative results are clamped to zero.
+func (p *Page) FreeSpace() int {
+	free := p.freeEnd() - p.freeStart() - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Capacity returns the maximum record payload an empty page of this size can
+// hold.
+func (p *Page) Capacity() int { return len(p.buf) - HeaderSize - slotSize }
+
+// Insert stores rec in the page and returns its slot number.
+// It returns ErrPageFull if the record does not fit in the remaining free
+// space, or ErrRecordTooLarge if it could never fit.
+func (p *Page) Insert(rec []byte) (int, error) {
+	if len(rec) > p.Capacity() {
+		return 0, fmt.Errorf("%w: %d > %d", ErrRecordTooLarge, len(rec), p.Capacity())
+	}
+	// Use the unclamped free computation: FreeSpace() clamps negatives to 0,
+	// which would let a zero-length record in with no room for its slot entry.
+	if len(rec) > p.freeEnd()-p.freeStart()-slotSize {
+		return 0, ErrPageFull
+	}
+	slot := p.numSlots()
+	newEnd := p.freeEnd() - len(rec)
+	copy(p.buf[newEnd:], rec)
+	p.setFreeEndInt(newEnd)
+	p.setSlot(slot, newEnd, len(rec))
+	p.setNumSlots(slot + 1)
+	p.setFreeStart(HeaderSize + (slot+1)*slotSize)
+	return slot, nil
+}
+
+// InsertAt stores rec at slot position i, shifting later slots up by one.
+// It is used by ordered structures (B+-tree nodes) that maintain key order
+// via slot order; heap files use Insert, which keeps RIDs stable instead.
+// i must be in [0, NumSlots()].
+func (p *Page) InsertAt(i int, rec []byte) error {
+	n := p.numSlots()
+	if i < 0 || i > n {
+		return fmt.Errorf("%w: insert position %d of %d", ErrBadSlot, i, n)
+	}
+	if len(rec) > p.Capacity() {
+		return fmt.Errorf("%w: %d > %d", ErrRecordTooLarge, len(rec), p.Capacity())
+	}
+	if len(rec) > p.freeEnd()-p.freeStart()-slotSize {
+		return ErrPageFull
+	}
+	newEnd := p.freeEnd() - len(rec)
+	copy(p.buf[newEnd:], rec)
+	p.setFreeEndInt(newEnd)
+	// Shift slot directory entries [i, n) up one position.
+	base := HeaderSize + i*slotSize
+	copy(p.buf[base+slotSize:HeaderSize+(n+1)*slotSize], p.buf[base:HeaderSize+n*slotSize])
+	p.setSlot(i, newEnd, len(rec))
+	p.setNumSlots(n + 1)
+	p.setFreeStart(HeaderSize + (n+1)*slotSize)
+	return nil
+}
+
+// RemoveAt deletes slot i entirely, shifting later slots down by one.
+// Unlike Delete it does not leave a tombstone; the record heap space is
+// reclaimed by the next Compact.
+func (p *Page) RemoveAt(i int) error {
+	n := p.numSlots()
+	if i < 0 || i >= n {
+		return fmt.Errorf("%w: remove position %d of %d", ErrBadSlot, i, n)
+	}
+	base := HeaderSize + i*slotSize
+	copy(p.buf[base:HeaderSize+(n-1)*slotSize], p.buf[base+slotSize:HeaderSize+n*slotSize])
+	p.setNumSlots(n - 1)
+	p.setFreeStart(HeaderSize + (n-1)*slotSize)
+	return nil
+}
+
+// Record returns the payload of slot i. The returned slice aliases the page
+// buffer; callers must copy if they mutate or retain it across page writes.
+func (p *Page) Record(i int) ([]byte, error) {
+	if i < 0 || i >= p.numSlots() {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadSlot, i, p.numSlots())
+	}
+	off, length := p.slotAt(i)
+	if off == 0 {
+		return nil, fmt.Errorf("%w: %d deleted", ErrBadSlot, i)
+	}
+	return p.buf[off : off+length], nil
+}
+
+// Delete tombstones slot i. The slot number remains allocated (RID
+// stability); the record bytes are reclaimed by the next Compact.
+func (p *Page) Delete(i int) error {
+	if i < 0 || i >= p.numSlots() {
+		return fmt.Errorf("%w: %d of %d", ErrBadSlot, i, p.numSlots())
+	}
+	if off, _ := p.slotAt(i); off == 0 {
+		return fmt.Errorf("%w: %d already deleted", ErrBadSlot, i)
+	}
+	p.setSlot(i, 0, 0)
+	return nil
+}
+
+// Compact rewrites the record heap to squeeze out space freed by Delete,
+// preserving slot numbers. It runs in O(page size) with a single scratch
+// buffer.
+func (p *Page) Compact() {
+	size := len(p.buf)
+	scratch := make([]byte, 0, size)
+	type live struct{ slot, length int }
+	var lives []live
+	for i := 0; i < p.numSlots(); i++ {
+		off, length := p.slotAt(i)
+		if off == 0 {
+			continue
+		}
+		scratch = append(scratch, p.buf[off:off+length]...)
+		lives = append(lives, live{i, length})
+	}
+	// Re-lay the records from the end of the page.
+	end := size
+	consumed := 0
+	for _, lv := range lives {
+		end -= lv.length
+		copy(p.buf[end:], scratch[consumed:consumed+lv.length])
+		p.setSlot(lv.slot, end, lv.length)
+		consumed += lv.length
+	}
+	p.setFreeEndInt(end)
+}
+
+// UsedBytes returns the storage accounted to this page for compression-
+// fraction purposes: header, slot directory, and live record payloads.
+func (p *Page) UsedBytes() int {
+	used := HeaderSize + p.numSlots()*slotSize
+	for i := 0; i < p.numSlots(); i++ {
+		if off, length := p.slotAt(i); off != 0 {
+			used += length
+		}
+	}
+	return used
+}
+
+// computeChecksum hashes the page with the checksum field treated as zero.
+func (p *Page) computeChecksum() uint32 {
+	h := crc32.New(crcTable)
+	h.Write(p.buf[:offChecksum])
+	var zero [4]byte
+	h.Write(zero[:])
+	h.Write(p.buf[offChecksum+4:])
+	return h.Sum32()
+}
+
+// Seal updates the checksum and returns the serialized page. The returned
+// slice aliases the page buffer.
+func (p *Page) Seal() []byte {
+	binary.LittleEndian.PutUint32(p.buf[offChecksum:], p.computeChecksum())
+	return p.buf
+}
+
+// Records iterates over live records in slot order, invoking fn with the
+// slot number and payload. Iteration stops early if fn returns an error,
+// which is then returned.
+func (p *Page) Records(fn func(slot int, rec []byte) error) error {
+	for i := 0; i < p.numSlots(); i++ {
+		off, length := p.slotAt(i)
+		if off == 0 {
+			continue
+		}
+		if err := fn(i, p.buf[off:off+length]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

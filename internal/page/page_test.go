@@ -1,0 +1,361 @@
+package page
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"samplecf/internal/rng"
+)
+
+func TestNewPageEmpty(t *testing.T) {
+	p := New(DefaultSize, 7)
+	if p.Size() != DefaultSize {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	if p.ID() != 7 {
+		t.Fatalf("ID = %d", p.ID())
+	}
+	if p.NumSlots() != 0 || p.NumRecords() != 0 {
+		t.Fatal("new page not empty")
+	}
+	if got, want := p.FreeSpace(), DefaultSize-HeaderSize-slotSize; got != want {
+		t.Fatalf("FreeSpace = %d, want %d", got, want)
+	}
+	if got, want := p.UsedBytes(), HeaderSize; got != want {
+		t.Fatalf("UsedBytes = %d, want %d", got, want)
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	for _, size := range []int{0, MinSize - 1, MaxSize + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", size)
+				}
+			}()
+			New(size, 0)
+		}()
+	}
+}
+
+func TestInsertAndRecord(t *testing.T) {
+	p := New(MinSize, 1)
+	recs := [][]byte{[]byte("hello"), []byte(""), []byte("world!")}
+	var slots []int
+	for _, r := range recs {
+		s, err := p.Insert(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	for i, s := range slots {
+		got, err := p.Record(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, recs[i]) {
+			t.Errorf("slot %d: got %q want %q", s, got, recs[i])
+		}
+	}
+	if p.NumRecords() != 3 {
+		t.Fatalf("NumRecords = %d", p.NumRecords())
+	}
+}
+
+func TestInsertUntilFull(t *testing.T) {
+	p := New(MinSize, 1)
+	rec := make([]byte, 32)
+	inserted := 0
+	for {
+		_, err := p.Insert(rec)
+		if errors.Is(err, ErrPageFull) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		inserted++
+		if inserted > MinSize {
+			t.Fatal("page never filled")
+		}
+	}
+	// Each record costs 32 + 4 slot bytes.
+	want := (MinSize - HeaderSize) / (32 + slotSize)
+	if inserted != want {
+		t.Errorf("inserted %d records, want %d", inserted, want)
+	}
+	// Accounting must close: used + free ≈ size.
+	if p.FreeSpace() >= 32+slotSize {
+		t.Errorf("free space %d still fits a record", p.FreeSpace())
+	}
+}
+
+func TestInsertRecordTooLarge(t *testing.T) {
+	p := New(MinSize, 1)
+	_, err := p.Insert(make([]byte, MinSize))
+	if !errors.Is(err, ErrRecordTooLarge) {
+		t.Fatalf("err = %v, want ErrRecordTooLarge", err)
+	}
+	// Exactly capacity must fit.
+	if _, err := p.Insert(make([]byte, p.Capacity())); err != nil {
+		t.Fatalf("capacity-size record rejected: %v", err)
+	}
+}
+
+func TestDeleteAndTombstones(t *testing.T) {
+	p := New(MinSize, 1)
+	s0, _ := p.Insert([]byte("aaaa"))
+	s1, _ := p.Insert([]byte("bbbb"))
+	if err := p.Delete(s0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Record(s0); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("deleted record readable: %v", err)
+	}
+	if err := p.Delete(s0); !errors.Is(err, ErrBadSlot) {
+		t.Fatal("double delete accepted")
+	}
+	if err := p.Delete(99); !errors.Is(err, ErrBadSlot) {
+		t.Fatal("out-of-range delete accepted")
+	}
+	if p.NumRecords() != 1 || p.NumSlots() != 2 {
+		t.Fatalf("NumRecords=%d NumSlots=%d", p.NumRecords(), p.NumSlots())
+	}
+	// s1 still readable.
+	if rec, err := p.Record(s1); err != nil || !bytes.Equal(rec, []byte("bbbb")) {
+		t.Fatalf("surviving record corrupted: %q %v", rec, err)
+	}
+}
+
+func TestCompactReclaimsSpace(t *testing.T) {
+	p := New(MinSize, 1)
+	var slots []int
+	for i := 0; i < 8; i++ {
+		s, err := p.Insert([]byte(fmt.Sprintf("record-%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	freeBefore := p.FreeSpace()
+	// Delete every other record.
+	for i := 0; i < 8; i += 2 {
+		if err := p.Delete(slots[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Compact()
+	if p.FreeSpace() <= freeBefore {
+		t.Errorf("compact did not reclaim: before %d after %d", freeBefore, p.FreeSpace())
+	}
+	// Surviving records intact, same slot numbers.
+	for i := 1; i < 8; i += 2 {
+		rec, err := p.Record(slots[i])
+		if err != nil {
+			t.Fatalf("slot %d unreadable after compact: %v", slots[i], err)
+		}
+		if want := fmt.Sprintf("record-%02d", i); string(rec) != want {
+			t.Errorf("slot %d = %q, want %q", slots[i], rec, want)
+		}
+	}
+}
+
+func TestSealFromBytesRoundTrip(t *testing.T) {
+	p := New(DefaultSize, 42)
+	p.SetFlags(FlagCompressed)
+	if _, err := p.Insert([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	buf := append([]byte(nil), p.Seal()...)
+	q, err := FromBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ID() != 42 || q.Flags() != FlagCompressed || q.NumRecords() != 1 {
+		t.Fatal("round trip lost header state")
+	}
+	rec, err := q.Record(0)
+	if err != nil || string(rec) != "payload" {
+		t.Fatalf("record lost: %q %v", rec, err)
+	}
+}
+
+func TestFromBytesDetectsCorruption(t *testing.T) {
+	p := New(DefaultSize, 1)
+	if _, err := p.Insert([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	good := append([]byte(nil), p.Seal()...)
+
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 0xFF
+	if _, err := FromBytes(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bit flip not detected: %v", err)
+	}
+
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] = 0
+	if _, err := FromBytes(badMagic); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bad magic not detected: %v", err)
+	}
+
+	if _, err := FromBytes(make([]byte, 10)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("short buffer not detected: %v", err)
+	}
+}
+
+func TestRecordsIteration(t *testing.T) {
+	p := New(MinSize, 1)
+	for i := 0; i < 5; i++ {
+		if _, err := p.Insert([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	var seen []int
+	err := p.Records(func(slot int, rec []byte) error {
+		if int(rec[0]) != slot {
+			t.Errorf("slot %d has record %d", slot, rec[0])
+		}
+		seen = append(seen, slot)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 3, 4}
+	if len(seen) != len(want) {
+		t.Fatalf("visited %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("visited %v, want %v", seen, want)
+		}
+	}
+	// Early stop propagates error.
+	sentinel := errors.New("stop")
+	if err := p.Records(func(int, []byte) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatal("Records did not propagate error")
+	}
+}
+
+func TestUsedBytesAccounting(t *testing.T) {
+	p := New(MinSize, 1)
+	if _, err := p.Insert(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Insert(make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	want := HeaderSize + 2*slotSize + 150
+	if got := p.UsedBytes(); got != want {
+		t.Fatalf("UsedBytes = %d, want %d", got, want)
+	}
+	if err := p.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	want = HeaderSize + 2*slotSize + 50
+	if got := p.UsedBytes(); got != want {
+		t.Fatalf("UsedBytes after delete = %d, want %d", got, want)
+	}
+}
+
+// TestPropertyInsertDeleteCompact drives a random operation sequence against
+// a model (a Go map) and checks the page always agrees with the model.
+func TestPropertyInsertDeleteCompact(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		p := New(1024, 1)
+		model := map[int][]byte{} // slot -> payload
+		for op := 0; op < 300; op++ {
+			switch r.Intn(4) {
+			case 0, 1: // insert
+				rec := make([]byte, r.Intn(40))
+				for i := range rec {
+					rec[i] = byte(r.Intn(256))
+				}
+				slot, err := p.Insert(rec)
+				if errors.Is(err, ErrPageFull) {
+					continue
+				}
+				if err != nil {
+					t.Logf("insert error: %v", err)
+					return false
+				}
+				model[slot] = append([]byte(nil), rec...)
+			case 2: // delete a random live slot
+				for slot := range model {
+					if err := p.Delete(slot); err != nil {
+						t.Logf("delete error: %v", err)
+						return false
+					}
+					delete(model, slot)
+					break
+				}
+			case 3:
+				p.Compact()
+			}
+			// Invariant: every model record is readable and equal.
+			for slot, want := range model {
+				got, err := p.Record(slot)
+				if err != nil || !bytes.Equal(got, want) {
+					t.Logf("slot %d mismatch: %q vs %q (%v)", slot, got, want, err)
+					return false
+				}
+			}
+			if p.NumRecords() != len(model) {
+				t.Logf("NumRecords %d != model %d", p.NumRecords(), len(model))
+				return false
+			}
+		}
+		// Final: seal + reload preserves everything.
+		q, err := FromBytes(append([]byte(nil), p.Seal()...))
+		if err != nil {
+			t.Logf("reload: %v", err)
+			return false
+		}
+		for slot, want := range model {
+			got, err := q.Record(slot)
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert64B(b *testing.B) {
+	rec := make([]byte, 64)
+	p := New(DefaultSize, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Insert(rec); err != nil {
+			p = New(DefaultSize, 1)
+		}
+	}
+}
+
+func BenchmarkSeal8K(b *testing.B) {
+	p := New(DefaultSize, 1)
+	for {
+		if _, err := p.Insert(make([]byte, 64)); err != nil {
+			break
+		}
+	}
+	b.SetBytes(DefaultSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Seal()
+	}
+}

@@ -1,0 +1,211 @@
+package physdesign
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"samplecf/internal/compress"
+	"samplecf/internal/core"
+	"samplecf/internal/distrib"
+	"samplecf/internal/value"
+	"samplecf/internal/workload"
+)
+
+// advisorTable builds a two-column table: a compressible CHAR(30) name
+// column (few distinct, short values) and an INT id column.
+func advisorTable(t testing.TB, n int64) *workload.Table {
+	t.Helper()
+	name, err := workload.NewStringColumn(value.Char(30), distrib.NewUniform(50), distrib.NewUniformLen(3, 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := workload.NewIntColumn(value.Int32(), distrib.NewUniform(n), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := workload.Generate(workload.Spec{
+		Name: "orders", N: n, Seed: 7,
+		Cols: []workload.SpecColumn{{Name: "name", Gen: name}, {Name: "id", Gen: id}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func mustCodec(t testing.TB, name string) compress.Codec {
+	t.Helper()
+	c, err := compress.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSizeCandidateUncompressed(t *testing.T) {
+	tab := advisorTable(t, 2000)
+	s, err := SizeCandidate(Candidate{
+		Name: "ix_name", Table: tab, KeyColumns: []string{"name"},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.EstimatedCF != 1.0 {
+		t.Fatalf("uncompressed CF = %v", s.EstimatedCF)
+	}
+	if s.EstimatedBytes != 2000*30 {
+		t.Fatalf("bytes = %d, want %d", s.EstimatedBytes, 2000*30)
+	}
+}
+
+func TestSizeCandidateCompressedCloseToTruth(t *testing.T) {
+	tab := advisorTable(t, 5000)
+	codec := mustCodec(t, "nullsuppression")
+	s, err := SizeCandidate(Candidate{
+		Name: "ix_name_row", Table: tab, KeyColumns: []string{"name"}, Codec: codec,
+	}, Options{SampleFraction: 0.05, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := core.TrueCF(tab, []string{"name"}, codec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.EstimatedCF-truth.CF()) > 0.05 {
+		t.Fatalf("estimated CF %v vs truth %v", s.EstimatedCF, truth.CF())
+	}
+	if s.EstimatedBytes >= s.UncompressedBytes {
+		t.Fatalf("compression did not shrink: %d vs %d", s.EstimatedBytes, s.UncompressedBytes)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	tab := advisorTable(t, 10)
+	schema := tab.Schema()
+	cases := []struct {
+		index, query []string
+		want         bool
+	}{
+		{[]string{"name"}, []string{"name"}, true},
+		{[]string{"name", "id"}, []string{"name"}, true},
+		{[]string{"name"}, []string{"id"}, false},
+		{[]string{"name"}, []string{"name", "id"}, false},
+		{nil, []string{"name"}, true},       // full-row index covers prefix
+		{nil, []string{"name", "id"}, true}, // and the full column list
+		{nil, []string{"id"}, false},
+	}
+	for _, c := range cases {
+		if got := covers(c.index, c.query, schema); got != c.want {
+			t.Errorf("covers(%v, %v) = %v, want %v", c.index, c.query, got, c.want)
+		}
+	}
+}
+
+func TestBenefitPrefersCompressedWhenItShrinks(t *testing.T) {
+	tab := advisorTable(t, 5000)
+	queries := []Query{{Name: "q1", Columns: []string{"name"}, Weight: 1, Selectivity: 0.5}}
+	plain, err := SizeCandidate(Candidate{Name: "p", Table: tab, KeyColumns: []string{"name"}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := SizeCandidate(Candidate{
+		Name: "c", Table: tab, KeyColumns: []string{"name"}, Codec: mustCodec(t, "nullsuppression"),
+	}, Options{SampleFraction: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := Benefit(plain, queries, Options{})
+	bc := Benefit(comp, queries, Options{})
+	if bc <= bp {
+		t.Fatalf("compressed benefit %v not above uncompressed %v (CF %v)", bc, bp, comp.EstimatedCF)
+	}
+}
+
+func TestBenefitZeroWithoutCoverage(t *testing.T) {
+	tab := advisorTable(t, 1000)
+	s, err := SizeCandidate(Candidate{Name: "x", Table: tab, KeyColumns: []string{"name"}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{{Name: "q", Columns: []string{"id"}, Weight: 1, Selectivity: 0.1}}
+	if b := Benefit(s, queries, Options{}); b != 0 {
+		t.Fatalf("benefit = %v for non-covering index", b)
+	}
+}
+
+func TestRecommendRespectsBudget(t *testing.T) {
+	tab := advisorTable(t, 5000)
+	queries := []Query{
+		{Name: "by-name", Columns: []string{"name"}, Weight: 5, Selectivity: 0.1},
+		{Name: "by-id", Columns: []string{"id"}, Weight: 2, Selectivity: 0.01},
+	}
+	cands := []Candidate{
+		{Name: "ix_name", Table: tab, KeyColumns: []string{"name"}},
+		{Name: "ix_name_row", Table: tab, KeyColumns: []string{"name"}, Codec: mustCodec(t, "nullsuppression")},
+		{Name: "ix_id", Table: tab, KeyColumns: []string{"id"}},
+		{Name: "ix_id_row", Table: tab, KeyColumns: []string{"id"}, Codec: mustCodec(t, "nullsuppression")},
+	}
+	budget := int64(5000 * 30) // room for roughly one uncompressed name index
+	rec, err := Recommend(cands, queries, budget, Options{SampleFraction: 0.05, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.TotalBytes > budget {
+		t.Fatalf("recommendation exceeds budget: %d > %d", rec.TotalBytes, budget)
+	}
+	if len(rec.Chosen) == 0 {
+		t.Fatal("nothing chosen despite adequate budget")
+	}
+	// At most one index per key.
+	keys := map[string]bool{}
+	for _, s := range rec.Chosen {
+		id := s.Table.Name() + "|" + strings.Join(s.KeyColumns, ",")
+		if keys[id] {
+			t.Fatalf("duplicate key indexed: %s", id)
+		}
+		keys[id] = true
+	}
+	// Compressed variants dominate per-byte benefit, so the name index
+	// should be the compressed one.
+	foundCompressedName := false
+	for _, s := range rec.Chosen {
+		if s.Name == "ix_name_row" {
+			foundCompressedName = true
+		}
+	}
+	if !foundCompressedName {
+		t.Fatalf("expected compressed name index; chose %+v", rec.Chosen)
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	if _, err := Recommend(nil, nil, 0, Options{}); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestRecommendExplainsRejections(t *testing.T) {
+	tab := advisorTable(t, 2000)
+	queries := []Query{{Name: "q", Columns: []string{"name"}, Weight: 1, Selectivity: 0.2}}
+	cands := []Candidate{
+		{Name: "useless", Table: tab, KeyColumns: []string{"id"}},
+		{Name: "useful", Table: tab, KeyColumns: []string{"name"}},
+	}
+	rec, err := Recommend(cands, queries, 1<<40, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Rejected) == 0 {
+		t.Fatal("no rejection explanations")
+	}
+	found := false
+	for _, r := range rec.Rejected {
+		if strings.Contains(r, "useless") && strings.Contains(r, "no workload benefit") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing explanation, got %v", rec.Rejected)
+	}
+}

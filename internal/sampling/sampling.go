@@ -1,0 +1,278 @@
+// Package sampling implements the row- and page-sampling schemes the paper
+// discusses:
+//
+//   - uniform random sampling WITH replacement — the paper's analytical
+//     model (§II-C) and the default for SampleCF;
+//   - uniform sampling WITHOUT replacement (Floyd's algorithm) — the
+//     ablation that quantifies how little the WR assumption matters at
+//     small f;
+//   - Bernoulli sampling — per-row coin flips at rate f;
+//   - reservoir sampling (Vitter's Algorithm R and the skip-based
+//     Algorithm X) — the one-pass scheme for streams of unknown size;
+//   - block (page-level) sampling — what commercial systems actually do,
+//     flagged by the paper as future work and measured here in E7.
+package sampling
+
+import (
+	"fmt"
+	"math"
+
+	"samplecf/internal/rng"
+	"samplecf/internal/value"
+)
+
+// RowSource provides uniform random access to a table's rows, the access
+// pattern with-replacement sampling needs. Implementations: materialized
+// workload tables, virtual (generator-backed) tables, heap-file adapters.
+type RowSource interface {
+	// NumRows returns n.
+	NumRows() int64
+	// Row materializes row i (0 ≤ i < n). The result must be safe to retain.
+	Row(i int64) (value.Row, error)
+}
+
+// Stream is a one-pass row iterator, the input shape for reservoir and
+// Bernoulli sampling.
+type Stream interface {
+	// Next returns the next row, or ok=false at end of stream.
+	Next() (row value.Row, ok bool, err error)
+}
+
+// PageSource exposes a table's rows grouped by physical page, the unit
+// block sampling draws.
+type PageSource interface {
+	// NumPages returns the number of pages.
+	NumPages() int
+	// PageRows materializes all rows on page p.
+	PageRows(p int) ([]value.Row, error)
+}
+
+// UniformWR draws r rows uniformly with replacement — the paper's sampling
+// model. The result length is exactly r.
+func UniformWR(src RowSource, r int64, g *rng.RNG) ([]value.Row, error) {
+	n := src.NumRows()
+	if n == 0 {
+		return nil, fmt.Errorf("sampling: source is empty")
+	}
+	if r < 0 {
+		return nil, fmt.Errorf("sampling: negative sample size %d", r)
+	}
+	out := make([]value.Row, 0, r)
+	for i := int64(0); i < r; i++ {
+		row, err := src.Row(g.Int63n(n))
+		if err != nil {
+			return nil, fmt.Errorf("sampling: row fetch: %w", err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// UniformWOR draws r distinct rows uniformly without replacement using
+// Floyd's algorithm (O(r) draws, O(r) memory). It errors if r > n.
+func UniformWOR(src RowSource, r int64, g *rng.RNG) ([]value.Row, error) {
+	n := src.NumRows()
+	if r < 0 || r > n {
+		return nil, fmt.Errorf("sampling: WOR size %d outside [0,%d]", r, n)
+	}
+	chosen := make(map[int64]struct{}, r)
+	order := make([]int64, 0, r)
+	for j := n - r; j < n; j++ {
+		t := g.Int63n(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		order = append(order, t)
+	}
+	out := make([]value.Row, 0, r)
+	for _, idx := range order {
+		row, err := src.Row(idx)
+		if err != nil {
+			return nil, fmt.Errorf("sampling: row fetch: %w", err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Bernoulli includes each stream row independently with probability f.
+// The expected sample size is f·n; the actual size is binomial.
+func Bernoulli(s Stream, f float64, g *rng.RNG) ([]value.Row, error) {
+	if f < 0 || f > 1 {
+		return nil, fmt.Errorf("sampling: rate %v outside [0,1]", f)
+	}
+	var out []value.Row
+	for {
+		row, ok, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		if g.Float64() < f {
+			out = append(out, row)
+		}
+	}
+}
+
+// ReservoirR fills a size-r reservoir from a stream using Vitter's
+// Algorithm R: O(n) draws, uniform without replacement.
+func ReservoirR(s Stream, r int, g *rng.RNG) ([]value.Row, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("sampling: reservoir size %d must be positive", r)
+	}
+	res := make([]value.Row, 0, r)
+	var seen int64
+	for {
+		row, ok, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return res, nil
+		}
+		seen++
+		if len(res) < r {
+			res = append(res, row)
+			continue
+		}
+		if j := g.Int63n(seen); j < int64(r) {
+			res[j] = row
+		}
+	}
+}
+
+// ReservoirX fills a size-r reservoir using Vitter's skip-based Algorithm X,
+// which draws one random variate per REPLACEMENT rather than per row. It
+// produces the same uniform guarantee as Algorithm R with far fewer RNG
+// calls on large streams.
+func ReservoirX(s Stream, r int, g *rng.RNG) ([]value.Row, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("sampling: reservoir size %d must be positive", r)
+	}
+	res := make([]value.Row, 0, r)
+	for len(res) < r {
+		row, ok, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return res, nil
+		}
+		res = append(res, row)
+	}
+	t := float64(r) // rows seen so far
+	for {
+		// Draw the skip count: the number of rows to pass over before the
+		// next replacement, via inversion of Algorithm X's skip CDF.
+		u := g.Float64()
+		skip := 0
+		// P(skip >= s) = Π_{i=1..s} (t - r + i) / (t + i); walk until the
+		// running product drops below u.
+		prod := 1.0
+		for {
+			prod *= (t - float64(r) + float64(skip) + 1) / (t + float64(skip) + 1)
+			if prod <= u || math.IsNaN(prod) {
+				break
+			}
+			skip++
+		}
+		for i := 0; i < skip; i++ {
+			if _, ok, err := s.Next(); err != nil {
+				return nil, err
+			} else if !ok {
+				return res, nil
+			}
+			t++
+		}
+		row, ok, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return res, nil
+		}
+		t++
+		res[g.Intn(r)] = row
+	}
+}
+
+// BlockSample draws `pages` pages uniformly without replacement and returns
+// ALL rows on them — the commercial systems' shortcut the paper contrasts
+// with uniform row sampling. The sample size is data-dependent: clustered
+// layouts give correlated rows, which is exactly the effect experiment E7
+// quantifies.
+func BlockSample(ps PageSource, pages int, g *rng.RNG) ([]value.Row, error) {
+	n := ps.NumPages()
+	if pages < 0 || pages > n {
+		return nil, fmt.Errorf("sampling: block count %d outside [0,%d]", pages, n)
+	}
+	// Floyd's algorithm over page numbers.
+	chosen := make(map[int]struct{}, pages)
+	var order []int
+	for j := n - pages; j < n; j++ {
+		t := g.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		order = append(order, t)
+	}
+	var out []value.Row
+	for _, p := range order {
+		rows, err := ps.PageRows(p)
+		if err != nil {
+			return nil, fmt.Errorf("sampling: page fetch: %w", err)
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// SampleSize converts a sampling fraction f into the paper's r = ⌈f·n⌉,
+// clamped to at least 1 row for non-empty tables.
+func SampleSize(n int64, f float64) int64 {
+	if n <= 0 || f <= 0 {
+		return 0
+	}
+	r := int64(math.Ceil(f * float64(n)))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// SliceSource adapts an in-memory row slice to RowSource.
+type SliceSource []value.Row
+
+// NumRows implements RowSource.
+func (s SliceSource) NumRows() int64 { return int64(len(s)) }
+
+// Row implements RowSource.
+func (s SliceSource) Row(i int64) (value.Row, error) {
+	if i < 0 || i >= int64(len(s)) {
+		return nil, fmt.Errorf("sampling: row %d out of range", i)
+	}
+	return s[i], nil
+}
+
+// SliceStream adapts an in-memory row slice to Stream.
+type SliceStream struct {
+	rows []value.Row
+	pos  int
+}
+
+// NewSliceStream wraps rows as a Stream.
+func NewSliceStream(rows []value.Row) *SliceStream { return &SliceStream{rows: rows} }
+
+// Next implements Stream.
+func (s *SliceStream) Next() (value.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}

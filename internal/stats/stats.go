@@ -1,0 +1,208 @@
+// Package stats provides the estimation-accuracy machinery the experiments
+// report: streaming moment accumulators, quantile summaries, confidence
+// intervals, and the paper's ratio-error metric.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator computes streaming mean/variance via Welford's algorithm,
+// numerically stable across the millions of trials the experiments run.
+// The zero value is ready to use.
+type Accumulator struct {
+	n          int64
+	mean, m2   float64
+	minV, maxV float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.minV, a.maxV = x, x
+	} else {
+		if x < a.minV {
+			a.minV = x
+		}
+		if x > a.maxV {
+			a.maxV = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance (0 with < 2 observations).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// Min returns the smallest observation (0 if empty).
+func (a *Accumulator) Min() float64 { return a.minV }
+
+// Max returns the largest observation (0 if empty).
+func (a *Accumulator) Max() float64 { return a.maxV }
+
+// MeanCI95 returns the normal-approximation 95% confidence interval for the
+// mean.
+func (a *Accumulator) MeanCI95() (lo, hi float64) {
+	half := 1.959964 * a.StdErr()
+	return a.mean - half, a.mean + half
+}
+
+// Merge folds another accumulator into a (parallel-combine rule).
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	delta := b.mean - a.mean
+	mean := a.mean + delta*float64(b.n)/float64(n)
+	m2 := a.m2 + b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n)
+	if b.minV < a.minV {
+		a.minV = b.minV
+	}
+	if b.maxV > a.maxV {
+		a.maxV = b.maxV
+	}
+	a.n, a.mean, a.m2 = n, mean, m2
+}
+
+// RatioError is the paper's accuracy metric: max(est/truth, truth/est).
+// It is 1 for a perfect estimate and grows with error in either direction.
+// Degenerate inputs (zero or negative values) yield +Inf, matching the
+// metric's "estimator is useless here" reading.
+func RatioError(est, truth float64) float64 {
+	if est <= 0 || truth <= 0 || math.IsNaN(est) || math.IsNaN(truth) {
+		return math.Inf(1)
+	}
+	if est > truth {
+		return est / truth
+	}
+	return truth / est
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of a sorted slice using
+// linear interpolation. It panics on empty input or unsorted-looking q.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary condenses a batch of observations for experiment tables.
+type Summary struct {
+	N              int64
+	Mean, StdDev   float64
+	Min, Max       float64
+	P50, P95, P99  float64
+	CI95Lo, CI95Hi float64
+}
+
+// Summarize computes a Summary from values (which it sorts in place).
+func Summarize(values []float64) Summary {
+	var acc Accumulator
+	for _, v := range values {
+		acc.Add(v)
+	}
+	s := Summary{
+		N:      acc.N(),
+		Mean:   acc.Mean(),
+		StdDev: acc.StdDev(),
+		Min:    acc.Min(),
+		Max:    acc.Max(),
+	}
+	s.CI95Lo, s.CI95Hi = acc.MeanCI95()
+	if len(values) > 0 {
+		sort.Float64s(values)
+		s.P50 = Quantile(values, 0.5)
+		s.P95 = Quantile(values, 0.95)
+		s.P99 = Quantile(values, 0.99)
+	}
+	return s
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi); out-of-range
+// observations clamp into the edge bins, so counts always total N.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int64
+	n      int64
+}
+
+// NewHistogram creates a histogram with the given bin count. It panics if
+// bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic(fmt.Sprintf("stats: %d bins", bins))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: histogram range [%v,%v)", lo, hi))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	bins := len(h.Counts)
+	idx := int(float64(bins) * (x - h.Lo) / (h.Hi - h.Lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= bins {
+		idx = bins - 1
+	}
+	h.Counts[idx]++
+	h.n++
+}
+
+// N returns the number of observations recorded.
+func (h *Histogram) N() int64 { return h.n }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + w*(float64(i)+0.5)
+}

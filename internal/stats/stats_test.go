@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"samplecf/internal/rng"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(v)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if got := a.Mean(); got != 5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	// Sample variance of this classic set is 32/7.
+	if got, want := a.Variance(), 32.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmptyAndSingle(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+	a.Add(3)
+	if a.Variance() != 0 {
+		t.Fatal("single-value variance not zero")
+	}
+	if a.Min() != 3 || a.Max() != 3 {
+		t.Fatal("single-value min/max wrong")
+	}
+}
+
+func TestAccumulatorMergeMatchesSequential(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		var all, left, right Accumulator
+		nl := r.Intn(50)
+		nr := r.Intn(50) + 1
+		for i := 0; i < nl; i++ {
+			v := r.NormFloat64()*10 + 5
+			all.Add(v)
+			left.Add(v)
+		}
+		for i := 0; i < nr; i++ {
+			v := r.NormFloat64()*2 - 3
+			all.Add(v)
+			right.Add(v)
+		}
+		left.Merge(&right)
+		if left.N() != all.N() {
+			return false
+		}
+		return math.Abs(left.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(left.Variance()-all.Variance()) < 1e-9 &&
+			left.Min() == all.Min() && left.Max() == all.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanCI95Coverage(t *testing.T) {
+	// The CI of the mean should cover the true mean ~95% of the time.
+	r := rng.New(7)
+	covered := 0
+	const trials = 1000
+	for trial := 0; trial < trials; trial++ {
+		var a Accumulator
+		for i := 0; i < 100; i++ {
+			a.Add(r.NormFloat64()*3 + 10)
+		}
+		lo, hi := a.MeanCI95()
+		if lo <= 10 && 10 <= hi {
+			covered++
+		}
+	}
+	if covered < 900 || covered > 990 {
+		t.Fatalf("CI covered true mean %d/%d times", covered, trials)
+	}
+}
+
+func TestRatioError(t *testing.T) {
+	cases := []struct {
+		est, truth, want float64
+	}{
+		{1, 1, 1},
+		{2, 1, 2},
+		{1, 2, 2},
+		{0.5, 0.1, 5},
+		{0.1, 0.5, 5},
+	}
+	for _, c := range cases {
+		if got := RatioError(c.est, c.truth); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("RatioError(%v,%v) = %v, want %v", c.est, c.truth, got, c.want)
+		}
+	}
+	for _, bad := range [][2]float64{{0, 1}, {1, 0}, {-1, 1}, {math.NaN(), 1}} {
+		if got := RatioError(bad[0], bad[1]); !math.IsInf(got, 1) {
+			t.Errorf("RatioError(%v,%v) = %v, want +Inf", bad[0], bad[1], got)
+		}
+	}
+}
+
+func TestRatioErrorSymmetry(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a)+0.001, math.Abs(b)+0.001
+		re := RatioError(a, b)
+		return re >= 1 && math.Abs(re-RatioError(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.125, 1.5},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single-element quantile = %v", got)
+	}
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile(sorted, -0.1) },
+		func() { Quantile(sorted, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Quantile did not panic on bad input")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	vals := []float64{5, 1, 3, 2, 4}
+	s := Summarize(vals)
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.CI95Lo >= s.Mean || s.CI95Hi <= s.Mean {
+		t.Fatalf("CI [%v,%v] does not bracket mean", s.CI95Lo, s.CI95Hi)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 {
+		t.Fatal("empty summary wrong")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0, 1.9, 2, 5, 9.99, -3, 42} {
+		h.Add(v)
+	}
+	if h.N() != 7 {
+		t.Fatalf("N = %d", h.N())
+	}
+	// -3 clamps to bin 0, 42 clamps to bin 4.
+	want := []int64{3, 1, 1, 0, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bin %d = %d, want %d (all %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if c := h.BinCenter(0); c != 1 {
+		t.Fatalf("BinCenter(0) = %v", c)
+	}
+	for _, f := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 5, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("NewHistogram did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestWelfordNumericalStability(t *testing.T) {
+	// Large offset + small variance: naive sum-of-squares would lose all
+	// precision; Welford must not.
+	var a Accumulator
+	r := rng.New(11)
+	const offset = 1e9
+	for i := 0; i < 100000; i++ {
+		a.Add(offset + r.Float64())
+	}
+	if v := a.Variance(); math.Abs(v-1.0/12.0) > 0.01 {
+		t.Fatalf("variance %v, want ≈1/12", v)
+	}
+}

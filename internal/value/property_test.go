@@ -1,0 +1,93 @@
+package value
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"samplecf/internal/rng"
+)
+
+// TestPropertyKeyEncodingOrderPreserving is the contract the B+-tree relies
+// on: for ANY two rows under a mixed multi-column schema,
+// bytes.Compare(EncodeKey(a), EncodeKey(b)) == CompareRows(a, b).
+func TestPropertyKeyEncodingOrderPreserving(t *testing.T) {
+	schema := MustSchema(
+		Column{Name: "s", Type: Char(6)},
+		Column{Name: "i", Type: Int32()},
+		Column{Name: "b", Type: Int64()},
+		Column{Name: "v", Type: VarChar(4)},
+	)
+	randRow := func(r *rng.RNG) Row {
+		str := make([]byte, r.Intn(7))
+		for i := range str {
+			// Include bytes below AND above the space pad to stress the
+			// padded-comparison semantics.
+			str[i] = byte(0x1E + r.Intn(0x60))
+		}
+		vc := make([]byte, r.Intn(5))
+		for i := range vc {
+			vc[i] = byte(1 + r.Intn(255)) // avoid 0x00, the varchar pad
+		}
+		return Row{
+			str,
+			IntValue(int32(r.Uint32())),
+			Int64Value(int64(r.Uint64())),
+			vc,
+		}
+	}
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a, b := randRow(r), randRow(r)
+		ka, err := EncodeKey(schema, a, nil)
+		if err != nil {
+			return false
+		}
+		kb, err := EncodeKey(schema, b, nil)
+		if err != nil {
+			return false
+		}
+		keyCmp := bytes.Compare(ka, kb)
+		rowCmp := CompareRows(schema, a, b)
+		if keyCmp != rowCmp {
+			t.Logf("seed %d: key order %d, row order %d\n a=%q\n b=%q", seed, keyCmp, rowCmp, a, b)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRecordRoundTrip: EncodeRecord/DecodeRecord are inverses for
+// any valid row.
+func TestPropertyRecordRoundTrip(t *testing.T) {
+	schema := MustSchema(
+		Column{Name: "s", Type: Char(10)},
+		Column{Name: "i", Type: Int32()},
+	)
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		str := make([]byte, r.Intn(11))
+		for i := range str {
+			str[i] = byte('!' + r.Intn(90)) // printable, no trailing-pad ambiguity
+		}
+		// A CHAR payload ending in the pad byte is not round-trippable by
+		// design (trailing pad is suppressed); normalize like storage does.
+		str = bytes.TrimRight(str, " ")
+		row := Row{str, IntValue(int32(r.Uint32()))}
+		rec, err := EncodeRecord(schema, row, nil)
+		if err != nil {
+			return false
+		}
+		back, err := DecodeRecord(schema, rec)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back[0], row[0]) && bytes.Equal(back[1], row[1])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+// Package value defines the logical type system used by the storage engine,
+// the compression codecs, and the estimators.
+//
+// The paper's analytical model is a single CHAR(k) column; the engine
+// nevertheless supports the small set of types a realistic index would hold
+// (fixed and variable character data plus 32/64-bit integers) so that the
+// "agnostic to the compression technique and schema" property of SampleCF is
+// actually exercised rather than assumed.
+//
+// All columns are NOT NULL: the paper's "null suppression" refers to
+// suppressing padding blanks/zeros inside values, not SQL NULLs, and modeling
+// SQL NULLs would add bookkeeping without touching any estimation path.
+package value
+
+import (
+	"fmt"
+)
+
+// Kind enumerates the supported logical type kinds.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero Kind; it is never valid in a schema.
+	KindInvalid Kind = iota
+	// KindChar is a fixed-length character field padded with spaces,
+	// CHAR(k) in SQL terms. Uncompressed storage always uses k bytes.
+	KindChar
+	// KindVarChar is a variable-length character field with a declared
+	// maximum. The uncompressed index representation still reserves the
+	// maximum (zero-padded), mirroring the paper's fixed-width model;
+	// compression (null suppression) is what reclaims the padding.
+	KindVarChar
+	// KindInt32 is a 32-bit signed integer stored big-endian.
+	KindInt32
+	// KindInt64 is a 64-bit signed integer stored big-endian.
+	KindInt64
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindChar:
+		return "CHAR"
+	case KindVarChar:
+		return "VARCHAR"
+	case KindInt32:
+		return "INT"
+	case KindInt64:
+		return "BIGINT"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Type is a logical column type: a kind plus, for character kinds, a length.
+type Type struct {
+	Kind   Kind
+	Length int // declared length in bytes for KindChar / KindVarChar
+}
+
+// Char returns the CHAR(k) type.
+func Char(k int) Type { return Type{Kind: KindChar, Length: k} }
+
+// VarChar returns the VARCHAR(max) type.
+func VarChar(max int) Type { return Type{Kind: KindVarChar, Length: max} }
+
+// Int32 returns the 32-bit integer type.
+func Int32() Type { return Type{Kind: KindInt32, Length: 4} }
+
+// Int64 returns the 64-bit integer type.
+func Int64() Type { return Type{Kind: KindInt64, Length: 8} }
+
+// MaxCharLength bounds declared character lengths; one tuple must fit in a
+// page (the paper assumes k does not exceed the page size).
+const MaxCharLength = 4000
+
+// Validate reports whether the type is well-formed.
+func (t Type) Validate() error {
+	switch t.Kind {
+	case KindChar, KindVarChar:
+		if t.Length <= 0 || t.Length > MaxCharLength {
+			return fmt.Errorf("value: %s length %d out of range [1,%d]", t.Kind, t.Length, MaxCharLength)
+		}
+		return nil
+	case KindInt32:
+		if t.Length != 4 {
+			return fmt.Errorf("value: INT must have length 4, got %d", t.Length)
+		}
+		return nil
+	case KindInt64:
+		if t.Length != 8 {
+			return fmt.Errorf("value: BIGINT must have length 8, got %d", t.Length)
+		}
+		return nil
+	default:
+		return fmt.Errorf("value: invalid kind %v", t.Kind)
+	}
+}
+
+// FixedWidth returns the number of bytes one value of this type occupies in
+// the uncompressed, fixed-width record format.
+func (t Type) FixedWidth() int { return t.Length }
+
+// String renders the type, e.g. "CHAR(20)".
+func (t Type) String() string {
+	switch t.Kind {
+	case KindChar, KindVarChar:
+		return fmt.Sprintf("%s(%d)", t.Kind, t.Length)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// PadByte returns the byte used to pad values of this type to FixedWidth.
+// CHAR pads with spaces (SQL semantics); all other types pad with zeros.
+func (t Type) PadByte() byte {
+	if t.Kind == KindChar {
+		return ' '
+	}
+	return 0
+}
+
+// IsCharacter reports whether the type holds character data.
+func (t Type) IsCharacter() bool {
+	return t.Kind == KindChar || t.Kind == KindVarChar
+}

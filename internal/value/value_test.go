@@ -1,0 +1,316 @@
+package value
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTypeValidate(t *testing.T) {
+	cases := []struct {
+		typ  Type
+		ok   bool
+		name string
+	}{
+		{Char(20), true, "char20"},
+		{Char(1), true, "char1"},
+		{Char(0), false, "char0"},
+		{Char(-1), false, "charNeg"},
+		{Char(MaxCharLength), true, "charMax"},
+		{Char(MaxCharLength + 1), false, "charTooBig"},
+		{VarChar(100), true, "varchar"},
+		{Int32(), true, "int32"},
+		{Int64(), true, "int64"},
+		{Type{Kind: KindInt32, Length: 5}, false, "badInt"},
+		{Type{}, false, "zero"},
+	}
+	for _, c := range cases {
+		err := c.typ.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() error = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if got := Char(20).String(); got != "CHAR(20)" {
+		t.Errorf("Char(20).String() = %q", got)
+	}
+	if got := VarChar(7).String(); got != "VARCHAR(7)" {
+		t.Errorf("VarChar(7).String() = %q", got)
+	}
+	if got := Int32().String(); got != "INT" {
+		t.Errorf("Int32().String() = %q", got)
+	}
+	if got := Int64().String(); got != "BIGINT" {
+		t.Errorf("Int64().String() = %q", got)
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s, err := NewSchema(
+		Column{Name: "a", Type: Char(20)},
+		Column{Name: "b", Type: Int32()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumColumns() != 2 {
+		t.Fatalf("NumColumns = %d", s.NumColumns())
+	}
+	if s.RowWidth() != 24 {
+		t.Fatalf("RowWidth = %d, want 24", s.RowWidth())
+	}
+	if i, ok := s.ColumnIndex("b"); !ok || i != 1 {
+		t.Fatalf("ColumnIndex(b) = %d,%v", i, ok)
+	}
+	if _, ok := s.ColumnIndex("zzz"); ok {
+		t.Fatal("ColumnIndex found nonexistent column")
+	}
+	if got := s.String(); got != "(a CHAR(20), b INT)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSchemaErrors(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Error("empty schema accepted")
+	}
+	if _, err := NewSchema(Column{Name: "", Type: Char(5)}); err == nil {
+		t.Error("empty column name accepted")
+	}
+	if _, err := NewSchema(Column{Name: "a", Type: Char(0)}); err == nil {
+		t.Error("invalid type accepted")
+	}
+	if _, err := NewSchema(
+		Column{Name: "a", Type: Char(5)},
+		Column{Name: "a", Type: Int32()},
+	); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "a", Type: Char(10)},
+		Column{Name: "b", Type: Int32()},
+		Column{Name: "c", Type: Int64()},
+	)
+	p, err := s.Project("c", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumColumns() != 2 || p.Column(0).Name != "c" || p.Column(1).Name != "a" {
+		t.Fatalf("Project produced %s", p)
+	}
+	if _, err := s.Project("missing"); err == nil {
+		t.Error("Project accepted missing column")
+	}
+}
+
+func TestEncodeDecodeRecordRoundTrip(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "name", Type: Char(8)},
+		Column{Name: "id", Type: Int32()},
+		Column{Name: "big", Type: Int64()},
+		Column{Name: "note", Type: VarChar(6)},
+	)
+	row := Row{StringValue("abc"), IntValue(-42), Int64Value(1 << 40), StringValue("xy")}
+	rec, err := EncodeRecord(s, row, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec) != s.RowWidth() {
+		t.Fatalf("record length %d, want %d", len(rec), s.RowWidth())
+	}
+	// CHAR padded with spaces, VARCHAR with zeros.
+	if !bytes.Equal(rec[:8], []byte("abc     ")) {
+		t.Errorf("char field = %q", rec[:8])
+	}
+	got, err := DecodeRecord(s, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range row {
+		if !bytes.Equal(got[i], row[i]) {
+			t.Errorf("column %d round trip: got %q want %q", i, got[i], row[i])
+		}
+	}
+}
+
+func TestEncodeRecordRejectsBadRows(t *testing.T) {
+	s := MustSchema(Column{Name: "a", Type: Char(3)}, Column{Name: "b", Type: Int32()})
+	cases := []Row{
+		{StringValue("toolong"), IntValue(1)},      // char overflow
+		{StringValue("ok")},                        // wrong arity
+		{StringValue("ok"), []byte{1, 2, 3}},       // short int
+		{StringValue("ok"), []byte{1, 2, 3, 4, 5}}, // long int
+	}
+	for i, row := range cases {
+		if _, err := EncodeRecord(s, row, nil); err == nil {
+			t.Errorf("case %d: bad row accepted", i)
+		}
+	}
+}
+
+func TestDecodeRecordLengthCheck(t *testing.T) {
+	s := MustSchema(Column{Name: "a", Type: Char(3)})
+	if _, err := DecodeRecord(s, []byte("toolong")); err == nil {
+		t.Error("DecodeRecord accepted wrong-length record")
+	}
+}
+
+func TestNullSuppressedLenChar(t *testing.T) {
+	typ := Char(20)
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"", 0},
+		{"abc", 3},
+		{"abc   ", 3},      // trailing blanks suppressed
+		{"  abc", 5},       // leading blanks are data
+		{"abcdefghij", 10}, // Fig 1.a value
+		{strings.Repeat("x", 20), 20},
+	}
+	for _, c := range cases {
+		if got := NullSuppressedLen(typ, []byte(c.in)); got != c.want {
+			t.Errorf("NullSuppressedLen(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNullSuppressedLenInt(t *testing.T) {
+	cases := []struct {
+		v    int32
+		want int
+	}{
+		{0, 1},
+		{1, 1},
+		{127, 1},
+		{128, 2}, // 0x0080: the 0x00 is needed to keep sign
+		{255, 2},
+		{1 << 15, 3},
+		{-1, 1},
+		{-128, 1},
+		{-129, 2},
+		{1<<31 - 1, 4},
+		{-1 << 31, 4},
+	}
+	for _, c := range cases {
+		if got := NullSuppressedLen(Int32(), IntValue(c.v)); got != c.want {
+			t.Errorf("NullSuppressedLen(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSuppressExpandIntRoundTrip(t *testing.T) {
+	for _, v := range []int32{0, 1, -1, 127, 128, -128, -129, 65535, -65536, 1<<31 - 1, -1 << 31} {
+		enc := IntValue(v)
+		sup := SuppressIntPadding(enc)
+		back := ExpandIntPadding(sup, 4)
+		if DecodeInt32(back) != v {
+			t.Errorf("round trip %d: got %d (suppressed %x)", v, DecodeInt32(back), sup)
+		}
+	}
+	for _, v := range []int64{0, -1, 1 << 40, -(1 << 40), 1<<63 - 1, -1 << 63} {
+		enc := Int64Value(v)
+		back := ExpandIntPadding(SuppressIntPadding(enc), 8)
+		if DecodeInt64(back) != v {
+			t.Errorf("round trip int64 %d failed", v)
+		}
+	}
+}
+
+func TestCompareValuesChar(t *testing.T) {
+	typ := Char(10)
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"abc", "abc", 0},
+		{"abc", "abc  ", 0}, // padding-insensitive
+		{"abc", "abd", -1},
+		{"abd", "abc", 1},
+		{"ab", "abc", -1},
+		{"abc", "ab", 1},
+		{"", "", 0},
+		{"", "a", -1},
+	}
+	for _, c := range cases {
+		if got := CompareValues(typ, []byte(c.a), []byte(c.b)); got != c.want {
+			t.Errorf("CompareValues(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareValuesInt(t *testing.T) {
+	for _, c := range []struct {
+		a, b int32
+		want int
+	}{
+		{0, 0, 0}, {-5, 3, -1}, {3, -5, 1}, {1 << 30, 1<<30 + 1, -1},
+	} {
+		if got := CompareValues(Int32(), IntValue(c.a), IntValue(c.b)); got != c.want {
+			t.Errorf("CompareValues(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEncodeKeyOrderPreserving(t *testing.T) {
+	s := MustSchema(Column{Name: "n", Type: Int32()})
+	vals := []int32{-1 << 31, -1000, -1, 0, 1, 77, 1 << 20, 1<<31 - 1}
+	var prev []byte
+	for _, v := range vals {
+		key, err := EncodeKey(s, Row{IntValue(v)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && bytes.Compare(prev, key) >= 0 {
+			t.Errorf("key order violated at %d", v)
+		}
+		prev = key
+	}
+}
+
+func TestEncodeKeyCharMatchesCompare(t *testing.T) {
+	s := MustSchema(Column{Name: "a", Type: Char(6)})
+	vals := []string{"", "a", "ab", "abc", "b", "zz"}
+	for i := 0; i < len(vals); i++ {
+		for j := 0; j < len(vals); j++ {
+			ki, _ := EncodeKey(s, Row{StringValue(vals[i])}, nil)
+			kj, _ := EncodeKey(s, Row{StringValue(vals[j])}, nil)
+			want := CompareValues(Char(6), []byte(vals[i]), []byte(vals[j]))
+			if got := bytes.Compare(ki, kj); got != want {
+				t.Errorf("key compare (%q,%q) = %d, want %d", vals[i], vals[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareRows(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "a", Type: Char(5)},
+		Column{Name: "b", Type: Int32()},
+	)
+	a := Row{StringValue("x"), IntValue(1)}
+	b := Row{StringValue("x"), IntValue(2)}
+	if got := CompareRows(s, a, b); got != -1 {
+		t.Errorf("CompareRows = %d, want -1", got)
+	}
+	if got := CompareRows(s, b, a); got != 1 {
+		t.Errorf("CompareRows = %d, want 1", got)
+	}
+	if got := CompareRows(s, a, a); got != 0 {
+		t.Errorf("CompareRows = %d, want 0", got)
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{StringValue("abc"), IntValue(7)}
+	c := r.Clone()
+	c[0][0] = 'Z'
+	if r[0][0] == 'Z' {
+		t.Error("Clone did not deep-copy")
+	}
+}

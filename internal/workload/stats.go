@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+
+	"samplecf/internal/value"
+)
+
+// ColumnStats is exact ground truth for one column of a generated table —
+// the quantities the paper's closed-form CF expressions need.
+type ColumnStats struct {
+	// N is the number of rows.
+	N int64
+	// Distinct is the exact number of distinct values present (the paper's
+	// d — note: values PRESENT, which can be below the generator domain).
+	Distinct int64
+	// SumNS is Σ ℓᵢ: the total null-suppressed length in bytes.
+	SumNS int64
+	// SumNSSq is Σ ℓᵢ², for the exact variance of ℓ.
+	SumNSSq float64
+	// MinNS and MaxNS bound the observed ℓ.
+	MinNS, MaxNS int
+}
+
+// MeanNS returns the exact mean null-suppressed length.
+func (c ColumnStats) MeanNS() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	return float64(c.SumNS) / float64(c.N)
+}
+
+// VarNS returns the exact population variance of ℓ.
+func (c ColumnStats) VarNS() float64 {
+	if c.N == 0 {
+		return 0
+	}
+	m := c.MeanNS()
+	return c.SumNSSq/float64(c.N) - m*m
+}
+
+// CFNullSuppression returns the paper's exact CF_NS = Σ(ℓᵢ+h)/(n·k) for a
+// column of fixed width k with length-header size h.
+func (c ColumnStats) CFNullSuppression(k, h int) float64 {
+	if c.N == 0 || k == 0 {
+		return 1
+	}
+	return (float64(c.SumNS) + float64(c.N)*float64(h)) / (float64(c.N) * float64(k))
+}
+
+// CFGlobalDict returns the paper's simplified-model CF_D = p/k + d/n.
+func (c ColumnStats) CFGlobalDict(k, p int) float64 {
+	if c.N == 0 || k == 0 {
+		return 1
+	}
+	return float64(p)/float64(k) + float64(c.Distinct)/float64(c.N)
+}
+
+// Scanner is the table shape stats computation needs; both Table and
+// VirtualTable satisfy it.
+type Scanner interface {
+	Schema() *value.Schema
+	NumRows() int64
+	Scan(fn func(i int64, row value.Row) error) error
+}
+
+// ComputeStats scans src once and returns exact per-column statistics.
+// For VirtualTable inputs, distinct counting uses a bitset over generator
+// domain indices (O(d/8) memory); otherwise a hash set over payloads.
+func ComputeStats(src Scanner) ([]ColumnStats, error) {
+	schema := src.Schema()
+	ncols := schema.NumColumns()
+	out := make([]ColumnStats, ncols)
+
+	vt, isVirtual := src.(*VirtualTable)
+	var bitsets [][]uint64
+	var seen []map[string]struct{}
+	if isVirtual {
+		bitsets = make([][]uint64, ncols)
+		for c := 0; c < ncols; c++ {
+			d := vt.spec.Cols[c].Gen.Dist().Domain()
+			bitsets[c] = make([]uint64, (d+63)/64)
+		}
+	} else {
+		seen = make([]map[string]struct{}, ncols)
+		for c := range seen {
+			seen[c] = make(map[string]struct{})
+		}
+	}
+
+	first := true
+	err := src.Scan(func(i int64, row value.Row) error {
+		for c := 0; c < ncols; c++ {
+			l := value.NullSuppressedLen(schema.Column(c).Type, row[c])
+			out[c].N++
+			out[c].SumNS += int64(l)
+			out[c].SumNSSq += float64(l) * float64(l)
+			if first || l < out[c].MinNS {
+				out[c].MinNS = l
+			}
+			if first || l > out[c].MaxNS {
+				out[c].MaxNS = l
+			}
+			if isVirtual {
+				v := vt.DomainAt(i, c)
+				bitsets[c][v/64] |= 1 << (uint(v) % 64)
+			} else {
+				seen[c][string(row[c])] = struct{}{}
+			}
+		}
+		first = false
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: compute stats: %w", err)
+	}
+	for c := 0; c < ncols; c++ {
+		if isVirtual {
+			var d int64
+			for _, w := range bitsets[c] {
+				d += int64(bits.OnesCount64(w))
+			}
+			out[c].Distinct = d
+		} else {
+			out[c].Distinct = int64(len(seen[c]))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"samplecf/internal/rng"
+	"samplecf/internal/value"
+)
+
+// Layout controls the physical row order of a materialized table. It does
+// not change the value distribution — only which rows are neighbors, the
+// property block sampling (E7) is sensitive to.
+type Layout int
+
+const (
+	// LayoutShuffled stores rows in independent random draw order.
+	LayoutShuffled Layout = iota
+	// LayoutClustered stores rows sorted by the first column, modeling a
+	// clustered index organization where equal values share pages.
+	LayoutClustered
+)
+
+// String names the layout.
+func (l Layout) String() string {
+	switch l {
+	case LayoutShuffled:
+		return "shuffled"
+	case LayoutClustered:
+		return "clustered"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// Spec describes a synthetic table.
+type Spec struct {
+	Name   string
+	N      int64
+	Seed   uint64
+	Cols   []SpecColumn
+	Layout Layout
+}
+
+// SpecColumn pairs a column name with its generator.
+type SpecColumn struct {
+	Name string
+	Gen  ColumnGen
+}
+
+// Schema derives the value.Schema of the spec.
+func (s Spec) Schema() (*value.Schema, error) {
+	cols := make([]value.Column, len(s.Cols))
+	for i, c := range s.Cols {
+		cols[i] = value.Column{Name: c.Name, Type: c.Gen.Type()}
+	}
+	return value.NewSchema(cols...)
+}
+
+// rowOf materializes row i of the spec: one independent domain draw per
+// column from a per-(seed, column, row) derived generator.
+func (s Spec) rowOf(i int64) value.Row {
+	row := make(value.Row, len(s.Cols))
+	for c, col := range s.Cols {
+		r := rng.New(s.Seed ^ uint64(c+1)*0xd1342543de82ef95 ^ uint64(i)*0x9e3779b97f4a7c15)
+		v := col.Gen.Dist().Draw(r)
+		row[c] = col.Gen.Payload(v)
+	}
+	return row
+}
+
+// domainOf returns the domain index drawn for (row i, column c) — the same
+// draw rowOf makes, exposed for exact distinct counting.
+func (s Spec) domainOf(i int64, c int) int64 {
+	r := rng.New(s.Seed ^ uint64(c+1)*0xd1342543de82ef95 ^ uint64(i)*0x9e3779b97f4a7c15)
+	return s.Cols[c].Gen.Dist().Draw(r)
+}
+
+// Table is a fully materialized synthetic table. It implements
+// sampling.RowSource; AsPageSource adapts it for block sampling.
+type Table struct {
+	name   string
+	schema *value.Schema
+	rows   []value.Row
+}
+
+// Generate materializes a table from spec.
+func Generate(spec Spec) (*Table, error) {
+	if spec.N < 0 {
+		return nil, fmt.Errorf("workload: negative row count %d", spec.N)
+	}
+	if len(spec.Cols) == 0 {
+		return nil, fmt.Errorf("workload: spec has no columns")
+	}
+	schema, err := spec.Schema()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]value.Row, spec.N)
+	for i := int64(0); i < spec.N; i++ {
+		rows[i] = spec.rowOf(i)
+	}
+	t := &Table{name: spec.Name, schema: schema, rows: rows}
+	if spec.Layout == LayoutClustered {
+		t.SortByColumn(0)
+	}
+	return t, nil
+}
+
+// NewTableFromRows wraps existing rows (used by CSV import and tests).
+func NewTableFromRows(name string, schema *value.Schema, rows []value.Row) (*Table, error) {
+	for i, r := range rows {
+		if err := value.ValidateRow(schema, r); err != nil {
+			return nil, fmt.Errorf("workload: row %d: %w", i, err)
+		}
+	}
+	return &Table{name: name, schema: schema, rows: rows}, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *value.Schema { return t.schema }
+
+// NumRows implements sampling.RowSource.
+func (t *Table) NumRows() int64 { return int64(len(t.rows)) }
+
+// Row implements sampling.RowSource.
+func (t *Table) Row(i int64) (value.Row, error) {
+	if i < 0 || i >= int64(len(t.rows)) {
+		return nil, fmt.Errorf("workload: row %d out of range [0,%d)", i, len(t.rows))
+	}
+	return t.rows[i], nil
+}
+
+// Rows exposes the backing slice (not a copy; callers must not mutate).
+func (t *Table) Rows() []value.Row { return t.rows }
+
+// Scan iterates all rows in storage order.
+func (t *Table) Scan(fn func(i int64, row value.Row) error) error {
+	for i, r := range t.rows {
+		if err := fn(int64(i), r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SortByColumn physically sorts rows by the given column (clustered layout).
+func (t *Table) SortByColumn(col int) {
+	typ := t.schema.Column(col).Type
+	sort.SliceStable(t.rows, func(i, j int) bool {
+		return value.CompareValues(typ, t.rows[i][col], t.rows[j][col]) < 0
+	})
+}
+
+// Shuffle randomizes physical row order with g.
+func (t *Table) Shuffle(g *rng.RNG) {
+	g.Shuffle(len(t.rows), func(i, j int) { t.rows[i], t.rows[j] = t.rows[j], t.rows[i] })
+}
+
+// PageView adapts the table to sampling.PageSource with a fixed number of
+// rows per synthetic page.
+type PageView struct {
+	t       *Table
+	perPage int
+}
+
+// AsPageSource groups the table's rows into pages of perPage rows.
+func (t *Table) AsPageSource(perPage int) (*PageView, error) {
+	if perPage <= 0 {
+		return nil, fmt.Errorf("workload: perPage %d must be positive", perPage)
+	}
+	return &PageView{t: t, perPage: perPage}, nil
+}
+
+// NumPages implements sampling.PageSource.
+func (p *PageView) NumPages() int {
+	return int((p.t.NumRows() + int64(p.perPage) - 1) / int64(p.perPage))
+}
+
+// PageRows implements sampling.PageSource.
+func (p *PageView) PageRows(i int) ([]value.Row, error) {
+	start := int64(i) * int64(p.perPage)
+	if start >= p.t.NumRows() {
+		return nil, fmt.Errorf("workload: page %d out of range", i)
+	}
+	end := start + int64(p.perPage)
+	if end > p.t.NumRows() {
+		end = p.t.NumRows()
+	}
+	return p.t.rows[start:end], nil
+}
+
+// VirtualTable is a generator-backed table that never materializes rows:
+// row i is recomputed on demand. It makes the paper's Example 1 (n = 10⁸)
+// runnable in constant memory. Virtual tables always have IID (shuffled)
+// layout.
+type VirtualTable struct {
+	spec   Spec
+	schema *value.Schema
+}
+
+// NewVirtual builds a virtual table over spec.
+func NewVirtual(spec Spec) (*VirtualTable, error) {
+	if spec.N < 0 {
+		return nil, fmt.Errorf("workload: negative row count %d", spec.N)
+	}
+	if len(spec.Cols) == 0 {
+		return nil, fmt.Errorf("workload: spec has no columns")
+	}
+	if spec.Layout != LayoutShuffled {
+		return nil, fmt.Errorf("workload: virtual tables support only the shuffled layout")
+	}
+	schema, err := spec.Schema()
+	if err != nil {
+		return nil, err
+	}
+	return &VirtualTable{spec: spec, schema: schema}, nil
+}
+
+// Name returns the table name.
+func (v *VirtualTable) Name() string { return v.spec.Name }
+
+// Schema returns the table schema.
+func (v *VirtualTable) Schema() *value.Schema { return v.schema }
+
+// NumRows implements sampling.RowSource.
+func (v *VirtualTable) NumRows() int64 { return v.spec.N }
+
+// Row implements sampling.RowSource.
+func (v *VirtualTable) Row(i int64) (value.Row, error) {
+	if i < 0 || i >= v.spec.N {
+		return nil, fmt.Errorf("workload: row %d out of range [0,%d)", i, v.spec.N)
+	}
+	return v.spec.rowOf(i), nil
+}
+
+// Scan iterates all rows; O(1) memory, O(n) time.
+func (v *VirtualTable) Scan(fn func(i int64, row value.Row) error) error {
+	for i := int64(0); i < v.spec.N; i++ {
+		if err := fn(i, v.spec.rowOf(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DomainAt exposes the domain index drawn for (row, column), letting stats
+// code count distincts over domain indices (bitset) instead of payloads.
+func (v *VirtualTable) DomainAt(i int64, col int) int64 { return v.spec.domainOf(i, col) }

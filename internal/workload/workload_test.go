@@ -1,0 +1,384 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"samplecf/internal/distrib"
+	"samplecf/internal/rng"
+	"samplecf/internal/value"
+)
+
+// smallSpec builds a simple single-CHAR-column spec.
+func smallSpec(t testing.TB, n, d int64, seed uint64) Spec {
+	t.Helper()
+	col, err := NewStringColumn(value.Char(20), distrib.NewUniform(d), distrib.NewUniformLen(4, 12), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Spec{Name: "t", N: n, Seed: seed, Cols: []SpecColumn{{Name: "a", Gen: col}}}
+}
+
+func TestDigitsFor(t *testing.T) {
+	cases := []struct {
+		d    int64
+		want int
+	}{
+		{1, 1}, {62, 1}, {63, 2}, {62 * 62, 2}, {62*62 + 1, 3}, {1 << 40, 7},
+	}
+	for _, c := range cases {
+		if got := digitsFor(c.d); got != c.want {
+			t.Errorf("digitsFor(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestStringColumnInjective(t *testing.T) {
+	col, err := NewStringColumn(value.Char(20), distrib.NewUniform(5000), distrib.NewConstantLen(6), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int64{}
+	for v := int64(0); v < 5000; v++ {
+		p := string(col.Payload(v))
+		if prev, dup := seen[p]; dup {
+			t.Fatalf("payload collision: %d and %d both map to %q", prev, v, p)
+		}
+		seen[p] = v
+	}
+}
+
+func TestStringColumnDeterministic(t *testing.T) {
+	col, err := NewStringColumn(value.Char(20), distrib.NewUniform(100), distrib.NewUniformLen(3, 15), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int64(0); v < 100; v++ {
+		if !bytes.Equal(col.Payload(v), col.Payload(v)) {
+			t.Fatalf("payload for %d not deterministic", v)
+		}
+	}
+}
+
+func TestStringColumnLengthClamping(t *testing.T) {
+	// Domain needs 3 digits; drawn length 1 must clamp up to 3.
+	col, err := NewStringColumn(value.Char(20), distrib.NewUniform(62*62+1), distrib.NewConstantLen(1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(col.Payload(0)); got != 3 {
+		t.Fatalf("clamped payload length %d, want 3", got)
+	}
+}
+
+func TestStringColumnValidation(t *testing.T) {
+	if _, err := NewStringColumn(value.Int32(), distrib.NewUniform(10), distrib.NewConstantLen(2), 1); err == nil {
+		t.Error("integer type accepted")
+	}
+	// Domain too large for the column width.
+	if _, err := NewStringColumn(value.Char(2), distrib.NewUniform(1<<40), distrib.NewConstantLen(2), 1); err == nil {
+		t.Error("oversized domain accepted")
+	}
+	if _, err := NewStringColumn(value.Char(4), distrib.NewUniform(10), distrib.NewConstantLen(10), 1); err == nil {
+		t.Error("length > column width accepted")
+	}
+}
+
+func TestIntColumn(t *testing.T) {
+	col, err := NewIntColumn(value.Int32(), distrib.NewUniform(1000), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := value.DecodeInt32(col.Payload(7)); got != 5007 {
+		t.Fatalf("payload(7) = %d, want 5007", got)
+	}
+	if _, err := NewIntColumn(value.Int32(), distrib.NewUniform(1<<40), 0); err == nil {
+		t.Error("overflow domain accepted")
+	}
+	if _, err := NewIntColumn(value.Char(4), distrib.NewUniform(10), 0); err == nil {
+		t.Error("char type accepted")
+	}
+	c64, err := NewIntColumn(value.Int64(), distrib.NewUniform(1<<40), -3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := value.DecodeInt64(c64.Payload(10)); got != 7 {
+		t.Fatalf("int64 payload = %d", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := smallSpec(t, 500, 50, 42)
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumRows() != 500 {
+		t.Fatalf("NumRows = %d", a.NumRows())
+	}
+	for i := int64(0); i < 500; i++ {
+		ra, _ := a.Row(i)
+		rb, _ := b.Row(i)
+		if !bytes.Equal(ra[0], rb[0]) {
+			t.Fatalf("row %d differs between identical specs", i)
+		}
+	}
+	// Different seed differs somewhere.
+	spec2 := smallSpec(t, 500, 50, 43)
+	c, err := Generate(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := int64(0); i < 500; i++ {
+		ra, _ := a.Row(i)
+		rc, _ := c.Row(i)
+		if bytes.Equal(ra[0], rc[0]) {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("different seeds produced %d/500 identical rows", same)
+	}
+}
+
+func TestVirtualMatchesMaterialized(t *testing.T) {
+	spec := smallSpec(t, 300, 40, 11)
+	mat, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	virt, err := NewVirtual(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 300; i++ {
+		rm, _ := mat.Row(i)
+		rv, err := virt.Row(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rm[0], rv[0]) {
+			t.Fatalf("row %d: virtual %q vs materialized %q", i, rv[0], rm[0])
+		}
+	}
+	if _, err := virt.Row(300); err == nil {
+		t.Fatal("out of range accepted")
+	}
+}
+
+func TestVirtualRejectsClustered(t *testing.T) {
+	spec := smallSpec(t, 10, 5, 1)
+	spec.Layout = LayoutClustered
+	if _, err := NewVirtual(spec); err == nil {
+		t.Fatal("clustered virtual accepted")
+	}
+}
+
+func TestClusteredLayoutSorted(t *testing.T) {
+	spec := smallSpec(t, 400, 10, 3)
+	spec.Layout = LayoutClustered
+	tab, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ := tab.Schema().Column(0).Type
+	for i := int64(1); i < tab.NumRows(); i++ {
+		prev, _ := tab.Row(i - 1)
+		cur, _ := tab.Row(i)
+		if value.CompareValues(typ, prev[0], cur[0]) > 0 {
+			t.Fatalf("clustered layout not sorted at row %d", i)
+		}
+	}
+}
+
+func TestComputeStatsExactness(t *testing.T) {
+	spec := smallSpec(t, 2000, 100, 5)
+	tab, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ComputeStats(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := st[0]
+	if cs.N != 2000 {
+		t.Fatalf("N = %d", cs.N)
+	}
+	// Recompute by hand.
+	var sum, sumSq int64
+	seen := map[string]bool{}
+	minL, maxL := 1<<30, 0
+	_ = tab.Scan(func(_ int64, row value.Row) error {
+		l := len(row[0])
+		sum += int64(l)
+		sumSq += int64(l) * int64(l)
+		if l < minL {
+			minL = l
+		}
+		if l > maxL {
+			maxL = l
+		}
+		seen[string(row[0])] = true
+		return nil
+	})
+	if cs.SumNS != sum || cs.SumNSSq != float64(sumSq) {
+		t.Fatalf("SumNS %d vs %d, SumNSSq %v vs %d", cs.SumNS, sum, cs.SumNSSq, sumSq)
+	}
+	if int(cs.Distinct) != len(seen) {
+		t.Fatalf("Distinct %d vs %d", cs.Distinct, len(seen))
+	}
+	if cs.MinNS != minL || cs.MaxNS != maxL {
+		t.Fatalf("Min/Max %d/%d vs %d/%d", cs.MinNS, cs.MaxNS, minL, maxL)
+	}
+	// CF formulas.
+	k, h := 20, 1
+	wantCF := (float64(sum) + 2000.0) / (2000.0 * 20.0)
+	if got := cs.CFNullSuppression(k, h); math.Abs(got-wantCF) > 1e-12 {
+		t.Fatalf("CFNullSuppression = %v, want %v", got, wantCF)
+	}
+	wantDict := 4.0/20.0 + float64(len(seen))/2000.0
+	if got := cs.CFGlobalDict(20, 4); math.Abs(got-wantDict) > 1e-12 {
+		t.Fatalf("CFGlobalDict = %v, want %v", got, wantDict)
+	}
+}
+
+func TestComputeStatsVirtualBitsetMatchesMap(t *testing.T) {
+	spec := smallSpec(t, 3000, 500, 21)
+	mat, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	virt, err := NewVirtual(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := ComputeStats(mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := ComputeStats(virt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm[0] != sv[0] {
+		t.Fatalf("virtual stats %+v != materialized %+v", sv[0], sm[0])
+	}
+}
+
+func TestMultiColumnSpec(t *testing.T) {
+	sc, err := NewStringColumn(value.Char(10), distrib.NewZipf(100, 0.5), distrib.NewUniformLen(2, 8), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := NewIntColumn(value.Int32(), distrib.NewUniform(50), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Name: "multi", N: 100, Seed: 2, Cols: []SpecColumn{
+		{Name: "s", Gen: sc},
+		{Name: "n", Gen: ic},
+	}}
+	tab, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Schema().NumColumns() != 2 || tab.Schema().RowWidth() != 14 {
+		t.Fatalf("schema %s", tab.Schema())
+	}
+	st, err := ComputeStats(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != 2 || st[0].N != 100 || st[1].N != 100 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st[1].Distinct > 50 {
+		t.Fatalf("int column distinct %d > domain", st[1].Distinct)
+	}
+}
+
+func TestPageView(t *testing.T) {
+	spec := smallSpec(t, 95, 10, 8)
+	tab, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := tab.AsPageSource(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pv.NumPages() != 10 {
+		t.Fatalf("NumPages = %d", pv.NumPages())
+	}
+	last, err := pv.PageRows(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(last) != 5 {
+		t.Fatalf("last page has %d rows", len(last))
+	}
+	if _, err := pv.PageRows(10); err == nil {
+		t.Fatal("page out of range accepted")
+	}
+	if _, err := tab.AsPageSource(0); err == nil {
+		t.Fatal("perPage=0 accepted")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Spec{N: -1, Cols: []SpecColumn{{}}}); err == nil {
+		t.Error("negative N accepted")
+	}
+	if _, err := Generate(Spec{N: 5}); err == nil {
+		t.Error("empty columns accepted")
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	spec := smallSpec(t, 200, 200, 4)
+	tab, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]string, 200)
+	for i := range before {
+		r, _ := tab.Row(int64(i))
+		before[i] = string(r[0])
+	}
+	tab.Shuffle(rng.New(1))
+	moved := 0
+	for i := range before {
+		r, _ := tab.Row(int64(i))
+		if string(r[0]) != before[i] {
+			moved++
+		}
+	}
+	if moved < 100 {
+		t.Fatalf("shuffle moved only %d/200 rows", moved)
+	}
+}
+
+func BenchmarkVirtualRow(b *testing.B) {
+	col, err := NewStringColumn(value.Char(20), distrib.NewUniform(1_000_000), distrib.NewUniformLen(4, 16), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vt, err := NewVirtual(Spec{Name: "v", N: 100_000_000, Seed: 1,
+		Cols: []SpecColumn{{Name: "a", Gen: col}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vt.Row(int64(i % 100_000_000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+// Package samplecf estimates the compression fraction (CF) of a database
+// index from a small random sample, reproducing "Estimating the Compression
+// Fraction of an Index using Sampling" (Idreos, Kaushik, Narasayya,
+// Ramamurthy; ICDE 2010).
+//
+// The compression fraction of an index is
+//
+//	CF = size(compressed index) / size(uncompressed index),
+//
+// and the estimator — SampleCF — draws a uniform random sample of the
+// table, builds an index on the sample, compresses it with the target
+// codec, and returns the sample's CF as the estimate. It is agnostic to the
+// codec's internals, unbiased with low variance for null suppression
+// (Theorem 1), and accurate for dictionary compression in the paper's
+// small-d and large-d regimes (Theorems 2-3).
+//
+// Quick start:
+//
+//	table, _ := samplecf.Generate(samplecf.TableSpec{...})
+//	codec, _ := samplecf.LookupCodec("nullsuppression")
+//	est, _ := samplecf.Estimate(table, samplecf.Options{Fraction: 0.01, Codec: codec})
+//	fmt.Printf("estimated CF = %.4f ± %.4f\n", est.CF, samplecf.NSStdDevBound(est.SampleRows))
+//
+// The package is a facade over the internal packages; everything a
+// downstream user needs — schemas, synthetic and user-supplied tables,
+// codecs, the estimator, theorem bounds, distinct-value baselines, and the
+// compression-aware index advisor — is reachable from here.
+package samplecf
+
+import (
+	"samplecf/internal/compress"
+	"samplecf/internal/core"
+	"samplecf/internal/db"
+	"samplecf/internal/distinct"
+	"samplecf/internal/distrib"
+	"samplecf/internal/physdesign"
+	"samplecf/internal/stats"
+	"samplecf/internal/value"
+	"samplecf/internal/workload"
+)
+
+// --- schema & values ---------------------------------------------------------
+
+// Type is a logical column type.
+type Type = value.Type
+
+// Column is a named, typed column.
+type Column = value.Column
+
+// Schema is an ordered list of columns.
+type Schema = value.Schema
+
+// Row is one record: per-column payloads.
+type Row = value.Row
+
+// Char returns the CHAR(k) type (space-padded, fixed width k).
+func Char(k int) Type { return value.Char(k) }
+
+// VarChar returns the VARCHAR(max) type.
+func VarChar(max int) Type { return value.VarChar(max) }
+
+// Int32 returns the 32-bit integer type.
+func Int32() Type { return value.Int32() }
+
+// Int64 returns the 64-bit integer type.
+func Int64() Type { return value.Int64() }
+
+// NewSchema builds and validates a schema.
+func NewSchema(cols ...Column) (*Schema, error) { return value.NewSchema(cols...) }
+
+// String returns the payload bytes for a character value.
+func String(s string) []byte { return value.StringValue(s) }
+
+// Int returns the payload bytes for an INT value.
+func Int(v int32) []byte { return value.IntValue(v) }
+
+// BigInt returns the payload bytes for a BIGINT value.
+func BigInt(v int64) []byte { return value.Int64Value(v) }
+
+// --- tables -------------------------------------------------------------------
+
+// Table is a materialized table usable as an estimation source.
+type Table = workload.Table
+
+// VirtualTable is a generator-backed table that is never materialized;
+// it supports the paper's 100-million-row Example 1 in constant memory.
+type VirtualTable = workload.VirtualTable
+
+// TableSpec describes a synthetic table (see Uniform/Zipf and the length
+// distributions for the generator vocabulary).
+type TableSpec = workload.Spec
+
+// TableColumn pairs a column name with a generator in a TableSpec.
+type TableColumn = workload.SpecColumn
+
+// ColumnStats is exact per-column ground truth (n, d, Σℓ, …).
+type ColumnStats = workload.ColumnStats
+
+// Layout selects the physical row order of generated tables.
+type Layout = workload.Layout
+
+// Layout values.
+const (
+	LayoutShuffled  = workload.LayoutShuffled
+	LayoutClustered = workload.LayoutClustered
+)
+
+// Generate materializes a synthetic table from spec.
+func Generate(spec TableSpec) (*Table, error) { return workload.Generate(spec) }
+
+// NewVirtualTable builds a virtual table over spec.
+func NewVirtualTable(spec TableSpec) (*VirtualTable, error) { return workload.NewVirtual(spec) }
+
+// NewTable wraps user-supplied rows as a table.
+func NewTable(name string, schema *Schema, rows []Row) (*Table, error) {
+	return workload.NewTableFromRows(name, schema, rows)
+}
+
+// ComputeStats scans a table (materialized or virtual) and returns exact
+// per-column statistics: the ground truth estimates are judged against.
+func ComputeStats(src workload.Scanner) ([]ColumnStats, error) { return workload.ComputeStats(src) }
+
+// NewStringColumn builds a character column generator: values drawn from
+// dist, lengths from lengths. See the distrib helpers below.
+func NewStringColumn(t Type, dist distrib.Discrete, lengths distrib.Lengths, seed uint64) (workload.ColumnGen, error) {
+	return workload.NewStringColumn(t, dist, lengths, seed)
+}
+
+// NewIntColumn builds an integer column generator.
+func NewIntColumn(t Type, dist distrib.Discrete, offset int64) (workload.ColumnGen, error) {
+	return workload.NewIntColumn(t, dist, offset)
+}
+
+// --- distributions ------------------------------------------------------------
+
+// Uniform draws each of d distinct values equally often.
+func Uniform(d int64) distrib.Discrete { return distrib.NewUniform(d) }
+
+// Zipf draws d values with skew theta in [0,1).
+func Zipf(d int64, theta float64) distrib.Discrete { return distrib.NewZipf(d, theta) }
+
+// HotSet puts hotProb of the draws on the first hotFrac of d values.
+func HotSet(d int64, hotFrac, hotProb float64) distrib.Discrete {
+	return distrib.NewHotSet(d, hotFrac, hotProb)
+}
+
+// ConstantLen makes every value exactly l bytes long.
+func ConstantLen(l int) distrib.Lengths { return distrib.NewConstantLen(l) }
+
+// UniformLen draws lengths uniformly in [lo, hi].
+func UniformLen(lo, hi int) distrib.Lengths { return distrib.NewUniformLen(lo, hi) }
+
+// NormalLen draws lengths from a clamped normal distribution.
+func NormalLen(mu, sigma float64, lo, hi int) distrib.Lengths {
+	return distrib.NewNormalLen(mu, sigma, lo, hi)
+}
+
+// BimodalLen draws short with probability pShort, long otherwise.
+func BimodalLen(short, long int, pShort float64) distrib.Lengths {
+	return distrib.NewBimodalLen(short, long, pShort)
+}
+
+// --- codecs -------------------------------------------------------------------
+
+// Codec is a compression technique (a closed box to the estimator).
+type Codec = compress.Codec
+
+// CompressionResult summarizes one compression run.
+type CompressionResult = compress.Result
+
+// LookupCodec returns a registered codec by name; see Codecs for the list.
+// Built-ins: "nullsuppression" (ROW-style), "pagedict", "pagedict+ns",
+// "pagedict+bitpack", "prefix", "rle", "huffman", "for" (frame-of-
+// reference), "page" (pick-best composite), "globaldict", and
+// "globaldict-p4" (the paper's simplified analytical model with p=4).
+func LookupCodec(name string) (Codec, error) { return compress.Lookup(name) }
+
+// Codecs lists the registered codec names.
+func Codecs() []string { return compress.Names() }
+
+// GlobalDict returns the paper's simplified dictionary model with a fixed
+// pointer size p in bytes (0 = size pointers from the final dictionary).
+func GlobalDict(p int) Codec { return compress.GlobalDict{PointerBytes: p} }
+
+// --- the estimator -------------------------------------------------------------
+
+// Options configure one SampleCF estimation.
+type Options = core.Options
+
+// Estimation is the outcome of one SampleCF run.
+type Estimation = core.Estimate
+
+// Sampling methods for Options.Method.
+const (
+	UniformWR     = core.MethodUniformWR
+	UniformWOR    = core.MethodUniformWOR
+	BlockSampling = core.MethodBlock
+)
+
+// Estimate runs the paper's SampleCF estimator (Fig. 2) against the table.
+func Estimate(table *Table, opts Options) (Estimation, error) {
+	return core.SampleCF(table, table.Schema(), opts)
+}
+
+// EstimateVirtual runs SampleCF against a virtual table.
+func EstimateVirtual(table *VirtualTable, opts Options) (Estimation, error) {
+	return core.SampleCF(table, table.Schema(), opts)
+}
+
+// TrueCF computes the exact CF of the index on keyCols by building and
+// compressing the whole thing — the expensive ground truth.
+func TrueCF(src core.RowScanner, keyCols []string, codec Codec, pageSize int) (CompressionResult, error) {
+	return core.TrueCF(src, keyCols, codec, pageSize)
+}
+
+// BootstrapInterval is a resampling-based confidence interval for a CF
+// estimate. Sound for additive codecs (null suppression); biased low for
+// cardinality-sensitive codecs — see the core.Bootstrap documentation.
+type BootstrapInterval = core.BootstrapCI
+
+// EstimateWithBootstrap runs SampleCF (uniform WR) and derives a percentile
+// bootstrap interval from the same sample. resamples ≥ 10; alpha = 0.05
+// yields a 95% interval.
+func EstimateWithBootstrap(table *Table, opts Options, resamples int, alpha float64) (Estimation, BootstrapInterval, error) {
+	est, rows, err := core.SampleCFWithRows(table, table.Schema(), opts)
+	if err != nil {
+		return Estimation{}, BootstrapInterval{}, err
+	}
+	keySchema := table.Schema()
+	if len(opts.KeyColumns) > 0 {
+		keySchema, err = table.Schema().Project(opts.KeyColumns...)
+		if err != nil {
+			return Estimation{}, BootstrapInterval{}, err
+		}
+	}
+	ci, err := core.Bootstrap(rows, keySchema, opts.Codec, opts.PageSize, resamples, alpha, opts.Seed+0x5eed)
+	if err != nil {
+		return Estimation{}, BootstrapInterval{}, err
+	}
+	return est, ci, nil
+}
+
+// --- accuracy guarantees --------------------------------------------------------
+
+// NSStdDevBound is Theorem 1's distribution-free bound on the standard
+// deviation of the NS estimate: 1/(2√r).
+func NSStdDevBound(sampleRows int64) float64 { return core.Theorem1StdDevBound(sampleRows) }
+
+// NSConfidenceInterval returns CF' ± z·bound clamped to [0,1].
+func NSConfidenceInterval(cf float64, sampleRows int64, z float64) (lo, hi float64) {
+	return core.NSConfidenceInterval(cf, sampleRows, z)
+}
+
+// DictRatioErrorBoundSmallD is the reconstructed Theorem 2 bound.
+func DictRatioErrorBoundSmallD(n, d int64, f float64, k, p int) (float64, error) {
+	return core.Theorem2RatioBound(n, d, f, k, p)
+}
+
+// DictRatioErrorBoundLargeD is the reconstructed Theorem 3 bound.
+func DictRatioErrorBoundLargeD(beta, f float64, k, p int) (float64, error) {
+	return core.Theorem3RatioBound(beta, f, k, p)
+}
+
+// RatioError is the paper's accuracy metric max(est/true, true/est).
+func RatioError(est, truth float64) float64 {
+	return stats.RatioError(est, truth)
+}
+
+// DesignEffect summarizes a table layout's intra-page correlation for
+// block sampling (extension: the cluster-sampling correction to Theorem 1).
+type DesignEffect = core.DesignEffect
+
+// EstimateDesignEffect scans a page source and returns ρ, m̄, and
+// deff = 1 + (m̄-1)·ρ for the NS statistic.
+func EstimateDesignEffect(ps interface {
+	NumPages() int
+	PageRows(p int) ([]Row, error)
+}, keySchema *Schema) (DesignEffect, error) {
+	return core.EstimateDesignEffect(ps, keySchema, nil)
+}
+
+// BlockSamplingNSStdDevBound is Theorem 1's bound corrected for block
+// sampling: √deff / (2√r).
+func BlockSamplingNSStdDevBound(sampleRows int64, deff float64) float64 {
+	return core.BlockSamplingNSStdDevBound(sampleRows, deff)
+}
+
+// --- distinct-value baselines ----------------------------------------------------
+
+// DistinctEstimator estimates a table's distinct count from a sample
+// profile (GEE, Chao, Shlosser, …) — the baseline family of experiment E8.
+type DistinctEstimator = distinct.Estimator
+
+// DistinctProfile is a sample's frequency-of-frequency summary.
+type DistinctProfile = distinct.Profile
+
+// DistinctEstimators returns all built-in estimators.
+func DistinctEstimators() []DistinctEstimator { return distinct.All() }
+
+// EstimateDictCF combines a distinct-value estimate with the simplified
+// dictionary model: CF = p/k + d̂/n.
+func EstimateDictCF(k, p int, profile DistinctProfile, est DistinctEstimator) (float64, error) {
+	return core.AnalyticDict(k, p, profile, est)
+}
+
+// --- index advisor ----------------------------------------------------------------
+
+// AdvisorQuery, AdvisorCandidate, AdvisorOptions and Recommendation expose
+// the compression-aware physical design advisor the paper's introduction
+// motivates.
+type (
+	// AdvisorQuery is one workload statement.
+	AdvisorQuery = physdesign.Query
+	// AdvisorCandidate is one index design option.
+	AdvisorCandidate = physdesign.Candidate
+	// AdvisorOptions tune sampling and the cost model.
+	AdvisorOptions = physdesign.Options
+	// Recommendation is the advisor's output.
+	Recommendation = physdesign.Recommendation
+)
+
+// Recommend picks indexes under a storage budget, sizing compressed
+// candidates with SampleCF.
+func Recommend(cands []AdvisorCandidate, queries []AdvisorQuery, budgetBytes int64, opts AdvisorOptions) (Recommendation, error) {
+	return physdesign.Recommend(cands, queries, budgetBytes, opts)
+}
+
+// --- embedded engine ---------------------------------------------------------------
+
+// Database is a miniature embedded engine: heap-backed tables with
+// maintained B+-tree indexes and first-class CF estimation on live data —
+// the shape a commercial engine exposes as
+// sp_estimate_data_compression_savings.
+type Database = db.Database
+
+// DBTable is a table inside a Database.
+type DBTable = db.Table
+
+// DBIndex is a maintained index on a DBTable.
+type DBIndex = db.Index
+
+// NewDatabase creates an empty engine; pageSize 0 selects the 8 KiB default.
+func NewDatabase(pageSize int) *Database { return db.New(pageSize) }

@@ -1,0 +1,196 @@
+package samplecf_test
+
+import (
+	"math"
+	"testing"
+
+	"samplecf"
+)
+
+// demoTable builds a public-API synthetic table.
+func demoTable(t testing.TB, n int64, d int64) *samplecf.Table {
+	t.Helper()
+	col, err := samplecf.NewStringColumn(samplecf.Char(20), samplecf.Uniform(d), samplecf.UniformLen(3, 15), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := samplecf.Generate(samplecf.TableSpec{
+		Name: "demo", N: n, Seed: 2,
+		Cols: []samplecf.TableColumn{{Name: "city", Gen: col}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestPublicEstimateFlow(t *testing.T) {
+	tab := demoTable(t, 20000, 500)
+	codec, err := samplecf.LookupCodec("nullsuppression")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := samplecf.Estimate(tab, samplecf.Options{Fraction: 0.02, Codec: codec, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := samplecf.TrueCF(tab, nil, codec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := samplecf.NSStdDevBound(est.SampleRows)
+	if math.Abs(est.CF-truth.CF()) > 4*bound {
+		t.Fatalf("estimate %v vs truth %v exceeds 4×bound %v", est.CF, truth.CF(), bound)
+	}
+	lo, hi := samplecf.NSConfidenceInterval(est.CF, est.SampleRows, 3)
+	if truth.CF() < lo || truth.CF() > hi {
+		t.Fatalf("truth %v outside 3σ interval [%v,%v]", truth.CF(), lo, hi)
+	}
+}
+
+func TestPublicCodecRegistry(t *testing.T) {
+	names := samplecf.Codecs()
+	if len(names) < 8 {
+		t.Fatalf("public registry lists %d codecs: %v", len(names), names)
+	}
+	for _, n := range names {
+		if _, err := samplecf.LookupCodec(n); err != nil {
+			t.Errorf("LookupCodec(%q): %v", n, err)
+		}
+	}
+}
+
+func TestPublicUserSuppliedRows(t *testing.T) {
+	schema, err := samplecf.NewSchema(
+		samplecf.Column{Name: "name", Type: samplecf.Char(16)},
+		samplecf.Column{Name: "qty", Type: samplecf.Int32()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []samplecf.Row{
+		{samplecf.String("widget"), samplecf.Int(10)},
+		{samplecf.String("gadget"), samplecf.Int(20)},
+		{samplecf.String("widget"), samplecf.Int(30)},
+	}
+	for i := 0; i < 7; i++ { // replicate so sampling has something to chew on
+		rows = append(rows, rows[:3]...)
+	}
+	tab, err := samplecf.NewTable("inventory", schema, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec := samplecf.GlobalDict(4)
+	est, err := samplecf.Estimate(tab, samplecf.Options{Fraction: 0.5, Codec: codec, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only 3 distinct (name, qty) rows exist.
+	if est.SampleDistinct > 3 {
+		t.Fatalf("d' = %d, table has 3 distinct rows", est.SampleDistinct)
+	}
+	if est.CF <= 0 {
+		t.Fatalf("CF = %v", est.CF)
+	}
+}
+
+func TestPublicDictBaselines(t *testing.T) {
+	tab := demoTable(t, 50000, 2000)
+	est, err := samplecf.Estimate(tab, samplecf.Options{
+		Fraction: 0.02, Codec: samplecf.GlobalDict(4), Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := samplecf.ComputeStats(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := stats[0].CFGlobalDict(20, 4)
+	for _, dv := range samplecf.DistinctEstimators() {
+		cf, err := samplecf.EstimateDictCF(20, 4, est.Profile, dv)
+		if err != nil {
+			t.Errorf("%s: %v", dv.Name(), err)
+			continue
+		}
+		if re := samplecf.RatioError(cf, truth); re > 10 {
+			t.Errorf("%s: ratio error %v vs truth %v", dv.Name(), re, truth)
+		}
+	}
+}
+
+func TestPublicVirtualTable(t *testing.T) {
+	col, err := samplecf.NewStringColumn(samplecf.Char(20), samplecf.Uniform(1_000_000), samplecf.UniformLen(0, 20), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt, err := samplecf.NewVirtualTable(samplecf.TableSpec{
+		Name: "big", N: 10_000_000, Seed: 5,
+		Cols: []samplecf.TableColumn{{Name: "a", Gen: col}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	codec, err := samplecf.LookupCodec("nullsuppression")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := samplecf.EstimateVirtual(vt, samplecf.Options{SampleRows: 10_000, Codec: codec, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lengths are unif{0..20} clamped to the 4-char uniqueness prefix:
+	// E[ℓ] = (4·5 + Σ₅..₂₀)/21 ≈ 10.48, so CF ≈ (10.48+1)/20 ≈ 0.574.
+	if math.Abs(est.CF-0.574) > 0.02 {
+		t.Fatalf("virtual estimate %v far from 0.574", est.CF)
+	}
+}
+
+func TestPublicAdvisor(t *testing.T) {
+	tab := demoTable(t, 10000, 100)
+	codec, err := samplecf.LookupCodec("nullsuppression")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := samplecf.Recommend(
+		[]samplecf.AdvisorCandidate{
+			{Name: "ix_city", Table: tab, KeyColumns: []string{"city"}},
+			{Name: "ix_city_row", Table: tab, KeyColumns: []string{"city"}, Codec: codec},
+		},
+		[]samplecf.AdvisorQuery{
+			{Name: "q", Columns: []string{"city"}, Weight: 1, Selectivity: 0.1},
+		},
+		1<<30, samplecf.AdvisorOptions{SampleFraction: 0.05, Seed: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Chosen) != 1 || rec.Chosen[0].Name != "ix_city_row" {
+		t.Fatalf("advisor chose %+v", rec.Chosen)
+	}
+}
+
+func TestPublicEstimateWithBootstrap(t *testing.T) {
+	tab := demoTable(t, 20000, 500)
+	codec, err := samplecf.LookupCodec("nullsuppression")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, ci, err := samplecf.EstimateWithBootstrap(tab, samplecf.Options{
+		Fraction: 0.02, Codec: codec, Seed: 7,
+	}, 100, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo > est.CF || ci.Hi < est.CF {
+		t.Fatalf("NS point estimate %v outside bootstrap interval [%v,%v]", est.CF, ci.Lo, ci.Hi)
+	}
+	truth, err := samplecf.TrueCF(tab, nil, codec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loose: a 95% interval from one run usually contains the truth.
+	if truth.CF() < ci.Lo-3*ci.SD || truth.CF() > ci.Hi+3*ci.SD {
+		t.Fatalf("truth %v wildly outside interval [%v,%v] (sd %v)", truth.CF(), ci.Lo, ci.Hi, ci.SD)
+	}
+}
