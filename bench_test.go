@@ -7,6 +7,7 @@
 package samplecf_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -185,3 +186,94 @@ func BenchmarkTrueCF(b *testing.B) {
 
 // BenchmarkFractionSweep regenerates E14: error vs sampling fraction.
 func BenchmarkFractionSweep(b *testing.B) { runExperiment(b, "E14") }
+
+// whatIfBatchTable builds the multi-column table the what-if batch
+// benchmark enumerates candidates over.
+func whatIfBatchTable(b *testing.B) *samplecf.Table {
+	b.Helper()
+	region, err := samplecf.NewStringColumn(
+		samplecf.Char(24), samplecf.Uniform(50), samplecf.UniformLen(4, 12), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	product, err := samplecf.NewStringColumn(
+		samplecf.Char(40), samplecf.Zipf(8000, 0.7), samplecf.UniformLen(10, 30), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qty, err := samplecf.NewIntColumn(samplecf.Int32(), samplecf.Uniform(500), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := samplecf.Generate(samplecf.TableSpec{
+		Name: "whatif-bench", N: 200_000, Seed: 3,
+		Cols: []samplecf.TableColumn{
+			{Name: "region", Gen: region},
+			{Name: "product", Gen: product},
+			{Name: "qty", Gen: qty},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tab
+}
+
+// whatIfBatchRequests enumerates the candidate matrix: 4 key column sets ×
+// 4 codecs = 16 (index, codec) pairs, all at the same (fraction, seed).
+func whatIfBatchRequests(b *testing.B, tab *samplecf.Table, seed uint64) []samplecf.EngineRequest {
+	b.Helper()
+	colsets := [][]string{{"region"}, {"product"}, {"qty"}, {"region", "product"}}
+	codecs := []string{"nullsuppression", "rle", "prefix", "pagedict+ns"}
+	var reqs []samplecf.EngineRequest
+	for _, cs := range colsets {
+		for _, cn := range codecs {
+			codec, err := samplecf.LookupCodec(cn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reqs = append(reqs, samplecf.EngineRequest{
+				Table: tab, KeyColumns: cs, Codec: codec, Fraction: 0.01, Seed: seed,
+			})
+		}
+	}
+	return reqs
+}
+
+// BenchmarkWhatIfBatch compares the advisor's two candidate-sizing paths
+// over the same 16-candidate batch: "naive" re-runs the full SampleCF
+// pipeline (draw, sort, compress) per candidate — the pre-engine advisor
+// loop — while "engine" shares one sample draw across the batch and one
+// sorted index build per key column set. The engine result cache is
+// disabled and the seed varies per iteration, so the ratio measures
+// structural sharing plus worker-pool parallelism, not memoization.
+func BenchmarkWhatIfBatch(b *testing.B) {
+	tab := whatIfBatchTable(b)
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, req := range whatIfBatchRequests(b, tab, uint64(i)) {
+				_, err := samplecf.Estimate(tab, samplecf.Options{
+					Fraction:   req.Fraction,
+					Codec:      req.Codec,
+					KeyColumns: req.KeyColumns,
+					Seed:       req.Seed,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		eng := samplecf.NewEngine(samplecf.EngineConfig{CacheEntries: -1})
+		defer eng.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, res := range eng.WhatIf(context.Background(), whatIfBatchRequests(b, tab, uint64(i))) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+	})
+}

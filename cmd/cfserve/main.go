@@ -1,0 +1,127 @@
+// Command cfserve is the long-running what-if estimation service: SampleCF
+// behind HTTP/JSON, backed by the concurrent estimation engine (worker
+// pool, shared-sample batching, LRU result cache). It is the shape a
+// physical-design tool's estimation tier takes in production — many
+// concurrent clients asking "how big would this index be under that
+// codec?" against registered tables.
+//
+// Start it, register a table, and ask:
+//
+//	cfserve -addr :8080 -demo
+//	curl localhost:8080/tables
+//	curl -X POST localhost:8080/whatif -d '{
+//	  "table": "demo",
+//	  "candidates": [
+//	    {"columns": ["region"], "codec": "nullsuppression"},
+//	    {"columns": ["region"], "codec": "pagedict+ns"}
+//	  ],
+//	  "fraction": 0.01, "seed": 42
+//	}'
+//
+// Endpoints: GET /healthz, /stats, /codecs, /tables; POST /tables,
+// /estimate, /whatif, /advise. See docs/cfserve.md for the full API.
+// The server drains in-flight requests and exits cleanly on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"samplecf/internal/engine"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "cfserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "estimation worker goroutines (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", 1024, "LRU result cache entries (negative disables)")
+		demo    = flag.Bool("demo", false, "preload a demo table named \"demo\"")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		maxRows = flag.Int64("max-rows", defaultMaxTableRows, "per-table row limit for POST /tables")
+	)
+	flag.Parse()
+
+	eng := engine.New(engine.Config{Workers: *workers, CacheEntries: *cache})
+	defer eng.Close()
+	srv := newServer(eng)
+	if *maxRows > 0 {
+		srv.maxTableRows = *maxRows
+	}
+	if *demo {
+		t, err := buildTable(demoSpec())
+		if err != nil {
+			return fmt.Errorf("demo table: %w", err)
+		}
+		if err := srv.register(t); err != nil {
+			return err
+		}
+		log.Printf("registered demo table %q (%d rows)", t.Name(), t.NumRows())
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("cfserve listening on %s (workers=%d, cache capacity %d)", ln.Addr(), *workers, *cache)
+
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("signal received; draining for up to %v", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("drained cleanly")
+	return <-errCh
+}
+
+// demoSpec is the table -demo preloads: skewed strings plus a narrow int,
+// the mix the paper's experiments use.
+func demoSpec() tableSpecJSON {
+	return tableSpecJSON{
+		Name: "demo", N: 100_000, Seed: 1,
+		Cols: []columnSpecJSON{
+			{Name: "region", Type: "char:24", Dist: "uniform:50", Len: "uniform:4:12", Seed: 1},
+			{Name: "product", Type: "char:40", Dist: "zipf:8000:0.7", Len: "uniform:10:30", Seed: 2},
+			{Name: "qty", Type: "int32", Dist: "uniform:500"},
+		},
+	}
+}

@@ -1,0 +1,425 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"samplecf/internal/compress"
+	"samplecf/internal/engine"
+	"samplecf/internal/physdesign"
+	"samplecf/internal/workload"
+)
+
+// defaultMaxTableRows bounds POST /tables materialization: registered
+// tables live in memory for the life of the service, so an unbounded n in
+// a 200-byte request body must not be able to OOM it.
+const defaultMaxTableRows = 10_000_000
+
+// server holds the estimation engine and the table registry behind the
+// HTTP handlers. All state is safe for concurrent requests: the registry
+// is guarded by mu, the engine is concurrency-safe by construction.
+type server struct {
+	eng *engine.Engine
+
+	mu     sync.RWMutex
+	tables map[string]*workload.Table
+
+	// maxTableRows caps the n of a registered table (default
+	// defaultMaxTableRows; the -max-rows flag overrides).
+	maxTableRows int64
+
+	started time.Time
+}
+
+func newServer(eng *engine.Engine) *server {
+	return &server{
+		eng:          eng,
+		tables:       make(map[string]*workload.Table),
+		maxTableRows: defaultMaxTableRows,
+		started:      time.Now(),
+	}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /codecs", s.handleCodecs)
+	mux.HandleFunc("GET /tables", s.handleListTables)
+	mux.HandleFunc("POST /tables", s.handleCreateTable)
+	mux.HandleFunc("POST /estimate", s.handleEstimate)
+	mux.HandleFunc("POST /whatif", s.handleWhatIf)
+	mux.HandleFunc("POST /advise", s.handleAdvise)
+	return mux
+}
+
+// register adds a table to the registry (used by handlers and -demo).
+func (s *server) register(t *workload.Table) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[t.Name()]; dup {
+		return fmt.Errorf("table %q already exists", t.Name())
+	}
+	s.tables[t.Name()] = t
+	return nil
+}
+
+// lookup resolves a registered table.
+func (s *server) lookup(name string) (*workload.Table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("no table %q (register it via POST /tables)", name)
+	}
+	return t, nil
+}
+
+// --- wire types ---------------------------------------------------------------
+
+// candidateJSON is one (columns, codec) what-if candidate.
+type candidateJSON struct {
+	Name    string   `json:"name,omitempty"`
+	Columns []string `json:"columns,omitempty"`
+	Codec   string   `json:"codec,omitempty"` // empty = uncompressed (advise only)
+}
+
+type estimateRequestJSON struct {
+	Table      string   `json:"table"`
+	Columns    []string `json:"columns,omitempty"`
+	Codec      string   `json:"codec"`
+	Fraction   float64  `json:"fraction,omitempty"`
+	SampleRows int64    `json:"sample_rows,omitempty"`
+	Seed       uint64   `json:"seed,omitempty"`
+	PageSize   int      `json:"page_size,omitempty"`
+}
+
+type estimateResultJSON struct {
+	Columns           []string `json:"columns,omitempty"`
+	Codec             string   `json:"codec,omitempty"`
+	CF                float64  `json:"cf"`
+	SavingsPct        float64  `json:"savings_pct"`
+	SampleRows        int64    `json:"sample_rows"`
+	SampleDistinct    int64    `json:"sample_distinct"`
+	CompressedBytes   int64    `json:"compressed_bytes"`
+	UncompressedBytes int64    `json:"uncompressed_bytes"`
+	CacheHit          bool     `json:"cache_hit"`
+	SharedSample      bool     `json:"shared_sample,omitempty"`
+	Error             string   `json:"error,omitempty"`
+}
+
+type whatIfRequestJSON struct {
+	Table      string          `json:"table"`
+	Candidates []candidateJSON `json:"candidates"`
+	Fraction   float64         `json:"fraction,omitempty"`
+	SampleRows int64           `json:"sample_rows,omitempty"`
+	Seed       uint64          `json:"seed,omitempty"`
+	PageSize   int             `json:"page_size,omitempty"`
+	TimeoutMS  int64           `json:"timeout_ms,omitempty"`
+}
+
+// queryJSON is one workload statement in an /advise request.
+type queryJSON struct {
+	Name        string   `json:"name,omitempty"`
+	Columns     []string `json:"columns"`
+	Weight      float64  `json:"weight"`
+	Selectivity float64  `json:"selectivity"`
+}
+
+type adviseRequestJSON struct {
+	Table       string          `json:"table"`
+	Candidates  []candidateJSON `json:"candidates"`
+	Queries     []queryJSON     `json:"queries"`
+	BudgetBytes int64           `json:"budget_bytes"`
+	Fraction    float64         `json:"fraction,omitempty"`
+	Seed        uint64          `json:"seed,omitempty"`
+	TimeoutMS   int64           `json:"timeout_ms,omitempty"`
+}
+
+// defaultFraction applies the service-wide sampling default of 1%.
+func defaultFraction(f float64) float64 {
+	if f == 0 {
+		return 0.01
+	}
+	return f
+}
+
+// --- handlers -----------------------------------------------------------------
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"uptime": time.Since(s.started).String(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.eng.Stats()
+	s.mu.RLock()
+	tables := len(s.tables)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cache_hits":       st.Hits,
+		"cache_misses":     st.Misses,
+		"cache_evictions":  st.Evictions,
+		"cache_entries":    st.CacheEntries,
+		"samples_drawn":    st.SamplesDrawn,
+		"samples_shared":   st.SamplesShared,
+		"indexes_prepared": st.IndexesPrepared,
+		"evaluated":        st.Evaluated,
+		"tables":           tables,
+	})
+}
+
+func (s *server) handleCodecs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"codecs": compress.Names()})
+}
+
+func (s *server) handleListTables(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	type info struct {
+		Name    string   `json:"name"`
+		Rows    int64    `json:"rows"`
+		Columns []string `json:"columns"`
+	}
+	out := make([]info, 0, len(s.tables))
+	for _, t := range s.tables {
+		cols := make([]string, 0, t.Schema().NumColumns())
+		for _, c := range t.Schema().Columns() {
+			cols = append(cols, c.Name)
+		}
+		out = append(out, info{Name: t.Name(), Rows: t.NumRows(), Columns: cols})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"tables": out})
+}
+
+func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
+	var spec tableSpecJSON
+	if !decodeJSON(w, r, &spec) {
+		return
+	}
+	if spec.N > s.maxTableRows {
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("table %q: n %d exceeds the per-table limit of %d rows", spec.Name, spec.N, s.maxTableRows))
+		return
+	}
+	t, err := buildTable(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.register(t); err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"table": t.Name(),
+		"rows":  t.NumRows(),
+	})
+}
+
+func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequestJSON
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	tab, err := s.lookup(req.Table)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	codec, err := compress.Lookup(req.Codec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	res := s.eng.Estimate(r.Context(), engine.Request{
+		Table:      tab,
+		KeyColumns: req.Columns,
+		Codec:      codec,
+		Fraction:   defaultFraction(req.Fraction),
+		SampleRows: req.SampleRows,
+		Seed:       req.Seed,
+		PageSize:   req.PageSize,
+	})
+	if res.Err != nil {
+		httpError(w, http.StatusUnprocessableEntity, res.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResultJSON(req.Columns, req.Codec, res))
+}
+
+func (s *server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	var req whatIfRequestJSON
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Candidates) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("candidates are required"))
+		return
+	}
+	tab, err := s.lookup(req.Table)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	reqs := make([]engine.Request, len(req.Candidates))
+	for i, c := range req.Candidates {
+		codec, err := compress.Lookup(c.Codec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("candidate %d: %w", i, err))
+			return
+		}
+		reqs[i] = engine.Request{
+			Table:      tab,
+			KeyColumns: c.Columns,
+			Codec:      codec,
+			Fraction:   defaultFraction(req.Fraction),
+			SampleRows: req.SampleRows,
+			Seed:       req.Seed,
+			PageSize:   req.PageSize,
+		}
+	}
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	start := time.Now()
+	results := s.eng.WhatIf(ctx, reqs)
+	out := make([]estimateResultJSON, len(results))
+	for i, res := range results {
+		out[i] = toResultJSON(req.Candidates[i].Columns, req.Candidates[i].Codec, res)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"table":       req.Table,
+		"results":     out,
+		"duration_ms": float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	var req adviseRequestJSON
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	tab, err := s.lookup(req.Table)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	cands := make([]physdesign.Candidate, len(req.Candidates))
+	for i, c := range req.Candidates {
+		name := c.Name
+		if name == "" {
+			name = fmt.Sprintf("candidate-%d", i)
+		}
+		var codec compress.Codec
+		if c.Codec != "" {
+			codec, err = compress.Lookup(c.Codec)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, fmt.Errorf("candidate %q: %w", name, err))
+				return
+			}
+		}
+		cands[i] = physdesign.Candidate{Name: name, Table: tab, KeyColumns: c.Columns, Codec: codec}
+	}
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	queries := make([]physdesign.Query, len(req.Queries))
+	for i, q := range req.Queries {
+		queries[i] = physdesign.Query{Name: q.Name, Columns: q.Columns, Weight: q.Weight, Selectivity: q.Selectivity}
+	}
+	rec, err := physdesign.Recommend(cands, queries, req.BudgetBytes, physdesign.Options{
+		SampleFraction: defaultFraction(req.Fraction),
+		Seed:           req.Seed,
+		Engine:         s.eng,
+		Context:        ctx,
+	})
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	type chosenJSON struct {
+		Name           string   `json:"name"`
+		Columns        []string `json:"columns,omitempty"`
+		Codec          string   `json:"codec,omitempty"`
+		EstimatedCF    float64  `json:"estimated_cf"`
+		EstimatedBytes int64    `json:"estimated_bytes"`
+	}
+	chosen := make([]chosenJSON, len(rec.Chosen))
+	for i, c := range rec.Chosen {
+		cj := chosenJSON{
+			Name: c.Name, Columns: c.KeyColumns,
+			EstimatedCF: c.EstimatedCF, EstimatedBytes: c.EstimatedBytes,
+		}
+		if c.Codec != nil {
+			cj.Codec = c.Codec.Name()
+		}
+		chosen[i] = cj
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"chosen":        chosen,
+		"total_bytes":   rec.TotalBytes,
+		"total_benefit": rec.TotalBenefit,
+		"rejected":      rec.Rejected,
+	})
+}
+
+// toResultJSON converts one engine result to the wire form.
+func toResultJSON(cols []string, codecName string, res engine.Result) estimateResultJSON {
+	out := estimateResultJSON{Columns: cols, Codec: codecName}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+		return out
+	}
+	est := res.Estimate
+	out.CF = est.CF
+	out.SavingsPct = (1 - est.CF) * 100
+	out.SampleRows = est.SampleRows
+	out.SampleDistinct = est.SampleDistinct
+	out.CompressedBytes = est.Result.CompressedBytes
+	out.UncompressedBytes = est.Result.UncompressedBytes
+	out.CacheHit = res.CacheHit
+	out.SharedSample = res.SharedSample
+	return out
+}
+
+// --- JSON plumbing ------------------------------------------------------------
+
+// decodeJSON parses the request body into v, rejecting unknown fields so
+// typos in specs fail loudly. Returns false after writing the error.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

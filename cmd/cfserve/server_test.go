@@ -1,0 +1,320 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"samplecf/internal/engine"
+)
+
+// newTestServer starts an httptest server over a fresh engine with the
+// demo table registered.
+func newTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	eng := engine.New(engine.Config{Workers: 4, CacheEntries: 64})
+	t.Cleanup(eng.Close)
+	srv := newServer(eng)
+	spec := demoSpec()
+	spec.N = 5000 // keep test tables small
+	tab, err := buildTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.register(tab); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return ts, eng
+}
+
+// postJSON posts body and decodes the JSON response into out.
+func postJSON(t *testing.T, url string, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthAndStats(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var health map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("health = %v", health)
+	}
+	var stats map[string]any
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if stats["tables"].(float64) != 1 {
+		t.Errorf("stats tables = %v, want 1", stats["tables"])
+	}
+}
+
+func TestCreateAndListTables(t *testing.T) {
+	ts, _ := newTestServer(t)
+	spec := `{"name":"t2","n":1000,"seed":7,"cols":[
+		{"name":"a","type":"char:16","dist":"zipf:100:0.5","len":"const:8","seed":1},
+		{"name":"b","type":"int64","dist":"uniform:20","offset":100}]}`
+	var created map[string]any
+	if code := postJSON(t, ts.URL+"/tables", spec, &created); code != http.StatusCreated {
+		t.Fatalf("create status %d: %v", code, created)
+	}
+	if created["rows"].(float64) != 1000 {
+		t.Errorf("created rows = %v", created["rows"])
+	}
+	// Duplicate names conflict.
+	if code := postJSON(t, ts.URL+"/tables", spec, nil); code != http.StatusConflict {
+		t.Errorf("duplicate create status %d, want 409", code)
+	}
+	// Bad specs are 400s with a useful message.
+	var bad map[string]any
+	if code := postJSON(t, ts.URL+"/tables",
+		`{"name":"t3","n":10,"cols":[{"name":"x","type":"float","dist":"uniform:5"}]}`, &bad); code != http.StatusBadRequest {
+		t.Errorf("bad spec status %d", code)
+	} else if !strings.Contains(bad["error"].(string), "unknown type") {
+		t.Errorf("bad spec error = %v", bad["error"])
+	}
+
+	// A huge n is rejected before any rows materialize.
+	var huge map[string]any
+	if code := postJSON(t, ts.URL+"/tables",
+		`{"name":"big","n":100000000000,"cols":[{"name":"a","type":"int32","dist":"uniform:5"}]}`, &huge); code != http.StatusBadRequest {
+		t.Errorf("oversized table status %d, want 400", code)
+	} else if !strings.Contains(huge["error"].(string), "per-table limit") {
+		t.Errorf("oversized table error = %v", huge["error"])
+	}
+
+	var listed struct {
+		Tables []struct {
+			Name string   `json:"name"`
+			Rows int64    `json:"rows"`
+			Cols []string `json:"columns"`
+		} `json:"tables"`
+	}
+	if code := getJSON(t, ts.URL+"/tables", &listed); code != http.StatusOK {
+		t.Fatalf("list status %d", code)
+	}
+	if len(listed.Tables) != 2 {
+		t.Fatalf("listed %d tables, want 2", len(listed.Tables))
+	}
+}
+
+func TestEstimateEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var est estimateResultJSON
+	code := postJSON(t, ts.URL+"/estimate",
+		`{"table":"demo","columns":["region"],"codec":"nullsuppression","fraction":0.05,"seed":3}`, &est)
+	if code != http.StatusOK {
+		t.Fatalf("estimate status %d (%+v)", code, est)
+	}
+	if est.CF <= 0 || est.CF > 1.5 {
+		t.Errorf("implausible CF %v", est.CF)
+	}
+	if est.SampleRows != 250 {
+		t.Errorf("sample rows %d, want 250 (5%% of 5000)", est.SampleRows)
+	}
+	// Same request again: served from cache.
+	var again estimateResultJSON
+	postJSON(t, ts.URL+"/estimate",
+		`{"table":"demo","columns":["region"],"codec":"nullsuppression","fraction":0.05,"seed":3}`, &again)
+	if !again.CacheHit {
+		t.Error("repeat estimate should be a cache hit")
+	}
+	if again.CF != est.CF {
+		t.Errorf("cached CF %v != first CF %v", again.CF, est.CF)
+	}
+	// Unknown table and unknown codec fail cleanly.
+	if code := postJSON(t, ts.URL+"/estimate", `{"table":"nope","codec":"rle"}`, nil); code != http.StatusNotFound {
+		t.Errorf("unknown table status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/estimate", `{"table":"demo","codec":"nope"}`, nil); code != http.StatusBadRequest {
+		t.Errorf("unknown codec status %d", code)
+	}
+}
+
+func TestWhatIfEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var out struct {
+		Results []estimateResultJSON `json:"results"`
+	}
+	code := postJSON(t, ts.URL+"/whatif", `{
+		"table":"demo","fraction":0.02,"seed":11,
+		"candidates":[
+			{"columns":["region"],"codec":"nullsuppression"},
+			{"columns":["region"],"codec":"rle"},
+			{"columns":["product"],"codec":"prefix"},
+			{"columns":["no_such"],"codec":"rle"}
+		]}`, &out)
+	if code != http.StatusOK {
+		t.Fatalf("whatif status %d", code)
+	}
+	if len(out.Results) != 4 {
+		t.Fatalf("got %d results", len(out.Results))
+	}
+	for i, r := range out.Results[:3] {
+		if r.Error != "" {
+			t.Errorf("candidate %d: %s", i, r.Error)
+		}
+	}
+	// The two region candidates share one sample (same table, f, seed).
+	if !out.Results[0].SharedSample || !out.Results[1].SharedSample {
+		t.Error("region candidates should report shared samples")
+	}
+	// Error isolation: the bad column fails alone, batch still 200.
+	if out.Results[3].Error == "" {
+		t.Error("bad column candidate should carry an error")
+	}
+}
+
+// TestWhatIfConcurrent hammers /whatif from many clients — the httptest
+// server runs each request on its own goroutine, so with -race this checks
+// the full handler + engine stack for data races.
+func TestWhatIfConcurrent(t *testing.T) {
+	ts, eng := newTestServer(t)
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 4; iter++ {
+				body := fmt.Sprintf(`{
+					"table":"demo","fraction":0.02,"seed":%d,
+					"candidates":[
+						{"columns":["region"],"codec":"nullsuppression"},
+						{"columns":["region"],"codec":"rle"},
+						{"columns":["qty"],"codec":"nullsuppression"}
+					]}`, c%3)
+				resp, err := http.Post(ts.URL+"/whatif", "application/json", bytes.NewReader([]byte(body)))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				var out struct {
+					Results []estimateResultJSON `json:"results"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs[c] = fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+				for i, r := range out.Results {
+					if r.Error != "" {
+						errs[c] = fmt.Errorf("client %d candidate %d: %s", c, i, r.Error)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	if st.Hits == 0 {
+		t.Error("identical concurrent requests should hit the cache")
+	}
+}
+
+func TestAdviseEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var out struct {
+		Chosen []struct {
+			Name        string  `json:"name"`
+			Codec       string  `json:"codec"`
+			EstimatedCF float64 `json:"estimated_cf"`
+		} `json:"chosen"`
+		TotalBytes int64 `json:"total_bytes"`
+	}
+	code := postJSON(t, ts.URL+"/advise", `{
+		"table":"demo","budget_bytes":200000,"fraction":0.02,"seed":5,
+		"candidates":[
+			{"name":"ix_region","columns":["region"]},
+			{"name":"ix_region_ns","columns":["region"],"codec":"nullsuppression"},
+			{"name":"ix_product_ns","columns":["product"],"codec":"nullsuppression"}
+		],
+		"queries":[
+			{"name":"by-region","columns":["region"],"weight":10,"selectivity":0.05},
+			{"name":"by-product","columns":["product"],"weight":5,"selectivity":0.01}
+		]}`, &out)
+	if code != http.StatusOK {
+		t.Fatalf("advise status %d", code)
+	}
+	if len(out.Chosen) == 0 {
+		t.Fatal("advise chose nothing")
+	}
+	if out.TotalBytes > 200000 {
+		t.Errorf("total %d exceeds budget", out.TotalBytes)
+	}
+}
+
+func TestSpecParsing(t *testing.T) {
+	// The colon vocabulary round-trips through every branch.
+	good := []columnSpecJSON{
+		{Name: "a", Type: "char:10", Dist: "uniform:5", Len: "const:4"},
+		{Name: "b", Type: "varchar:20", Dist: "zipf:50:0.3", Len: "uniform:2:10"},
+		{Name: "c", Type: "char:12", Dist: "hotset:30:0.2:0.8", Len: "normal:6:2:1:12"},
+		{Name: "d", Type: "char:12", Dist: "uniform:9", Len: "bimodal:2:10:0.7"},
+		{Name: "e", Type: "int32", Dist: "uniform:100"},
+		{Name: "f", Type: "int64", Dist: "zipf:1000:0.9", Offset: -5},
+	}
+	for _, c := range good {
+		if _, err := buildColumn(c); err != nil {
+			t.Errorf("column %q: %v", c.Name, err)
+		}
+	}
+	bad := []columnSpecJSON{
+		{Name: "x", Type: "char", Dist: "uniform:5", Len: "const:4"},
+		{Name: "x", Type: "char:8", Dist: "uniform", Len: "const:4"},
+		{Name: "x", Type: "char:8", Dist: "uniform:5", Len: "gamma:1"},
+		{Name: "x", Type: "int32", Dist: "zipf:10"},
+	}
+	for _, c := range bad {
+		if _, err := buildColumn(c); err == nil {
+			t.Errorf("column spec %+v should fail", c)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"samplecf/internal/distrib"
+	"samplecf/internal/value"
+	"samplecf/internal/workload"
+)
+
+// tableSpecJSON is the wire form of a synthetic table definition accepted
+// by POST /tables. The compact colon syntax ("zipf:8000:0.7") keeps specs
+// one-line in curl calls; see docs/cfserve.md for the vocabulary.
+type tableSpecJSON struct {
+	Name   string           `json:"name"`
+	N      int64            `json:"n"`
+	Seed   uint64           `json:"seed"`
+	Layout string           `json:"layout,omitempty"` // "shuffled" (default) | "clustered"
+	Cols   []columnSpecJSON `json:"cols"`
+}
+
+// columnSpecJSON describes one generated column.
+type columnSpecJSON struct {
+	Name string `json:"name"`
+	// Type: "char:K", "varchar:MAX", "int32", "int64".
+	Type string `json:"type"`
+	// Dist: "uniform:D", "zipf:D:THETA", "hotset:D:FRAC:PROB".
+	Dist string `json:"dist"`
+	// Len (character types): "const:L", "uniform:LO:HI",
+	// "normal:MU:SIGMA:LO:HI", "bimodal:SHORT:LONG:PSHORT".
+	Len string `json:"len,omitempty"`
+	// Seed derives the column's value stream (character types).
+	Seed uint64 `json:"seed,omitempty"`
+	// Offset shifts integer domains (integer types).
+	Offset int64 `json:"offset,omitempty"`
+}
+
+// buildTable materializes a workload table from the wire spec.
+func buildTable(spec tableSpecJSON) (*workload.Table, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("table name is required")
+	}
+	if spec.N <= 0 {
+		return nil, fmt.Errorf("table %q: n must be positive", spec.Name)
+	}
+	layout := workload.LayoutShuffled
+	switch spec.Layout {
+	case "", "shuffled":
+	case "clustered":
+		layout = workload.LayoutClustered
+	default:
+		return nil, fmt.Errorf("table %q: unknown layout %q", spec.Name, spec.Layout)
+	}
+	cols := make([]workload.SpecColumn, 0, len(spec.Cols))
+	for _, c := range spec.Cols {
+		gen, err := buildColumn(c)
+		if err != nil {
+			return nil, fmt.Errorf("table %q, column %q: %w", spec.Name, c.Name, err)
+		}
+		cols = append(cols, workload.SpecColumn{Name: c.Name, Gen: gen})
+	}
+	return workload.Generate(workload.Spec{
+		Name: spec.Name, N: spec.N, Seed: spec.Seed, Layout: layout, Cols: cols,
+	})
+}
+
+// buildColumn resolves one column spec into a generator.
+func buildColumn(c columnSpecJSON) (workload.ColumnGen, error) {
+	typ, isChar, err := parseType(c.Type)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := parseDist(c.Dist)
+	if err != nil {
+		return nil, err
+	}
+	if isChar {
+		lengths, err := parseLen(c.Len)
+		if err != nil {
+			return nil, err
+		}
+		return workload.NewStringColumn(typ, dist, lengths, c.Seed)
+	}
+	return workload.NewIntColumn(typ, dist, c.Offset)
+}
+
+// parseType resolves "char:K" / "varchar:MAX" / "int32" / "int64".
+func parseType(s string) (typ value.Type, isChar bool, err error) {
+	kind, args := splitSpec(s)
+	switch kind {
+	case "char":
+		k, err := intArgs(args, 1, "char")
+		if err != nil {
+			return value.Type{}, false, err
+		}
+		return value.Char(k[0]), true, nil
+	case "varchar":
+		k, err := intArgs(args, 1, "varchar")
+		if err != nil {
+			return value.Type{}, false, err
+		}
+		return value.VarChar(k[0]), true, nil
+	case "int32", "int":
+		return value.Int32(), false, nil
+	case "int64", "bigint":
+		return value.Int64(), false, nil
+	default:
+		return value.Type{}, false, fmt.Errorf("unknown type %q (want char:K, varchar:MAX, int32, int64)", s)
+	}
+}
+
+// parseDist resolves "uniform:D" / "zipf:D:THETA" / "hotset:D:FRAC:PROB".
+func parseDist(s string) (distrib.Discrete, error) {
+	kind, args := splitSpec(s)
+	switch kind {
+	case "uniform":
+		a, err := intArgs(args, 1, "uniform")
+		if err != nil {
+			return nil, err
+		}
+		return distrib.NewUniform(int64(a[0])), nil
+	case "zipf":
+		if len(args) != 2 {
+			return nil, fmt.Errorf("zipf wants zipf:D:THETA, got %q", s)
+		}
+		d, err1 := strconv.ParseInt(args[0], 10, 64)
+		theta, err2 := strconv.ParseFloat(args[1], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad zipf spec %q", s)
+		}
+		return distrib.NewZipf(d, theta), nil
+	case "hotset":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("hotset wants hotset:D:FRAC:PROB, got %q", s)
+		}
+		d, err1 := strconv.ParseInt(args[0], 10, 64)
+		frac, err2 := strconv.ParseFloat(args[1], 64)
+		prob, err3 := strconv.ParseFloat(args[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("bad hotset spec %q", s)
+		}
+		return distrib.NewHotSet(d, frac, prob), nil
+	default:
+		return nil, fmt.Errorf("unknown distribution %q (want uniform:D, zipf:D:THETA, hotset:D:FRAC:PROB)", s)
+	}
+}
+
+// parseLen resolves the length distribution of character columns.
+func parseLen(s string) (distrib.Lengths, error) {
+	kind, args := splitSpec(s)
+	switch kind {
+	case "const":
+		a, err := intArgs(args, 1, "const")
+		if err != nil {
+			return nil, err
+		}
+		return distrib.NewConstantLen(a[0]), nil
+	case "uniform":
+		a, err := intArgs(args, 2, "uniform")
+		if err != nil {
+			return nil, err
+		}
+		return distrib.NewUniformLen(a[0], a[1]), nil
+	case "normal":
+		if len(args) != 4 {
+			return nil, fmt.Errorf("normal wants normal:MU:SIGMA:LO:HI, got %q", s)
+		}
+		mu, err1 := strconv.ParseFloat(args[0], 64)
+		sigma, err2 := strconv.ParseFloat(args[1], 64)
+		lo, err3 := strconv.Atoi(args[2])
+		hi, err4 := strconv.Atoi(args[3])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("bad normal spec %q", s)
+		}
+		return distrib.NewNormalLen(mu, sigma, lo, hi), nil
+	case "bimodal":
+		if len(args) != 3 {
+			return nil, fmt.Errorf("bimodal wants bimodal:SHORT:LONG:PSHORT, got %q", s)
+		}
+		short, err1 := strconv.Atoi(args[0])
+		long, err2 := strconv.Atoi(args[1])
+		p, err3 := strconv.ParseFloat(args[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("bad bimodal spec %q", s)
+		}
+		return distrib.NewBimodalLen(short, long, p), nil
+	default:
+		return nil, fmt.Errorf("unknown length distribution %q (want const:L, uniform:LO:HI, normal:MU:SIGMA:LO:HI, bimodal:SHORT:LONG:PSHORT)", s)
+	}
+}
+
+// splitSpec separates "kind:arg1:arg2" into kind and args.
+func splitSpec(s string) (string, []string) {
+	parts := strings.Split(s, ":")
+	return parts[0], parts[1:]
+}
+
+// intArgs parses exactly want integer arguments.
+func intArgs(args []string, want int, kind string) ([]int, error) {
+	if len(args) != want {
+		return nil, fmt.Errorf("%s wants %d argument(s), got %d", kind, want, len(args))
+	}
+	out := make([]int, len(args))
+	for i, a := range args {
+		v, err := strconv.Atoi(a)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad integer %q", kind, a)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

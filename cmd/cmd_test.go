@@ -4,11 +4,16 @@
 package cmd_test
 
 import (
+	"bufio"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // buildTool compiles one command into a temp dir and returns the binary path.
@@ -99,6 +104,70 @@ func TestCfestGeneratedMode(t *testing.T) {
 	}
 	if err := exec.Command(cfest, "-gen", "-codec", "bogus").Run(); err == nil {
 		t.Fatal("cfest with unknown codec succeeded")
+	}
+}
+
+// TestCfserveGracefulShutdown runs the service binary end to end: start on
+// an ephemeral port, serve a /whatif batch over real HTTP, then deliver
+// SIGTERM and require a clean drain and zero exit.
+func TestCfserveGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	cfserve := buildTool(t, "cfserve")
+	cmd := exec.Command(cfserve, "-addr", "127.0.0.1:0", "-demo")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first log line reports the bound address.
+	sc := bufio.NewScanner(stderr)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr = strings.Fields(line[i+len("listening on "):])[0]
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no listening line on stderr (scan err %v)", sc.Err())
+	}
+	go io.Copy(io.Discard, stderr) // keep the pipe drained
+
+	resp, err := http.Post("http://"+addr+"/whatif", "application/json",
+		strings.NewReader(`{"table":"demo","fraction":0.01,"seed":1,"candidates":[
+			{"columns":["region"],"codec":"nullsuppression"},
+			{"columns":["region"],"codec":"rle"}]}`))
+	if err != nil {
+		t.Fatalf("whatif request: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("whatif status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "shared_sample") {
+		t.Fatalf("whatif response missing shared_sample: %s", body)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cfserve exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("cfserve did not exit within 15s of SIGTERM")
 	}
 }
 

@@ -3,10 +3,16 @@
 // sp_estimate_data_compression_savings, which the paper identifies as a
 // deployed user of sampling-based CF estimation.
 //
+// All (index, codec) pairs go through the estimation engine as ONE batch:
+// the engine draws a single 2% sample of the table and reuses it for every
+// cell of the matrix, and each index's sorted build is shared by all of
+// its codecs. The footer reports how much work the sharing saved.
+//
 //	go run ./examples/whatif_compression
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -50,31 +56,46 @@ func main() {
 	}
 	codecs := []string{"nullsuppression", "page", "pagedict+ns", "globaldict"}
 
+	// One engine request per matrix cell; one batch for the whole matrix.
+	eng := samplecf.NewEngine(samplecf.EngineConfig{})
+	defer eng.Close()
+	var reqs []samplecf.EngineRequest
+	for _, keyCols := range indexes {
+		for _, codecName := range codecs {
+			codec, err := samplecf.LookupCodec(codecName)
+			if err != nil {
+				log.Fatal(err)
+			}
+			reqs = append(reqs, samplecf.EngineRequest{
+				Table:      items,
+				KeyColumns: keyCols,
+				Codec:      codec,
+				Fraction:   0.02,
+				Seed:       9,
+			})
+		}
+	}
+	results := eng.WhatIf(context.Background(), reqs)
+
 	fmt.Printf("what-if compression savings for table %q (%d rows), f = 2%%\n\n", "items", n)
 	fmt.Printf("%-22s", "index \\ codec")
 	for _, c := range codecs {
 		fmt.Printf("  %-16s", c)
 	}
 	fmt.Println()
-	for _, keyCols := range indexes {
+	for i, keyCols := range indexes {
 		fmt.Printf("%-22s", fmt.Sprintf("%v", keyCols))
-		for _, codecName := range codecs {
-			codec, err := samplecf.LookupCodec(codecName)
-			if err != nil {
-				log.Fatal(err)
+		for j := range codecs {
+			res := results[i*len(codecs)+j]
+			if res.Err != nil {
+				log.Fatal(res.Err)
 			}
-			est, err := samplecf.Estimate(items, samplecf.Options{
-				Fraction:   0.02,
-				Codec:      codec,
-				KeyColumns: keyCols,
-				Seed:       9,
-			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("  CF %.3f (%4.1f%%)", est.CF, (1-est.CF)*100)
+			fmt.Printf("  CF %.3f (%4.1f%%)", res.Estimate.CF, (1-res.Estimate.CF)*100)
 		}
 		fmt.Println()
 	}
-	fmt.Println("\n(percentages are estimated space savings; pick the best codec per index)")
+	st := eng.Stats()
+	fmt.Printf("\n(percentages are estimated space savings; pick the best codec per index)\n")
+	fmt.Printf("engine: %d candidates sized from %d sample draw(s) and %d index build(s)\n",
+		st.Evaluated, st.SamplesDrawn, st.IndexesPrepared)
 }

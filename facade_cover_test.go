@@ -1,6 +1,7 @@
 package samplecf_test
 
 import (
+	"context"
 	"testing"
 
 	"samplecf"
@@ -114,5 +115,74 @@ func TestFacadeSurface(t *testing.T) {
 	// VARCHAR(12) holding "abc": CF = 4/12 exactly.
 	if est.CF != 4.0/12.0 {
 		t.Errorf("engine estimate %v, want 1/3", est.CF)
+	}
+}
+
+// TestFacadeEngine exercises the estimation-engine wrappers: batch WhatIf
+// with shared samples, the single-request path, stats, and the batch
+// sizing entry point used by the advisor.
+func TestFacadeEngine(t *testing.T) {
+	col, err := samplecf.NewStringColumn(samplecf.Char(12), samplecf.Uniform(20), samplecf.ConstantLen(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := samplecf.Generate(samplecf.TableSpec{
+		Name: "facade-engine", N: 2000, Seed: 2,
+		Cols: []samplecf.TableColumn{{Name: "a", Gen: col}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns, err := samplecf.LookupCodec("nullsuppression")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rle, err := samplecf.LookupCodec("rle")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := samplecf.NewEngine(samplecf.EngineConfig{Workers: 2})
+	defer eng.Close()
+	reqs := []samplecf.EngineRequest{
+		{Table: tab, KeyColumns: []string{"a"}, Codec: ns, Fraction: 0.1, Seed: 3},
+		{Table: tab, KeyColumns: []string{"a"}, Codec: rle, Fraction: 0.1, Seed: 3},
+	}
+	results := samplecf.WhatIf(context.Background(), eng, reqs)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("batch item %d: %v", i, r.Err)
+		}
+		if !r.SharedSample {
+			t.Errorf("item %d should share the batch sample", i)
+		}
+	}
+	// The batch must agree with one-shot Estimate at the same seed.
+	oneShot, err := samplecf.Estimate(tab, samplecf.Options{
+		Fraction: 0.1, Codec: ns, KeyColumns: []string{"a"}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Estimate.CF != oneShot.CF {
+		t.Errorf("engine CF %v != one-shot CF %v", results[0].Estimate.CF, oneShot.CF)
+	}
+	if repeat := eng.Estimate(context.Background(), reqs[0]); !repeat.CacheHit {
+		t.Error("repeated request should hit the cache")
+	}
+	if st := eng.Stats(); st.SamplesDrawn != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 sample drawn and 1 hit", st)
+	}
+
+	// Batch candidate sizing through the facade.
+	sized, err := samplecf.SizeCandidates([]samplecf.AdvisorCandidate{
+		{Name: "plain", Table: tab, KeyColumns: []string{"a"}},
+		{Name: "ns", Table: tab, KeyColumns: []string{"a"}, Codec: ns},
+	}, samplecf.AdvisorOptions{SampleFraction: 0.1, Seed: 3, Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sized[0].EstimatedCF != 1.0 || sized[1].EstimatedCF >= 1.0 {
+		t.Errorf("sized CFs = %v, %v", sized[0].EstimatedCF, sized[1].EstimatedCF)
 	}
 }

@@ -1,0 +1,3 @@
+module samplecf
+
+go 1.24

@@ -147,12 +147,14 @@ func SampleCFWithRows(src sampling.RowSource, schema *value.Schema, opts Options
 	if err != nil {
 		return Estimate{}, nil, err
 	}
-	// Project once so the bootstrap re-encodes only key columns.
+	// Project once so the bootstrap re-encodes only key columns; the
+	// estimate below reuses the projected rows (nil project) rather than
+	// projecting again.
 	projected := make([]value.Row, len(rows))
 	for i, row := range rows {
 		projected[i] = projectRow(row, project)
 	}
-	est, err := estimateFromSample(rows, n, keySchema, project, opts)
+	est, err := estimateFromSample(projected, n, keySchema, nil, opts)
 	if err != nil {
 		return Estimate{}, nil, err
 	}

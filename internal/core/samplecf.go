@@ -174,9 +174,33 @@ func SampleCF(src sampling.RowSource, schema *value.Schema, opts Options) (Estim
 	return est, nil
 }
 
-// estimateFromSample runs steps 2-4 of Fig. 2 on an already-drawn sample
-// from a table of n rows.
-func estimateFromSample(rows []value.Row, n int64, keySchema *value.Schema, project []int, opts Options) (Estimate, error) {
+// PreparedIndex is steps 2 of Fig. 2 factored out of the estimator: the
+// sample's index records encoded and key-sorted, plus the frequency
+// profile, independent of any codec. Preparing once and compressing many
+// times is what lets a batch what-if request size every codec of an index
+// from a single sample sort (see internal/engine). A PreparedIndex is
+// immutable after construction and safe for concurrent Estimate calls.
+type PreparedIndex struct {
+	keySchema *value.Schema
+	keys      [][]byte // sorted memcomparable keys
+	recs      [][]byte // fixed-width records, same order
+	profile   distinct.Profile
+	prepDur   time.Duration
+}
+
+// PrepareIndex encodes and key-sorts the sampled rows of a table of n rows
+// for the index on keyCols (empty = all columns of schema).
+func PrepareIndex(rows []value.Row, n int64, schema *value.Schema, keyCols []string) (*PreparedIndex, error) {
+	keySchema, project, err := keyProjection(schema, keyCols)
+	if err != nil {
+		return nil, err
+	}
+	return prepareProjected(rows, n, keySchema, project)
+}
+
+// prepareProjected is PrepareIndex after column resolution; project == nil
+// means rows already hold exactly the key columns.
+func prepareProjected(rows []value.Row, n int64, keySchema *value.Schema, project []int) (*PreparedIndex, error) {
 	buildStart := time.Now()
 	// Encode each sampled row's index record (fixed width) and search key
 	// (memcomparable), then order by key — the sort an index build performs.
@@ -185,14 +209,17 @@ func estimateFromSample(rows []value.Row, n int64, keySchema *value.Schema, proj
 	}
 	entries := make([]entry, len(rows))
 	for i, row := range rows {
-		krow := projectRow(row, project)
+		krow := row
+		if project != nil {
+			krow = projectRow(row, project)
+		}
 		rec, err := value.EncodeRecord(keySchema, krow, nil)
 		if err != nil {
-			return Estimate{}, fmt.Errorf("core: encode sample row: %w", err)
+			return nil, fmt.Errorf("core: encode sample row: %w", err)
 		}
 		key, err := value.EncodeKey(keySchema, krow, nil)
 		if err != nil {
-			return Estimate{}, fmt.Errorf("core: encode sample key: %w", err)
+			return nil, fmt.Errorf("core: encode sample key: %w", err)
 		}
 		entries[i] = entry{key: key, rec: rec}
 	}
@@ -215,39 +242,67 @@ func estimateFromSample(rows []value.Row, n int64, keySchema *value.Schema, proj
 	}
 	profile.R = int64(len(entries))
 
-	est := Estimate{
-		SampleRows:     int64(len(entries)),
-		SampleDistinct: profile.D,
-		Profile:        profile,
+	p := &PreparedIndex{
+		keySchema: keySchema,
+		keys:      make([][]byte, len(entries)),
+		recs:      make([][]byte, len(entries)),
+		profile:   profile,
 	}
+	for i, e := range entries {
+		p.keys[i] = e.key
+		p.recs[i] = e.rec
+	}
+	p.prepDur = time.Since(buildStart)
+	return p, nil
+}
 
+// KeySchema returns the index key schema.
+func (p *PreparedIndex) KeySchema() *value.Schema { return p.keySchema }
+
+// SampleRows returns the realized sample size r.
+func (p *PreparedIndex) SampleRows() int64 { return int64(len(p.recs)) }
+
+// Profile returns the sample's frequency-of-frequency profile.
+func (p *PreparedIndex) Profile() distinct.Profile { return p.profile }
+
+// Estimate runs steps 3-4 of Fig. 2 — compress the prepared index with
+// opts.Codec and report its CF. Safe to call concurrently with different
+// codecs on the same PreparedIndex. Each call returns its own copy of the
+// frequency profile, so callers may mutate it freely.
+func (p *PreparedIndex) Estimate(opts Options) (Estimate, error) {
+	opts = opts.withDefaults()
+	if opts.Codec == nil {
+		return Estimate{}, fmt.Errorf("core: Options.Codec is required")
+	}
+	est := Estimate{
+		SampleRows:     p.SampleRows(),
+		SampleDistinct: p.profile.D,
+		Profile:        cloneProfile(p.profile),
+		BuildDuration:  p.prepDur,
+	}
 	var res compress.Result
 	var err error
 	if opts.BuildIndex {
 		// Literal Fig. 2: bulk-load a real B+-tree on the sample, then
 		// compress its leaf pages.
-		items := make([]btree.Item, len(entries))
-		for i, e := range entries {
-			items[i] = btree.Item{Key: e.key, Payload: e.rec}
+		treeStart := time.Now()
+		items := make([]btree.Item, len(p.recs))
+		for i := range p.recs {
+			items[i] = btree.Item{Key: p.keys[i], Payload: p.recs[i]}
 		}
 		store := heap.NewMemStore(opts.PageSize)
 		tree, err2 := btree.BulkLoadItems(store, items, opts.FillFactor)
 		if err2 != nil {
 			return Estimate{}, fmt.Errorf("core: build sample index: %w", err2)
 		}
-		est.BuildDuration = time.Since(buildStart)
+		est.BuildDuration += time.Since(treeStart)
 		compressStart := time.Now()
-		res, err = compress.MeasureTree(tree, keySchema, opts.Codec)
+		res, err = compress.MeasureTree(tree, p.keySchema, opts.Codec)
 		est.CompressDuration = time.Since(compressStart)
 	} else {
-		recs := make([][]byte, len(entries))
-		for i, e := range entries {
-			recs[i] = e.rec
-		}
-		est.BuildDuration = time.Since(buildStart)
 		compressStart := time.Now()
-		rpp := compress.RowsPerPage(keySchema, opts.PageSize)
-		res, err = compress.MeasureRecords(keySchema, opts.Codec, recs, rpp)
+		rpp := compress.RowsPerPage(p.keySchema, opts.PageSize)
+		res, err = compress.MeasureRecords(p.keySchema, opts.Codec, p.recs, rpp)
 		est.CompressDuration = time.Since(compressStart)
 	}
 	if err != nil {
@@ -256,6 +311,27 @@ func estimateFromSample(rows []value.Row, n int64, keySchema *value.Schema, proj
 	est.Result = res
 	est.CF = res.CF()
 	return est, nil
+}
+
+// estimateFromSample runs steps 2-4 of Fig. 2 on an already-drawn sample
+// from a table of n rows.
+func estimateFromSample(rows []value.Row, n int64, keySchema *value.Schema, project []int, opts Options) (Estimate, error) {
+	p, err := prepareProjected(rows, n, keySchema, project)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return p.Estimate(opts)
+}
+
+// cloneProfile deep-copies the frequency-of-frequency map so shared
+// PreparedIndex and cached estimates never alias caller-visible state.
+func cloneProfile(p distinct.Profile) distinct.Profile {
+	f := make(map[int64]int64, len(p.F))
+	for k, v := range p.F {
+		f[k] = v
+	}
+	p.F = f
+	return p
 }
 
 // keyProjection resolves the index column sequence S into a key schema and

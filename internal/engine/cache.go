@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"samplecf/internal/core"
+)
+
+// cacheKey identifies one estimation result: everything that changes the
+// outcome of a SampleCF run must appear here.
+type cacheKey struct {
+	tableFP  uint64 // content fingerprint, not pointer identity
+	columns  string // "\x00"-joined key column names
+	codec    string
+	fraction float64
+	rows     int64
+	seed     uint64
+	pageSize int
+}
+
+// lruCache is a fixed-capacity LRU map from cacheKey to core.Estimate.
+// A zero capacity disables caching (every Get misses, Put is a no-op).
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent; values are *lruEntry
+	items    map[cacheKey]*list.Element
+}
+
+type lruEntry struct {
+	key cacheKey
+	est core.Estimate
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &lruCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached estimate for key, refreshing its recency. The
+// estimate's frequency profile is deep-copied so concurrent hits never
+// alias one map and callers may mutate their copy freely.
+func (c *lruCache) Get(key cacheKey) (core.Estimate, bool) {
+	if c.capacity == 0 {
+		return core.Estimate{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return core.Estimate{}, false
+	}
+	c.order.MoveToFront(el)
+	return cloneEstimate(el.Value.(*lruEntry).est), true
+}
+
+// Put stores a private copy of est under key, evicting the
+// least-recently-used entry when over capacity. Returns the number of
+// evictions (0 or 1).
+func (c *lruCache) Put(key cacheKey, est core.Estimate) int {
+	if c.capacity == 0 {
+		return 0
+	}
+	est = cloneEstimate(est)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).est = est
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, est: est})
+	if c.order.Len() <= c.capacity {
+		return 0
+	}
+	oldest := c.order.Back()
+	c.order.Remove(oldest)
+	delete(c.items, oldest.Value.(*lruEntry).key)
+	return 1
+}
+
+// cloneEstimate copies the one mutable field of an Estimate (the profile's
+// frequency map); everything else is value-typed.
+func cloneEstimate(est core.Estimate) core.Estimate {
+	f := make(map[int64]int64, len(est.Profile.F))
+	for k, v := range est.Profile.F {
+		f[k] = v
+	}
+	est.Profile.F = f
+	return est
+}
+
+// Len reports the current entry count.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,401 @@
+// Package engine is the concurrent what-if estimation engine: the layer
+// that turns one-shot SampleCF runs into a service-grade primitive. The
+// paper's point is that sampling makes compressed-index size estimates
+// cheap enough for an automated physical design tool to call *many times*;
+// the realistic call pattern (Kimura et al., "Compression Aware Physical
+// Database Design") is a batch of what-if questions over many
+// (index-column-set, codec) candidates of the same table. The engine
+// exploits that shape three ways:
+//
+//   - shared-sample batching — one uniform sample is drawn per
+//     (table, fraction|rows, seed) and reused by every candidate in the
+//     batch, and the encoded, key-sorted index build (core.PreparedIndex)
+//     is shared by every codec of the same column set;
+//   - a worker pool — candidates evaluate concurrently across a bounded
+//     set of goroutines shared by all in-flight batches;
+//   - an LRU result cache keyed by (table fingerprint, key columns, codec,
+//     fraction|rows, seed, page size) with hit/miss/eviction counters, so
+//     repeated what-if traffic (the advisor's enumeration loops, cfserve's
+//     HTTP clients) skips re-estimation entirely.
+//
+// Batches take a context: items not yet started when the deadline expires
+// fail with the context error, while every other item completes normally —
+// errors are isolated per candidate, never batch-fatal.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"samplecf/internal/compress"
+	"samplecf/internal/core"
+	"samplecf/internal/page"
+	"samplecf/internal/rng"
+	"samplecf/internal/sampling"
+	"samplecf/internal/value"
+)
+
+// Table is the engine's view of an estimation source: random row access
+// for sampling plus identity. Both workload.Table and workload.VirtualTable
+// satisfy it.
+type Table interface {
+	sampling.RowSource
+	Schema() *value.Schema
+	Name() string
+}
+
+// Config tunes an Engine.
+type Config struct {
+	// Workers is the goroutine pool size (default GOMAXPROCS).
+	Workers int
+	// CacheEntries bounds the LRU result cache (default 1024; negative
+	// disables caching).
+	CacheEntries int
+	// PageSize is the default index page size for requests that leave
+	// theirs zero (default page.DefaultSize).
+	PageSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.CacheEntries == 0:
+		c.CacheEntries = 1024
+	case c.CacheEntries < 0:
+		c.CacheEntries = 0
+	}
+	if c.PageSize == 0 {
+		c.PageSize = page.DefaultSize
+	}
+	return c
+}
+
+// Request is one what-if question: how big would the index on
+// Table(KeyColumns) be under Codec, estimated from a sample of Fraction
+// (or exactly SampleRows rows) drawn with Seed?
+type Request struct {
+	Table Table
+	// KeyColumns is the index column sequence (empty = all columns).
+	KeyColumns []string
+	// Codec is required; sizing uncompressed candidates needs no estimator.
+	Codec compress.Codec
+	// Fraction is the sampling fraction f; ignored when SampleRows > 0.
+	Fraction float64
+	// SampleRows fixes the sample size r directly.
+	SampleRows int64
+	// Seed fixes the sample, making results reproducible and cacheable.
+	Seed uint64
+	// PageSize overrides the engine default for this request.
+	PageSize int
+}
+
+// Result is one candidate's outcome. Err is per-candidate: a failed or
+// deadline-expired item never poisons its batch.
+type Result struct {
+	Estimate core.Estimate
+	Err      error
+	// CacheHit reports the estimate came from the LRU cache.
+	CacheHit bool
+	// SharedSample reports the estimate reused a sample drawn for another
+	// candidate in the same batch.
+	SharedSample bool
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	// Hits and Misses count result-cache lookups; Evictions counts LRU
+	// displacements.
+	Hits, Misses, Evictions uint64
+	// SamplesDrawn counts physical sample draws; SamplesShared counts
+	// candidates that reused a batch-mate's sample.
+	SamplesDrawn, SamplesShared uint64
+	// IndexesPrepared counts encode+sort builds; Evaluated counts candidate
+	// estimates computed (cache hits excluded).
+	IndexesPrepared, Evaluated uint64
+	// CacheEntries is the current LRU size.
+	CacheEntries int
+}
+
+// Engine owns the worker pool and result cache. Create with New, release
+// with Close. All methods are safe for concurrent use.
+type Engine struct {
+	cfg   Config
+	cache *lruCache
+
+	jobs chan func()
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	closeOnce sync.Once
+
+	hits, misses, evictions     atomic.Uint64
+	samplesDrawn, samplesShared atomic.Uint64
+	prepared, evaluated         atomic.Uint64
+}
+
+// New starts an engine with cfg's worker pool.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:   cfg,
+		cache: newLRUCache(cfg.CacheEntries),
+		jobs:  make(chan func()),
+		quit:  make(chan struct{}),
+	}
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go func() {
+			defer e.wg.Done()
+			// jobs is unbuffered, so a send only completes when paired with
+			// a receive here — an accepted job always runs, and the channel
+			// is never closed (senders select on quit instead).
+			for {
+				select {
+				case job := <-e.jobs:
+					job()
+				case <-e.quit:
+					return
+				}
+			}
+		}()
+	}
+	return e
+}
+
+// Close stops the worker pool after in-flight work drains. Batches
+// submitted after Close fail with an error result per item.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.quit) })
+	e.wg.Wait()
+}
+
+// Stats snapshots the counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Hits:            e.hits.Load(),
+		Misses:          e.misses.Load(),
+		Evictions:       e.evictions.Load(),
+		SamplesDrawn:    e.samplesDrawn.Load(),
+		SamplesShared:   e.samplesShared.Load(),
+		IndexesPrepared: e.prepared.Load(),
+		Evaluated:       e.evaluated.Load(),
+		CacheEntries:    e.cache.Len(),
+	}
+}
+
+// Estimate answers a single what-if question through the engine (cache,
+// pool, and all); it is WhatIf with a one-element batch.
+func (e *Engine) Estimate(ctx context.Context, req Request) Result {
+	return e.WhatIf(ctx, []Request{req})[0]
+}
+
+// sampleGroup shares one drawn sample among every batch item with the same
+// (table fingerprint, sample size, seed).
+type sampleGroup struct {
+	once    sync.Once
+	table   Table
+	r       int64
+	seed    uint64
+	members int
+
+	rows []value.Row
+	err  error
+}
+
+// prepGroup shares one encoded, key-sorted index among every batch item
+// with the same sample group and key column set.
+type prepGroup struct {
+	once    sync.Once
+	sg      *sampleGroup
+	keyCols []string
+	members int
+
+	prep *core.PreparedIndex
+	err  error
+}
+
+// batchItem is one request resolved against the dedup structures.
+type batchItem struct {
+	idx int
+	req Request
+	key cacheKey
+	sg  *sampleGroup
+	pg  *prepGroup
+}
+
+// WhatIf evaluates a batch of candidates, drawing each distinct
+// (table, sample size, seed) sample once and each distinct
+// (sample, key columns) index build once, fanning the per-codec
+// compression work across the worker pool. The result slice is parallel to
+// reqs. ctx bounds the batch: items not started before ctx expires carry
+// ctx's error; items already running complete.
+func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
+	results := make([]Result, len(reqs))
+	if len(reqs) == 0 {
+		return results
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	type sgKey struct {
+		fp   uint64
+		r    int64
+		seed uint64
+	}
+	type pgKey struct {
+		sg   sgKey
+		cols string
+	}
+	sampleGroups := make(map[sgKey]*sampleGroup)
+	prepGroups := make(map[pgKey]*prepGroup)
+	fps := make(map[Table]uint64) // fingerprint once per distinct table in the batch
+	var pending []*batchItem
+
+	for i, req := range reqs {
+		if err := validate(req); err != nil {
+			results[i] = Result{Err: err}
+			continue
+		}
+		n := req.Table.NumRows()
+		r := req.SampleRows
+		if r <= 0 {
+			r = sampling.SampleSize(n, req.Fraction)
+		}
+		if r <= 0 {
+			results[i] = Result{Err: fmt.Errorf("engine: request %d: sample size is zero (fraction %v)", i, req.Fraction)}
+			continue
+		}
+		fp, ok := fps[req.Table]
+		if !ok {
+			var err error
+			fp, err = fingerprint(req.Table)
+			if err != nil {
+				results[i] = Result{Err: fmt.Errorf("engine: request %d: fingerprint: %w", i, err)}
+				continue
+			}
+			fps[req.Table] = fp
+		}
+		pageSize := req.PageSize
+		if pageSize == 0 {
+			pageSize = e.cfg.PageSize
+		}
+		key := cacheKey{
+			tableFP:  fp,
+			columns:  strings.Join(req.KeyColumns, "\x00"),
+			codec:    req.Codec.Name(),
+			fraction: req.Fraction,
+			rows:     req.SampleRows,
+			seed:     req.Seed,
+			pageSize: pageSize,
+		}
+		if est, ok := e.cache.Get(key); ok {
+			e.hits.Add(1)
+			results[i] = Result{Estimate: est, CacheHit: true}
+			continue
+		}
+		e.misses.Add(1)
+
+		sk := sgKey{fp: fp, r: r, seed: req.Seed}
+		sg, ok := sampleGroups[sk]
+		if !ok {
+			sg = &sampleGroup{table: req.Table, r: r, seed: req.Seed}
+			sampleGroups[sk] = sg
+		}
+		sg.members++
+		pk := pgKey{sg: sk, cols: key.columns}
+		pg, ok := prepGroups[pk]
+		if !ok {
+			pg = &prepGroup{sg: sg, keyCols: req.KeyColumns}
+			prepGroups[pk] = pg
+		}
+		pg.members++
+		pending = append(pending, &batchItem{idx: i, req: req, key: key, sg: sg, pg: pg})
+	}
+
+	var wg sync.WaitGroup
+	for _, it := range pending {
+		it := it
+		job := func() {
+			defer wg.Done()
+			results[it.idx] = e.evaluate(ctx, it)
+		}
+		wg.Add(1)
+		select {
+		case e.jobs <- job:
+		case <-e.quit:
+			wg.Done()
+			results[it.idx] = Result{Err: fmt.Errorf("engine: closed")}
+		case <-ctx.Done():
+			wg.Done()
+			results[it.idx] = Result{Err: fmt.Errorf("engine: request %d not started: %w", it.idx, ctx.Err())}
+		}
+	}
+	wg.Wait()
+	return results
+}
+
+// evaluate runs one batch item on a pool worker: draw (or reuse) the
+// group's sample, build (or reuse) the sorted index, compress with the
+// item's codec, and cache the result.
+func (e *Engine) evaluate(ctx context.Context, it *batchItem) Result {
+	if err := ctx.Err(); err != nil {
+		return Result{Err: fmt.Errorf("engine: request %d not started: %w", it.idx, err)}
+	}
+	sg := it.sg
+	sg.once.Do(func() {
+		e.samplesDrawn.Add(1)
+		sg.rows, sg.err = sampling.UniformWR(sg.table, sg.r, rng.New(sg.seed))
+	})
+	if sg.err != nil {
+		return Result{Err: fmt.Errorf("engine: request %d: sampling: %w", it.idx, sg.err)}
+	}
+	pg := it.pg
+	pg.once.Do(func() {
+		e.prepared.Add(1)
+		pg.prep, pg.err = core.PrepareIndex(sg.rows, sg.table.NumRows(), sg.table.Schema(), pg.keyCols)
+	})
+	if pg.err != nil {
+		return Result{Err: fmt.Errorf("engine: request %d: prepare index: %w", it.idx, pg.err)}
+	}
+	pageSize := it.req.PageSize
+	if pageSize == 0 {
+		pageSize = e.cfg.PageSize
+	}
+	est, err := pg.prep.Estimate(core.Options{Codec: it.req.Codec, PageSize: pageSize})
+	if err != nil {
+		return Result{Err: fmt.Errorf("engine: request %d: %w", it.idx, err)}
+	}
+	e.evaluated.Add(1)
+	shared := sg.members > 1
+	if shared {
+		e.samplesShared.Add(1)
+	}
+	if ev := e.cache.Put(it.key, est); ev > 0 {
+		e.evictions.Add(uint64(ev))
+	}
+	return Result{Estimate: est, SharedSample: shared}
+}
+
+// validate rejects malformed requests before they reach the pool.
+func validate(req Request) error {
+	switch {
+	case req.Table == nil:
+		return fmt.Errorf("engine: Request.Table is required")
+	case req.Codec == nil:
+		return fmt.Errorf("engine: Request.Codec is required")
+	case req.Table.NumRows() == 0:
+		return fmt.Errorf("engine: table %q is empty", req.Table.Name())
+	case req.SampleRows < 0:
+		return fmt.Errorf("engine: negative sample size %d", req.SampleRows)
+	case req.SampleRows == 0 && (req.Fraction <= 0 || req.Fraction > 1):
+		return fmt.Errorf("engine: fraction %v outside (0,1]", req.Fraction)
+	}
+	return nil
+}

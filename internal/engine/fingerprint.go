@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"samplecf/internal/value"
+)
+
+// maxProbeRows bounds the number of rows hashed into a fingerprint.
+const maxProbeRows = 16
+
+// fingerprint summarizes a table's identity for cache keying: name, schema,
+// cardinality, and a deterministic probe of up to maxProbeRows rows spread
+// across the table. Two tables with the same fingerprint are treated as the
+// same estimation source; a changed row count or changed probed content
+// invalidates prior cache entries naturally by changing the key. Probing is
+// O(1) relative to table size, so it runs on every request rather than
+// trusting pointer identity across mutations.
+func fingerprint(t Table) (uint64, error) {
+	h := fnv.New64a()
+	h.Write([]byte(t.Name()))
+	h.Write([]byte{0})
+	for _, c := range t.Schema().Columns() {
+		h.Write([]byte(c.Name))
+		h.Write([]byte{0})
+		h.Write([]byte(c.Type.String()))
+		h.Write([]byte{0})
+	}
+	n := t.NumRows()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(n))
+	h.Write(buf[:])
+
+	probes := int64(maxProbeRows)
+	if n < probes {
+		probes = n
+	}
+	for i := int64(0); i < probes; i++ {
+		// Spread probes across the table: first, last, and evenly between.
+		pos := i * (n - 1) / max64(probes-1, 1)
+		row, err := t.Row(pos)
+		if err != nil {
+			return 0, err
+		}
+		hashRow(h, row)
+	}
+	return h.Sum64(), nil
+}
+
+// hashRow feeds one row's payloads into h with column separators.
+func hashRow(h interface{ Write([]byte) (int, error) }, row value.Row) {
+	for _, payload := range row {
+		h.Write(payload)
+		h.Write([]byte{0xff})
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -13,11 +13,12 @@
 package physdesign
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"samplecf/internal/compress"
-	"samplecf/internal/core"
+	"samplecf/internal/engine"
 	"samplecf/internal/page"
 	"samplecf/internal/sampling"
 	"samplecf/internal/value"
@@ -72,6 +73,13 @@ type Options struct {
 	// decompression cost; 0.2 means compressed pages cost 20% extra to
 	// consume (default 0.2).
 	CPUPenalty float64
+	// Engine sizes candidates when set: batch what-if calls share one
+	// sample per (table, fraction, seed) and hit the engine's result cache
+	// across Recommend calls. Nil means a private engine is created per
+	// sizing batch (same estimates, no cross-call reuse).
+	Engine *engine.Engine
+	// Context bounds candidate sizing (nil = no deadline).
+	Context context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -90,29 +98,62 @@ func (o Options) withDefaults() Options {
 // SizeCandidate estimates one candidate's footprint via SampleCF (or
 // trivially, for uncompressed candidates).
 func SizeCandidate(c Candidate, opts Options) (Sized, error) {
-	opts = opts.withDefaults()
-	keySchema, err := keySchemaOf(c)
+	sized, err := SizeCandidates([]Candidate{c}, opts)
 	if err != nil {
 		return Sized{}, err
 	}
-	uncompressed := c.Table.NumRows() * int64(keySchema.RowWidth())
-	s := Sized{Candidate: c, EstimatedCF: 1.0, UncompressedBytes: uncompressed, EstimatedBytes: uncompressed}
-	if c.Codec == nil {
-		return s, nil
+	return sized[0], nil
+}
+
+// SizeCandidates estimates every candidate's footprint in one engine batch:
+// all compressed candidates over the same table share a single sample, and
+// every codec of the same key column set shares one sorted index build.
+// This is the advisor's enumeration path — sizing N candidates costs one
+// sample + one sort per distinct column set, not N of each.
+func SizeCandidates(cands []Candidate, opts Options) ([]Sized, error) {
+	opts = opts.withDefaults()
+	eng := opts.Engine
+	if eng == nil {
+		eng = engine.New(engine.Config{PageSize: opts.PageSize})
+		defer eng.Close()
 	}
-	est, err := core.SampleCF(c.Table, c.Table.Schema(), core.Options{
-		Fraction:   opts.SampleFraction,
-		Codec:      c.Codec,
-		KeyColumns: c.KeyColumns,
-		Seed:       opts.Seed,
-		PageSize:   opts.PageSize,
-	})
-	if err != nil {
-		return Sized{}, fmt.Errorf("physdesign: size %s: %w", c.Name, err)
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	s.EstimatedCF = est.CF
-	s.EstimatedBytes = int64(est.CF * float64(uncompressed))
-	return s, nil
+
+	sized := make([]Sized, len(cands))
+	var reqs []engine.Request
+	var reqIdx []int // reqs[j] sizes cands[reqIdx[j]]
+	for i, c := range cands {
+		keySchema, err := keySchemaOf(c)
+		if err != nil {
+			return nil, fmt.Errorf("physdesign: size %s: %w", c.Name, err)
+		}
+		uncompressed := c.Table.NumRows() * int64(keySchema.RowWidth())
+		sized[i] = Sized{Candidate: c, EstimatedCF: 1.0, UncompressedBytes: uncompressed, EstimatedBytes: uncompressed}
+		if c.Codec == nil {
+			continue
+		}
+		reqs = append(reqs, engine.Request{
+			Table:      c.Table,
+			KeyColumns: c.KeyColumns,
+			Codec:      c.Codec,
+			Fraction:   opts.SampleFraction,
+			Seed:       opts.Seed,
+			PageSize:   opts.PageSize,
+		})
+		reqIdx = append(reqIdx, i)
+	}
+	for j, res := range eng.WhatIf(ctx, reqs) {
+		i := reqIdx[j]
+		if res.Err != nil {
+			return nil, fmt.Errorf("physdesign: size %s: %w", cands[i].Name, res.Err)
+		}
+		sized[i].EstimatedCF = res.Estimate.CF
+		sized[i].EstimatedBytes = int64(res.Estimate.CF * float64(sized[i].UncompressedBytes))
+	}
+	return sized, nil
 }
 
 // keySchemaOf resolves a candidate's key schema.
@@ -198,13 +239,9 @@ func Recommend(cands []Candidate, queries []Query, budgetBytes int64, opts Optio
 	if budgetBytes <= 0 {
 		return Recommendation{}, fmt.Errorf("physdesign: budget %d must be positive", budgetBytes)
 	}
-	sized := make([]Sized, 0, len(cands))
-	for _, c := range cands {
-		s, err := SizeCandidate(c, opts)
-		if err != nil {
-			return Recommendation{}, err
-		}
-		sized = append(sized, s)
+	sized, err := SizeCandidates(cands, opts)
+	if err != nil {
+		return Recommendation{}, err
 	}
 	type scored struct {
 		s       Sized

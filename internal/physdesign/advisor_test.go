@@ -2,12 +2,14 @@ package physdesign
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
 	"samplecf/internal/compress"
 	"samplecf/internal/core"
 	"samplecf/internal/distrib"
+	"samplecf/internal/engine"
 	"samplecf/internal/value"
 	"samplecf/internal/workload"
 )
@@ -77,6 +79,60 @@ func TestSizeCandidateCompressedCloseToTruth(t *testing.T) {
 	}
 	if s.EstimatedBytes >= s.UncompressedBytes {
 		t.Fatalf("compression did not shrink: %d vs %d", s.EstimatedBytes, s.UncompressedBytes)
+	}
+}
+
+// TestSizeCandidatesSharesOneSample checks the batch sizing path draws a
+// single sample for a mixed candidate list and that a shared engine's
+// cache answers a repeat call without new sampling.
+func TestSizeCandidatesSharesOneSample(t *testing.T) {
+	tab := advisorTable(t, 5000)
+	eng := engine.New(engine.Config{Workers: 2})
+	defer eng.Close()
+	cands := []Candidate{
+		{Name: "u", Table: tab, KeyColumns: []string{"name"}},
+		{Name: "ns", Table: tab, KeyColumns: []string{"name"}, Codec: mustCodec(t, "nullsuppression")},
+		{Name: "rle", Table: tab, KeyColumns: []string{"name"}, Codec: mustCodec(t, "rle")},
+		{Name: "id-ns", Table: tab, KeyColumns: []string{"id"}, Codec: mustCodec(t, "nullsuppression")},
+	}
+	opts := Options{SampleFraction: 0.05, Seed: 3, Engine: eng}
+	first, err := SizeCandidates(cands, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.SamplesDrawn != 1 {
+		t.Errorf("SamplesDrawn = %d, want 1", st.SamplesDrawn)
+	}
+	if st.IndexesPrepared != 2 {
+		t.Errorf("IndexesPrepared = %d, want 2 (name, id)", st.IndexesPrepared)
+	}
+	// Batch sizing must agree with the one-at-a-time path (same seed ⇒
+	// same sample ⇒ identical estimates).
+	for i, c := range cands {
+		single, err := SizeCandidate(c, Options{SampleFraction: 0.05, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first[i].EstimatedCF != single.EstimatedCF || first[i].EstimatedBytes != single.EstimatedBytes {
+			t.Errorf("candidate %s: batch (%v, %d) != single (%v, %d)",
+				c.Name, first[i].EstimatedCF, first[i].EstimatedBytes, single.EstimatedCF, single.EstimatedBytes)
+		}
+	}
+	// Repeat through the same engine: all cache hits, no new samples.
+	again, err := SizeCandidates(cands, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Error("cached re-sizing diverged")
+	}
+	st2 := eng.Stats()
+	if st2.SamplesDrawn != st.SamplesDrawn {
+		t.Errorf("repeat sizing drew %d new samples", st2.SamplesDrawn-st.SamplesDrawn)
+	}
+	if st2.Hits == 0 {
+		t.Error("repeat sizing produced no cache hits")
 	}
 }
 

@@ -21,18 +21,39 @@
 //	est, _ := samplecf.Estimate(table, samplecf.Options{Fraction: 0.01, Codec: codec})
 //	fmt.Printf("estimated CF = %.4f ± %.4f\n", est.CF, samplecf.NSStdDevBound(est.SampleRows))
 //
+// Because the estimate is cheap, the realistic call pattern is *many*
+// estimates: a physical design tool sizing hundreds of (index, codec)
+// candidates. The estimation Engine serves that shape — a worker pool that
+// fans candidates across goroutines, draws one sample per (table,
+// fraction, seed) and reuses it for every candidate in a batch, and an LRU
+// result cache for repeated traffic:
+//
+//	eng := samplecf.NewEngine(samplecf.EngineConfig{})
+//	defer eng.Close()
+//	results := eng.WhatIf(ctx, []samplecf.EngineRequest{
+//		{Table: table, KeyColumns: []string{"region"}, Codec: codec, Fraction: 0.01, Seed: 42},
+//		{Table: table, KeyColumns: []string{"region"}, Codec: other, Fraction: 0.01, Seed: 42},
+//	})
+//
+// cmd/cfserve exposes the same engine as a long-running HTTP/JSON service
+// (/estimate, /whatif, /advise) — see docs/cfserve.md.
+//
 // The package is a facade over the internal packages; everything a
 // downstream user needs — schemas, synthetic and user-supplied tables,
-// codecs, the estimator, theorem bounds, distinct-value baselines, and the
-// compression-aware index advisor — is reachable from here.
+// codecs, the estimator, theorem bounds, distinct-value baselines, the
+// batch what-if engine, and the compression-aware index advisor — is
+// reachable from here.
 package samplecf
 
 import (
+	"context"
+
 	"samplecf/internal/compress"
 	"samplecf/internal/core"
 	"samplecf/internal/db"
 	"samplecf/internal/distinct"
 	"samplecf/internal/distrib"
+	"samplecf/internal/engine"
 	"samplecf/internal/physdesign"
 	"samplecf/internal/stats"
 	"samplecf/internal/value"
@@ -320,9 +341,52 @@ type (
 )
 
 // Recommend picks indexes under a storage budget, sizing compressed
-// candidates with SampleCF.
+// candidates with SampleCF. Set AdvisorOptions.Engine to share samples and
+// cached estimates across calls; otherwise each call uses a private engine.
 func Recommend(cands []AdvisorCandidate, queries []AdvisorQuery, budgetBytes int64, opts AdvisorOptions) (Recommendation, error) {
 	return physdesign.Recommend(cands, queries, budgetBytes, opts)
+}
+
+// SizeCandidates estimates every candidate's footprint in one batch:
+// compressed candidates over the same table share a single sample, and
+// every codec of the same key column set shares one sorted index build.
+func SizeCandidates(cands []AdvisorCandidate, opts AdvisorOptions) ([]SizedCandidate, error) {
+	return physdesign.SizeCandidates(cands, opts)
+}
+
+// SizedCandidate is a candidate with its estimated storage footprint.
+type SizedCandidate = physdesign.Sized
+
+// --- estimation engine -------------------------------------------------------
+
+// Engine is the concurrent what-if estimation engine: a worker pool with
+// shared-sample batch estimation and an LRU result cache. Create with
+// NewEngine, release with Close. Safe for concurrent use.
+type Engine = engine.Engine
+
+// EngineConfig tunes an Engine (workers, cache entries, page size).
+type EngineConfig = engine.Config
+
+// EngineRequest is one what-if question: how big would the index on
+// Table(KeyColumns) be under Codec, estimated from a Fraction sample drawn
+// with Seed?
+type EngineRequest = engine.Request
+
+// EngineResult is one candidate's outcome; Err is per-candidate, never
+// batch-fatal.
+type EngineResult = engine.Result
+
+// EngineStats snapshots the engine's cache and sharing counters.
+type EngineStats = engine.Stats
+
+// NewEngine starts an estimation engine.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// WhatIf evaluates a batch of candidates on eng, drawing each distinct
+// (table, sample size, seed) sample once. It is eng.WhatIf, re-exported so
+// the facade covers the batch path.
+func WhatIf(ctx context.Context, eng *Engine, reqs []EngineRequest) []EngineResult {
+	return eng.WhatIf(ctx, reqs)
 }
 
 // --- embedded engine ---------------------------------------------------------------
