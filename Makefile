@@ -1,0 +1,34 @@
+# Developer entry points. CI runs the same targets.
+
+GO ?= go
+
+.PHONY: build test race bench fmt vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# BENCHTIME scales benchmark effort: CI smoke runs use 1x, local perf
+# tracking should use the default (or higher) for stable numbers.
+BENCHTIME ?= 1s
+
+# bench records the perf trajectory of the hot paths — the engine's
+# epoch-keyed cache (must stay O(1) in table size), the maintained-sample
+# fast path, and the shared-sample batch — as a machine-readable artifact.
+bench:
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/engine . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson > BENCH_engine.json
+	@echo "wrote BENCH_engine.json"

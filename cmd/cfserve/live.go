@@ -1,0 +1,223 @@
+package main
+
+// Live-table support: tables materialized in the embedded storage engine
+// (internal/db) rather than as immutable row slices. Live tables are full
+// catalog citizens — heap-paged storage, version epochs bumped on every
+// mutation, a maintained backing sample — so estimates served over HTTP
+// always reflect the current data, cached results invalidate in O(1) on
+// the first request after a mutation, and untouched tables keep serving
+// from cache.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"samplecf/internal/db"
+	"samplecf/internal/value"
+	"samplecf/internal/workload"
+)
+
+// buildLiveTable creates a db-backed table from the wire spec and seeds
+// it with the spec's n generated rows (n = 0 starts empty).
+func (s *server) buildLiveTable(spec tableSpecJSON) (*db.Table, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("table name is required")
+	}
+	if spec.N < 0 {
+		return nil, fmt.Errorf("table %q: n must be non-negative", spec.Name)
+	}
+	cols := make([]workload.SpecColumn, 0, len(spec.Cols))
+	for _, c := range spec.Cols {
+		gen, err := buildColumn(c)
+		if err != nil {
+			return nil, fmt.Errorf("table %q, column %q: %w", spec.Name, c.Name, err)
+		}
+		cols = append(cols, workload.SpecColumn{Name: c.Name, Gen: gen})
+	}
+	wspec := workload.Spec{Name: spec.Name, N: spec.N, Seed: spec.Seed, Cols: cols}
+	schema, err := wspec.Schema()
+	if err != nil {
+		return nil, err
+	}
+	tab, err := s.db.CreateTable(spec.Name, schema)
+	if err != nil {
+		return nil, err
+	}
+	if spec.N > 0 {
+		// Generate the seed rows through the same workload vocabulary the
+		// immutable path uses, then insert them through the live table so
+		// epochs, indexes, and the maintained sample all see them.
+		gen, err := workload.NewVirtual(wspec)
+		if err != nil {
+			_ = s.db.DropTable(spec.Name)
+			return nil, err
+		}
+		err = gen.Scan(func(_ int64, row value.Row) error {
+			_, err := tab.Insert(row)
+			return err
+		})
+		if err != nil {
+			_ = s.db.DropTable(spec.Name)
+			return nil, fmt.Errorf("table %q: seed rows: %w", spec.Name, err)
+		}
+	}
+	return tab, nil
+}
+
+// insertRowsJSON is the body of POST /tables/{table}/rows: rows as arrays
+// of column values in schema order (strings for character columns,
+// numbers for integer columns).
+type insertRowsJSON struct {
+	Rows [][]json.RawMessage `json:"rows"`
+}
+
+// deleteRowsJSON is the body of DELETE /tables/{table}/rows: delete rows
+// whose column equals the given value, up to limit (0 = all matches).
+type deleteRowsJSON struct {
+	Column string          `json:"column"`
+	Equals json.RawMessage `json:"equals"`
+	Limit  int             `json:"limit,omitempty"`
+}
+
+// handleInsertRows appends rows to a live table; the table's epoch after
+// the batch is returned so clients can observe the invalidation point.
+func (s *server) handleInsertRows(w http.ResponseWriter, r *http.Request) {
+	tab, err := s.lookupLive(r.PathValue("table"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	var req insertRowsJSON
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Rows) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("rows are required"))
+		return
+	}
+	// Decode the whole batch before touching the table, so a malformed
+	// row rejects the request without applying anything.
+	rows := make([]value.Row, len(req.Rows))
+	for i, wire := range req.Rows {
+		row, err := rowFromJSON(tab.Schema(), wire)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("row %d: %w", i, err))
+			return
+		}
+		rows[i] = row
+	}
+	for i, row := range rows {
+		if _, err := tab.Insert(row); err != nil {
+			httpError(w, http.StatusUnprocessableEntity,
+				fmt.Errorf("row %d: %w (%d row(s) before it were applied)", i, err, i))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"table":    tab.Name(),
+		"inserted": len(req.Rows),
+		"rows":     tab.NumRows(),
+		"epoch":    tab.Epoch(),
+	})
+}
+
+// handleDeleteRows deletes rows matching a column-equality predicate.
+func (s *server) handleDeleteRows(w http.ResponseWriter, r *http.Request) {
+	tab, err := s.lookupLive(r.PathValue("table"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	var req deleteRowsJSON
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Column == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("column is required"))
+		return
+	}
+	pos, ok := tab.Schema().ColumnIndex(req.Column)
+	if !ok {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("no column %q", req.Column))
+		return
+	}
+	val, err := payloadFromJSON(tab.Schema().Column(pos).Type, req.Equals)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("equals: %w", err))
+		return
+	}
+	deleted, err := tab.DeleteWhere(req.Column, val, req.Limit)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"table":   tab.Name(),
+		"deleted": deleted,
+		"rows":    tab.NumRows(),
+		"epoch":   tab.Epoch(),
+	})
+}
+
+// handleDropTable removes a table from the registry; live tables are also
+// dropped from the database, so retained estimates fail loudly rather
+// than serving orphaned storage.
+func (s *server) handleDropTable(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("table")
+	t, ok := s.cat.Lookup(name)
+	if !ok || s.cat.Drop(name) != nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
+		return
+	}
+	if _, live := t.(*db.Table); live {
+		if err := s.db.DropTable(name); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"table": name, "dropped": true})
+}
+
+// rowFromJSON converts one wire row into a value.Row under schema.
+func rowFromJSON(schema *value.Schema, wire []json.RawMessage) (value.Row, error) {
+	if len(wire) != schema.NumColumns() {
+		return nil, fmt.Errorf("got %d values, schema has %d columns", len(wire), schema.NumColumns())
+	}
+	row := make(value.Row, len(wire))
+	for i, raw := range wire {
+		payload, err := payloadFromJSON(schema.Column(i).Type, raw)
+		if err != nil {
+			return nil, fmt.Errorf("column %q: %w", schema.Column(i).Name, err)
+		}
+		row[i] = payload
+	}
+	return row, nil
+}
+
+// payloadFromJSON converts one JSON value into a column payload: strings
+// for character types, numbers for integer types.
+func payloadFromJSON(typ value.Type, raw json.RawMessage) ([]byte, error) {
+	switch typ.Kind {
+	case value.KindChar, value.KindVarChar:
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, fmt.Errorf("want a string for %s: %w", typ, err)
+		}
+		return value.StringValue(s), nil
+	case value.KindInt32:
+		var v int32
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, fmt.Errorf("want a 32-bit integer for %s: %w", typ, err)
+		}
+		return value.IntValue(v), nil
+	case value.KindInt64:
+		var v int64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, fmt.Errorf("want a 64-bit integer for %s: %w", typ, err)
+		}
+		return value.Int64Value(v), nil
+	default:
+		return nil, fmt.Errorf("unsupported column type %s", typ)
+	}
+}

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// liveSpec is a small live-table wire spec.
+func liveSpec(name string, n int) string {
+	return fmt.Sprintf(`{
+		"name": %q, "n": %d, "seed": 3, "live": true,
+		"cols": [
+			{"name": "city", "type": "char:16", "dist": "uniform:40", "len": "uniform:4:10", "seed": 1},
+			{"name": "qty",  "type": "int32",   "dist": "uniform:500"}
+		]
+	}`, name, n)
+}
+
+// doJSON issues a request with a JSON body and decodes the response.
+func doJSON(t *testing.T, method, url, body string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s %s response: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func estimateBody(table string) string {
+	return fmt.Sprintf(`{"table": %q, "columns": ["city"], "codec": "nullsuppression", "sample_rows": 300, "seed": 9}`, table)
+}
+
+// TestLiveTableMutationInvalidatesEstimates is the end-to-end proof of
+// the epoch contract over HTTP: an insert into a live table invalidates
+// its cached estimate (the next one recomputes), while an untouched table
+// keeps serving from cache.
+func TestLiveTableMutationInvalidatesEstimates(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	var created map[string]any
+	if code := postJSON(t, ts.URL+"/tables", liveSpec("hot", 2000), &created); code != http.StatusCreated {
+		t.Fatalf("create hot: %d %v", code, created)
+	}
+	if created["live"] != true {
+		t.Fatalf("created = %v", created)
+	}
+	if code := postJSON(t, ts.URL+"/tables", liveSpec("cold", 2000), nil); code != http.StatusCreated {
+		t.Fatalf("create cold failed")
+	}
+
+	est := func(table string) estimateResultJSON {
+		var res estimateResultJSON
+		if code := postJSON(t, ts.URL+"/estimate", estimateBody(table), &res); code != http.StatusOK {
+			t.Fatalf("estimate %s: status %d (%+v)", table, code, res)
+		}
+		return res
+	}
+
+	// Warm both tables, then confirm repeats hit the cache.
+	first := est("hot")
+	if first.CacheHit {
+		t.Fatal("first hot estimate claims a cache hit")
+	}
+	est("cold")
+	if !est("hot").CacheHit || !est("cold").CacheHit {
+		t.Fatal("repeat estimates did not hit the cache")
+	}
+
+	// Mutate the hot table through the API.
+	var ins map[string]any
+	body := `{"rows": [["atlantis", 1], ["atlantis", 2], ["atlantis", 3]]}`
+	if code := doJSON(t, http.MethodPost, ts.URL+"/tables/hot/rows", body, &ins); code != http.StatusOK {
+		t.Fatalf("insert: %d %v", code, ins)
+	}
+	if ins["inserted"].(float64) != 3 || ins["rows"].(float64) != 2003 {
+		t.Fatalf("insert response = %v", ins)
+	}
+
+	// The stale estimate must be recomputed; the untouched table must
+	// still serve from cache.
+	after := est("hot")
+	if after.CacheHit {
+		t.Fatal("estimate after insert served the stale cache entry")
+	}
+	if !est("cold").CacheHit {
+		t.Fatal("untouched table lost its cache entry")
+	}
+	if !est("hot").CacheHit {
+		t.Fatal("post-mutation estimate did not re-enter the cache")
+	}
+
+	// Delete through the API: epoch bumps again, estimate recomputes.
+	var del map[string]any
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/tables/hot/rows",
+		`{"column": "city", "equals": "atlantis"}`, &del); code != http.StatusOK {
+		t.Fatalf("delete: %d %v", code, del)
+	}
+	if del["deleted"].(float64) != 3 {
+		t.Fatalf("delete response = %v", del)
+	}
+	if est("hot").CacheHit {
+		t.Fatal("estimate after delete served the stale cache entry")
+	}
+}
+
+func TestLiveTableEndpointsValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	if code := postJSON(t, ts.URL+"/tables", liveSpec("t", 100), nil); code != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+
+	// Mutating an immutable table is rejected (the demo table is one).
+	var out map[string]any
+	if code := doJSON(t, http.MethodPost, ts.URL+"/tables/demo/rows", `{"rows": [["x", "y", 1]]}`, &out); code != http.StatusNotFound {
+		t.Fatalf("mutating immutable table: %d %v", code, out)
+	}
+	// Unknown table.
+	if code := doJSON(t, http.MethodPost, ts.URL+"/tables/nope/rows", `{"rows": [["x", 1]]}`, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown table accepted: %d", code)
+	}
+	// Arity mismatch.
+	if code := doJSON(t, http.MethodPost, ts.URL+"/tables/t/rows", `{"rows": [["only-one"]]}`, &out); code != http.StatusBadRequest {
+		t.Fatalf("arity mismatch accepted: %d %v", code, out)
+	}
+	// A malformed row anywhere in the batch must reject the WHOLE batch:
+	// the valid first row is not applied.
+	var tables map[string][]map[string]any
+	getJSON(t, ts.URL+"/tables", &tables)
+	rowsBefore := tableRows(t, tables, "t")
+	if code := doJSON(t, http.MethodPost, ts.URL+"/tables/t/rows", `{"rows": [["ok", 1], ["bad"]]}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("partially malformed batch accepted: %d", code)
+	}
+	getJSON(t, ts.URL+"/tables", &tables)
+	if got := tableRows(t, tables, "t"); got != rowsBefore {
+		t.Fatalf("malformed batch partially applied: %v -> %v rows", rowsBefore, got)
+	}
+	// Type mismatch.
+	if code := doJSON(t, http.MethodPost, ts.URL+"/tables/t/rows", `{"rows": [[42, 42]]}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("type mismatch accepted: %d", code)
+	}
+	// Delete with unknown column.
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/tables/t/rows", `{"column": "zz", "equals": "x"}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown delete column accepted: %d", code)
+	}
+	// Empty rows.
+	if code := doJSON(t, http.MethodPost, ts.URL+"/tables/t/rows", `{"rows": []}`, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty rows accepted: %d", code)
+	}
+}
+
+// tableRows extracts a table's row count from a GET /tables response.
+func tableRows(t *testing.T, resp map[string][]map[string]any, name string) float64 {
+	t.Helper()
+	for _, ti := range resp["tables"] {
+		if ti["name"] == name {
+			return ti["rows"].(float64)
+		}
+	}
+	t.Fatalf("table %q not listed", name)
+	return 0
+}
+
+func TestDropTableEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	if code := postJSON(t, ts.URL+"/tables", liveSpec("gone", 500), nil); code != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	if code := postJSON(t, ts.URL+"/estimate", estimateBody("gone"), nil); code != http.StatusOK {
+		t.Fatal("estimate before drop failed")
+	}
+	var out map[string]any
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/tables/gone", "", &out); code != http.StatusOK {
+		t.Fatalf("drop: %d %v", code, out)
+	}
+	// Gone from the registry: estimates and mutations 404; double drop 404.
+	if code := postJSON(t, ts.URL+"/estimate", estimateBody("gone"), nil); code != http.StatusNotFound {
+		t.Fatalf("estimate after drop: %d", code)
+	}
+	if code := doJSON(t, http.MethodPost, ts.URL+"/tables/gone/rows", `{"rows": [["x", 1]]}`, nil); code != http.StatusNotFound {
+		t.Fatalf("insert after drop: %d", code)
+	}
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/tables/gone", "", nil); code != http.StatusNotFound {
+		t.Fatalf("double drop: %d", code)
+	}
+	// The name is reusable.
+	if code := postJSON(t, ts.URL+"/tables", liveSpec("gone", 100), nil); code != http.StatusCreated {
+		t.Fatalf("recreate after drop: %d", code)
+	}
+}
+
+// TestLiveTableMaintainedSampleServesDraws checks the /stats surface
+// shows the maintained-sample fast path at work for live tables.
+func TestLiveTableMaintainedSampleServesDraws(t *testing.T) {
+	ts, _ := newTestServer(t)
+	if code := postJSON(t, ts.URL+"/tables", liveSpec("fast", 3000), nil); code != http.StatusCreated {
+		t.Fatal("create failed")
+	}
+	if code := postJSON(t, ts.URL+"/estimate", estimateBody("fast"), nil); code != http.StatusOK {
+		t.Fatal("estimate failed")
+	}
+	var stats map[string]any
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatal("stats failed")
+	}
+	if stats["maintained_hits"].(float64) < 1 {
+		t.Fatalf("maintained_hits = %v, want >= 1", stats["maintained_hits"])
+	}
+}

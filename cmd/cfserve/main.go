@@ -1,9 +1,10 @@
 // Command cfserve is the long-running what-if estimation service: SampleCF
 // behind HTTP/JSON, backed by the concurrent estimation engine (worker
-// pool, shared-sample batching, LRU result cache). It is the shape a
+// pool, shared-sample batching, epoch-keyed LRU result cache) and the
+// embedded storage engine for live, mutable tables. It is the shape a
 // physical-design tool's estimation tier takes in production — many
 // concurrent clients asking "how big would this index be under that
-// codec?" against registered tables.
+// codec?" against tables that keep changing underneath them.
 //
 // Start it, register a table, and ask:
 //
@@ -18,8 +19,20 @@
 //	  "fraction": 0.01, "seed": 42
 //	}'
 //
+// Tables registered with "live": true are materialized in the embedded
+// storage engine (heap pages, version epochs, a maintained sample) and
+// accept mutations:
+//
+//	curl -X POST localhost:8080/tables/sales/rows -d '{"rows": [["west", 7]]}'
+//	curl -X DELETE localhost:8080/tables/sales/rows -d '{"column": "region", "equals": "west"}'
+//
+// Estimates always reflect the current epoch: a mutation invalidates
+// cached results for that table in O(1) (the epoch in the cache key
+// changes), while untouched tables keep serving hits.
+//
 // Endpoints: GET /healthz, /stats, /codecs, /tables; POST /tables,
-// /estimate, /whatif, /advise. See docs/cfserve.md for the full API.
+// /tables/{t}/rows, /estimate, /whatif, /advise; DELETE /tables/{t},
+// /tables/{t}/rows. See docs/cfserve.md for the full API.
 // The server drains in-flight requests and exits cleanly on SIGINT/SIGTERM.
 package main
 

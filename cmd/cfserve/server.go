@@ -5,14 +5,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
-	"sync"
 	"time"
 
+	"samplecf/internal/catalog"
 	"samplecf/internal/compress"
+	"samplecf/internal/db"
 	"samplecf/internal/engine"
 	"samplecf/internal/physdesign"
-	"samplecf/internal/workload"
 )
 
 // defaultMaxTableRows bounds POST /tables materialization: registered
@@ -20,14 +19,17 @@ import (
 // a 200-byte request body must not be able to OOM it.
 const defaultMaxTableRows = 10_000_000
 
-// server holds the estimation engine and the table registry behind the
-// HTTP handlers. All state is safe for concurrent requests: the registry
-// is guarded by mu, the engine is concurrency-safe by construction.
+// server holds the estimation engine, the live database, and the table
+// catalog behind the HTTP handlers. The catalog registers immutable
+// synthetic tables and live db-backed tables side by side — estimation
+// endpoints do not care which is which, because the engine keys
+// everything on (instance id, version epoch). All state is safe for
+// concurrent requests: the catalog, engine, and database are
+// concurrency-safe by construction.
 type server struct {
 	eng *engine.Engine
-
-	mu     sync.RWMutex
-	tables map[string]*workload.Table
+	db  *db.Database
+	cat *catalog.Catalog
 
 	// maxTableRows caps the n of a registered table (default
 	// defaultMaxTableRows; the -max-rows flag overrides).
@@ -39,7 +41,8 @@ type server struct {
 func newServer(eng *engine.Engine) *server {
 	return &server{
 		eng:          eng,
-		tables:       make(map[string]*workload.Table),
+		db:           db.New(0),
+		cat:          catalog.New(),
 		maxTableRows: defaultMaxTableRows,
 		started:      time.Now(),
 	}
@@ -53,32 +56,40 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /codecs", s.handleCodecs)
 	mux.HandleFunc("GET /tables", s.handleListTables)
 	mux.HandleFunc("POST /tables", s.handleCreateTable)
+	mux.HandleFunc("POST /tables/{table}/rows", s.handleInsertRows)
+	mux.HandleFunc("DELETE /tables/{table}/rows", s.handleDeleteRows)
+	mux.HandleFunc("DELETE /tables/{table}", s.handleDropTable)
 	mux.HandleFunc("POST /estimate", s.handleEstimate)
 	mux.HandleFunc("POST /whatif", s.handleWhatIf)
 	mux.HandleFunc("POST /advise", s.handleAdvise)
 	return mux
 }
 
-// register adds a table to the registry (used by handlers and -demo).
-func (s *server) register(t *workload.Table) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.tables[t.Name()]; dup {
-		return fmt.Errorf("table %q already exists", t.Name())
-	}
-	s.tables[t.Name()] = t
-	return nil
+// register adds a table to the catalog (used by handlers and -demo).
+func (s *server) register(t engine.Table) error {
+	return s.cat.Register(t)
 }
 
 // lookup resolves a registered table.
-func (s *server) lookup(name string) (*workload.Table, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[name]
+func (s *server) lookup(name string) (engine.Table, error) {
+	t, ok := s.cat.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("no table %q (register it via POST /tables)", name)
 	}
 	return t, nil
+}
+
+// lookupLive resolves a registered table that supports mutation.
+func (s *server) lookupLive(name string) (*db.Table, error) {
+	t, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	live, ok := t.(*db.Table)
+	if !ok {
+		return nil, fmt.Errorf("table %q is immutable (create it with \"live\": true to mutate)", name)
+	}
+	return live, nil
 }
 
 // --- wire types ---------------------------------------------------------------
@@ -161,9 +172,7 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.eng.Stats()
-	s.mu.RLock()
-	tables := len(s.tables)
-	s.mu.RUnlock()
+	tables := s.cat.Len()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"cache_hits":       st.Hits,
 		"cache_misses":     st.Misses,
@@ -171,6 +180,8 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"cache_entries":    st.CacheEntries,
 		"samples_drawn":    st.SamplesDrawn,
 		"samples_shared":   st.SamplesShared,
+		"maintained_hits":  st.MaintainedHits,
+		"maintained_stale": st.MaintainedStale,
 		"indexes_prepared": st.IndexesPrepared,
 		"evaluated":        st.Evaluated,
 		"tables":           tables,
@@ -182,22 +193,27 @@ func (s *server) handleCodecs(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleListTables(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
 	type info struct {
 		Name    string   `json:"name"`
 		Rows    int64    `json:"rows"`
 		Columns []string `json:"columns"`
+		Epoch   uint64   `json:"epoch"`
+		Live    bool     `json:"live"`
 	}
-	out := make([]info, 0, len(s.tables))
-	for _, t := range s.tables {
+	names := s.cat.Names() // sorted
+	out := make([]info, 0, len(names))
+	for _, name := range names {
+		t, ok := s.cat.Lookup(name)
+		if !ok { // dropped between Names and Lookup
+			continue
+		}
 		cols := make([]string, 0, t.Schema().NumColumns())
 		for _, c := range t.Schema().Columns() {
 			cols = append(cols, c.Name)
 		}
-		out = append(out, info{Name: t.Name(), Rows: t.NumRows(), Columns: cols})
+		_, live := t.(*db.Table)
+		out = append(out, info{Name: t.Name(), Rows: t.NumRows(), Columns: cols, Epoch: t.Epoch(), Live: live})
 	}
-	s.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	writeJSON(w, http.StatusOK, map[string]any{"tables": out})
 }
 
@@ -211,18 +227,29 @@ func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("table %q: n %d exceeds the per-table limit of %d rows", spec.Name, spec.N, s.maxTableRows))
 		return
 	}
-	t, err := buildTable(spec)
+	var t engine.Table
+	var err error
+	if spec.Live {
+		t, err = s.buildLiveTable(spec)
+	} else {
+		t, err = buildTable(spec)
+	}
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
 	if err := s.register(t); err != nil {
+		if spec.Live {
+			_ = s.db.DropTable(spec.Name)
+		}
 		httpError(w, http.StatusConflict, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"table": t.Name(),
 		"rows":  t.NumRows(),
+		"epoch": t.Epoch(),
+		"live":  spec.Live,
 	})
 }
 

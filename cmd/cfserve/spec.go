@@ -19,6 +19,11 @@ type tableSpecJSON struct {
 	Seed   uint64           `json:"seed"`
 	Layout string           `json:"layout,omitempty"` // "shuffled" (default) | "clustered"
 	Cols   []columnSpecJSON `json:"cols"`
+	// Live materializes the table in the embedded storage engine (heap
+	// pages + version epochs) instead of as an immutable row slice; live
+	// tables accept the /tables/{t}/rows mutation endpoints and may start
+	// empty (n = 0).
+	Live bool `json:"live,omitempty"`
 }
 
 // columnSpecJSON describes one generated column.

@@ -1,12 +1,14 @@
-// Embedded engine: create a table, index it, and ask the engine what
-// compression would save — on live, mutating data. The estimate runs
-// against the current table contents, exactly like a what-if call inside a
-// commercial engine.
+// Embedded engine on the unified data plane: create a live table, index
+// it, and ask the estimation engine what compression would save — while
+// the data mutates underneath. Live tables are catalog tables (version
+// epochs, maintained samples), so the engine caches estimates per epoch,
+// serves repeats in O(1), and recomputes automatically after mutations.
 //
 //	go run ./examples/embedded_db
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,7 +16,7 @@ import (
 )
 
 func main() {
-	eng := samplecf.NewDatabase(0)
+	dbase := samplecf.NewDatabase(0)
 
 	schema, err := samplecf.NewSchema(
 		samplecf.Column{Name: "city", Type: samplecf.Char(24)},
@@ -23,7 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cities, err := eng.CreateTable("cities", schema)
+	cities, err := dbase.CreateTable("cities", schema)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,24 +53,38 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("table: %d rows, index %q: %d entries\n\n",
-		cities.NumRows(), ix.Name(), ix.NumEntries())
+	fmt.Printf("table: %d rows (epoch %d), index %q: %d entries\n\n",
+		cities.NumRows(), cities.Epoch(), ix.Name(), ix.NumEntries())
 
-	// What-if: estimated from a 2% sample vs the exact answer from
-	// compressing the live index.
-	est, err := ix.EstimateCF(nil, 0.02, 1)
-	if err != nil {
-		log.Fatal(err)
+	// The engine serves what-if questions against the live table: the
+	// first call draws from the table's maintained sample, the repeat is
+	// a pure cache hit keyed on (table instance, epoch).
+	eng := samplecf.NewEngine(samplecf.EngineConfig{})
+	defer eng.Close()
+	ctx := context.Background()
+	req := samplecf.EngineRequest{
+		Table: cities, KeyColumns: []string{"city"}, Codec: rowCodec,
+		Fraction: 0.02, Seed: 1,
+	}
+
+	est := eng.Estimate(ctx, req)
+	if est.Err != nil {
+		log.Fatal(est.Err)
 	}
 	exact, err := ix.ExactCF(nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("ROW compression on ix_city:\n")
-	fmt.Printf("  estimated CF %.4f (from %d sampled rows)\n", est.CF, est.SampleRows)
-	fmt.Printf("  exact     CF %.4f (from all %d entries)\n\n", exact.CF(), exact.Rows)
+	fmt.Printf("  estimated CF %.4f (from %d sampled rows)\n", est.Estimate.CF, est.Estimate.SampleRows)
+	fmt.Printf("  exact     CF %.4f (from all %d entries)\n", exact.CF(), exact.Rows)
 
-	// Mutate heavily: delete all rows for half the cities, then re-ask.
+	repeat := eng.Estimate(ctx, req)
+	fmt.Printf("  repeat: cache hit = %v (no sampling, no compression)\n\n", repeat.CacheHit)
+
+	// Mutate heavily: delete all rows for half the cities. Every delete
+	// bumps the epoch, so the cached estimate is stale the moment the
+	// first one lands.
 	deleted := 0
 	for v := 0; v < len(names)/2; v++ {
 		rids, err := ix.Lookup(samplecf.Row{samplecf.String(names[v])})
@@ -82,17 +98,21 @@ func main() {
 			deleted++
 		}
 	}
-	fmt.Printf("deleted %d rows (%d cities); index now %d entries\n",
-		deleted, len(names)/2, ix.NumEntries())
+	fmt.Printf("deleted %d rows (%d cities); index now %d entries, epoch %d\n",
+		deleted, len(names)/2, ix.NumEntries(), cities.Epoch())
 
-	est2, err := ix.EstimateCF(nil, 0.02, 2)
-	if err != nil {
-		log.Fatal(err)
+	est2 := eng.Estimate(ctx, req)
+	if est2.Err != nil {
+		log.Fatal(est2.Err)
 	}
 	exact2, err := ix.ExactCF(nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("post-mutation estimate %.4f vs exact %.4f — the estimator sees the live table\n",
-		est2.CF, exact2.CF())
+	fmt.Printf("post-mutation estimate %.4f (cache hit = %v) vs exact %.4f — the engine saw the new epoch\n\n",
+		est2.Estimate.CF, est2.CacheHit, exact2.CF())
+
+	st := eng.Stats()
+	fmt.Printf("engine: %d cache hits, %d misses, %d maintained-sample draws, %d fresh draws\n",
+		st.Hits, st.Misses, st.MaintainedHits, st.SamplesDrawn)
 }

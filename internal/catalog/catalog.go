@@ -1,0 +1,172 @@
+// Package catalog defines the versioned data plane every estimation
+// consumer speaks to. A catalog.Table is the single table abstraction
+// shared by the storage engine (internal/db), the synthetic workload
+// generators (internal/workload), the sampling schemes, the what-if
+// engine, and cfserve: identity (name + process-unique instance id),
+// schema, uniform random row access, and a monotonically increasing
+// **version epoch** that mutation paths bump.
+//
+// The epoch is the invalidation contract of the whole stack:
+//
+//   - a table's epoch never decreases, and strictly increases on any
+//     mutation that can change an estimate (insert, delete, reorder);
+//   - anything derived from a table (an engine cache entry, a maintained
+//     sample snapshot) records the epoch it was computed at;
+//   - a derived value is valid iff its recorded (instance id, epoch) pair
+//     still matches the table's — an O(1) comparison, with no row access.
+//
+// Cache invalidation therefore never scans data: a mutation bumps one
+// atomic counter, and every stale derived value misses naturally because
+// its key no longer matches. This replaces the engine's previous
+// content-fingerprint keying, which probed table rows on every request.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"samplecf/internal/sampling"
+	"samplecf/internal/value"
+)
+
+// Table is the versioned estimation source: what every consumer in the
+// data plane (sampling, engine, advisor, cfserve) programs against.
+type Table interface {
+	// Name returns the table name.
+	Name() string
+	// Schema returns the row schema.
+	Schema() *value.Schema
+	// NumRows returns the live row count.
+	NumRows() int64
+	// Row materializes row i (0 ≤ i < NumRows); sampling.RowSource.
+	Row(i int64) (value.Row, error)
+	// Epoch returns the current version epoch. It strictly increases on
+	// every mutation that can change an estimate and never decreases.
+	Epoch() uint64
+	// InstanceID returns a process-unique id for this table instance, so
+	// two tables that share a name (for example, a dropped and re-created
+	// table) never collide in epoch-keyed caches.
+	InstanceID() uint64
+}
+
+// PageProvider is the optional block-sampling capability: tables whose
+// rows live on physical pages expose them for page-level draws.
+type PageProvider interface {
+	// PageSource returns a snapshot view of the table's pages. The view
+	// reflects the epoch at call time; callers re-fetch after mutations.
+	PageSource() (sampling.PageSource, error)
+}
+
+// Sample is a maintained-sample snapshot: rows that were a uniform random
+// sample of the table as of Epoch.
+type Sample struct {
+	// Rows is the sampled row set. Callers must not mutate it.
+	Rows []value.Row
+	// Epoch is the table epoch the snapshot was taken at.
+	Epoch uint64
+}
+
+// SampleProvider is the optional maintained-sample capability: tables
+// that keep an incrementally maintained uniform sample (a backing sample
+// updated on insert/delete) serve snapshots without an O(r) fresh draw.
+type SampleProvider interface {
+	// MaintainedSample returns a snapshot of at least min rows, or
+	// ok=false when the maintained sample is missing, stale, or smaller
+	// than min (callers then fall back to a fresh draw).
+	MaintainedSample(min int64) (Sample, bool)
+}
+
+// instanceIDs issues process-unique table instance ids. ID 0 is never
+// issued, so the zero Version is detectably uninitialized.
+var instanceIDs atomic.Uint64
+
+// Version is the embeddable identity+epoch helper: a process-unique
+// instance id plus an atomic epoch counter. Tables embed a Version
+// (initialized with NewVersion) to satisfy the Epoch/InstanceID half of
+// the Table interface.
+type Version struct {
+	id    uint64
+	epoch atomic.Uint64
+}
+
+// NewVersion returns a Version with a fresh process-unique instance id
+// and epoch 0.
+func NewVersion() Version {
+	return Version{id: instanceIDs.Add(1)}
+}
+
+// Epoch implements Table.
+func (v *Version) Epoch() uint64 { return v.epoch.Load() }
+
+// InstanceID implements Table.
+func (v *Version) InstanceID() uint64 { return v.id }
+
+// Bump advances the epoch by one and returns the new value. Mutation
+// paths call it after the change is applied, so an estimate keyed at the
+// new epoch never reflects pre-mutation data.
+func (v *Version) Bump() uint64 { return v.epoch.Add(1) }
+
+// Catalog is a named, concurrency-safe registry of live tables: the
+// mount point cfserve and embedded consumers resolve names through.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]Table)}
+}
+
+// Register adds t under its name; duplicate names are rejected.
+func (c *Catalog) Register(t Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.tables[t.Name()]; dup {
+		return fmt.Errorf("catalog: table %q already registered", t.Name())
+	}
+	c.tables[t.Name()] = t
+	return nil
+}
+
+// Lookup resolves a table by name.
+func (c *Catalog) Lookup(name string) (Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// Drop removes a table from the catalog. The table object itself is not
+// touched — storage-level teardown (marking it dropped) is the owner's
+// job.
+func (c *Catalog) Drop(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return fmt.Errorf("catalog: no table %q", name)
+	}
+	delete(c.tables, name)
+	return nil
+}
+
+// Names lists registered tables, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered tables.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.tables)
+}

@@ -1,0 +1,105 @@
+package catalog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"samplecf/internal/value"
+)
+
+// fakeTable is a minimal catalog.Table for registry tests.
+type fakeTable struct {
+	Version
+	name   string
+	schema *value.Schema
+}
+
+func newFake(t *testing.T, name string) *fakeTable {
+	t.Helper()
+	schema, err := value.NewSchema(value.Column{Name: "v", Type: value.Int32()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fakeTable{Version: NewVersion(), name: name, schema: schema}
+}
+
+func (f *fakeTable) Name() string          { return f.name }
+func (f *fakeTable) Schema() *value.Schema { return f.schema }
+func (f *fakeTable) NumRows() int64        { return 0 }
+func (f *fakeTable) Row(i int64) (value.Row, error) {
+	return nil, fmt.Errorf("fake: no rows")
+}
+
+var _ Table = (*fakeTable)(nil)
+
+func TestVersionEpochMonotonic(t *testing.T) {
+	v := NewVersion()
+	if v.Epoch() != 0 {
+		t.Fatalf("fresh epoch = %d, want 0", v.Epoch())
+	}
+	for i := 1; i <= 5; i++ {
+		if got := v.Bump(); got != uint64(i) {
+			t.Fatalf("bump %d returned %d", i, got)
+		}
+	}
+	if v.Epoch() != 5 {
+		t.Fatalf("epoch = %d, want 5", v.Epoch())
+	}
+}
+
+func TestInstanceIDsUnique(t *testing.T) {
+	const n = 200
+	seen := make(map[uint64]bool, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := NewVersion()
+			mu.Lock()
+			defer mu.Unlock()
+			if v.InstanceID() == 0 {
+				t.Error("instance id 0 issued")
+			}
+			if seen[v.InstanceID()] {
+				t.Errorf("duplicate instance id %d", v.InstanceID())
+			}
+			seen[v.InstanceID()] = true
+		}()
+	}
+	wg.Wait()
+}
+
+func TestCatalogRegistry(t *testing.T) {
+	c := New()
+	a, b := newFake(t, "a"), newFake(t, "b")
+	if err := c.Register(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(newFake(t, "a")); err == nil {
+		t.Fatal("duplicate register succeeded")
+	}
+	if got, ok := c.Lookup("a"); !ok || got != Table(a) {
+		t.Fatalf("lookup a = %v, %v", got, ok)
+	}
+	if names := c.Names(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if err := c.Drop("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Lookup("a"); ok {
+		t.Fatal("dropped table still resolvable")
+	}
+	if err := c.Drop("a"); err == nil {
+		t.Fatal("double drop succeeded")
+	}
+}

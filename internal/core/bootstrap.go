@@ -121,6 +121,9 @@ func pageSizeOrDefault(ps int) int {
 // sample's key-projected rows alongside the estimate, so callers can
 // bootstrap without re-sampling the table.
 func SampleCFWithRows(src sampling.RowSource, schema *value.Schema, opts Options) (Estimate, []value.Row, error) {
+	if err := opts.Validate(); err != nil {
+		return Estimate{}, nil, err
+	}
 	opts = opts.withDefaults()
 	if opts.Codec == nil {
 		return Estimate{}, nil, fmt.Errorf("core: Options.Codec is required")

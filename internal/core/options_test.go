@@ -1,0 +1,102 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"samplecf/internal/compress"
+	"samplecf/internal/value"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	valid := []Options{
+		{},                // all defaults
+		{Fraction: 0.01},  // typical
+		{Fraction: 1},     // boundary
+		{SampleRows: 100}, // explicit r
+		{FillFactor: 0.5}, // boundary interior
+		{FillFactor: 1},   // boundary
+		{PageSize: 4096, Fraction: 0.1},
+		{Fraction: 0.5, SampleRows: 10, Seed: 3},
+	}
+	for i, o := range valid {
+		if err := o.Validate(); err != nil {
+			t.Errorf("valid options %d rejected: %v", i, err)
+		}
+	}
+	invalid := []struct {
+		o    Options
+		want string
+	}{
+		{Options{Fraction: -0.1}, "negative"},
+		{Options{Fraction: 1.5}, "exceeds 1"},
+		{Options{SampleRows: -5}, "negative"},
+		{Options{PageSize: -1}, "negative"},
+		{Options{FillFactor: -0.2}, "outside (0,1]"},
+		{Options{FillFactor: 1.2}, "outside (0,1]"},
+	}
+	for i, c := range invalid {
+		err := c.o.Validate()
+		if err == nil {
+			t.Errorf("invalid options %d accepted: %+v", i, c.o)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("invalid options %d: error %q does not mention %q", i, err, c.want)
+		}
+	}
+}
+
+// TestSampleCFRejectsInvalidOptions checks the validation is actually
+// wired into the estimator entry points, not just available.
+func TestSampleCFRejectsInvalidOptions(t *testing.T) {
+	schema, err := value.NewSchema(value.Column{Name: "v", Type: value.Int32()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]value.Row, 100)
+	for i := range rows {
+		rows[i] = value.Row{value.IntValue(int32(i % 7))}
+	}
+	codec, err := compress.Lookup("nullsuppression")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sliceSource(rows)
+
+	if _, err := SampleCF(src, schema, Options{Codec: codec, Fraction: 2}); err == nil {
+		t.Error("SampleCF accepted Fraction 2")
+	}
+	if _, err := SampleCF(src, schema, Options{Codec: codec, Fraction: -1}); err == nil {
+		t.Error("SampleCF accepted Fraction -1")
+	}
+	if _, err := SampleCF(src, schema, Options{Codec: codec, SampleRows: -2}); err == nil {
+		t.Error("SampleCF accepted SampleRows -2")
+	}
+	if _, err := SampleCF(src, schema, Options{Codec: codec, Fraction: 0.5, FillFactor: 3}); err == nil {
+		t.Error("SampleCF accepted FillFactor 3")
+	}
+	if _, _, err := SampleCFWithRows(src, schema, Options{Codec: codec, Fraction: 1.01}); err == nil {
+		t.Error("SampleCFWithRows accepted Fraction 1.01")
+	}
+
+	p, err := PrepareIndex(rows[:10], 100, schema, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Estimate(Options{Codec: codec, FillFactor: -1}); err == nil {
+		t.Error("PreparedIndex.Estimate accepted FillFactor -1")
+	}
+	// And the happy path still works.
+	if _, err := SampleCF(src, schema, Options{Codec: codec, Fraction: 0.2}); err != nil {
+		t.Errorf("valid SampleCF failed: %v", err)
+	}
+}
+
+// sliceSource is a minimal RowSource for core tests.
+type sliceSource []value.Row
+
+func (s sliceSource) NumRows() int64 { return int64(len(s)) }
+func (s sliceSource) Row(i int64) (value.Row, error) {
+	return s[i], nil
+}

@@ -97,6 +97,27 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Validate rejects option combinations that would otherwise produce
+// silent nonsense estimates (a Fraction above 1 oversamples, a negative
+// one underflows the sample size to zero, a FillFactor outside (0,1]
+// corrupts the bulk-load math). Zero values that withDefaults fills in
+// (PageSize, FillFactor) are accepted.
+func (o Options) Validate() error {
+	switch {
+	case o.Fraction < 0:
+		return fmt.Errorf("core: Options.Fraction %v is negative", o.Fraction)
+	case o.Fraction > 1:
+		return fmt.Errorf("core: Options.Fraction %v exceeds 1 (the sample cannot outgrow the table)", o.Fraction)
+	case o.SampleRows < 0:
+		return fmt.Errorf("core: Options.SampleRows %d is negative", o.SampleRows)
+	case o.PageSize < 0:
+		return fmt.Errorf("core: Options.PageSize %d is negative", o.PageSize)
+	case o.FillFactor != 0 && (o.FillFactor <= 0 || o.FillFactor > 1):
+		return fmt.Errorf("core: Options.FillFactor %v outside (0,1]", o.FillFactor)
+	}
+	return nil
+}
+
 // Estimate is the outcome of one SampleCF run.
 type Estimate struct {
 	// CF is the estimated compression fraction CF'.
@@ -118,6 +139,9 @@ type Estimate struct {
 
 // SampleCF runs the estimator of Fig. 2 against src.
 func SampleCF(src sampling.RowSource, schema *value.Schema, opts Options) (Estimate, error) {
+	if err := opts.Validate(); err != nil {
+		return Estimate{}, err
+	}
 	opts = opts.withDefaults()
 	if opts.Codec == nil {
 		return Estimate{}, fmt.Errorf("core: Options.Codec is required")
@@ -270,6 +294,9 @@ func (p *PreparedIndex) Profile() distinct.Profile { return p.profile }
 // codecs on the same PreparedIndex. Each call returns its own copy of the
 // frequency profile, so callers may mutate it freely.
 func (p *PreparedIndex) Estimate(opts Options) (Estimate, error) {
+	if err := opts.Validate(); err != nil {
+		return Estimate{}, err
+	}
 	opts = opts.withDefaults()
 	if opts.Codec == nil {
 		return Estimate{}, fmt.Errorf("core: Options.Codec is required")

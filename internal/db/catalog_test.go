@@ -1,0 +1,226 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"samplecf/internal/catalog"
+	"samplecf/internal/heap"
+	"samplecf/internal/value"
+)
+
+func testSchema(t *testing.T) *value.Schema {
+	t.Helper()
+	schema, err := value.NewSchema(
+		value.Column{Name: "name", Type: value.Char(12)},
+		value.Column{Name: "v", Type: value.Int32()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return schema
+}
+
+func testRow(i int) value.Row {
+	return value.Row{value.StringValue(fmt.Sprintf("row-%03d", i%50)), value.IntValue(int32(i))}
+}
+
+func TestTableEpochBumpsOnMutation(t *testing.T) {
+	d := New(0)
+	tab, err := d.CreateTable("t", testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Epoch() != 0 {
+		t.Fatalf("fresh epoch = %d", tab.Epoch())
+	}
+	rid, err := tab.Insert(testRow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Epoch() != 1 {
+		t.Fatalf("epoch after insert = %d, want 1", tab.Epoch())
+	}
+	if _, err := tab.Insert(testRow(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Epoch() != 3 {
+		t.Fatalf("epoch after insert+insert+delete = %d, want 3", tab.Epoch())
+	}
+	// Failed mutations must not bump.
+	before := tab.Epoch()
+	if err := tab.Delete(rid); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+	if tab.Epoch() != before {
+		t.Fatalf("failed delete bumped epoch %d -> %d", before, tab.Epoch())
+	}
+	if tab.InstanceID() == 0 {
+		t.Fatal("instance id not assigned")
+	}
+}
+
+// TestDropTableInvalidatesRetainedHandles is the regression test for the
+// bug where a dropped table stayed silently usable through any retained
+// *Table: inserts kept writing to orphaned storage and estimates kept
+// answering from it.
+func TestDropTableInvalidatesRetainedHandles(t *testing.T) {
+	d := New(0)
+	tab, err := d.CreateTable("t", testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid0, err := tab.Insert(testRow(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := tab.CreateIndex("ix", []string{"name"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := tab.Insert(testRow(2)); !errors.Is(err, ErrTableDropped) {
+		t.Fatalf("Insert after drop: err = %v, want ErrTableDropped", err)
+	}
+	if err := tab.Delete(rid0); !errors.Is(err, ErrTableDropped) {
+		t.Fatalf("Delete after drop: err = %v, want ErrTableDropped", err)
+	}
+	if _, err := tab.Get(rid0); !errors.Is(err, ErrTableDropped) {
+		t.Fatalf("Get after drop: err = %v, want ErrTableDropped", err)
+	}
+	if _, err := tab.Row(0); !errors.Is(err, ErrTableDropped) {
+		t.Fatalf("Row after drop: err = %v, want ErrTableDropped", err)
+	}
+	if err := tab.Scan(func(int64, value.Row) error { return nil }); !errors.Is(err, ErrTableDropped) {
+		t.Fatalf("Scan after drop: err = %v, want ErrTableDropped", err)
+	}
+	if _, err := tab.CreateIndex("ix2", nil, nil); !errors.Is(err, ErrTableDropped) {
+		t.Fatalf("CreateIndex after drop: err = %v, want ErrTableDropped", err)
+	}
+	if _, err := tab.PageSource(); !errors.Is(err, ErrTableDropped) {
+		t.Fatalf("PageSource after drop: err = %v, want ErrTableDropped", err)
+	}
+	if _, err := tab.AsPageSource(4); !errors.Is(err, ErrTableDropped) {
+		t.Fatalf("AsPageSource after drop: err = %v, want ErrTableDropped", err)
+	}
+	if _, ok := tab.MaintainedSample(1); ok {
+		t.Fatal("MaintainedSample after drop reported ok")
+	}
+	if _, err := ix.Lookup(value.Row{value.StringValue("row-001")}); !errors.Is(err, ErrTableDropped) {
+		t.Fatalf("index Lookup after drop: err = %v, want ErrTableDropped", err)
+	}
+	// Estimates through the index fail loudly too (sampling hits Row).
+	if _, err := ix.EstimateCF(nil, 0.5, 1); err == nil {
+		t.Fatal("EstimateCF after drop succeeded")
+	}
+	// A new table may reuse the name and must get a distinct identity.
+	tab2, err := d.CreateTable("t", testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab2.InstanceID() == tab.InstanceID() {
+		t.Fatal("recreated table reuses the dropped table's instance id")
+	}
+}
+
+func TestMaintainedSampleServesAndRebuilds(t *testing.T) {
+	d := New(0, WithSampleTarget(64))
+	tab, err := d.CreateTable("t", testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rids := make([]heap.RID, 0, 300)
+	for i := 0; i < 300; i++ {
+		rid, err := tab.Insert(testRow(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+
+	s, ok := tab.MaintainedSample(64)
+	if !ok {
+		t.Fatal("maintained sample unavailable after 300 inserts")
+	}
+	if len(s.Rows) != 64 {
+		t.Fatalf("sample size = %d, want 64", len(s.Rows))
+	}
+	if s.Epoch != tab.Epoch() {
+		t.Fatalf("sample epoch %d != table epoch %d", s.Epoch, tab.Epoch())
+	}
+	// Asking for more rows than maintained falls back.
+	if _, ok := tab.MaintainedSample(65); ok {
+		t.Fatal("over-min request served")
+	}
+
+	// Heavy deletes erode the reservoir; the next request rebuilds.
+	for i := 0; i < 280; i++ {
+		if err := tab.Delete(rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, rebuildsBefore := tab.SampleStats()
+	s2, ok := tab.MaintainedSample(10)
+	if !ok {
+		t.Fatal("maintained sample unavailable after rebuild")
+	}
+	if len(s2.Rows) < 10 || len(s2.Rows) > 20 {
+		t.Fatalf("rebuilt sample size = %d, want the 20 live rows (≥10)", len(s2.Rows))
+	}
+	_, rebuildsAfter := tab.SampleStats()
+	if rebuildsAfter != rebuildsBefore+1 {
+		t.Fatalf("rebuilds %d -> %d, want one staleness-triggered rebuild", rebuildsBefore, rebuildsAfter)
+	}
+	if s2.Epoch != tab.Epoch() {
+		t.Fatalf("rebuilt sample epoch %d != table epoch %d", s2.Epoch, tab.Epoch())
+	}
+}
+
+func TestTableImplementsCatalogCapabilities(t *testing.T) {
+	d := New(0)
+	tab, err := d.CreateTable("t", testSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := tab.Insert(testRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ct catalog.Table = tab
+	if ct.NumRows() != 500 {
+		t.Fatalf("rows = %d", ct.NumRows())
+	}
+	row, err := ct.Row(123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row) != 2 {
+		t.Fatalf("row = %v", row)
+	}
+	ps, err := tab.PageSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.NumPages() < 1 {
+		t.Fatal("no pages")
+	}
+	total := 0
+	for p := 0; p < ps.NumPages(); p++ {
+		rows, err := ps.PageRows(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(rows)
+	}
+	if total != 500 {
+		t.Fatalf("page rows total = %d, want 500", total)
+	}
+}

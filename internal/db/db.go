@@ -4,40 +4,77 @@
 // operation on any index — the way a commercial engine surfaces
 // sp_estimate_data_compression_savings.
 //
-// It is deliberately small (no SQL, no concurrency control, no recovery)
-// but end-to-end real: every row lives in slotted pages, every index entry
-// carries the heap RID, and estimates run against the same storage the
-// exact answers are computed from. The package doubles as the integration
-// test bed for heap + btree + compress + core.
+// Tables are live catalog.Table implementations: every insert/delete bumps
+// the table's version epoch, so estimation consumers (internal/engine,
+// cmd/cfserve) invalidate cached results with one integer comparison
+// instead of scanning data. Each table also maintains a backing sample
+// (sampling.Backing) fed by the mutation path, so hot tables serve
+// estimation samples without a fresh O(r) draw against storage.
+//
+// It is deliberately small (no SQL, no recovery) but end-to-end real:
+// every row lives in slotted pages, every index entry carries the heap
+// RID, and estimates run against the same storage the exact answers are
+// computed from. Reads and mutations may run concurrently: mutations take
+// the table's write lock, reads its read lock.
 package db
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"samplecf/internal/btree"
+	"samplecf/internal/catalog"
 	"samplecf/internal/compress"
 	"samplecf/internal/core"
 	"samplecf/internal/heap"
 	"samplecf/internal/page"
+	"samplecf/internal/sampling"
 	"samplecf/internal/value"
 )
 
+// ErrTableDropped is returned by operations on a table that has been
+// dropped from its database. Retained *Table handles fail loudly instead
+// of silently reading or mutating orphaned storage.
+var ErrTableDropped = errors.New("db: table has been dropped")
+
+// DefaultSampleTarget is the per-table maintained-sample size used when
+// no option overrides it.
+const DefaultSampleTarget = 2048
+
+// Option configures a Database.
+type Option func(*Database)
+
+// WithSampleTarget sets the maintained-sample reservoir size for tables
+// created afterwards (0 disables maintained samples).
+func WithSampleTarget(rows int) Option {
+	return func(d *Database) { d.sampleTarget = rows }
+}
+
 // Database is a named collection of tables.
 type Database struct {
-	mu       sync.RWMutex
-	pageSize int
-	tables   map[string]*Table
+	mu           sync.RWMutex
+	pageSize     int
+	sampleTarget int
+	tables       map[string]*Table
 }
 
 // New creates an empty database. pageSize 0 selects page.DefaultSize.
-func New(pageSize int) *Database {
+func New(pageSize int, opts ...Option) *Database {
 	if pageSize == 0 {
 		pageSize = page.DefaultSize
 	}
-	return &Database{pageSize: pageSize, tables: make(map[string]*Table)}
+	d := &Database{
+		pageSize:     pageSize,
+		sampleTarget: DefaultSampleTarget,
+		tables:       make(map[string]*Table),
+	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	return d
 }
 
 // CreateTable registers a new heap-backed table.
@@ -52,11 +89,19 @@ func (d *Database) CreateTable(name string, schema *value.Schema) (*Table, error
 		return nil, err
 	}
 	t := &Table{
+		Version: catalog.NewVersion(),
 		db:      d,
 		name:    name,
 		schema:  schema,
 		file:    file,
 		indexes: make(map[string]*Index),
+	}
+	if d.sampleTarget > 0 {
+		t.sampleSeed = t.InstanceID() * 0x9e3779b97f4a7c15
+		t.sample, err = sampling.NewBacking(d.sampleTarget, t.sampleSeed)
+		if err != nil {
+			return nil, err
+		}
 	}
 	d.tables[name] = t
 	return t, nil
@@ -70,14 +115,24 @@ func (d *Database) Table(name string) (*Table, bool) {
 	return t, ok
 }
 
-// DropTable removes a table and its indexes.
+// DropTable removes a table and its indexes. The table object is marked
+// dropped: any retained *Table handle fails subsequent operations with
+// ErrTableDropped instead of touching orphaned storage.
 func (d *Database) DropTable(name string) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	if _, ok := d.tables[name]; !ok {
+	t, ok := d.tables[name]
+	if !ok {
+		d.mu.Unlock()
 		return fmt.Errorf("db: no table %q", name)
 	}
 	delete(d.tables, name)
+	d.mu.Unlock()
+
+	t.mu.Lock()
+	t.dropped = true
+	t.rowDir = nil
+	t.mu.Unlock()
+	t.Bump() // stale any epoch-keyed derived state immediately
 	return nil
 }
 
@@ -93,38 +148,76 @@ func (d *Database) TableNames() []string {
 	return out
 }
 
-// Table is one heap-backed table plus its maintained indexes.
+// PageSize returns the database's page size.
+func (d *Database) PageSize() int { return d.pageSize }
+
+// Table is one heap-backed table plus its maintained indexes. It
+// implements catalog.Table (and the catalog sample/page capabilities):
+// mutations bump the embedded version epoch after they apply.
 type Table struct {
+	catalog.Version
 	db     *Database
 	name   string
 	schema *value.Schema
-	file   *heap.File
 
 	mu      sync.RWMutex
+	file    *heap.File
+	dropped bool
 	indexes map[string]*Index
-	// ridDir caches row-position → RID for random-access sampling; nil
-	// when stale.
-	ridDir []heap.RID
+	// rowDir caches the RID directory for random-access sampling; nil
+	// when stale (any mutation invalidates it).
+	rowDir *heap.RowDir
+
+	// sample is the maintained backing sample fed by Insert/Delete; nil
+	// when the database disables maintained samples.
+	sample         *sampling.Backing
+	sampleSeed     uint64
+	sampleRebuilds uint64
 }
 
-// Name returns the table name.
+var _ catalog.Table = (*Table)(nil)
+var _ catalog.SampleProvider = (*Table)(nil)
+var _ catalog.PageProvider = (*Table)(nil)
+
+// Name implements catalog.Table.
 func (t *Table) Name() string { return t.name }
 
-// Schema returns the table schema.
+// Schema implements catalog.Table.
 func (t *Table) Schema() *value.Schema { return t.schema }
 
-// NumRows returns the live row count.
-func (t *Table) NumRows() int64 { return t.file.NumRows() }
+// NumRows implements catalog.Table.
+func (t *Table) NumRows() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.file.NumRows()
+}
 
-// Insert appends a row and maintains every index.
+// ridKey packs a RID into the uint64 storage key the backing sample uses
+// for exact delete tolerance.
+func ridKey(rid heap.RID) uint64 {
+	return uint64(rid.Page)<<16 | uint64(rid.Slot)
+}
+
+// Insert appends a row, maintains every index and the backing sample, and
+// bumps the version epoch.
 func (t *Table) Insert(row value.Row) (heap.RID, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.dropped {
+		return heap.RID{}, ErrTableDropped
+	}
 	rid, err := t.file.Append(row)
 	if err != nil {
 		return heap.RID{}, err
 	}
-	t.ridDir = nil
+	// Storage changed: the epoch must bump on every exit from here on,
+	// including index-maintenance failures, or stale estimates would keep
+	// serving at the old epoch.
+	defer t.Bump()
+	t.rowDir = nil
+	if t.sample != nil {
+		t.sample.Insert(ridKey(rid), row.Clone())
+	}
 	for _, ix := range t.indexes {
 		if err := ix.insertEntry(row, rid); err != nil {
 			return heap.RID{}, fmt.Errorf("db: maintain index %s: %w", ix.name, err)
@@ -133,10 +226,19 @@ func (t *Table) Insert(row value.Row) (heap.RID, error) {
 	return rid, nil
 }
 
-// Delete removes the row at rid from the heap and every index.
+// Delete removes the row at rid from the heap, every index, and the
+// backing sample, and bumps the version epoch.
 func (t *Table) Delete(rid heap.RID) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.dropped {
+		return ErrTableDropped
+	}
+	return t.deleteLocked(rid)
+}
+
+// deleteLocked is Delete with the write lock already held.
+func (t *Table) deleteLocked(rid heap.RID) error {
 	row, err := t.file.Get(rid)
 	if err != nil {
 		return err
@@ -144,7 +246,13 @@ func (t *Table) Delete(rid heap.RID) error {
 	if err := t.file.Delete(rid); err != nil {
 		return err
 	}
-	t.ridDir = nil
+	// Storage changed: the epoch must bump on every exit from here on,
+	// including index-maintenance failures.
+	defer t.Bump()
+	t.rowDir = nil
+	if t.sample != nil {
+		t.sample.Delete(ridKey(rid))
+	}
 	for _, ix := range t.indexes {
 		if err := ix.deleteEntry(row, rid); err != nil {
 			return fmt.Errorf("db: maintain index %s: %w", ix.name, err)
@@ -154,10 +262,23 @@ func (t *Table) Delete(rid heap.RID) error {
 }
 
 // Get fetches a row by RID.
-func (t *Table) Get(rid heap.RID) (value.Row, error) { return t.file.Get(rid) }
+func (t *Table) Get(rid heap.RID) (value.Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.dropped {
+		return nil, ErrTableDropped
+	}
+	return t.file.Get(rid)
+}
 
-// Scan iterates all rows (core.RowScanner / workload.Scanner shape).
+// Scan iterates all rows (core.RowScanner / workload.Scanner shape). The
+// table is read-locked for the duration of the scan.
 func (t *Table) Scan(fn func(i int64, row value.Row) error) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.dropped {
+		return ErrTableDropped
+	}
 	i := int64(0)
 	return t.file.Scan(func(_ heap.RID, row value.Row) error {
 		err := fn(i, row)
@@ -166,28 +287,145 @@ func (t *Table) Scan(fn func(i int64, row value.Row) error) error {
 	})
 }
 
-// Row provides uniform random access for sampling (sampling.RowSource).
-// The first call after a mutation rebuilds an RID directory with one scan.
+// Row implements catalog.Table: uniform random access for sampling. The
+// first call after a mutation rebuilds the RID directory with one scan;
+// subsequent calls are a directory lookup plus one page read.
 func (t *Table) Row(i int64) (value.Row, error) {
+	t.mu.RLock()
+	if t.dropped {
+		t.mu.RUnlock()
+		return nil, ErrTableDropped
+	}
+	if dir := t.rowDir; dir != nil {
+		defer t.mu.RUnlock()
+		return dir.Row(i)
+	}
+	t.mu.RUnlock()
+
 	t.mu.Lock()
-	if t.ridDir == nil {
-		dir := make([]heap.RID, 0, t.file.NumRows())
-		err := t.file.Scan(func(rid heap.RID, _ value.Row) error {
-			dir = append(dir, rid)
-			return nil
-		})
+	defer t.mu.Unlock()
+	if t.dropped {
+		return nil, ErrTableDropped
+	}
+	if t.rowDir == nil {
+		dir, err := heap.NewRowDir(t.file)
 		if err != nil {
-			t.mu.Unlock()
 			return nil, err
 		}
-		t.ridDir = dir
+		t.rowDir = dir
 	}
-	dir := t.ridDir
-	t.mu.Unlock()
-	if i < 0 || i >= int64(len(dir)) {
-		return nil, fmt.Errorf("db: row %d out of range [0,%d)", i, len(dir))
+	return t.rowDir.Row(i)
+}
+
+// DeleteWhere removes up to limit rows whose column equals val
+// (limit <= 0 means all matches), returning the number deleted. It is
+// the predicate-delete primitive cfserve's mutation endpoint uses; each
+// physical delete maintains indexes and the backing sample and bumps the
+// epoch, exactly like Delete. The scan and the deletes run under one
+// write lock, so concurrent mutations can never invalidate a matched RID
+// mid-operation.
+func (t *Table) DeleteWhere(column string, val []byte, limit int) (int, error) {
+	pos, ok := t.schema.ColumnIndex(column)
+	if !ok {
+		return 0, fmt.Errorf("db: no column %q", column)
 	}
-	return t.file.Get(dir[i])
+	typ := t.schema.Column(pos).Type
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dropped {
+		return 0, ErrTableDropped
+	}
+	var rids []heap.RID
+	err := t.file.Scan(func(rid heap.RID, row value.Row) error {
+		if value.CompareValues(typ, row[pos], val) == 0 {
+			rids = append(rids, rid)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	if limit > 0 && len(rids) > limit {
+		rids = rids[:limit]
+	}
+	for i, rid := range rids {
+		if err := t.deleteLocked(rid); err != nil {
+			return i, fmt.Errorf("db: delete %v: %w", rid, err)
+		}
+	}
+	return len(rids), nil
+}
+
+// MaintainedSample implements catalog.SampleProvider: it returns the
+// backing-sample snapshot at the current epoch, rebuilding first when the
+// staleness policy demands it. ok is false when maintained sampling is
+// disabled, the table is dropped, or fewer than min rows are available
+// even after a rebuild.
+func (t *Table) MaintainedSample(min int64) (catalog.Sample, bool) {
+	if t.sample == nil {
+		return catalog.Sample{}, false
+	}
+	t.mu.RLock()
+	if t.dropped {
+		t.mu.RUnlock()
+		return catalog.Sample{}, false
+	}
+	if t.sample.Stale(t.file.NumRows()) {
+		t.mu.RUnlock()
+		t.mu.Lock()
+		if !t.dropped && t.sample.Stale(t.file.NumRows()) {
+			if err := t.rebuildSampleLocked(); err != nil {
+				t.mu.Unlock()
+				return catalog.Sample{}, false
+			}
+		}
+		t.mu.Unlock()
+		t.mu.RLock()
+		if t.dropped {
+			t.mu.RUnlock()
+			return catalog.Sample{}, false
+		}
+	}
+	rows := t.sample.Rows()
+	epoch := t.Epoch()
+	t.mu.RUnlock()
+	if int64(len(rows)) < min {
+		return catalog.Sample{}, false
+	}
+	return catalog.Sample{Rows: rows, Epoch: epoch}, true
+}
+
+// rebuildSampleLocked refills the backing sample with one heap scan. The
+// caller holds the write lock.
+func (t *Table) rebuildSampleLocked() error {
+	t.sampleRebuilds++
+	t.sample.Reset(t.sampleSeed + t.sampleRebuilds)
+	return t.file.Scan(func(rid heap.RID, row value.Row) error {
+		t.sample.Insert(ridKey(rid), row.Clone())
+		return nil
+	})
+}
+
+// SampleStats reports the maintained sample's counters plus the number of
+// staleness-triggered rebuilds (zero stats when disabled).
+func (t *Table) SampleStats() (sampling.BackingStats, uint64) {
+	if t.sample == nil {
+		return sampling.BackingStats{}, 0
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.sample.Stats(), t.sampleRebuilds
+}
+
+// PageSource implements catalog.PageProvider: a snapshot view of the
+// table's real heap pages for block sampling.
+func (t *Table) PageSource() (sampling.PageSource, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dropped {
+		return nil, ErrTableDropped
+	}
+	return heap.NewFilePages(t.file)
 }
 
 // CreateIndex builds a B+-tree index on keyCols (empty = all columns) with
@@ -196,6 +434,9 @@ func (t *Table) Row(i int64) (value.Row, error) {
 func (t *Table) CreateIndex(name string, keyCols []string, codec compress.Codec) (*Index, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.dropped {
+		return nil, ErrTableDropped
+	}
 	if _, dup := t.indexes[name]; dup {
 		return nil, fmt.Errorf("db: index %q already exists", name)
 	}
@@ -353,6 +594,11 @@ func (ix *Index) deleteEntry(row value.Row, rid heap.RID) error {
 
 // Lookup returns the RIDs of all rows whose key columns equal keyRow.
 func (ix *Index) Lookup(keyRow value.Row) ([]heap.RID, error) {
+	ix.table.mu.RLock()
+	defer ix.table.mu.RUnlock()
+	if ix.table.dropped {
+		return nil, ErrTableDropped
+	}
 	key, err := value.EncodeKey(ix.keySchema, keyRow, nil)
 	if err != nil {
 		return nil, err
@@ -394,6 +640,11 @@ func (ix *Index) ExactCF(codec compress.Codec) (compress.Result, error) {
 	}
 	if codec == nil {
 		return compress.Result{}, fmt.Errorf("db: index %s has no codec; pass one", ix.name)
+	}
+	ix.table.mu.RLock()
+	defer ix.table.mu.RUnlock()
+	if ix.table.dropped {
+		return compress.Result{}, ErrTableDropped
 	}
 	sess, err := codec.NewSession(ix.keySchema)
 	if err != nil {

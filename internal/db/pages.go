@@ -10,10 +10,13 @@ import (
 // HeapPages exposes a table's REAL heap pages for block-level sampling,
 // reading through an LRU buffer pool so the page-access economics that make
 // block sampling attractive to commercial systems (one I/O yields a whole
-// page of rows) are observable via PoolStats.
+// page of rows) are observable via PoolStats. Like every page view it is a
+// snapshot: the page count is fixed at construction, so concurrent
+// appends do not shift the sampling frame mid-draw.
 type HeapPages struct {
-	t    *Table
-	pool *buffer.Pool
+	t     *Table
+	pool  *buffer.Pool
+	pages int
 }
 
 // AsPageSource flushes the table's tail page and returns a block-sampling
@@ -24,14 +27,17 @@ func (t *Table) AsPageSource(poolPages int) (*HeapPages, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.dropped {
+		return nil, ErrTableDropped
+	}
 	if err := t.file.Flush(); err != nil {
 		return nil, err
 	}
-	return &HeapPages{t: t, pool: buffer.NewPool(t.file.Store(), poolPages)}, nil
+	return &HeapPages{t: t, pool: buffer.NewPool(t.file.Store(), poolPages), pages: t.file.NumPages()}, nil
 }
 
 // NumPages implements sampling.PageSource.
-func (h *HeapPages) NumPages() int { return h.t.file.NumPages() }
+func (h *HeapPages) NumPages() int { return h.pages }
 
 // PageRows implements sampling.PageSource: all live rows on heap page p.
 func (h *HeapPages) PageRows(p int) ([]value.Row, error) {

@@ -8,15 +8,23 @@ import (
 )
 
 // cacheKey identifies one estimation result: everything that changes the
-// outcome of a SampleCF run must appear here.
+// outcome of a SampleCF run must appear here. Table identity is the
+// catalog contract — process-unique instance id plus version epoch — so a
+// mutation invalidates every prior entry by key inequality alone, and no
+// table content is ever read to build a key.
 type cacheKey struct {
-	tableFP  uint64 // content fingerprint, not pointer identity
+	inst     uint64 // catalog.Table.InstanceID
+	epoch    uint64 // catalog.Table.Epoch at request time
 	columns  string // "\x00"-joined key column names
 	codec    string
 	fraction float64
 	rows     int64
 	seed     uint64
 	pageSize int
+	// fresh separates results computed from a forced direct draw
+	// (Request.FreshSample) from maintained-sample results, so a fresh
+	// request can never be answered with a maintained-sample estimate.
+	fresh bool
 }
 
 // lruCache is a fixed-capacity LRU map from cacheKey to core.Estimate.

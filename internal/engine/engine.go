@@ -13,10 +13,18 @@
 //     is shared by every codec of the same column set;
 //   - a worker pool — candidates evaluate concurrently across a bounded
 //     set of goroutines shared by all in-flight batches;
-//   - an LRU result cache keyed by (table fingerprint, key columns, codec,
-//     fraction|rows, seed, page size) with hit/miss/eviction counters, so
-//     repeated what-if traffic (the advisor's enumeration loops, cfserve's
-//     HTTP clients) skips re-estimation entirely.
+//   - an LRU result cache keyed by (table instance id, version epoch, key
+//     columns, codec, fraction|rows, seed, page size) with
+//     hit/miss/eviction counters, so repeated what-if traffic (the
+//     advisor's enumeration loops, cfserve's HTTP clients) skips
+//     re-estimation entirely. The epoch comes from the catalog contract:
+//     mutations bump it, so stale entries miss by key inequality — an O(1)
+//     invalidation with no row access, replacing the previous per-request
+//     content fingerprint that probed table rows;
+//   - a maintained-sample fast path — tables that keep a backing sample
+//     (catalog.SampleProvider, e.g. live db tables) serve estimation
+//     samples from memory when the snapshot matches the request's epoch,
+//     skipping the O(r) storage draw entirely.
 //
 // Batches take a context: items not yet started when the deadline expires
 // fail with the context error, while every other item completes normally —
@@ -31,6 +39,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"samplecf/internal/catalog"
 	"samplecf/internal/compress"
 	"samplecf/internal/core"
 	"samplecf/internal/page"
@@ -39,14 +48,10 @@ import (
 	"samplecf/internal/value"
 )
 
-// Table is the engine's view of an estimation source: random row access
-// for sampling plus identity. Both workload.Table and workload.VirtualTable
-// satisfy it.
-type Table interface {
-	sampling.RowSource
-	Schema() *value.Schema
-	Name() string
-}
+// Table is the engine's view of an estimation source: the versioned
+// catalog abstraction. workload.Table, workload.VirtualTable, and live
+// db.Table all satisfy it.
+type Table = catalog.Table
 
 // Config tunes an Engine.
 type Config struct {
@@ -93,6 +98,12 @@ type Request struct {
 	Seed uint64
 	// PageSize overrides the engine default for this request.
 	PageSize int
+	// FreshSample bypasses the maintained-sample fast path: the estimate
+	// is computed from a direct draw against the table even when it
+	// offers a maintained sample (catalog.SampleProvider). Fresh results
+	// are cached separately from maintained-sample results, so a fresh
+	// request is never answered with a maintained-sample estimate.
+	FreshSample bool
 }
 
 // Result is one candidate's outcome. Err is per-candidate: a failed or
@@ -115,6 +126,11 @@ type Stats struct {
 	// SamplesDrawn counts physical sample draws; SamplesShared counts
 	// candidates that reused a batch-mate's sample.
 	SamplesDrawn, SamplesShared uint64
+	// MaintainedHits counts sample draws served from a table's maintained
+	// sample; MaintainedStale counts fallbacks to a fresh draw because the
+	// maintained snapshot was missing, undersized, or at a different
+	// epoch than the request.
+	MaintainedHits, MaintainedStale uint64
 	// IndexesPrepared counts encode+sort builds; Evaluated counts candidate
 	// estimates computed (cache hits excluded).
 	IndexesPrepared, Evaluated uint64
@@ -134,9 +150,10 @@ type Engine struct {
 
 	closeOnce sync.Once
 
-	hits, misses, evictions     atomic.Uint64
-	samplesDrawn, samplesShared atomic.Uint64
-	prepared, evaluated         atomic.Uint64
+	hits, misses, evictions         atomic.Uint64
+	samplesDrawn, samplesShared     atomic.Uint64
+	maintainedHits, maintainedStale atomic.Uint64
+	prepared, evaluated             atomic.Uint64
 }
 
 // New starts an engine with cfg's worker pool.
@@ -183,6 +200,8 @@ func (e *Engine) Stats() Stats {
 		Evictions:       e.evictions.Load(),
 		SamplesDrawn:    e.samplesDrawn.Load(),
 		SamplesShared:   e.samplesShared.Load(),
+		MaintainedHits:  e.maintainedHits.Load(),
+		MaintainedStale: e.maintainedStale.Load(),
 		IndexesPrepared: e.prepared.Load(),
 		Evaluated:       e.evaluated.Load(),
 		CacheEntries:    e.cache.Len(),
@@ -196,12 +215,14 @@ func (e *Engine) Estimate(ctx context.Context, req Request) Result {
 }
 
 // sampleGroup shares one drawn sample among every batch item with the same
-// (table fingerprint, sample size, seed).
+// (table instance, epoch, sample size, seed).
 type sampleGroup struct {
 	once    sync.Once
 	table   Table
 	r       int64
 	seed    uint64
+	epoch   uint64
+	fresh   bool // at least one member demanded a fresh draw
 	members int
 
 	rows []value.Row
@@ -245,9 +266,10 @@ func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
 	}
 
 	type sgKey struct {
-		fp   uint64
-		r    int64
-		seed uint64
+		inst  uint64
+		epoch uint64
+		r     int64
+		seed  uint64
 	}
 	type pgKey struct {
 		sg   sgKey
@@ -255,7 +277,6 @@ func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
 	}
 	sampleGroups := make(map[sgKey]*sampleGroup)
 	prepGroups := make(map[pgKey]*prepGroup)
-	fps := make(map[Table]uint64) // fingerprint once per distinct table in the batch
 	var pending []*batchItem
 
 	for i, req := range reqs {
@@ -272,28 +293,25 @@ func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
 			results[i] = Result{Err: fmt.Errorf("engine: request %d: sample size is zero (fraction %v)", i, req.Fraction)}
 			continue
 		}
-		fp, ok := fps[req.Table]
-		if !ok {
-			var err error
-			fp, err = fingerprint(req.Table)
-			if err != nil {
-				results[i] = Result{Err: fmt.Errorf("engine: request %d: fingerprint: %w", i, err)}
-				continue
-			}
-			fps[req.Table] = fp
-		}
+		// The version epoch read here keys both the cache entry and the
+		// sample group: a mutation committed after this point produces a
+		// different epoch and therefore a different key — O(1)
+		// invalidation, no row access.
+		epoch := req.Table.Epoch()
 		pageSize := req.PageSize
 		if pageSize == 0 {
 			pageSize = e.cfg.PageSize
 		}
 		key := cacheKey{
-			tableFP:  fp,
+			inst:     req.Table.InstanceID(),
+			epoch:    epoch,
 			columns:  strings.Join(req.KeyColumns, "\x00"),
 			codec:    req.Codec.Name(),
 			fraction: req.Fraction,
 			rows:     req.SampleRows,
 			seed:     req.Seed,
 			pageSize: pageSize,
+			fresh:    req.FreshSample,
 		}
 		if est, ok := e.cache.Get(key); ok {
 			e.hits.Add(1)
@@ -302,11 +320,14 @@ func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
 		}
 		e.misses.Add(1)
 
-		sk := sgKey{fp: fp, r: r, seed: req.Seed}
+		sk := sgKey{inst: key.inst, epoch: epoch, r: r, seed: req.Seed}
 		sg, ok := sampleGroups[sk]
 		if !ok {
-			sg = &sampleGroup{table: req.Table, r: r, seed: req.Seed}
+			sg = &sampleGroup{table: req.Table, r: r, seed: req.Seed, epoch: epoch}
 			sampleGroups[sk] = sg
+		}
+		if req.FreshSample {
+			sg.fresh = true
 		}
 		sg.members++
 		pk := pgKey{sg: sk, cols: key.columns}
@@ -349,10 +370,7 @@ func (e *Engine) evaluate(ctx context.Context, it *batchItem) Result {
 		return Result{Err: fmt.Errorf("engine: request %d not started: %w", it.idx, err)}
 	}
 	sg := it.sg
-	sg.once.Do(func() {
-		e.samplesDrawn.Add(1)
-		sg.rows, sg.err = sampling.UniformWR(sg.table, sg.r, rng.New(sg.seed))
-	})
+	sg.once.Do(func() { e.drawSample(sg) })
 	if sg.err != nil {
 		return Result{Err: fmt.Errorf("engine: request %d: sampling: %w", it.idx, sg.err)}
 	}
@@ -381,6 +399,27 @@ func (e *Engine) evaluate(ctx context.Context, it *batchItem) Result {
 		e.evictions.Add(uint64(ev))
 	}
 	return Result{Estimate: est, SharedSample: shared}
+}
+
+// drawSample fills a sample group, preferring the table's maintained
+// sample when one is offered at the group's epoch: subsampling the
+// in-memory backing sample (without replacement — a uniform subsample of
+// a uniform sample) skips the O(r) storage draw and, for heap-backed
+// tables, the row-directory rebuild behind it. Any mismatch — no
+// provider support, fewer than r maintained rows, or a snapshot at a
+// different epoch than the request was keyed at — falls back to a fresh
+// uniform-WR draw against the table.
+func (e *Engine) drawSample(sg *sampleGroup) {
+	if sp, ok := sg.table.(catalog.SampleProvider); ok && !sg.fresh {
+		if s, ok := sp.MaintainedSample(sg.r); ok && s.Epoch == sg.epoch {
+			e.maintainedHits.Add(1)
+			sg.rows, sg.err = sampling.UniformWOR(sampling.SliceSource(s.Rows), sg.r, rng.New(sg.seed))
+			return
+		}
+		e.maintainedStale.Add(1)
+	}
+	e.samplesDrawn.Add(1)
+	sg.rows, sg.err = sampling.UniformWR(sg.table, sg.r, rng.New(sg.seed))
 }
 
 // validate rejects malformed requests before they reach the pool.

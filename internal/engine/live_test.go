@@ -1,0 +1,288 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"samplecf/internal/compress"
+	"samplecf/internal/db"
+	"samplecf/internal/value"
+)
+
+// liveTable creates a db-backed table with n rows: a 16-char city column
+// over 64 distinct names plus a counter column.
+func liveTable(t testing.TB, d *db.Database, name string, n int) *db.Table {
+	t.Helper()
+	schema, err := value.NewSchema(
+		value.Column{Name: "city", Type: value.Char(16)},
+		value.Column{Name: "seq", Type: value.Int32()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := d.CreateTable(name, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		_, err := tab.Insert(value.Row{
+			value.StringValue(fmt.Sprintf("city-%02d", i%64)),
+			value.IntValue(int32(i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func mustCodec(t testing.TB) compress.Codec {
+	t.Helper()
+	c, err := compress.Lookup("nullsuppression")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestEpochInvalidation proves the O(1) invalidation contract end to end:
+// a mutation bumps the table epoch, so the next estimate misses the cache
+// and recomputes, while an untouched table keeps serving hits. No table
+// content is read to decide either way.
+func TestEpochInvalidation(t *testing.T) {
+	d := db.New(0)
+	hot := liveTable(t, d, "hot", 3000)
+	cold := liveTable(t, d, "cold", 3000)
+	e := New(Config{Workers: 2, CacheEntries: 64})
+	defer e.Close()
+	codec := mustCodec(t)
+	ctx := context.Background()
+
+	req := func(tab Table) Request {
+		return Request{Table: tab, KeyColumns: []string{"city"}, Codec: codec, SampleRows: 200, Seed: 7}
+	}
+	if res := e.Estimate(ctx, req(hot)); res.Err != nil || res.CacheHit {
+		t.Fatalf("first hot estimate: %+v", res)
+	}
+	if res := e.Estimate(ctx, req(cold)); res.Err != nil || res.CacheHit {
+		t.Fatalf("first cold estimate: %+v", res)
+	}
+	if res := e.Estimate(ctx, req(hot)); res.Err != nil || !res.CacheHit {
+		t.Fatalf("repeat hot estimate should hit: %+v", res)
+	}
+
+	// Mutate the hot table only.
+	if _, err := hot.Insert(value.Row{value.StringValue("new-city"), value.IntValue(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if res := e.Estimate(ctx, req(hot)); res.Err != nil || res.CacheHit {
+		t.Fatalf("post-mutation hot estimate must miss: %+v", res)
+	}
+	if res := e.Estimate(ctx, req(cold)); res.Err != nil || !res.CacheHit {
+		t.Fatalf("untouched cold table must still hit: %+v", res)
+	}
+}
+
+// TestMaintainedSampleFastPath checks that a live table's backing sample
+// serves the draw (MaintainedHits) and that FreshSample opts out.
+func TestMaintainedSampleFastPath(t *testing.T) {
+	d := db.New(0) // default sample target 2048
+	tab := liveTable(t, d, "live", 4000)
+	e := New(Config{Workers: 2, CacheEntries: -1})
+	defer e.Close()
+	codec := mustCodec(t)
+	ctx := context.Background()
+
+	res := e.Estimate(ctx, Request{Table: tab, Codec: codec, SampleRows: 512, Seed: 1})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	st := e.Stats()
+	if st.MaintainedHits != 1 || st.SamplesDrawn != 0 {
+		t.Fatalf("maintained fast path not used: %+v", st)
+	}
+
+	res = e.Estimate(ctx, Request{Table: tab, Codec: codec, SampleRows: 512, Seed: 2, FreshSample: true})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if st := e.Stats(); st.SamplesDrawn != 1 {
+		t.Fatalf("FreshSample did not force a draw: %+v", st)
+	}
+
+	// A request larger than the maintained reservoir falls back and is
+	// counted as stale.
+	res = e.Estimate(ctx, Request{Table: tab, Codec: codec, SampleRows: 3000, Seed: 3})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if st := e.Stats(); st.MaintainedStale != 1 || st.SamplesDrawn != 2 {
+		t.Fatalf("oversized request did not fall back: %+v", st)
+	}
+	if res.Estimate.SampleRows != 3000 {
+		t.Fatalf("fallback sample rows = %d", res.Estimate.SampleRows)
+	}
+}
+
+// TestFreshSampleBypassesMaintainedCache is the regression test for
+// FreshSample being answered from the cache: a maintained-sample result
+// cached for the identical request must not satisfy a FreshSample
+// request — fresh and maintained results are cached under separate keys.
+func TestFreshSampleBypassesMaintainedCache(t *testing.T) {
+	d := db.New(0)
+	tab := liveTable(t, d, "freshcache", 4000)
+	e := New(Config{Workers: 2, CacheEntries: 16})
+	defer e.Close()
+	codec := mustCodec(t)
+	ctx := context.Background()
+
+	req := Request{Table: tab, Codec: codec, SampleRows: 512, Seed: 1}
+	if res := e.Estimate(ctx, req); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if st := e.Stats(); st.MaintainedHits != 1 {
+		t.Fatalf("setup did not use the maintained sample: %+v", st)
+	}
+
+	req.FreshSample = true
+	res := e.Estimate(ctx, req)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.CacheHit {
+		t.Fatal("FreshSample was served the cached maintained-sample estimate")
+	}
+	if st := e.Stats(); st.SamplesDrawn != 1 {
+		t.Fatalf("FreshSample did not draw against the table: %+v", st)
+	}
+	// The fresh result is itself cacheable — under its own key.
+	if res := e.Estimate(ctx, req); res.Err != nil || !res.CacheHit {
+		t.Fatalf("repeat FreshSample request should hit its own entry: %+v", res)
+	}
+}
+
+// TestMaintainedSampleEstimateAccuracy sanity-checks that estimates off
+// the maintained sample land near the fresh-draw estimate.
+func TestMaintainedSampleEstimateAccuracy(t *testing.T) {
+	d := db.New(0)
+	tab := liveTable(t, d, "acc", 6000)
+	e := New(Config{Workers: 2, CacheEntries: -1})
+	defer e.Close()
+	codec := mustCodec(t)
+	ctx := context.Background()
+
+	fast := e.Estimate(ctx, Request{Table: tab, Codec: codec, KeyColumns: []string{"city"}, SampleRows: 1000, Seed: 1})
+	fresh := e.Estimate(ctx, Request{Table: tab, Codec: codec, KeyColumns: []string{"city"}, SampleRows: 1000, Seed: 1, FreshSample: true})
+	if fast.Err != nil || fresh.Err != nil {
+		t.Fatalf("errs: %v / %v", fast.Err, fresh.Err)
+	}
+	if diff := fast.Estimate.CF - fresh.Estimate.CF; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("maintained CF %.4f vs fresh CF %.4f differ by > 0.05",
+			fast.Estimate.CF, fresh.Estimate.CF)
+	}
+}
+
+// TestConcurrentInsertsAndBatches drives concurrent mutations and engine
+// batch estimation on the same live catalog table — the -race guarantee
+// of the versioned data plane: readers (sampling, maintained-sample
+// snapshots, epoch reads) never tear against writers.
+func TestConcurrentInsertsAndBatches(t *testing.T) {
+	d := db.New(0)
+	tab := liveTable(t, d, "churn", 2000)
+	e := New(Config{Workers: 4, CacheEntries: 128})
+	defer e.Close()
+	codec := mustCodec(t)
+
+	const (
+		writers      = 2
+		insertsEach  = 300
+		estimators   = 4
+		batchesEach  = 20
+		perBatchReqs = 4
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < insertsEach; i++ {
+				_, err := tab.Insert(value.Row{
+					value.StringValue(fmt.Sprintf("w%d-%03d", w, i%64)),
+					value.IntValue(int32(i)),
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < estimators; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < batchesEach; b++ {
+				reqs := make([]Request, perBatchReqs)
+				for i := range reqs {
+					reqs[i] = Request{
+						Table:      tab,
+						KeyColumns: []string{"city"},
+						Codec:      codec,
+						SampleRows: 100,
+						Seed:       uint64(g*1000 + b),
+					}
+				}
+				for i, res := range e.WhatIf(context.Background(), reqs) {
+					if res.Err != nil {
+						t.Errorf("estimator %d batch %d req %d: %v", g, b, i, res.Err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// After the dust settles the cache must converge again.
+	res := e.Estimate(context.Background(), Request{Table: tab, KeyColumns: []string{"city"}, Codec: codec, SampleRows: 100, Seed: 99})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	res2 := e.Estimate(context.Background(), Request{Table: tab, KeyColumns: []string{"city"}, Codec: codec, SampleRows: 100, Seed: 99})
+	if res2.Err != nil || !res2.CacheHit {
+		t.Fatalf("quiesced table does not serve cache hits: %+v", res2)
+	}
+	if res2.Estimate.CF != res.Estimate.CF {
+		t.Fatalf("cached CF %v != computed %v", res2.Estimate.CF, res.Estimate.CF)
+	}
+}
+
+// BenchmarkCacheHitByTableSize measures a cache-hit estimate against live
+// catalog tables of different sizes. With (instance id, epoch) keys the
+// lookup reads zero rows, so the cost must be independent of n — the
+// previous content-fingerprint key probed rows on every request and, on a
+// freshly mutated heap table, paid an O(n) row-directory rebuild to do it.
+func BenchmarkCacheHitByTableSize(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			d := db.New(0)
+			tab := liveTable(b, d, fmt.Sprintf("bench-%d", n), n)
+			e := New(Config{Workers: 2, CacheEntries: 64})
+			defer e.Close()
+			codec := mustCodec(b)
+			req := Request{Table: tab, KeyColumns: []string{"city"}, Codec: codec, SampleRows: 500, Seed: 1}
+			if res := e.Estimate(context.Background(), req); res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := e.Estimate(context.Background(), req)
+				if res.Err != nil || !res.CacheHit {
+					b.Fatalf("want cache hit, got %+v", res)
+				}
+			}
+		})
+	}
+}

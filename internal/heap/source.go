@@ -1,0 +1,94 @@
+package heap
+
+import (
+	"fmt"
+
+	"samplecf/internal/page"
+	"samplecf/internal/value"
+)
+
+// RowDir provides uniform random row access over a heap file — the
+// sampling.RowSource access pattern — by materializing a directory of the
+// file's live RIDs in one scan. Row i resolves through the directory to a
+// slotted-page read, so uniform row sampling runs against real storage
+// instead of a copied-out row slice.
+//
+// A RowDir is a snapshot: rows inserted or deleted after construction are
+// not visible. Owners rebuild after mutations (internal/db invalidates
+// its directory on every insert/delete and rebuilds lazily).
+type RowDir struct {
+	f    *File
+	rids []RID
+}
+
+// NewRowDir scans f once and returns a random-access view of its current
+// live rows.
+func NewRowDir(f *File) (*RowDir, error) {
+	d := &RowDir{f: f, rids: make([]RID, 0, f.NumRows())}
+	err := f.ScanPages(func(pageNo uint32, p *page.Page) error {
+		return p.Records(func(slot int, _ []byte) error {
+			d.rids = append(d.rids, RID{Page: pageNo, Slot: uint16(slot)})
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, fmt.Errorf("heap: row directory scan: %w", err)
+	}
+	return d, nil
+}
+
+// NumRows implements sampling.RowSource.
+func (d *RowDir) NumRows() int64 { return int64(len(d.rids)) }
+
+// Row implements sampling.RowSource: it fetches the i-th live row from
+// its slotted page.
+func (d *RowDir) Row(i int64) (value.Row, error) {
+	if i < 0 || i >= int64(len(d.rids)) {
+		return nil, fmt.Errorf("heap: row %d out of range [0,%d)", i, len(d.rids))
+	}
+	return d.f.Get(d.rids[i])
+}
+
+// RID returns the storage identity of directory row i.
+func (d *RowDir) RID(i int64) RID { return d.rids[i] }
+
+// FilePages adapts a heap file to the sampling.PageSource shape: block
+// sampling draws whole slotted pages and receives every live row on them.
+// Like RowDir it is a snapshot — the page count is fixed at construction.
+type FilePages struct {
+	f     *File
+	pages int
+}
+
+// NewFilePages flushes f's tail page and returns a block-sampling view of
+// its current pages.
+func NewFilePages(f *File) (*FilePages, error) {
+	if err := f.Flush(); err != nil {
+		return nil, err
+	}
+	return &FilePages{f: f, pages: f.NumPages()}, nil
+}
+
+// NumPages implements sampling.PageSource.
+func (p *FilePages) NumPages() int { return p.pages }
+
+// PageRows implements sampling.PageSource: all live rows on page i.
+func (p *FilePages) PageRows(i int) ([]value.Row, error) {
+	if i < 0 || i >= p.pages {
+		return nil, fmt.Errorf("heap: page %d out of range [0,%d)", i, p.pages)
+	}
+	pg, err := p.f.pageAt(uint32(i))
+	if err != nil {
+		return nil, err
+	}
+	var rows []value.Row
+	err = pg.Records(func(_ int, rec []byte) error {
+		row, err := value.DecodeRecord(p.f.schema, rec)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row.Clone())
+		return nil
+	})
+	return rows, err
+}

@@ -17,10 +17,10 @@ import (
 	"fmt"
 	"sort"
 
+	"samplecf/internal/catalog"
 	"samplecf/internal/compress"
 	"samplecf/internal/engine"
 	"samplecf/internal/page"
-	"samplecf/internal/sampling"
 	"samplecf/internal/value"
 )
 
@@ -33,13 +33,9 @@ type Query struct {
 	Selectivity float64 // fraction of rows touched through an index
 }
 
-// Table is the advisor's view of a base table: schema, row access for
-// sampling, and full iteration for (optional) verification.
-type Table interface {
-	sampling.RowSource
-	Schema() *value.Schema
-	Name() string
-}
+// Table is the advisor's view of a base table: the versioned catalog
+// abstraction shared with the engine.
+type Table = catalog.Table
 
 // Candidate is one index design option: a key column sequence and a codec
 // (nil codec = uncompressed).

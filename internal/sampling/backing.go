@@ -1,0 +1,193 @@
+package sampling
+
+import (
+	"fmt"
+	"sync"
+
+	"samplecf/internal/rng"
+	"samplecf/internal/value"
+)
+
+// Backing is an incrementally maintained uniform sample — the "backing
+// sample" of Gibbons, Matias & Poosala — for tables under insert/delete
+// churn. It keeps hot tables from paying a fresh O(r) draw (plus, for
+// heap-backed tables, an O(n) row-directory rebuild) on every estimation
+// batch:
+//
+//   - inserts run Vitter's Algorithm R over the table's insert stream:
+//     the first `target` rows all enter; afterwards row t enters with
+//     probability target/t, evicting a uniformly chosen slot. Holes left
+//     by deletes act as "ghost" eviction targets, so acceptance
+//     probability stays target/t even while the reservoir is shrunken —
+//     every live row remains equally likely to be sampled;
+//   - deletes are exact, not approximate: every sampled row carries the
+//     caller's storage key (a RID for heap tables), so deleting a row
+//     removes precisely that row from the reservoir if present. The sample
+//     stays uniform over the live rows; only its size shrinks;
+//   - shrinkage is repaired by policy, not per-operation: when deletes
+//     have eroded the reservoir below half its target (while the table
+//     could still fill it), Stale reports true and the owner rebuilds
+//     with a fresh scan (Reset + re-Insert).
+//
+// All methods are safe for concurrent use.
+type Backing struct {
+	mu     sync.Mutex
+	target int
+	g      *rng.RNG
+
+	items []backingItem
+	pos   map[uint64]int // storage key → index in items
+	// inserted counts rows offered since the last Reset: Algorithm R's
+	// stream position t.
+	inserted int64
+	// deleted counts delete notifications since the last Reset; dropped
+	// counts the subset that actually hit the reservoir.
+	deleted, dropped int64
+}
+
+type backingItem struct {
+	key uint64
+	row value.Row
+}
+
+// NewBacking creates a maintained sample targeting `target` rows; draws
+// derive from seed.
+func NewBacking(target int, seed uint64) (*Backing, error) {
+	if target <= 0 {
+		return nil, fmt.Errorf("sampling: backing sample target %d must be positive", target)
+	}
+	return &Backing{
+		target: target,
+		g:      rng.New(seed),
+		pos:    make(map[uint64]int, target),
+	}, nil
+}
+
+// Target returns the configured reservoir size.
+func (b *Backing) Target() int { return b.target }
+
+// Insert offers one newly inserted row (Algorithm R step). key is the
+// row's storage identity (e.g. its RID) used for exact delete tolerance;
+// offering a key that is already resident replaces that row in place.
+// The row must be safe to retain.
+func (b *Backing) Insert(key uint64, row value.Row) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if i, ok := b.pos[key]; ok {
+		// Storage reused the key (e.g. a heap slot refilled after a
+		// delete that was never reported); replace in place.
+		b.items[i].row = row
+		return
+	}
+	b.inserted++
+	if b.inserted <= int64(b.target) {
+		b.pos[key] = len(b.items)
+		b.items = append(b.items, backingItem{key: key, row: row})
+		return
+	}
+	// Algorithm R acceptance: j uniform over the stream so far; accept iff
+	// j falls in the reservoir's index range. Conditioned on acceptance, j
+	// is uniform over [0, target) and doubles as the eviction slot. Slots
+	// beyond the current (possibly delete-shrunken) occupancy are ghosts:
+	// accepting into one grows the reservoir back toward target without
+	// evicting, keeping per-row membership probability at target/t.
+	j := b.g.Int63n(b.inserted)
+	if j >= int64(b.target) {
+		return
+	}
+	if int(j) < len(b.items) {
+		old := b.items[j]
+		delete(b.pos, old.key)
+		b.items[j] = backingItem{key: key, row: row}
+		b.pos[key] = int(j)
+		return
+	}
+	b.pos[key] = len(b.items)
+	b.items = append(b.items, backingItem{key: key, row: row})
+}
+
+// Delete notes the deletion of the row with the given storage key,
+// removing it from the reservoir if it was sampled.
+func (b *Backing) Delete(key uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.deleted++
+	i, ok := b.pos[key]
+	if !ok {
+		return
+	}
+	b.dropped++
+	last := len(b.items) - 1
+	if i != last {
+		b.items[i] = b.items[last]
+		b.pos[b.items[i].key] = i
+	}
+	b.items = b.items[:last]
+	delete(b.pos, key)
+}
+
+// Size returns the current reservoir occupancy.
+func (b *Backing) Size() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items)
+}
+
+// Rows returns a snapshot copy of the reservoir. The rows themselves are
+// shared with the reservoir and must not be mutated.
+func (b *Backing) Rows() []value.Row {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]value.Row, len(b.items))
+	for i, it := range b.items {
+		out[i] = it.row
+	}
+	return out
+}
+
+// Stale reports whether the reservoir needs a rebuild, given the table's
+// current live row count: deletes have eroded it below half target even
+// though the table still has enough rows to fill that much. A fresh or
+// insert-only reservoir is never stale.
+func (b *Backing) Stale(liveRows int64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	floor := int64(b.target / 2)
+	if liveRows < floor {
+		floor = liveRows
+	}
+	return int64(len(b.items)) < floor
+}
+
+// BackingStats reports the maintenance counters since the last Reset.
+type BackingStats struct {
+	// Size and Target describe reservoir occupancy.
+	Size, Target int
+	// Inserted counts rows offered; Deleted counts delete notifications;
+	// Dropped counts deletes that removed a sampled row.
+	Inserted, Deleted, Dropped int64
+}
+
+// Stats snapshots the counters.
+func (b *Backing) Stats() BackingStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BackingStats{
+		Size:     len(b.items),
+		Target:   b.target,
+		Inserted: b.inserted,
+		Deleted:  b.deleted,
+		Dropped:  b.dropped,
+	}
+}
+
+// Reset empties the reservoir and counters ahead of a rebuild scan; seed
+// re-derives the draw stream so rebuilds are reproducible.
+func (b *Backing) Reset(seed uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.items = b.items[:0]
+	b.pos = make(map[uint64]int, b.target)
+	b.inserted, b.deleted, b.dropped = 0, 0, 0
+	b.g = rng.New(seed)
+}

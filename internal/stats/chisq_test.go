@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChiSquaredStatistic(t *testing.T) {
+	// Textbook die example: 120 rolls, observed vs uniform 20/cell.
+	obs := []int64{15, 25, 20, 18, 22, 20}
+	x2, df := ChiSquaredUniform(obs)
+	want := (25.0 + 25 + 0 + 4 + 4 + 0) / 20
+	if math.Abs(x2-want) > 1e-12 {
+		t.Fatalf("X² = %v, want %v", x2, want)
+	}
+	if df != 5 {
+		t.Fatalf("df = %d, want 5", df)
+	}
+}
+
+func TestChiSquaredPValueCriticalPoints(t *testing.T) {
+	// Standard critical values: P(X²_df >= crit) = alpha.
+	cases := []struct {
+		df    int
+		crit  float64
+		alpha float64
+	}{
+		{1, 3.841, 0.05},
+		{5, 11.070, 0.05},
+		{10, 18.307, 0.05},
+		{10, 23.209, 0.01},
+		{50, 67.505, 0.05},
+	}
+	for _, c := range cases {
+		p := ChiSquaredPValue(c.crit, c.df)
+		if math.Abs(p-c.alpha) > 0.001 {
+			t.Errorf("P(X²_%d >= %v) = %v, want ~%v", c.df, c.crit, p, c.alpha)
+		}
+	}
+}
+
+func TestChiSquaredPValueEdges(t *testing.T) {
+	if p := ChiSquaredPValue(0, 3); p != 1 {
+		t.Fatalf("p(0) = %v, want 1", p)
+	}
+	if p := ChiSquaredPValue(1e4, 3); p > 1e-12 {
+		t.Fatalf("p(huge) = %v, want ~0", p)
+	}
+	// Monotone decreasing in the statistic.
+	prev := 1.1
+	for x := 0.5; x < 30; x += 0.5 {
+		p := ChiSquaredPValue(x, 7)
+		if p >= prev {
+			t.Fatalf("p-value not decreasing at x=%v: %v >= %v", x, p, prev)
+		}
+		prev = p
+	}
+}

@@ -164,6 +164,112 @@ func Summarize(values []float64) Summary {
 	return s
 }
 
+// ChiSquared returns Pearson's X² statistic for observed counts against
+// expected counts (Σ (O-E)²/E). It panics on mismatched lengths and on a
+// non-positive expectation, which indicates a malformed test design.
+func ChiSquared(observed []int64, expected []float64) float64 {
+	if len(observed) != len(expected) {
+		panic(fmt.Sprintf("stats: chi-squared with %d observed vs %d expected cells",
+			len(observed), len(expected)))
+	}
+	var x2 float64
+	for i, o := range observed {
+		e := expected[i]
+		if e <= 0 {
+			panic(fmt.Sprintf("stats: chi-squared cell %d has expectation %v", i, e))
+		}
+		d := float64(o) - e
+		x2 += d * d / e
+	}
+	return x2
+}
+
+// ChiSquaredUniform is ChiSquared against the uniform expectation
+// (total/len cells); it returns the statistic and the degrees of freedom
+// len-1.
+func ChiSquaredUniform(observed []int64) (x2 float64, df int) {
+	var total int64
+	for _, o := range observed {
+		total += o
+	}
+	expected := make([]float64, len(observed))
+	for i := range expected {
+		expected[i] = float64(total) / float64(len(observed))
+	}
+	return ChiSquared(observed, expected), len(observed) - 1
+}
+
+// ChiSquaredPValue returns P(X²_df ≥ x2), the upper tail of the
+// chi-squared distribution with df degrees of freedom: the regularized
+// upper incomplete gamma Q(df/2, x2/2).
+func ChiSquaredPValue(x2 float64, df int) float64 {
+	if df <= 0 {
+		panic(fmt.Sprintf("stats: chi-squared with %d degrees of freedom", df))
+	}
+	if x2 <= 0 {
+		return 1
+	}
+	return upperIncompleteGammaQ(float64(df)/2, x2/2)
+}
+
+// upperIncompleteGammaQ computes Q(a,x) = Γ(a,x)/Γ(a) using the series
+// expansion for x < a+1 and the continued fraction otherwise (Numerical
+// Recipes §6.2); both converge quickly for the chi-squared ranges tests
+// use.
+func upperIncompleteGammaQ(a, x float64) float64 {
+	const (
+		maxIter = 500
+		eps     = 1e-12
+		tiny    = 1e-300
+	)
+	if x < a+1 {
+		// P(a,x) by series, Q = 1 - P.
+		ap := a
+		sum := 1.0 / a
+		del := sum
+		for i := 0; i < maxIter; i++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*eps {
+				break
+			}
+		}
+		logP := -x + a*math.Log(x) - lgamma(a) + math.Log(sum)
+		return 1 - math.Exp(logP)
+	}
+	// Q(a,x) by Lentz's continued fraction.
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= maxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lgamma(a)) * h
+}
+
+// lgamma wraps math.Lgamma, dropping the sign (arguments here are > 0).
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
 // Histogram is a fixed-width-bin histogram over [Lo, Hi); out-of-range
 // observations clamp into the edge bins, so counts always total N.
 type Histogram struct {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"samplecf/internal/catalog"
 	"samplecf/internal/rng"
 	"samplecf/internal/value"
 )
@@ -77,12 +78,17 @@ func (s Spec) domainOf(i int64, c int) int64 {
 }
 
 // Table is a fully materialized synthetic table. It implements
-// sampling.RowSource; AsPageSource adapts it for block sampling.
+// catalog.Table (the embedded Version supplies epoch + instance id;
+// physical reorders bump the epoch); AsPageSource adapts it for block
+// sampling.
 type Table struct {
+	catalog.Version
 	name   string
 	schema *value.Schema
 	rows   []value.Row
 }
+
+var _ catalog.Table = (*Table)(nil)
 
 // Generate materializes a table from spec.
 func Generate(spec Spec) (*Table, error) {
@@ -100,7 +106,7 @@ func Generate(spec Spec) (*Table, error) {
 	for i := int64(0); i < spec.N; i++ {
 		rows[i] = spec.rowOf(i)
 	}
-	t := &Table{name: spec.Name, schema: schema, rows: rows}
+	t := &Table{Version: catalog.NewVersion(), name: spec.Name, schema: schema, rows: rows}
 	if spec.Layout == LayoutClustered {
 		t.SortByColumn(0)
 	}
@@ -114,7 +120,7 @@ func NewTableFromRows(name string, schema *value.Schema, rows []value.Row) (*Tab
 			return nil, fmt.Errorf("workload: row %d: %w", i, err)
 		}
 	}
-	return &Table{name: name, schema: schema, rows: rows}, nil
+	return &Table{Version: catalog.NewVersion(), name: name, schema: schema, rows: rows}, nil
 }
 
 // Name returns the table name.
@@ -147,17 +153,22 @@ func (t *Table) Scan(fn func(i int64, row value.Row) error) error {
 	return nil
 }
 
-// SortByColumn physically sorts rows by the given column (clustered layout).
+// SortByColumn physically sorts rows by the given column (clustered
+// layout). The reorder bumps the version epoch: row indices shift, so
+// anything keyed on the previous epoch (cached estimates, samples) is
+// stale.
 func (t *Table) SortByColumn(col int) {
 	typ := t.schema.Column(col).Type
 	sort.SliceStable(t.rows, func(i, j int) bool {
 		return value.CompareValues(typ, t.rows[i][col], t.rows[j][col]) < 0
 	})
+	t.Bump()
 }
 
-// Shuffle randomizes physical row order with g.
+// Shuffle randomizes physical row order with g and bumps the epoch.
 func (t *Table) Shuffle(g *rng.RNG) {
 	g.Shuffle(len(t.rows), func(i, j int) { t.rows[i], t.rows[j] = t.rows[j], t.rows[i] })
+	t.Bump()
 }
 
 // PageView adapts the table to sampling.PageSource with a fixed number of
@@ -196,11 +207,14 @@ func (p *PageView) PageRows(i int) ([]value.Row, error) {
 // VirtualTable is a generator-backed table that never materializes rows:
 // row i is recomputed on demand. It makes the paper's Example 1 (n = 10⁸)
 // runnable in constant memory. Virtual tables always have IID (shuffled)
-// layout.
+// layout, are immutable, and therefore stay at epoch 0 forever.
 type VirtualTable struct {
+	catalog.Version
 	spec   Spec
 	schema *value.Schema
 }
+
+var _ catalog.Table = (*VirtualTable)(nil)
 
 // NewVirtual builds a virtual table over spec.
 func NewVirtual(spec Spec) (*VirtualTable, error) {
@@ -217,7 +231,7 @@ func NewVirtual(spec Spec) (*VirtualTable, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &VirtualTable{spec: spec, schema: schema}, nil
+	return &VirtualTable{Version: catalog.NewVersion(), spec: spec, schema: schema}, nil
 }
 
 // Name returns the table name.

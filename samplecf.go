@@ -48,6 +48,7 @@ package samplecf
 import (
 	"context"
 
+	"samplecf/internal/catalog"
 	"samplecf/internal/compress"
 	"samplecf/internal/core"
 	"samplecf/internal/db"
@@ -356,6 +357,23 @@ func SizeCandidates(cands []AdvisorCandidate, opts AdvisorOptions) ([]SizedCandi
 
 // SizedCandidate is a candidate with its estimated storage footprint.
 type SizedCandidate = physdesign.Sized
+
+// --- catalog -----------------------------------------------------------------
+
+// CatalogTable is the versioned table abstraction every estimation
+// consumer speaks to: identity (name + process-unique instance id),
+// schema, random row access, and a version epoch that mutations bump.
+// Synthetic tables, virtual tables, and live database tables all
+// implement it, so the engine serves them interchangeably and
+// invalidates cached estimates in O(1) when a table changes.
+type CatalogTable = catalog.Table
+
+// TableCatalog is a concurrency-safe named registry of catalog tables —
+// the mount point services resolve table names through.
+type TableCatalog = catalog.Catalog
+
+// NewTableCatalog returns an empty table catalog.
+func NewTableCatalog() *TableCatalog { return catalog.New() }
 
 // --- estimation engine -------------------------------------------------------
 
