@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench fmt vet
+.PHONY: build test race bench bench-diff bench-race fmt vet
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,18 @@ bench:
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson > BENCH_engine.json
 	@echo "wrote BENCH_engine.json"
+
+# bench-diff runs the same benchmarks and compares them against the
+# committed BENCH_engine.json, exiting nonzero on a >25% ns/op or
+# allocs/op regression. CI runs it as a non-blocking report (1x iterations
+# are too noisy to gate on); run locally with the default BENCHTIME before
+# sending a perf-sensitive change.
+bench-diff:
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/engine . \
+		| $(GO) run ./cmd/benchjson -diff BENCH_engine.json
+
+# bench-race drives the estimation hot path — pooled codec scratch,
+# parallel page compression, shared arenas — under the race detector so a
+# data race in pooling or fan-out cannot land silently.
+bench-race:
+	$(GO) test -race -bench EstimateSampleSizes -benchtime 1x -run '^$$' .

@@ -5,13 +5,25 @@
 // trajectory of the hot paths.
 //
 //	go test -bench . -benchmem -run '^$' ./... | benchjson > BENCH.json
+//
+// With -diff, the fresh run on stdin is compared against a committed
+// baseline instead of re-emitted: every benchmark present in both gets a
+// ns/op and allocs/op delta report on stdout, and the exit status is 1 if
+// any regresses by more than -threshold (default 25%). `make bench-diff`
+// wires this against BENCH_engine.json; CI runs it as a non-blocking
+// report step (single-iteration CI runs are too noisy to gate merges on).
+//
+//	go test -bench . -benchmem -run '^$' ./... | benchjson -diff BENCH_engine.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -38,10 +50,27 @@ type document struct {
 }
 
 func main() {
+	var (
+		diffPath  = flag.String("diff", "", "baseline JSON to compare the fresh run against (report mode)")
+		threshold = flag.Float64("threshold", 0.25, "relative ns/op or allocs/op growth that counts as a regression in -diff mode")
+	)
+	flag.Parse()
+
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	if *diffPath != "" {
+		regressed, err := diff(os.Stdout, *diffPath, doc, *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -49,6 +78,78 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// gomaxprocsSuffix strips the "-N" GOMAXPROCS suffix go test appends to
+// benchmark names, so baselines recorded on machines with different core
+// counts still line up.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func normalizeName(name string) string { return gomaxprocsSuffix.ReplaceAllString(name, "") }
+
+// diff compares the fresh results against the baseline document at path and
+// reports per-benchmark deltas. It returns true when any benchmark's ns/op
+// or allocs/op grew by more than threshold.
+func diff(w *os.File, path string, fresh *document, threshold float64) (bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var base document
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return false, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	baseBy := make(map[string]result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[normalizeName(r.Name)] = r
+	}
+
+	type line struct {
+		name      string
+		text      string
+		regressed bool
+	}
+	var lines []line
+	regressed := false
+	for _, cur := range fresh.Results {
+		name := normalizeName(cur.Name)
+		old, ok := baseBy[name]
+		if !ok {
+			lines = append(lines, line{name: name, text: fmt.Sprintf("%-55s NEW  %12.0f ns/op", name, cur.NsPerOp)})
+			continue
+		}
+		nsDelta := relDelta(old.NsPerOp, cur.NsPerOp)
+		text := fmt.Sprintf("%-55s ns/op %12.0f -> %12.0f (%+6.1f%%)", name, old.NsPerOp, cur.NsPerOp, 100*nsDelta)
+		bad := nsDelta > threshold
+		if old.AllocsPerOp != nil && cur.AllocsPerOp != nil {
+			aDelta := relDelta(float64(*old.AllocsPerOp), float64(*cur.AllocsPerOp))
+			text += fmt.Sprintf("  allocs %8d -> %8d (%+6.1f%%)", *old.AllocsPerOp, *cur.AllocsPerOp, 100*aDelta)
+			bad = bad || aDelta > threshold
+		}
+		if bad {
+			text += "  REGRESSION"
+			regressed = true
+		}
+		lines = append(lines, line{name: name, text: text, regressed: bad})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	for _, l := range lines {
+		fmt.Fprintln(w, l.text)
+	}
+	if regressed {
+		fmt.Fprintf(w, "\nFAIL: at least one benchmark regressed >%.0f%% vs %s\n", 100*threshold, path)
+	} else {
+		fmt.Fprintf(w, "\nOK: no benchmark regressed >%.0f%% vs %s\n", 100*threshold, path)
+	}
+	return regressed, nil
+}
+
+// relDelta returns (new-old)/old, treating a zero baseline as no change.
+func relDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old
 }
 
 // parse consumes go test -bench output line by line.

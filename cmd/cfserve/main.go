@@ -61,18 +61,25 @@ func main() {
 
 func run() error {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "estimation worker goroutines (0 = GOMAXPROCS)")
-		cache   = flag.Int("cache", 1024, "LRU result cache entries (negative disables)")
-		demo    = flag.Bool("demo", false, "preload a demo table named \"demo\"")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
-		maxRows = flag.Int64("max-rows", defaultMaxTableRows, "per-table row limit for POST /tables")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "estimation worker goroutines (0 = GOMAXPROCS)")
+		cache     = flag.Int("cache", 1024, "LRU result cache entries (negative disables)")
+		demo      = flag.Bool("demo", false, "preload a demo table named \"demo\"")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		maxRows   = flag.Int64("max-rows", defaultMaxTableRows, "per-table row limit for POST /tables")
+		pprofMode = flag.String("pprof", "local", "/debug/pprof/ exposure: local (loopback clients only), all, or off")
 	)
 	flag.Parse()
 
+	switch *pprofMode {
+	case "local", "all", "off":
+	default:
+		return fmt.Errorf("invalid -pprof %q (want local, all, or off)", *pprofMode)
+	}
 	eng := engine.New(engine.Config{Workers: *workers, CacheEntries: *cache})
 	defer eng.Close()
 	srv := newServer(eng)
+	srv.pprofMode = *pprofMode
 	if *maxRows > 0 {
 		srv.maxTableRows = *maxRows
 	}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"samplecf/internal/catalog"
@@ -35,6 +37,10 @@ type server struct {
 	// defaultMaxTableRows; the -max-rows flag overrides).
 	maxTableRows int64
 
+	// pprofMode gates /debug/pprof/: "local" (default) serves profiles to
+	// loopback clients only, "all" to anyone, "off" not at all.
+	pprofMode string
+
 	started time.Time
 }
 
@@ -62,7 +68,41 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /estimate", s.handleEstimate)
 	mux.HandleFunc("POST /whatif", s.handleWhatIf)
 	mux.HandleFunc("POST /advise", s.handleAdvise)
+	s.mountPprof(mux)
 	return mux
+}
+
+// mountPprof exposes the runtime profiler under /debug/pprof/ so hot-path
+// CPU and allocation profiles can be captured from a running service
+// (`go tool pprof http://host:port/debug/pprof/profile`). Access follows
+// s.pprofMode: profiles reveal internals, so the default only answers
+// clients connecting from a loopback address.
+func (s *server) mountPprof(mux *http.ServeMux) {
+	mode := s.pprofMode
+	if mode == "" {
+		mode = "local"
+	}
+	if mode == "off" {
+		return
+	}
+	guard := func(h http.HandlerFunc) http.HandlerFunc {
+		if mode == "all" {
+			return h
+		}
+		return func(w http.ResponseWriter, r *http.Request) {
+			host, _, err := net.SplitHostPort(r.RemoteAddr)
+			if err != nil || !net.ParseIP(host).IsLoopback() {
+				http.Error(w, "pprof is limited to loopback clients (run with -pprof all to open it)", http.StatusForbidden)
+				return
+			}
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("GET /debug/pprof/", guard(pprof.Index))
+	mux.HandleFunc("GET /debug/pprof/cmdline", guard(pprof.Cmdline))
+	mux.HandleFunc("GET /debug/pprof/profile", guard(pprof.Profile))
+	mux.HandleFunc("GET /debug/pprof/symbol", guard(pprof.Symbol))
+	mux.HandleFunc("GET /debug/pprof/trace", guard(pprof.Trace))
 }
 
 // register adds a table to the catalog (used by handlers and -demo).

@@ -318,3 +318,50 @@ func TestSpecParsing(t *testing.T) {
 		}
 	}
 }
+
+// TestPprofExposure covers the /debug/pprof/ gate: loopback clients are
+// served under the default "local" mode, non-loopback clients are
+// forbidden, "off" unmounts the routes, and "all" serves anyone.
+func TestPprofExposure(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 1, CacheEntries: 1})
+	t.Cleanup(eng.Close)
+
+	srv := newServer(eng) // default mode: local
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("loopback pprof index = %d, want 200", resp.StatusCode)
+	}
+
+	// A non-loopback client against the same handler is rejected.
+	req := httptest.NewRequest("GET", "/debug/pprof/", nil)
+	req.RemoteAddr = "192.0.2.1:4711"
+	rec := httptest.NewRecorder()
+	srv.handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusForbidden {
+		t.Fatalf("non-loopback pprof = %d, want 403", rec.Code)
+	}
+
+	// -pprof all serves the same request.
+	open := newServer(eng)
+	open.pprofMode = "all"
+	rec = httptest.NewRecorder()
+	open.handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pprof=all non-loopback = %d, want 200", rec.Code)
+	}
+
+	// -pprof off unmounts the routes entirely.
+	closed := newServer(eng)
+	closed.pprofMode = "off"
+	rec = httptest.NewRecorder()
+	closed.handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("pprof=off = %d, want 404", rec.Code)
+	}
+}

@@ -60,10 +60,14 @@ type PageProvider interface {
 }
 
 // Sample is a maintained-sample snapshot: rows that were a uniform random
-// sample of the table as of Epoch.
+// sample of the table as of Epoch, arena-encoded so estimation consumers
+// gather from it by byte range — no per-row decoding between the
+// maintained reservoir and the estimator.
 type Sample struct {
-	// Rows is the sampled row set. Callers must not mutate it.
-	Rows []value.Row
+	// Arena holds the sampled rows (records + memcomparable keys) under
+	// the table's schema. It is a snapshot: later table mutations never
+	// change it, and callers must not mutate it either.
+	Arena *value.RecordArena
 	// Epoch is the table epoch the snapshot was taken at.
 	Epoch uint64
 }

@@ -41,12 +41,33 @@ type PageCodec interface {
 	DecodePage(schema *value.Schema, data []byte) ([][]byte, error)
 }
 
+// PageAppender is the allocation-free encode path every built-in PageCodec
+// implements: AppendPage appends the page's encoding to dst (reusing dst's
+// capacity — callers pool the buffer) and returns the extended buffer plus
+// the number of dictionary entries the page stores. Implementations must
+// not mutate receiver state, so one codec instance can encode pages from
+// multiple goroutines concurrently; all per-page working memory comes from
+// internal sync.Pools. The bytes appended are exactly what EncodePage
+// returns for the same input.
+type PageAppender interface {
+	AppendPage(schema *value.Schema, records [][]byte, dst []byte) ([]byte, int64, error)
+}
+
 // Session accumulates the pages of one index during whole-index compression.
 type Session interface {
 	// AddPage feeds the records of one uncompressed leaf page.
 	AddPage(records [][]byte) error
 	// Finish returns the result. The session is unusable afterwards.
 	Finish() (Result, error)
+}
+
+// EncodedDiscarder is the measurement fast path on sessions: after
+// DiscardEncoded, the session's Result carries sizes only (Encoded stays
+// nil), freeing the session to reuse one scratch buffer for every page
+// instead of retaining each page's encoding. Estimators — which only ever
+// read the size tally — use it; round-trip tests do not.
+type EncodedDiscarder interface {
+	DiscardEncoded()
 }
 
 // Result summarizes one whole-index compression.
@@ -105,29 +126,57 @@ func (p Paged) NewSession(schema *value.Schema) (Session, error) {
 }
 
 type pagedSession struct {
-	pc     PageCodec
-	schema *value.Schema
-	res    Result
-	done   bool
+	pc      PageCodec
+	schema  *value.Schema
+	res     Result
+	done    bool
+	discard bool
+	scratch []byte // pooled page buffer, only used when discard is set
 }
+
+// DiscardEncoded implements EncodedDiscarder.
+func (s *pagedSession) DiscardEncoded() { s.discard = true }
 
 // AddPage implements Session.
 func (s *pagedSession) AddPage(records [][]byte) error {
 	if s.done {
 		return fmt.Errorf("compress: session finished")
 	}
-	enc, err := s.pc.EncodePage(s.schema, records)
-	if err != nil {
-		return err
+	var enc []byte
+	var err error
+	if ap, ok := s.pc.(PageAppender); ok {
+		var de int64
+		if s.discard {
+			// Size-only mode: encode into the session's pooled scratch,
+			// which the next page overwrites.
+			if s.scratch == nil {
+				s.scratch = getPageBuf()
+			}
+			enc, de, err = ap.AppendPage(s.schema, records, s.scratch[:0])
+			s.scratch = enc
+		} else {
+			enc, de, err = ap.AppendPage(s.schema, records, nil)
+		}
+		if err != nil {
+			return err
+		}
+		s.res.DictEntries += de
+	} else {
+		enc, err = s.pc.EncodePage(s.schema, records)
+		if err != nil {
+			return err
+		}
+		if de, ok := s.pc.(dictEntryCounter); ok {
+			s.res.DictEntries += de.lastDictEntries()
+		}
 	}
 	s.res.Pages++
 	s.res.Rows += int64(len(records))
 	s.res.UncompressedBytes += int64(len(records)) * int64(s.schema.RowWidth())
 	s.res.CompressedBytes += int64(len(enc))
-	if de, ok := s.pc.(dictEntryCounter); ok {
-		s.res.DictEntries += de.lastDictEntries()
+	if !s.discard {
+		s.res.Encoded = append(s.res.Encoded, enc)
 	}
-	s.res.Encoded = append(s.res.Encoded, enc)
 	return nil
 }
 
@@ -137,6 +186,10 @@ func (s *pagedSession) Finish() (Result, error) {
 		return Result{}, fmt.Errorf("compress: session finished twice")
 	}
 	s.done = true
+	if s.scratch != nil {
+		putPageBuf(s.scratch)
+		s.scratch = nil
+	}
 	return s.res, nil
 }
 
@@ -219,17 +272,9 @@ func getPointer(src []byte, width int) (int, []byte, error) {
 }
 
 // columnOffsets returns the [start, end) byte range of each column within a
-// fixed-width record.
-func columnOffsets(schema *value.Schema) [][2]int {
-	out := make([][2]int, schema.NumColumns())
-	off := 0
-	for i := 0; i < schema.NumColumns(); i++ {
-		w := schema.Column(i).Type.FixedWidth()
-		out[i] = [2]int{off, off + w}
-		off += w
-	}
-	return out
-}
+// fixed-width record. The result is cached on the schema; callers must not
+// mutate it.
+func columnOffsets(schema *value.Schema) [][2]int { return schema.ColumnOffsets() }
 
 // checkRecords validates that every record has the schema's fixed width.
 func checkRecords(schema *value.Schema, records [][]byte) error {
@@ -262,6 +307,28 @@ func expandInto(t value.Type, suppressed []byte, dst []byte) {
 		return
 	}
 	copy(dst, value.ExpandIntPadding(suppressed, len(dst)))
+}
+
+// --- pooled scratch -----------------------------------------------------------
+
+// pageBufPool recycles page-encoding output buffers for size-only
+// measurement, where a page's encoding is dead the moment its length has
+// been tallied. Steady state, the whole estimation hot path encodes every
+// page of every index into a handful of these.
+var pageBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 16<<10); return &b },
+}
+
+// getPageBuf fetches an empty pooled buffer.
+func getPageBuf() []byte { return (*(pageBufPool.Get().(*[]byte)))[:0] }
+
+// putPageBuf returns a buffer to the pool.
+func putPageBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	pageBufPool.Put(&b)
 }
 
 // --- registry ----------------------------------------------------------------

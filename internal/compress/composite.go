@@ -2,6 +2,7 @@ package compress
 
 import (
 	"fmt"
+	"sync"
 
 	"samplecf/internal/value"
 )
@@ -14,6 +15,8 @@ import (
 type PickBest struct {
 	Members []PageCodec
 	Label   string
+
+	lastEntries int64
 }
 
 // NewPageCompression returns the default composite approximating commercial
@@ -41,24 +44,65 @@ func (p *PickBest) Name() string {
 
 // EncodePage implements PageCodec.
 func (p *PickBest) EncodePage(schema *value.Schema, records [][]byte) ([]byte, error) {
+	out, entries, err := p.AppendPage(schema, records, nil)
+	if err != nil {
+		return nil, err
+	}
+	p.lastEntries = entries
+	return out, nil
+}
+
+// pickScratch pools the two candidate buffers a PickBest encode ping-pongs
+// between: the best-so-far encoding and the current member's attempt.
+type pickScratch struct {
+	best, cand []byte
+}
+
+var pickScratchPool = sync.Pool{New: func() any { return &pickScratch{} }}
+
+// AppendPage implements PageAppender. Every member codec encodes into
+// pooled scratch; only the winner's bytes are copied to dst.
+func (p *PickBest) AppendPage(schema *value.Schema, records [][]byte, dst []byte) ([]byte, int64, error) {
 	if len(p.Members) == 0 || len(p.Members) > 255 {
-		return nil, fmt.Errorf("compress: pickbest needs 1..255 members, has %d", len(p.Members))
+		return dst, 0, fmt.Errorf("compress: pickbest needs 1..255 members, has %d", len(p.Members))
 	}
-	var best []byte
+	sc := pickScratchPool.Get().(*pickScratch)
+	defer pickScratchPool.Put(sc)
+	// DictEntries mirrors the historical (conservative) accounting: the sum
+	// over all dictionary members' encodes, whether or not one won the page.
+	var dictEntries int64
+	// Two buffers rotate: `best` holds the winner so far, `scratch` is the
+	// next member's encode target; when a member wins, the old best buffer
+	// becomes the new scratch.
+	best := sc.best[:0]
 	bestTag := -1
+	scratch := sc.cand[:0]
 	for tag, m := range p.Members {
-		enc, err := m.EncodePage(schema, records)
-		if err != nil {
-			return nil, fmt.Errorf("compress: member %s: %w", m.Name(), err)
+		var enc []byte
+		var de int64
+		var err error
+		if ap, ok := m.(PageAppender); ok {
+			enc, de, err = ap.AppendPage(schema, records, scratch)
+		} else {
+			enc, err = m.EncodePage(schema, records)
+			if dc, ok := m.(dictEntryCounter); ok {
+				de = dc.lastDictEntries()
+			}
 		}
+		if err != nil {
+			return dst, 0, fmt.Errorf("compress: member %s: %w", m.Name(), err)
+		}
+		dictEntries += de
 		if bestTag < 0 || len(enc) < len(best) {
-			best = enc
+			best, scratch = enc, best[:0]
 			bestTag = tag
+		} else {
+			scratch = enc[:0]
 		}
 	}
-	out := make([]byte, 0, len(best)+1)
-	out = append(out, byte(bestTag))
-	return append(out, best...), nil
+	sc.best, sc.cand = best[:0], scratch
+	out := append(dst, byte(bestTag))
+	return append(out, best...), dictEntries, nil
 }
 
 // DecodePage implements PageCodec.
@@ -73,18 +117,11 @@ func (p *PickBest) DecodePage(schema *value.Schema, data []byte) ([][]byte, erro
 	return p.Members[tag].DecodePage(schema, data[1:])
 }
 
-// lastDictEntries surfaces the dictionary size when the winning member was
-// a dictionary codec. Conservative: reports the PageDict member's last
-// encode, which PickBest always invokes.
-func (p *PickBest) lastDictEntries() int64 {
-	var total int64
-	for _, m := range p.Members {
-		if de, ok := m.(dictEntryCounter); ok {
-			total += de.lastDictEntries()
-		}
-	}
-	return total
-}
+// lastDictEntries implements dictEntryCounter for direct EncodePage use:
+// the conservative sum over every dictionary member's encode of the last
+// page, whether or not one won it (AppendPage reports the same sum
+// functionally).
+func (p *PickBest) lastDictEntries() int64 { return p.lastEntries }
 
 func init() {
 	Register("page", func() Codec { return Paged{PC: NewPageCompression()} })

@@ -3,6 +3,7 @@ package compress
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"samplecf/internal/value"
 )
@@ -55,40 +56,73 @@ const maxPageRows = 1<<16 - 1
 
 // EncodePage implements PageCodec.
 func (d *PageDict) EncodePage(schema *value.Schema, records [][]byte) ([]byte, error) {
-	if err := checkRecords(schema, records); err != nil {
+	out, entries, err := d.AppendPage(schema, records, nil)
+	if err != nil {
 		return nil, err
 	}
+	d.lastEntries = entries
+	return out, nil
+}
+
+// dictScratch is the pooled per-page working set of AppendPage: the
+// value→slot map, the first-appearance entry list, the per-row pointers,
+// and the bit-pack buffer. One scratch serves one page encode; the pool
+// keeps the steady-state encode loop allocation-free apart from the map's
+// interned entry keys.
+type dictScratch struct {
+	idx     map[string]int
+	entries [][]byte
+	ptrs    []int
+	bits    []byte
+}
+
+var dictScratchPool = sync.Pool{
+	New: func() any { return &dictScratch{idx: make(map[string]int, 256)} },
+}
+
+// AppendPage implements PageAppender.
+func (d *PageDict) AppendPage(schema *value.Schema, records [][]byte, dst []byte) ([]byte, int64, error) {
+	if err := checkRecords(schema, records); err != nil {
+		return dst, 0, err
+	}
 	if len(records) > maxPageRows {
-		return nil, fmt.Errorf("compress: %d records exceed page framing limit %d", len(records), maxPageRows)
+		return dst, 0, fmt.Errorf("compress: %d records exceed page framing limit %d", len(records), maxPageRows)
 	}
 	cols := columnOffsets(schema)
-	var out []byte
+	out := dst
 	var hdr [2]byte
 	binary.LittleEndian.PutUint16(hdr[:], uint16(len(records)))
 	out = append(out, hdr[:]...)
 
-	d.lastEntries = 0
+	sc := dictScratchPool.Get().(*dictScratch)
+	defer dictScratchPool.Put(sc)
+	if cap(sc.ptrs) < len(records) {
+		sc.ptrs = make([]int, len(records))
+	}
+	ptrs := sc.ptrs[:len(records)]
+
+	var dictEntries int64
 	for c := range cols {
 		t := schema.Column(c).Type
 		// First pass: build the per-page, per-column dictionary in
 		// first-appearance order.
-		idx := make(map[string]int, len(records))
-		var entries [][]byte
-		ptrs := make([]int, len(records))
+		clear(sc.idx)
+		entries := sc.entries[:0]
 		for i, rec := range records {
 			v := rec[cols[c][0]:cols[c][1]]
-			j, ok := idx[string(v)]
+			j, ok := sc.idx[string(v)]
 			if !ok {
 				j = len(entries)
-				idx[string(v)] = j
+				sc.idx[string(v)] = j
 				entries = append(entries, v)
 			}
 			ptrs[i] = j
 		}
+		sc.entries = entries[:0]
 		if len(entries) > maxPageRows {
-			return nil, fmt.Errorf("compress: column %d has %d distinct values on one page", c, len(entries))
+			return dst, 0, fmt.Errorf("compress: column %d has %d distinct values on one page", c, len(entries))
 		}
-		d.lastEntries += int64(len(entries))
+		dictEntries += int64(len(entries))
 		// Emit dictionary.
 		binary.LittleEndian.PutUint16(hdr[:], uint16(len(entries)))
 		out = append(out, hdr[:]...)
@@ -105,11 +139,13 @@ func (d *PageDict) EncodePage(schema *value.Schema, records [][]byte) ([]byte, e
 		// bit-packed under the ablation flag.
 		if d.BitPack {
 			w := bitWidth(len(entries))
-			var bw bitWriter
+			bw := bitWriter{buf: sc.bits[:0]}
 			for _, j := range ptrs {
 				bw.write(uint64(j), w)
 			}
-			out = append(out, bw.finish()...)
+			packed := bw.finish()
+			out = append(out, packed...)
+			sc.bits = packed
 		} else {
 			p := pointerSize(len(entries))
 			for _, j := range ptrs {
@@ -117,7 +153,7 @@ func (d *PageDict) EncodePage(schema *value.Schema, records [][]byte) ([]byte, e
 			}
 		}
 	}
-	return out, nil
+	return out, dictEntries, nil
 }
 
 // bitWidth returns ⌈log₂ m⌉ clamped to at least 1.

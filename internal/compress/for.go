@@ -32,15 +32,21 @@ const (
 )
 
 // EncodePage implements PageCodec.
-func (FrameOfRef) EncodePage(schema *value.Schema, records [][]byte) ([]byte, error) {
+func (f FrameOfRef) EncodePage(schema *value.Schema, records [][]byte) ([]byte, error) {
+	out, _, err := f.AppendPage(schema, records, nil)
+	return out, err
+}
+
+// AppendPage implements PageAppender.
+func (FrameOfRef) AppendPage(schema *value.Schema, records [][]byte, dst []byte) ([]byte, int64, error) {
 	if err := checkRecords(schema, records); err != nil {
-		return nil, err
+		return dst, 0, err
 	}
 	if len(records) > maxPageRows {
-		return nil, ErrCorrupt
+		return dst, 0, ErrCorrupt
 	}
 	cols := columnOffsets(schema)
-	var out []byte
+	out := dst
 	var hdr [2]byte
 	binary.LittleEndian.PutUint16(hdr[:], uint16(len(records)))
 	out = append(out, hdr[:]...)
@@ -60,7 +66,7 @@ func (FrameOfRef) EncodePage(schema *value.Schema, records [][]byte) ([]byte, er
 			out = append(out, sup...)
 		}
 	}
-	return out, nil
+	return out, 0, nil
 }
 
 // encodeFORColumn emits base + width + packed deltas for one int column.

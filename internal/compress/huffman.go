@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"samplecf/internal/value"
 )
@@ -33,22 +34,40 @@ func (Huffman) Name() string { return "huffman" }
 const maxCodeLen = 32
 
 // EncodePage implements PageCodec.
-func (Huffman) EncodePage(schema *value.Schema, records [][]byte) ([]byte, error) {
+func (hf Huffman) EncodePage(schema *value.Schema, records [][]byte) ([]byte, error) {
+	out, _, err := hf.AppendPage(schema, records, nil)
+	return out, err
+}
+
+// huffScratch pools the suppressed byte stream and bit buffer one page
+// encode needs.
+type huffScratch struct {
+	stream []byte
+	bits   []byte
+}
+
+var huffScratchPool = sync.Pool{New: func() any { return &huffScratch{} }}
+
+// AppendPage implements PageAppender.
+func (Huffman) AppendPage(schema *value.Schema, records [][]byte, dst []byte) ([]byte, int64, error) {
 	if err := checkRecords(schema, records); err != nil {
-		return nil, err
+		return dst, 0, err
 	}
 	if len(records) > maxPageRows {
-		return nil, ErrCorrupt
+		return dst, 0, ErrCorrupt
 	}
 	cols := columnOffsets(schema)
-	var out []byte
+	out := dst
 	var hdr [2]byte
 	binary.LittleEndian.PutUint16(hdr[:], uint16(len(records)))
 	out = append(out, hdr[:]...)
 
+	sc := huffScratchPool.Get().(*huffScratch)
+	defer huffScratchPool.Put(sc)
+
 	// Null-suppress every record; emit per-row framing; gather the byte
 	// stream to be entropy coded.
-	var stream []byte
+	stream := sc.stream[:0]
 	for _, rec := range records {
 		rowStart := len(stream)
 		for c := range cols {
@@ -64,10 +83,12 @@ func (Huffman) EncodePage(schema *value.Schema, records [][]byte) ([]byte, error
 		if rowLen > 1<<16-1 {
 			// 2-byte row framing: schemas wider than 64 KiB per suppressed
 			// row (16+ CHAR(4000) columns) are beyond this codec.
-			return nil, fmt.Errorf("compress: huffman row of %d bytes exceeds framing limit", rowLen)
+			sc.stream = stream
+			return dst, 0, fmt.Errorf("compress: huffman row of %d bytes exceeds framing limit", rowLen)
 		}
 		out = putLen(out, rowLen, 2)
 	}
+	sc.stream = stream
 
 	// Histogram → canonical code lengths.
 	var freq [256]int64
@@ -79,7 +100,7 @@ func (Huffman) EncodePage(schema *value.Schema, records [][]byte) ([]byte, error
 
 	// Assign canonical codes and emit the bitstream.
 	codes := canonicalCodes(lens)
-	var bw bitWriter
+	bw := bitWriter{buf: sc.bits[:0]}
 	for _, b := range stream {
 		bw.write(codes[b].bits, codes[b].len)
 	}
@@ -88,7 +109,8 @@ func (Huffman) EncodePage(schema *value.Schema, records [][]byte) ([]byte, error
 	binary.LittleEndian.PutUint32(l4[:], uint32(len(stream)))
 	out = append(out, l4[:]...)
 	out = append(out, bits...)
-	return out, nil
+	sc.bits = bits
+	return out, 0, nil
 }
 
 // DecodePage implements PageCodec.

@@ -2,6 +2,8 @@ package compress
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"samplecf/internal/btree"
 	"samplecf/internal/page"
@@ -53,6 +55,183 @@ func MeasureRecords(keySchema *value.Schema, codec Codec, records [][]byte, rows
 		}
 	}
 	return sess.Finish()
+}
+
+// pageViewPool recycles the [][]byte record views MeasureArena builds per
+// page: rowsPerPage slice headers pointing into the arena, dead once the
+// page is encoded.
+var pageViewPool = sync.Pool{
+	New: func() any { v := make([][]byte, 0, 512); return &v },
+}
+
+// maxMeasureWorkers bounds the per-measurement page-compression fan-out; the
+// engine already parallelizes across candidates, so a small group per
+// candidate is enough to soak up leftover cores without oversubscribing.
+const maxMeasureWorkers = 8
+
+// measureWorkers returns the page fan-out width for a page count.
+func measureWorkers(pages int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > maxMeasureWorkers {
+		w = maxMeasureWorkers
+	}
+	if w > pages {
+		w = pages
+	}
+	return w
+}
+
+// MeasureArena is the estimation hot path: it compresses the rowsPerPage-
+// chunked records of an arena — visited in perm order (nil = arena order) —
+// and returns the size tally only (Result.Encoded stays nil). Per-page
+// output goes to pooled scratch that dies with the page, and for stateless
+// page codecs (Paged + PageAppender) the pages are fanned out across a
+// bounded worker group; page sizes are summed, so the result is
+// deterministic regardless of worker interleaving and byte-identical to the
+// sequential session path.
+func MeasureArena(keySchema *value.Schema, codec Codec, ar *value.RecordArena, perm []int32, rowsPerPage int) (Result, error) {
+	if rowsPerPage <= 0 {
+		return Result{}, fmt.Errorf("compress: rowsPerPage %d must be positive", rowsPerPage)
+	}
+	if perm != nil && len(perm) != ar.Len() {
+		return Result{}, fmt.Errorf("compress: permutation covers %d of %d arena rows", len(perm), ar.Len())
+	}
+	n := ar.Len()
+	pages := (n + rowsPerPage - 1) / rowsPerPage
+	if p, ok := codec.(Paged); ok {
+		if ap, ok := p.PC.(PageAppender); ok {
+			if workers := measureWorkers(pages); workers > 1 {
+				return measureArenaParallel(keySchema, ap, ar, perm, rowsPerPage, pages, workers)
+			}
+			return measureArenaSequential(keySchema, ap, ar, perm, rowsPerPage)
+		}
+	}
+	// Generic codec: feed a session page by page, discarding encodings when
+	// the session supports it (cross-page state forces sequential order).
+	sess, err := codec.NewSession(keySchema)
+	if err != nil {
+		return Result{}, err
+	}
+	if d, ok := sess.(EncodedDiscarder); ok {
+		d.DiscardEncoded()
+	}
+	viewPtr := pageViewPool.Get().(*[][]byte)
+	defer pageViewPool.Put(viewPtr)
+	for start := 0; start < n; start += rowsPerPage {
+		end := start + rowsPerPage
+		if end > n {
+			end = n
+		}
+		view := fillPageView((*viewPtr)[:0], ar, perm, start, end)
+		*viewPtr = view[:0]
+		if err := sess.AddPage(view); err != nil {
+			return Result{}, err
+		}
+	}
+	res, err := sess.Finish()
+	res.Encoded = nil
+	return res, err
+}
+
+// fillPageView appends the records of rows [start, end) — through perm when
+// non-nil — onto view.
+func fillPageView(view [][]byte, ar *value.RecordArena, perm []int32, start, end int) [][]byte {
+	if perm == nil {
+		for i := start; i < end; i++ {
+			view = append(view, ar.Rec(i))
+		}
+		return view
+	}
+	for _, pi := range perm[start:end] {
+		view = append(view, ar.Rec(int(pi)))
+	}
+	return view
+}
+
+// measureArenaSequential encodes every page into one pooled scratch buffer.
+func measureArenaSequential(keySchema *value.Schema, ap PageAppender, ar *value.RecordArena, perm []int32, rowsPerPage int) (Result, error) {
+	res := Result{UncompressedBytes: int64(ar.Len()) * int64(keySchema.RowWidth()), Rows: int64(ar.Len())}
+	viewPtr := pageViewPool.Get().(*[][]byte)
+	defer pageViewPool.Put(viewPtr)
+	buf := getPageBuf()
+	// Closure, not value capture: AppendPage may grow the buffer, and the
+	// grown array is the one worth pooling.
+	defer func() { putPageBuf(buf) }()
+	n := ar.Len()
+	for start := 0; start < n; start += rowsPerPage {
+		end := start + rowsPerPage
+		if end > n {
+			end = n
+		}
+		view := fillPageView((*viewPtr)[:0], ar, perm, start, end)
+		*viewPtr = view[:0]
+		enc, de, err := ap.AppendPage(keySchema, view, buf[:0])
+		if err != nil {
+			return Result{}, err
+		}
+		buf = enc
+		res.Pages++
+		res.CompressedBytes += int64(len(enc))
+		res.DictEntries += de
+	}
+	return res, nil
+}
+
+// measureArenaParallel fans page encodes across a bounded worker group,
+// each with its own pooled scratch, and sums the per-worker tallies.
+func measureArenaParallel(keySchema *value.Schema, ap PageAppender, ar *value.RecordArena, perm []int32, rowsPerPage, pages, workers int) (Result, error) {
+	type partial struct {
+		comp, dict int64
+		err        error
+	}
+	partials := make([]partial, workers)
+	var wg sync.WaitGroup
+	// Contiguous page ranges per worker: worker w handles pages
+	// [w·chunk, min((w+1)·chunk, pages)).
+	chunk := (pages + workers - 1) / workers
+	n := ar.Len()
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			viewPtr := pageViewPool.Get().(*[][]byte)
+			defer pageViewPool.Put(viewPtr)
+			buf := getPageBuf()
+			defer func() { putPageBuf(buf) }()
+			for p := w * chunk; p < (w+1)*chunk && p < pages; p++ {
+				start := p * rowsPerPage
+				end := start + rowsPerPage
+				if end > n {
+					end = n
+				}
+				view := fillPageView((*viewPtr)[:0], ar, perm, start, end)
+				*viewPtr = view[:0]
+				enc, de, err := ap.AppendPage(keySchema, view, buf[:0])
+				if err != nil {
+					partials[w].err = err
+					return
+				}
+				buf = enc
+				partials[w].comp += int64(len(enc))
+				partials[w].dict += de
+			}
+		}()
+	}
+	wg.Wait()
+	res := Result{
+		UncompressedBytes: int64(n) * int64(keySchema.RowWidth()),
+		Rows:              int64(n),
+		Pages:             pages,
+	}
+	for _, p := range partials {
+		if p.err != nil {
+			return Result{}, p.err
+		}
+		res.CompressedBytes += p.comp
+		res.DictEntries += p.dict
+	}
+	return res, nil
 }
 
 // RowsPerPage returns how many fixed-width records of keySchema fit in one

@@ -1,0 +1,190 @@
+package compress
+
+import (
+	"testing"
+
+	"samplecf/internal/rng"
+	"samplecf/internal/value"
+)
+
+// measureTestArena builds an arena of pseudo-random rows plus a shuffled
+// permutation over them.
+func measureTestArena(t *testing.T, n int) (*value.Schema, *value.RecordArena, []int32) {
+	t.Helper()
+	schema := value.MustSchema(
+		value.Column{Name: "s", Type: value.Char(12)},
+		value.Column{Name: "i", Type: value.Int32()},
+	)
+	g := rng.New(42)
+	ar := value.NewRecordArena(schema, n)
+	for i := 0; i < n; i++ {
+		payload := []byte("v")
+		for l := g.Intn(10); l > 0; l-- {
+			payload = append(payload, byte('a'+g.Intn(4)))
+		}
+		row := value.Row{payload, value.IntValue(int32(g.Intn(50)))}
+		if err := ar.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	g.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	return schema, ar, perm
+}
+
+// permRecords materializes the [][]byte view MeasureRecords consumes, in
+// perm order.
+func permRecords(ar *value.RecordArena, perm []int32) [][]byte {
+	recs := make([][]byte, len(perm))
+	for i, pi := range perm {
+		recs[i] = ar.Rec(int(pi))
+	}
+	return recs
+}
+
+// TestMeasureArenaMatchesMeasureRecords: for every registered codec, the
+// arena fast path (pooled scratch, discarded encodings, possible parallel
+// fan-out) must report exactly the sizes the retained session path reports.
+func TestMeasureArenaMatchesMeasureRecords(t *testing.T) {
+	schema, ar, perm := measureTestArena(t, 700)
+	recs := permRecords(ar, perm)
+	const rpp = 64
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			codec, err := Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := MeasureRecords(schema, codec, recs, rpp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := MeasureArena(schema, codec, ar, perm, rpp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Encoded != nil {
+				t.Error("MeasureArena retained encodings")
+			}
+			if got.CompressedBytes != want.CompressedBytes ||
+				got.UncompressedBytes != want.UncompressedBytes ||
+				got.Rows != want.Rows || got.Pages != want.Pages ||
+				got.DictEntries != want.DictEntries {
+				t.Errorf("MeasureArena = {comp=%d uncomp=%d rows=%d pages=%d dict=%d}, want {%d %d %d %d %d}",
+					got.CompressedBytes, got.UncompressedBytes, got.Rows, got.Pages, got.DictEntries,
+					want.CompressedBytes, want.UncompressedBytes, want.Rows, want.Pages, want.DictEntries)
+			}
+		})
+	}
+}
+
+// TestMeasureArenaParallelMatchesSequential drives the worker fan-out
+// directly (GOMAXPROCS-independent) and requires byte-identical tallies,
+// including the non-even last chunk and a single-page arena.
+func TestMeasureArenaParallelMatchesSequential(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 700, 1337} {
+		schema, ar, perm := measureTestArena(t, n)
+		const rpp = 64
+		pages := (n + rpp - 1) / rpp
+		for _, pcName := range []string{"nullsuppression", "rle", "prefix", "pagedict+ns", "page", "for"} {
+			codec, err := Lookup(pcName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ap, ok := codec.(Paged).PC.(PageAppender)
+			if !ok {
+				t.Fatalf("%s page codec is not a PageAppender", pcName)
+			}
+			seq, err := measureArenaSequential(schema, ap, ar, perm, rpp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 3, 8} {
+				w := workers
+				if w > pages {
+					w = pages
+				}
+				if w < 1 {
+					w = 1
+				}
+				par, err := measureArenaParallel(schema, ap, ar, perm, rpp, pages, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if par.CompressedBytes != seq.CompressedBytes || par.UncompressedBytes != seq.UncompressedBytes ||
+					par.Rows != seq.Rows || par.Pages != seq.Pages || par.DictEntries != seq.DictEntries {
+					t.Errorf("n=%d %s workers=%d: parallel %+v != sequential %+v", n, pcName, workers, par, seq)
+				}
+			}
+		}
+	}
+}
+
+// TestMeasureArenaErrors covers argument validation.
+func TestMeasureArenaErrors(t *testing.T) {
+	schema, ar, perm := measureTestArena(t, 10)
+	codec, err := Lookup("nullsuppression")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasureArena(schema, codec, ar, perm, 0); err == nil {
+		t.Error("rowsPerPage 0 accepted")
+	}
+	if _, err := MeasureArena(schema, codec, ar, perm[:5], 4); err == nil {
+		t.Error("short permutation accepted")
+	}
+	if _, err := MeasureArena(schema, codec, ar, nil, 4); err != nil {
+		t.Errorf("nil permutation rejected: %v", err)
+	}
+}
+
+// TestSessionDiscardEncoded: a discarding session reports the same sizes as
+// a retaining one, with no Encoded payloads.
+func TestSessionDiscardEncoded(t *testing.T) {
+	schema, ar, perm := measureTestArena(t, 200)
+	recs := permRecords(ar, perm)
+	for _, name := range []string{"pagedict+ns", "globaldict", "globaldict-p4"} {
+		codec, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keep, err := MeasureRecords(schema, codec, recs, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := codec.NewSession(schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, ok := sess.(EncodedDiscarder)
+		if !ok {
+			t.Fatalf("%s session is not an EncodedDiscarder", name)
+		}
+		d.DiscardEncoded()
+		for start := 0; start < len(recs); start += 64 {
+			end := start + 64
+			if end > len(recs) {
+				end = len(recs)
+			}
+			if err := sess.AddPage(recs[start:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := sess.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Encoded != nil {
+			t.Errorf("%s: discarding session retained encodings", name)
+		}
+		if got.CompressedBytes != keep.CompressedBytes || got.DictEntries != keep.DictEntries ||
+			got.Rows != keep.Rows || got.Pages != keep.Pages {
+			t.Errorf("%s: discard sizes {%d %d %d %d} != retain {%d %d %d %d}", name,
+				got.CompressedBytes, got.DictEntries, got.Rows, got.Pages,
+				keep.CompressedBytes, keep.DictEntries, keep.Rows, keep.Pages)
+		}
+	}
+}

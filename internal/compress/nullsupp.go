@@ -18,13 +18,19 @@ type NullSuppression struct{}
 func (NullSuppression) Name() string { return "nullsuppression" }
 
 // EncodePage implements PageCodec.
-func (NullSuppression) EncodePage(schema *value.Schema, records [][]byte) ([]byte, error) {
+func (ns NullSuppression) EncodePage(schema *value.Schema, records [][]byte) ([]byte, error) {
+	// Size hint: assume half the fixed width survives.
+	out, _, err := ns.AppendPage(schema, records, make([]byte, 0, len(records)*schema.RowWidth()/2+16))
+	return out, err
+}
+
+// AppendPage implements PageAppender.
+func (NullSuppression) AppendPage(schema *value.Schema, records [][]byte, dst []byte) ([]byte, int64, error) {
 	if err := checkRecords(schema, records); err != nil {
-		return nil, err
+		return dst, 0, err
 	}
 	cols := columnOffsets(schema)
-	// Size hint: assume half the fixed width survives.
-	out := make([]byte, 0, len(records)*schema.RowWidth()/2+16)
+	out := dst
 	for _, rec := range records {
 		for c := range cols {
 			t := schema.Column(c).Type
@@ -34,7 +40,7 @@ func (NullSuppression) EncodePage(schema *value.Schema, records [][]byte) ([]byt
 			out = append(out, sup...)
 		}
 	}
-	return out, nil
+	return out, 0, nil
 }
 
 // DecodePage implements PageCodec. The record count is implied by input

@@ -24,15 +24,21 @@ type Prefix struct{}
 func (Prefix) Name() string { return "prefix" }
 
 // EncodePage implements PageCodec.
-func (Prefix) EncodePage(schema *value.Schema, records [][]byte) ([]byte, error) {
+func (p Prefix) EncodePage(schema *value.Schema, records [][]byte) ([]byte, error) {
+	out, _, err := p.AppendPage(schema, records, nil)
+	return out, err
+}
+
+// AppendPage implements PageAppender.
+func (Prefix) AppendPage(schema *value.Schema, records [][]byte, dst []byte) ([]byte, int64, error) {
 	if err := checkRecords(schema, records); err != nil {
-		return nil, err
+		return dst, 0, err
 	}
 	if len(records) > maxPageRows {
-		return nil, ErrCorrupt
+		return dst, 0, ErrCorrupt
 	}
 	cols := columnOffsets(schema)
-	var out []byte
+	out := dst
 	var hdr [2]byte
 	binary.LittleEndian.PutUint16(hdr[:], uint16(len(records)))
 	out = append(out, hdr[:]...)
@@ -55,7 +61,7 @@ func (Prefix) EncodePage(schema *value.Schema, records [][]byte) ([]byte, error)
 			out = append(out, v[shared:]...)
 		}
 	}
-	return out, nil
+	return out, 0, nil
 }
 
 // DecodePage implements PageCodec.

@@ -22,46 +22,60 @@ type RLE struct{}
 func (RLE) Name() string { return "rle" }
 
 // EncodePage implements PageCodec.
-func (RLE) EncodePage(schema *value.Schema, records [][]byte) ([]byte, error) {
+func (r RLE) EncodePage(schema *value.Schema, records [][]byte) ([]byte, error) {
+	out, _, err := r.AppendPage(schema, records, nil)
+	return out, err
+}
+
+// AppendPage implements PageAppender. Runs are emitted as they close — no
+// intermediate run list — with the per-column run count back-patched into
+// its reserved header slot once the column is done.
+func (RLE) AppendPage(schema *value.Schema, records [][]byte, dst []byte) ([]byte, int64, error) {
 	if err := checkRecords(schema, records); err != nil {
-		return nil, err
+		return dst, 0, err
 	}
 	if len(records) > maxPageRows {
-		return nil, ErrCorrupt
+		return dst, 0, ErrCorrupt
 	}
 	cols := columnOffsets(schema)
-	var out []byte
+	out := dst
 	var hdr [2]byte
 	binary.LittleEndian.PutUint16(hdr[:], uint16(len(records)))
 	out = append(out, hdr[:]...)
 	for c := range cols {
 		t := schema.Column(c).Type
 		h := lenHeaderSize(t.FixedWidth())
-		// Collect runs.
-		type run struct {
-			val   []byte
-			count int
-		}
-		var runs []run
-		for _, rec := range records {
-			v := rec[cols[c][0]:cols[c][1]]
-			if len(runs) > 0 && string(runs[len(runs)-1].val) == string(v) && runs[len(runs)-1].count < maxPageRows {
-				runs[len(runs)-1].count++
-			} else {
-				runs = append(runs, run{val: v, count: 1})
-			}
-		}
-		binary.LittleEndian.PutUint16(hdr[:], uint16(len(runs)))
-		out = append(out, hdr[:]...)
-		for _, r := range runs {
-			binary.LittleEndian.PutUint16(hdr[:], uint16(r.count))
+		// Reserve the run-count slot; patch it when the column closes.
+		runsAt := len(out)
+		out = append(out, 0, 0)
+		nRuns := 0
+		emit := func(val []byte, count int) {
+			binary.LittleEndian.PutUint16(hdr[:], uint16(count))
 			out = append(out, hdr[:]...)
-			sup := suppressColumn(t, r.val)
+			sup := suppressColumn(t, val)
 			out = putLen(out, len(sup), h)
 			out = append(out, sup...)
+			nRuns++
 		}
+		var cur []byte
+		count := 0
+		for _, rec := range records {
+			v := rec[cols[c][0]:cols[c][1]]
+			if count > 0 && count < maxPageRows && string(cur) == string(v) {
+				count++
+				continue
+			}
+			if count > 0 {
+				emit(cur, count)
+			}
+			cur, count = v, 1
+		}
+		if count > 0 {
+			emit(cur, count)
+		}
+		binary.LittleEndian.PutUint16(out[runsAt:], uint16(nRuns))
 	}
-	return out, nil
+	return out, 0, nil
 }
 
 // DecodePage implements PageCodec.

@@ -17,6 +17,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -174,7 +175,10 @@ func SampleCF(src sampling.RowSource, schema *value.Schema, opts Options) (Estim
 		if opts.Pages == nil {
 			return Estimate{}, fmt.Errorf("core: block sampling requires Options.Pages")
 		}
-		pagesWanted := int(float64(opts.Pages.NumPages())*float64(r)/float64(n) + 0.5)
+		// Ceil, not round-to-nearest: a tiny sampling fraction must still
+		// draw every page the requested rows span, never truncate toward 0
+		// and lean on the clamp below.
+		pagesWanted := int(math.Ceil(float64(opts.Pages.NumPages()) * float64(r) / float64(n)))
 		if pagesWanted < 1 {
 			pagesWanted = 1
 		}
@@ -199,16 +203,27 @@ func SampleCF(src sampling.RowSource, schema *value.Schema, opts Options) (Estim
 }
 
 // PreparedIndex is steps 2 of Fig. 2 factored out of the estimator: the
-// sample's index records encoded and key-sorted, plus the frequency
+// sample's index records, arena-encoded and key-sorted, plus the frequency
 // profile, independent of any codec. Preparing once and compressing many
 // times is what lets a batch what-if request size every codec of an index
-// from a single sample sort (see internal/engine). A PreparedIndex is
-// immutable after construction and safe for concurrent Estimate calls.
+// from a single sample sort (see internal/engine).
+//
+// The layout is columnar: one value.RecordArena holds every record and key
+// in two contiguous buffers, and `perm` is the key-sort permutation over
+// arena row indices — the sort an index build performs, done with
+// offset-based comparisons instead of pointer-chasing per-row slices. The
+// frequency profile is kept in run-length form ([]distinct.FreqCount) and
+// materialized into a map-backed distinct.Profile only when requested.
+//
+// A PreparedIndex (including its arena, which it may share with the sample
+// that fed it) is immutable after construction and safe for concurrent
+// Estimate calls.
 type PreparedIndex struct {
 	keySchema *value.Schema
-	keys      [][]byte // sorted memcomparable keys
-	recs      [][]byte // fixed-width records, same order
-	profile   distinct.Profile
+	ar        *value.RecordArena   // projected key rows, arena order
+	perm      []int32              // key-sorted permutation over ar
+	freqs     []distinct.FreqCount // run-length frequency-of-frequency
+	n         int64                // table size the sample came from
 	prepDur   time.Duration
 }
 
@@ -222,59 +237,143 @@ func PrepareIndex(rows []value.Row, n int64, schema *value.Schema, keyCols []str
 	return prepareProjected(rows, n, keySchema, project)
 }
 
+// PrepareFromArena is PrepareIndex for an arena-encoded sample (the
+// engine's batch path and maintained samples): the key columns are
+// projected out of the sample arena by byte-range copies — or the sample
+// arena is used as-is when keyCols covers the whole schema in order — so no
+// intermediate []value.Row ever exists.
+func PrepareFromArena(sample *value.RecordArena, n int64, keyCols []string) (*PreparedIndex, error) {
+	schema := sample.Schema()
+	keySchema, project, err := keyProjection(schema, keyCols)
+	if err != nil {
+		return nil, err
+	}
+	ar := sample
+	if !identityProjection(project, schema.NumColumns()) {
+		ar = value.NewRecordArena(keySchema, sample.Len())
+		if err := sample.ProjectTo(ar, project); err != nil {
+			return nil, fmt.Errorf("core: project sample arena: %w", err)
+		}
+	}
+	return prepareArena(ar, n, keySchema)
+}
+
+// identityProjection reports whether project selects every column in order.
+func identityProjection(project []int, nCols int) bool {
+	if len(project) != nCols {
+		return false
+	}
+	for i, p := range project {
+		if p != i {
+			return false
+		}
+	}
+	return true
+}
+
 // prepareProjected is PrepareIndex after column resolution; project == nil
 // means rows already hold exactly the key columns.
 func prepareProjected(rows []value.Row, n int64, keySchema *value.Schema, project []int) (*PreparedIndex, error) {
-	buildStart := time.Now()
-	// Encode each sampled row's index record (fixed width) and search key
-	// (memcomparable), then order by key — the sort an index build performs.
-	type entry struct {
-		key, rec []byte
-	}
-	entries := make([]entry, len(rows))
-	for i, row := range rows {
-		krow := row
+	ar := value.NewRecordArena(keySchema, len(rows))
+	krow := make(value.Row, keySchema.NumColumns())
+	for _, row := range rows {
 		if project != nil {
-			krow = projectRow(row, project)
+			for i, p := range project {
+				krow[i] = row[p]
+			}
+		} else {
+			copy(krow, row)
 		}
-		rec, err := value.EncodeRecord(keySchema, krow, nil)
-		if err != nil {
+		if err := ar.Append(krow); err != nil {
 			return nil, fmt.Errorf("core: encode sample row: %w", err)
 		}
-		key, err := value.EncodeKey(keySchema, krow, nil)
-		if err != nil {
-			return nil, fmt.Errorf("core: encode sample key: %w", err)
-		}
-		entries[i] = entry{key: key, rec: rec}
 	}
-	sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i].key, entries[j].key) < 0 })
+	return prepareArena(ar, n, keySchema)
+}
 
-	// d' and the frequency profile come from the sorted run in one pass.
-	profile := distinct.Profile{N: n, F: make(map[int64]int64)}
+// arenaSorter sorts a permutation over arena rows by memcomparable key —
+// a concrete sort.Interface, so the inner loop carries no closure captures
+// and no per-comparison allocations.
+type arenaSorter struct {
+	keys []byte
+	w    int
+	perm []int32
+}
+
+func (s *arenaSorter) Len() int { return len(s.perm) }
+func (s *arenaSorter) Less(i, j int) bool {
+	a := int(s.perm[i]) * s.w
+	b := int(s.perm[j]) * s.w
+	return bytes.Compare(s.keys[a:a+s.w], s.keys[b:b+s.w]) < 0
+}
+func (s *arenaSorter) Swap(i, j int) { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] }
+
+// smallRunCap bounds the stack-allocated run-length histogram; runs longer
+// than this (a value occupying >512 sample rows) spill to a tiny slice.
+const smallRunCap = 512
+
+// prepareArena runs the sort and profile passes over an encoded arena.
+func prepareArena(ar *value.RecordArena, n int64, keySchema *value.Schema) (*PreparedIndex, error) {
+	buildStart := time.Now()
+	perm := make([]int32, ar.Len())
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Sort(&arenaSorter{keys: ar.Keys(), w: ar.RowWidth(), perm: perm})
+
+	// d' and the frequency profile come from the sorted run in one pass,
+	// accumulated as run-length counts (no map): counts[l] is the number of
+	// distinct keys occupying exactly l sample rows.
+	var counts [smallRunCap + 1]int64
+	var overflow []int64
+	w := ar.RowWidth()
+	keys := ar.Keys()
 	runLen := int64(0)
-	for i := range entries {
-		if i > 0 && !bytes.Equal(entries[i].key, entries[i-1].key) {
-			profile.F[runLen]++
-			profile.D++
-			runLen = 0
+	for i := range perm {
+		if i > 0 {
+			a := int(perm[i]) * w
+			b := int(perm[i-1]) * w
+			if !bytes.Equal(keys[a:a+w], keys[b:b+w]) {
+				if runLen <= smallRunCap {
+					counts[runLen]++
+				} else {
+					overflow = append(overflow, runLen)
+				}
+				runLen = 0
+			}
 		}
 		runLen++
 	}
-	if len(entries) > 0 {
-		profile.F[runLen]++
-		profile.D++
+	if len(perm) > 0 {
+		if runLen <= smallRunCap {
+			counts[runLen]++
+		} else {
+			overflow = append(overflow, runLen)
+		}
 	}
-	profile.R = int64(len(entries))
+	var freqs []distinct.FreqCount
+	for l := int64(1); l <= smallRunCap; l++ {
+		if counts[l] > 0 {
+			freqs = append(freqs, distinct.FreqCount{Count: l, Num: counts[l]})
+		}
+	}
+	if len(overflow) > 0 {
+		sort.Slice(overflow, func(i, j int) bool { return overflow[i] < overflow[j] })
+		for _, l := range overflow {
+			if len(freqs) > 0 && freqs[len(freqs)-1].Count == l {
+				freqs[len(freqs)-1].Num++
+			} else {
+				freqs = append(freqs, distinct.FreqCount{Count: l, Num: 1})
+			}
+		}
+	}
 
 	p := &PreparedIndex{
 		keySchema: keySchema,
-		keys:      make([][]byte, len(entries)),
-		recs:      make([][]byte, len(entries)),
-		profile:   profile,
-	}
-	for i, e := range entries {
-		p.keys[i] = e.key
-		p.recs[i] = e.rec
+		ar:        ar,
+		perm:      perm,
+		freqs:     freqs,
+		n:         n,
 	}
 	p.prepDur = time.Since(buildStart)
 	return p, nil
@@ -284,10 +383,21 @@ func prepareProjected(rows []value.Row, n int64, keySchema *value.Schema, projec
 func (p *PreparedIndex) KeySchema() *value.Schema { return p.keySchema }
 
 // SampleRows returns the realized sample size r.
-func (p *PreparedIndex) SampleRows() int64 { return int64(len(p.recs)) }
+func (p *PreparedIndex) SampleRows() int64 { return int64(p.ar.Len()) }
 
-// Profile returns the sample's frequency-of-frequency profile.
-func (p *PreparedIndex) Profile() distinct.Profile { return p.profile }
+// SampleDistinct returns d', the number of distinct keys in the sample.
+func (p *PreparedIndex) SampleDistinct() int64 {
+	var d int64
+	for _, fc := range p.freqs {
+		d += fc.Num
+	}
+	return d
+}
+
+// Profile materializes the sample's frequency-of-frequency profile.
+func (p *PreparedIndex) Profile() distinct.Profile {
+	return distinct.ProfileFromFreqs(p.n, p.freqs)
+}
 
 // Estimate runs steps 3-4 of Fig. 2 — compress the prepared index with
 // opts.Codec and report its CF. Safe to call concurrently with different
@@ -301,10 +411,11 @@ func (p *PreparedIndex) Estimate(opts Options) (Estimate, error) {
 	if opts.Codec == nil {
 		return Estimate{}, fmt.Errorf("core: Options.Codec is required")
 	}
+	profile := p.Profile()
 	est := Estimate{
 		SampleRows:     p.SampleRows(),
-		SampleDistinct: p.profile.D,
-		Profile:        cloneProfile(p.profile),
+		SampleDistinct: profile.D,
+		Profile:        profile,
 		BuildDuration:  p.prepDur,
 	}
 	var res compress.Result
@@ -313,9 +424,9 @@ func (p *PreparedIndex) Estimate(opts Options) (Estimate, error) {
 		// Literal Fig. 2: bulk-load a real B+-tree on the sample, then
 		// compress its leaf pages.
 		treeStart := time.Now()
-		items := make([]btree.Item, len(p.recs))
-		for i := range p.recs {
-			items[i] = btree.Item{Key: p.keys[i], Payload: p.recs[i]}
+		items := make([]btree.Item, len(p.perm))
+		for i, pi := range p.perm {
+			items[i] = btree.Item{Key: p.ar.Key(int(pi)), Payload: p.ar.Rec(int(pi))}
 		}
 		store := heap.NewMemStore(opts.PageSize)
 		tree, err2 := btree.BulkLoadItems(store, items, opts.FillFactor)
@@ -329,7 +440,7 @@ func (p *PreparedIndex) Estimate(opts Options) (Estimate, error) {
 	} else {
 		compressStart := time.Now()
 		rpp := compress.RowsPerPage(p.keySchema, opts.PageSize)
-		res, err = compress.MeasureRecords(p.keySchema, opts.Codec, p.recs, rpp)
+		res, err = compress.MeasureArena(p.keySchema, opts.Codec, p.ar, p.perm, rpp)
 		est.CompressDuration = time.Since(compressStart)
 	}
 	if err != nil {
@@ -348,17 +459,6 @@ func estimateFromSample(rows []value.Row, n int64, keySchema *value.Schema, proj
 		return Estimate{}, err
 	}
 	return p.Estimate(opts)
-}
-
-// cloneProfile deep-copies the frequency-of-frequency map so shared
-// PreparedIndex and cached estimates never alias caller-visible state.
-func cloneProfile(p distinct.Profile) distinct.Profile {
-	f := make(map[int64]int64, len(p.F))
-	for k, v := range p.F {
-		f[k] = v
-	}
-	p.F = f
-	return p
 }
 
 // keyProjection resolves the index column sequence S into a key schema and
@@ -415,30 +515,21 @@ func TrueCF(src RowScanner, keyCols []string, codec compress.Codec, pageSize int
 	if err != nil {
 		return compress.Result{}, err
 	}
-	type entry struct {
-		key, rec []byte
-	}
-	entries := make([]entry, 0, src.NumRows())
+	ar := value.NewRecordArena(keySchema, int(src.NumRows()))
+	krow := make(value.Row, keySchema.NumColumns())
 	err = src.Scan(func(_ int64, row value.Row) error {
-		krow := projectRow(row, project)
-		rec, err := value.EncodeRecord(keySchema, krow, nil)
-		if err != nil {
-			return err
+		for i, p := range project {
+			krow[i] = row[p]
 		}
-		key, err := value.EncodeKey(keySchema, krow, nil)
-		if err != nil {
-			return err
-		}
-		entries = append(entries, entry{key: key, rec: rec})
-		return nil
+		return ar.Append(krow)
 	})
 	if err != nil {
 		return compress.Result{}, fmt.Errorf("core: true CF scan: %w", err)
 	}
-	sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i].key, entries[j].key) < 0 })
-	recs := make([][]byte, len(entries))
-	for i, e := range entries {
-		recs[i] = e.rec
+	perm := make([]int32, ar.Len())
+	for i := range perm {
+		perm[i] = int32(i)
 	}
-	return compress.MeasureRecords(keySchema, codec, recs, compress.RowsPerPage(keySchema, pageSize))
+	sort.Sort(&arenaSorter{keys: ar.Keys(), w: ar.RowWidth(), perm: perm})
+	return compress.MeasureArena(keySchema, codec, ar, perm, compress.RowsPerPage(keySchema, pageSize))
 }

@@ -346,3 +346,43 @@ func BenchmarkTrueCFFullCompression(b *testing.B) {
 		}
 	}
 }
+
+// TestSampleCFBlockPageCountCeil is the regression test for block-sampling
+// page-count rounding: the number of pages drawn must be
+// ⌈NumPages·r/n⌉, never round-to-nearest. With 14 pages of 10 rows and
+// r = 14 (10% of 140), pages·r/n = 1.4: round-to-nearest drew 1 page (10
+// rows — fewer than the r requested), ceil draws 2 (20 rows, covering r).
+func TestSampleCFBlockPageCountCeil(t *testing.T) {
+	tab := genTable(t, 140, 10, distrib.NewUniformLen(2, 18), 3)
+	pv, err := tab.AsPageSource(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := SampleCF(tab, tab.Schema(), Options{
+		Fraction: 0.1, // r = 14 rows → 1.4 pages pre-ceil
+		Codec:    mustCodec(t, "nullsuppression"),
+		Method:   MethodBlock,
+		Pages:    pv,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.SampleRows != 20 {
+		t.Fatalf("block sample covered %d rows, want 20 (2 pages of 10: ceil(1.4))", est.SampleRows)
+	}
+	// A fraction so small it rounds to zero pages still draws one page.
+	est, err = SampleCF(tab, tab.Schema(), Options{
+		SampleRows: 1, // 14·(1/140) = 0.1 pages pre-clamp
+		Codec:      mustCodec(t, "nullsuppression"),
+		Method:     MethodBlock,
+		Pages:      pv,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.SampleRows != 10 {
+		t.Fatalf("tiny-fraction block sample covered %d rows, want one full page (10)", est.SampleRows)
+	}
+}

@@ -149,8 +149,8 @@ func TestMaintainedSampleServesAndRebuilds(t *testing.T) {
 	if !ok {
 		t.Fatal("maintained sample unavailable after 300 inserts")
 	}
-	if len(s.Rows) != 64 {
-		t.Fatalf("sample size = %d, want 64", len(s.Rows))
+	if s.Arena.Len() != 64 {
+		t.Fatalf("sample size = %d, want 64", s.Arena.Len())
 	}
 	if s.Epoch != tab.Epoch() {
 		t.Fatalf("sample epoch %d != table epoch %d", s.Epoch, tab.Epoch())
@@ -171,8 +171,8 @@ func TestMaintainedSampleServesAndRebuilds(t *testing.T) {
 	if !ok {
 		t.Fatal("maintained sample unavailable after rebuild")
 	}
-	if len(s2.Rows) < 10 || len(s2.Rows) > 20 {
-		t.Fatalf("rebuilt sample size = %d, want the 20 live rows (≥10)", len(s2.Rows))
+	if s2.Arena.Len() < 10 || s2.Arena.Len() > 20 {
+		t.Fatalf("rebuilt sample size = %d, want the 20 live rows (≥10)", s2.Arena.Len())
 	}
 	_, rebuildsAfter := tab.SampleStats()
 	if rebuildsAfter != rebuildsBefore+1 {

@@ -98,7 +98,7 @@ func (d *Database) CreateTable(name string, schema *value.Schema) (*Table, error
 	}
 	if d.sampleTarget > 0 {
 		t.sampleSeed = t.InstanceID() * 0x9e3779b97f4a7c15
-		t.sample, err = sampling.NewBacking(d.sampleTarget, t.sampleSeed)
+		t.sample, err = sampling.NewBacking(schema, d.sampleTarget, t.sampleSeed)
 		if err != nil {
 			return nil, err
 		}
@@ -216,7 +216,10 @@ func (t *Table) Insert(row value.Row) (heap.RID, error) {
 	defer t.Bump()
 	t.rowDir = nil
 	if t.sample != nil {
-		t.sample.Insert(ridKey(rid), row.Clone())
+		// The backing sample encodes the row into its own arena; no clone.
+		if err := t.sample.Insert(ridKey(rid), row); err != nil {
+			return heap.RID{}, fmt.Errorf("db: maintain sample: %w", err)
+		}
 	}
 	for _, ix := range t.indexes {
 		if err := ix.insertEntry(row, rid); err != nil {
@@ -386,13 +389,13 @@ func (t *Table) MaintainedSample(min int64) (catalog.Sample, bool) {
 			return catalog.Sample{}, false
 		}
 	}
-	rows := t.sample.Rows()
+	ar := t.sample.SnapshotArena()
 	epoch := t.Epoch()
 	t.mu.RUnlock()
-	if int64(len(rows)) < min {
+	if int64(ar.Len()) < min {
 		return catalog.Sample{}, false
 	}
-	return catalog.Sample{Rows: rows, Epoch: epoch}, true
+	return catalog.Sample{Arena: ar, Epoch: epoch}, true
 }
 
 // rebuildSampleLocked refills the backing sample with one heap scan. The
@@ -401,8 +404,7 @@ func (t *Table) rebuildSampleLocked() error {
 	t.sampleRebuilds++
 	t.sample.Reset(t.sampleSeed + t.sampleRebuilds)
 	return t.file.Scan(func(rid heap.RID, row value.Row) error {
-		t.sample.Insert(ridKey(rid), row.Clone())
-		return nil
+		return t.sample.Insert(ridKey(rid), row)
 	})
 }
 

@@ -55,6 +55,30 @@ func ProfileBytes(values [][]byte, n int64) Profile {
 	return NewProfile(counts, n)
 }
 
+// FreqCount is one frequency class of a sample: Num distinct values occur
+// exactly Count times. A []FreqCount sorted by Count is the compact
+// run-length form of Profile.F — the representation the estimation hot path
+// carries (a short slice instead of a map), materialized into a Profile only
+// when an estimator needs one.
+type FreqCount struct {
+	// Count is the per-value occurrence count i.
+	Count int64
+	// Num is f_i: how many distinct values occur Count times.
+	Num int64
+}
+
+// ProfileFromFreqs materializes a map-backed Profile from the run-length
+// form; D and R are derived (Σ f_i and Σ i·f_i).
+func ProfileFromFreqs(n int64, freqs []FreqCount) Profile {
+	p := Profile{N: n, F: make(map[int64]int64, len(freqs))}
+	for _, fc := range freqs {
+		p.F[fc.Count] = fc.Num
+		p.D += fc.Num
+		p.R += fc.Count * fc.Num
+	}
+	return p
+}
+
 // f returns f_i.
 func (p Profile) f(i int64) int64 { return p.F[i] }
 

@@ -215,7 +215,11 @@ func (e *Engine) Estimate(ctx context.Context, req Request) Result {
 }
 
 // sampleGroup shares one drawn sample among every batch item with the same
-// (table instance, epoch, sample size, seed).
+// (table instance, epoch, sample size, seed). The sample is arena-encoded
+// at draw time (records + memcomparable keys in two contiguous buffers);
+// prep groups project their key columns straight out of it, so no
+// []value.Row intermediate exists on either the fresh or the maintained
+// route.
 type sampleGroup struct {
 	once    sync.Once
 	table   Table
@@ -225,8 +229,8 @@ type sampleGroup struct {
 	fresh   bool // at least one member demanded a fresh draw
 	members int
 
-	rows []value.Row
-	err  error
+	ar  *value.RecordArena
+	err error
 }
 
 // prepGroup shares one encoded, key-sorted index among every batch item
@@ -377,7 +381,7 @@ func (e *Engine) evaluate(ctx context.Context, it *batchItem) Result {
 	pg := it.pg
 	pg.once.Do(func() {
 		e.prepared.Add(1)
-		pg.prep, pg.err = core.PrepareIndex(sg.rows, sg.table.NumRows(), sg.table.Schema(), pg.keyCols)
+		pg.prep, pg.err = core.PrepareFromArena(sg.ar, sg.table.NumRows(), pg.keyCols)
 	})
 	if pg.err != nil {
 		return Result{Err: fmt.Errorf("engine: request %d: prepare index: %w", it.idx, pg.err)}
@@ -401,25 +405,31 @@ func (e *Engine) evaluate(ctx context.Context, it *batchItem) Result {
 	return Result{Estimate: est, SharedSample: shared}
 }
 
-// drawSample fills a sample group, preferring the table's maintained
-// sample when one is offered at the group's epoch: subsampling the
-// in-memory backing sample (without replacement — a uniform subsample of
-// a uniform sample) skips the O(r) storage draw and, for heap-backed
-// tables, the row-directory rebuild behind it. Any mismatch — no
-// provider support, fewer than r maintained rows, or a snapshot at a
-// different epoch than the request was keyed at — falls back to a fresh
-// uniform-WR draw against the table.
+// drawSample fills a sample group's arena, preferring the table's
+// maintained sample when one is offered at the group's epoch: subsampling
+// the in-memory backing sample (without replacement — a uniform subsample
+// of a uniform sample) skips the O(r) storage draw and, for heap-backed
+// tables, the row-directory rebuild behind it, and because the maintained
+// snapshot is already arena-encoded the subsample is a pure byte-range
+// gather. Any mismatch — no provider support, fewer than r maintained
+// rows, or a snapshot at a different epoch than the request was keyed at —
+// falls back to a fresh uniform-WR draw encoded straight into the arena.
 func (e *Engine) drawSample(sg *sampleGroup) {
+	ar := value.NewRecordArena(sg.table.Schema(), int(sg.r))
 	if sp, ok := sg.table.(catalog.SampleProvider); ok && !sg.fresh {
 		if s, ok := sp.MaintainedSample(sg.r); ok && s.Epoch == sg.epoch {
 			e.maintainedHits.Add(1)
-			sg.rows, sg.err = sampling.UniformWOR(sampling.SliceSource(s.Rows), sg.r, rng.New(sg.seed))
+			order, err := sampling.WORIndices(int64(s.Arena.Len()), sg.r, rng.New(sg.seed))
+			if err == nil {
+				err = ar.AppendFrom(s.Arena, order)
+			}
+			sg.ar, sg.err = ar, err
 			return
 		}
 		e.maintainedStale.Add(1)
 	}
 	e.samplesDrawn.Add(1)
-	sg.rows, sg.err = sampling.UniformWR(sg.table, sg.r, rng.New(sg.seed))
+	sg.ar, sg.err = ar, sampling.UniformWRInto(sg.table, sg.r, rng.New(sg.seed), ar)
 }
 
 // validate rejects malformed requests before they reach the pool.

@@ -29,14 +29,22 @@ import (
 //     could still fill it), Stale reports true and the owner rebuilds
 //     with a fresh scan (Reset + re-Insert).
 //
+// Storage is columnar: reservoir rows live in a value.RecordArena (one
+// fixed-width slot per row, records and memcomparable keys pre-encoded),
+// so serving an estimation sample is a byte-range gather with no per-row
+// decoding or cloning — the arena IS the estimator's input format. Row
+// payloads are copied into the arena at Insert, so callers keep ownership
+// of what they pass in.
+//
 // All methods are safe for concurrent use.
 type Backing struct {
 	mu     sync.Mutex
 	target int
 	g      *rng.RNG
 
-	items []backingItem
-	pos   map[uint64]int // storage key → index in items
+	ar   *value.RecordArena
+	keys []uint64       // storage key per arena slot
+	pos  map[uint64]int // storage key → arena slot
 	// inserted counts rows offered since the last Reset: Algorithm R's
 	// stream position t.
 	inserted int64
@@ -45,20 +53,20 @@ type Backing struct {
 	deleted, dropped int64
 }
 
-type backingItem struct {
-	key uint64
-	row value.Row
-}
-
-// NewBacking creates a maintained sample targeting `target` rows; draws
-// derive from seed.
-func NewBacking(target int, seed uint64) (*Backing, error) {
+// NewBacking creates a maintained sample of rows under schema targeting
+// `target` rows; draws derive from seed.
+func NewBacking(schema *value.Schema, target int, seed uint64) (*Backing, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("sampling: backing sample requires a schema")
+	}
 	if target <= 0 {
 		return nil, fmt.Errorf("sampling: backing sample target %d must be positive", target)
 	}
 	return &Backing{
 		target: target,
 		g:      rng.New(seed),
+		ar:     value.NewRecordArena(schema, target),
+		keys:   make([]uint64, 0, target),
 		pos:    make(map[uint64]int, target),
 	}, nil
 }
@@ -69,21 +77,18 @@ func (b *Backing) Target() int { return b.target }
 // Insert offers one newly inserted row (Algorithm R step). key is the
 // row's storage identity (e.g. its RID) used for exact delete tolerance;
 // offering a key that is already resident replaces that row in place.
-// The row must be safe to retain.
-func (b *Backing) Insert(key uint64, row value.Row) {
+// The row is copied into the reservoir's arena; the caller keeps ownership.
+func (b *Backing) Insert(key uint64, row value.Row) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if i, ok := b.pos[key]; ok {
 		// Storage reused the key (e.g. a heap slot refilled after a
 		// delete that was never reported); replace in place.
-		b.items[i].row = row
-		return
+		return b.ar.SetRow(i, row)
 	}
 	b.inserted++
 	if b.inserted <= int64(b.target) {
-		b.pos[key] = len(b.items)
-		b.items = append(b.items, backingItem{key: key, row: row})
-		return
+		return b.appendLocked(key, row)
 	}
 	// Algorithm R acceptance: j uniform over the stream so far; accept iff
 	// j falls in the reservoir's index range. Conditioned on acceptance, j
@@ -93,17 +98,28 @@ func (b *Backing) Insert(key uint64, row value.Row) {
 	// evicting, keeping per-row membership probability at target/t.
 	j := b.g.Int63n(b.inserted)
 	if j >= int64(b.target) {
-		return
+		return nil
 	}
-	if int(j) < len(b.items) {
-		old := b.items[j]
-		delete(b.pos, old.key)
-		b.items[j] = backingItem{key: key, row: row}
+	if int(j) < b.ar.Len() {
+		if err := b.ar.SetRow(int(j), row); err != nil {
+			return err
+		}
+		delete(b.pos, b.keys[j])
+		b.keys[j] = key
 		b.pos[key] = int(j)
-		return
+		return nil
 	}
-	b.pos[key] = len(b.items)
-	b.items = append(b.items, backingItem{key: key, row: row})
+	return b.appendLocked(key, row)
+}
+
+// appendLocked grows the reservoir by one slot. Caller holds the mutex.
+func (b *Backing) appendLocked(key uint64, row value.Row) error {
+	if err := b.ar.Append(row); err != nil {
+		return err
+	}
+	b.pos[key] = len(b.keys)
+	b.keys = append(b.keys, key)
+	return nil
 }
 
 // Delete notes the deletion of the row with the given storage key,
@@ -117,12 +133,14 @@ func (b *Backing) Delete(key uint64) {
 		return
 	}
 	b.dropped++
-	last := len(b.items) - 1
+	last := len(b.keys) - 1
 	if i != last {
-		b.items[i] = b.items[last]
-		b.pos[b.items[i].key] = i
+		b.ar.MoveRow(i, last)
+		b.keys[i] = b.keys[last]
+		b.pos[b.keys[i]] = i
 	}
-	b.items = b.items[:last]
+	b.ar.Truncate(last)
+	b.keys = b.keys[:last]
 	delete(b.pos, key)
 }
 
@@ -130,17 +148,33 @@ func (b *Backing) Delete(key uint64) {
 func (b *Backing) Size() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.items)
+	return b.ar.Len()
 }
 
-// Rows returns a snapshot copy of the reservoir. The rows themselves are
-// shared with the reservoir and must not be mutated.
+// SnapshotArena returns a point-in-time copy of the reservoir's arena.
+// The copy is two contiguous buffer memcopies; subsequent reservoir churn
+// never mutates a returned snapshot.
+func (b *Backing) SnapshotArena() *value.RecordArena {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ar.Clone()
+}
+
+// Rows returns a snapshot of the reservoir decoded into per-column rows,
+// for consumers outside the estimation hot path (the hot path gathers from
+// SnapshotArena instead). The payloads alias the snapshot's own buffers.
 func (b *Backing) Rows() []value.Row {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	out := make([]value.Row, len(b.items))
-	for i, it := range b.items {
-		out[i] = it.row
+	out := make([]value.Row, b.ar.Len())
+	snap := b.ar.Clone()
+	for i := range out {
+		row, err := snap.Row(i)
+		if err != nil {
+			// Unreachable: every slot was encoded by Insert.
+			panic(fmt.Sprintf("sampling: corrupt reservoir slot %d: %v", i, err))
+		}
+		out[i] = row
 	}
 	return out
 }
@@ -156,7 +190,7 @@ func (b *Backing) Stale(liveRows int64) bool {
 	if liveRows < floor {
 		floor = liveRows
 	}
-	return int64(len(b.items)) < floor
+	return int64(b.ar.Len()) < floor
 }
 
 // BackingStats reports the maintenance counters since the last Reset.
@@ -173,7 +207,7 @@ func (b *Backing) Stats() BackingStats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return BackingStats{
-		Size:     len(b.items),
+		Size:     b.ar.Len(),
 		Target:   b.target,
 		Inserted: b.inserted,
 		Deleted:  b.deleted,
@@ -186,7 +220,8 @@ func (b *Backing) Stats() BackingStats {
 func (b *Backing) Reset(seed uint64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.items = b.items[:0]
+	b.ar.Reset()
+	b.keys = b.keys[:0]
 	b.pos = make(map[uint64]int, b.target)
 	b.inserted, b.deleted, b.dropped = 0, 0, 0
 	b.g = rng.New(seed)

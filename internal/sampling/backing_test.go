@@ -12,8 +12,12 @@ func rowOf(id uint64) value.Row {
 	return value.Row{value.Int64Value(int64(id))}
 }
 
+// backingSchema is the one-column schema the backing tests reservoir rows
+// under.
+var backingSchema = value.MustSchema(value.Column{Name: "id", Type: value.Int64()})
+
 func TestBackingFillThenReservoir(t *testing.T) {
-	b, err := NewBacking(8, 1)
+	b, err := NewBacking(backingSchema, 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,16 +40,16 @@ func TestBackingFillThenReservoir(t *testing.T) {
 }
 
 func TestBackingNewBackingRejectsBadTarget(t *testing.T) {
-	if _, err := NewBacking(0, 1); err == nil {
+	if _, err := NewBacking(backingSchema, 0, 1); err == nil {
 		t.Fatal("target 0 accepted")
 	}
-	if _, err := NewBacking(-3, 1); err == nil {
+	if _, err := NewBacking(backingSchema, -3, 1); err == nil {
 		t.Fatal("negative target accepted")
 	}
 }
 
 func TestBackingDeleteIsExact(t *testing.T) {
-	b, err := NewBacking(16, 7)
+	b, err := NewBacking(backingSchema, 16, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +76,7 @@ func TestBackingDeleteIsExact(t *testing.T) {
 }
 
 func TestBackingReusedKeyReplacesInPlace(t *testing.T) {
-	b, err := NewBacking(4, 1)
+	b, err := NewBacking(backingSchema, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +91,7 @@ func TestBackingReusedKeyReplacesInPlace(t *testing.T) {
 }
 
 func TestBackingStalenessPolicy(t *testing.T) {
-	b, err := NewBacking(16, 3)
+	b, err := NewBacking(backingSchema, 16, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +161,7 @@ func TestBackingUniformityChiSquared(t *testing.T) {
 	counts := make([]int64, cell)
 	var totalSize int64
 	for trial := 0; trial < trials; trial++ {
-		b, err := NewBacking(target, uint64(trial)+1)
+		b, err := NewBacking(backingSchema, target, uint64(trial)+1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -71,7 +71,26 @@ func UniformWR(src RowSource, r int64, g *rng.RNG) ([]value.Row, error) {
 // UniformWOR draws r distinct rows uniformly without replacement using
 // Floyd's algorithm (O(r) draws, O(r) memory). It errors if r > n.
 func UniformWOR(src RowSource, r int64, g *rng.RNG) ([]value.Row, error) {
-	n := src.NumRows()
+	order, err := WORIndices(src.NumRows(), r, g)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]value.Row, 0, r)
+	for _, idx := range order {
+		row, err := src.Row(idx)
+		if err != nil {
+			return nil, fmt.Errorf("sampling: row fetch: %w", err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// WORIndices draws r distinct indices uniformly from [0, n) via Floyd's
+// algorithm, in the same draw order UniformWOR visits rows — callers that
+// gather rows from an arena by index get byte-identical samples to the
+// row-at-a-time path.
+func WORIndices(n, r int64, g *rng.RNG) ([]int64, error) {
 	if r < 0 || r > n {
 		return nil, fmt.Errorf("sampling: WOR size %d outside [0,%d]", r, n)
 	}
@@ -85,15 +104,31 @@ func UniformWOR(src RowSource, r int64, g *rng.RNG) ([]value.Row, error) {
 		chosen[t] = struct{}{}
 		order = append(order, t)
 	}
-	out := make([]value.Row, 0, r)
-	for _, idx := range order {
-		row, err := src.Row(idx)
-		if err != nil {
-			return nil, fmt.Errorf("sampling: row fetch: %w", err)
-		}
-		out = append(out, row)
+	return order, nil
+}
+
+// UniformWRInto draws r rows uniformly with replacement and encodes each
+// straight into the arena — the engine's fresh-sample route, with no
+// intermediate []value.Row. The draw sequence is identical to UniformWR's,
+// so a given (source, r, seed) yields the same sample either way.
+func UniformWRInto(src RowSource, r int64, g *rng.RNG, ar *value.RecordArena) error {
+	n := src.NumRows()
+	if n == 0 {
+		return fmt.Errorf("sampling: source is empty")
 	}
-	return out, nil
+	if r < 0 {
+		return fmt.Errorf("sampling: negative sample size %d", r)
+	}
+	for i := int64(0); i < r; i++ {
+		row, err := src.Row(g.Int63n(n))
+		if err != nil {
+			return fmt.Errorf("sampling: row fetch: %w", err)
+		}
+		if err := ar.Append(row); err != nil {
+			return fmt.Errorf("sampling: encode row: %w", err)
+		}
+	}
+	return nil
 }
 
 // Bernoulli includes each stream row independently with probability f.

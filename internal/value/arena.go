@@ -1,0 +1,256 @@
+package value
+
+import (
+	"fmt"
+)
+
+// RecordArena is the columnar, zero-per-row-allocation sample representation
+// the estimation hot path runs on. All appended rows are encoded into two
+// contiguous buffers — the fixed-width record encoding (EncodeRecord) and the
+// order-preserving memcomparable key encoding (EncodeKey) — addressed by row
+// index: because both encodings are exactly Schema.RowWidth() bytes per row,
+// row i lives at byte offset i·RowWidth() in each buffer. Replacing the
+// previous per-row [][]byte pairs (two heap objects per sampled row, plus a
+// clone per column on retention) with offset addressing is what takes
+// PrepareIndex from ~5 allocations per sampled row to a handful per sample.
+//
+// Key derivation exploits that EncodeKey differs from EncodeRecord only in
+// integer columns' leading sign bit (flipped so unsigned byte comparison
+// matches signed order): the key buffer is a copy of the record bytes with
+// one XOR per integer column. Character columns are identical in both.
+//
+// A RecordArena is not safe for concurrent mutation; once filled it may be
+// read from any number of goroutines. The zero value is unusable — construct
+// with NewRecordArena.
+type RecordArena struct {
+	schema *Schema
+	w      int // schema.RowWidth()
+	// intOffs holds the byte offset of each integer column's first (sign)
+	// byte within a record, precomputed for key derivation.
+	intOffs []int
+	recs    []byte // n·w bytes of fixed-width records
+	keys    []byte // n·w bytes of memcomparable keys
+	n       int
+}
+
+// NewRecordArena returns an empty arena for rows of schema, with capacity
+// pre-sized for capRows rows.
+func NewRecordArena(schema *Schema, capRows int) *RecordArena {
+	if capRows < 0 {
+		capRows = 0
+	}
+	a := &RecordArena{
+		schema: schema,
+		w:      schema.RowWidth(),
+		recs:   make([]byte, 0, capRows*schema.RowWidth()),
+		keys:   make([]byte, 0, capRows*schema.RowWidth()),
+	}
+	off := 0
+	for i := 0; i < schema.NumColumns(); i++ {
+		t := schema.Column(i).Type
+		if !t.IsCharacter() {
+			a.intOffs = append(a.intOffs, off)
+		}
+		off += t.FixedWidth()
+	}
+	return a
+}
+
+// Schema returns the arena's row schema.
+func (a *RecordArena) Schema() *Schema { return a.schema }
+
+// Len returns the number of rows in the arena.
+func (a *RecordArena) Len() int { return a.n }
+
+// RowWidth returns the per-row byte width of both buffers.
+func (a *RecordArena) RowWidth() int { return a.w }
+
+// Rec returns row i's fixed-width record. The slice aliases the arena.
+func (a *RecordArena) Rec(i int) []byte { return a.recs[i*a.w : (i+1)*a.w : (i+1)*a.w] }
+
+// Key returns row i's memcomparable key. The slice aliases the arena.
+func (a *RecordArena) Key(i int) []byte { return a.keys[i*a.w : (i+1)*a.w : (i+1)*a.w] }
+
+// Recs returns the whole record buffer (n·RowWidth bytes, row-major).
+func (a *RecordArena) Recs() []byte { return a.recs }
+
+// Keys returns the whole key buffer (n·RowWidth bytes, row-major).
+func (a *RecordArena) Keys() []byte { return a.keys }
+
+// Reset empties the arena, retaining both buffers' capacity.
+func (a *RecordArena) Reset() {
+	a.recs = a.recs[:0]
+	a.keys = a.keys[:0]
+	a.n = 0
+}
+
+// Append validates row against the schema and encodes its record and key
+// into the arena. Equivalent to EncodeRecord + EncodeKey on fresh buffers,
+// but amortized: steady-state appends never allocate.
+func (a *RecordArena) Append(row Row) error {
+	if err := ValidateRow(a.schema, row); err != nil {
+		return err
+	}
+	a.appendUnchecked(row)
+	return nil
+}
+
+// appendUnchecked is Append without validation, for callers that already
+// validated (e.g. rows re-read from storage that validated on write).
+func (a *RecordArena) appendUnchecked(row Row) {
+	start := len(a.recs)
+	for i, v := range row {
+		t := a.schema.Column(i).Type
+		a.recs = append(a.recs, v...)
+		for pad := t.FixedWidth() - len(v); pad > 0; pad-- {
+			a.recs = append(a.recs, t.PadByte())
+		}
+	}
+	a.keys = append(a.keys, a.recs[start:]...)
+	for _, off := range a.intOffs {
+		a.keys[start+off] ^= 0x80
+	}
+	a.n++
+}
+
+// AppendRec appends a row given its fixed-width record encoding (exactly
+// RowWidth bytes), deriving the key by copy + sign flips. This is the pure
+// byte-level ingestion path: no Row materialization anywhere.
+func (a *RecordArena) AppendRec(rec []byte) error {
+	if len(rec) != a.w {
+		return fmt.Errorf("value: arena record is %d bytes, schema %s requires %d", len(rec), a.schema, a.w)
+	}
+	start := len(a.recs)
+	a.recs = append(a.recs, rec...)
+	a.keys = append(a.keys, rec...)
+	for _, off := range a.intOffs {
+		a.keys[start+off] ^= 0x80
+	}
+	a.n++
+	return nil
+}
+
+// SetRow overwrites row i in place with the encoding of row. Width is fixed,
+// so in-place replacement never moves other rows; maintained (reservoir)
+// samples rely on this for slot eviction.
+func (a *RecordArena) SetRow(i int, row Row) error {
+	if i < 0 || i >= a.n {
+		return fmt.Errorf("value: arena row %d out of range [0,%d)", i, a.n)
+	}
+	if err := ValidateRow(a.schema, row); err != nil {
+		return err
+	}
+	start := i * a.w
+	off := start
+	for c, v := range row {
+		t := a.schema.Column(c).Type
+		off += copy(a.recs[off:], v)
+		for pad := t.FixedWidth() - len(v); pad > 0; pad-- {
+			a.recs[off] = t.PadByte()
+			off++
+		}
+	}
+	copy(a.keys[start:start+a.w], a.recs[start:start+a.w])
+	for _, o := range a.intOffs {
+		a.keys[start+o] ^= 0x80
+	}
+	return nil
+}
+
+// MoveRow copies row src over row dst (record and key) — the swap-with-last
+// primitive reservoir deletion uses.
+func (a *RecordArena) MoveRow(dst, src int) {
+	if dst == src {
+		return
+	}
+	copy(a.recs[dst*a.w:(dst+1)*a.w], a.recs[src*a.w:(src+1)*a.w])
+	copy(a.keys[dst*a.w:(dst+1)*a.w], a.keys[src*a.w:(src+1)*a.w])
+}
+
+// Truncate shortens the arena to n rows.
+func (a *RecordArena) Truncate(n int) {
+	if n < 0 || n > a.n {
+		return
+	}
+	a.recs = a.recs[:n*a.w]
+	a.keys = a.keys[:n*a.w]
+	a.n = n
+}
+
+// Row decodes row i back into a per-column Row (allocating; the payloads
+// alias the arena). For slow paths and tests — the hot path never decodes.
+func (a *RecordArena) Row(i int) (Row, error) {
+	return DecodeRecord(a.schema, a.Rec(i))
+}
+
+// Clone returns a deep copy of the arena.
+func (a *RecordArena) Clone() *RecordArena {
+	out := &RecordArena{
+		schema:  a.schema,
+		w:       a.w,
+		intOffs: a.intOffs,
+		recs:    append([]byte(nil), a.recs...),
+		keys:    append([]byte(nil), a.keys...),
+		n:       a.n,
+	}
+	return out
+}
+
+// AppendFrom appends rows src[idx] for each idx in order — the gather
+// primitive subsampling uses (e.g. drawing a WOR subsample of a maintained
+// sample). Rows are copied byte-wise; no re-encoding happens.
+func (a *RecordArena) AppendFrom(src *RecordArena, order []int64) error {
+	if src.w != a.w {
+		return fmt.Errorf("value: arena gather across schemas %s and %s", src.schema, a.schema)
+	}
+	for _, idx := range order {
+		if idx < 0 || idx >= int64(src.n) {
+			return fmt.Errorf("value: arena gather index %d out of range [0,%d)", idx, src.n)
+		}
+		a.recs = append(a.recs, src.recs[idx*int64(a.w):(idx+1)*int64(a.w)]...)
+		a.keys = append(a.keys, src.keys[idx*int64(a.w):(idx+1)*int64(a.w)]...)
+		a.n++
+	}
+	return nil
+}
+
+// ProjectTo appends every row of the arena, restricted to the columns at
+// positions proj (which must match dst's schema), into dst. Projection is a
+// per-column byte-range copy out of the record and key buffers: both
+// encodings are column-aligned, and key bytes of a column are independent of
+// its neighbors, so projected keys equal re-encoded keys byte-for-byte.
+func (a *RecordArena) ProjectTo(dst *RecordArena, proj []int) error {
+	if len(proj) != dst.schema.NumColumns() {
+		return fmt.Errorf("value: projection has %d columns, destination schema %s has %d",
+			len(proj), dst.schema, dst.schema.NumColumns())
+	}
+	// Resolve [start,end) source ranges per projected column, verifying
+	// type agreement.
+	offsets := a.schema.ColumnOffsets()
+	type span struct{ start, width int }
+	spans := make([]span, len(proj))
+	for i, p := range proj {
+		if p < 0 || p >= a.schema.NumColumns() {
+			return fmt.Errorf("value: projection index %d out of range", p)
+		}
+		if a.schema.Column(p).Type != dst.schema.Column(i).Type {
+			return fmt.Errorf("value: projected column %d type %s does not match destination %s",
+				p, a.schema.Column(p).Type, dst.schema.Column(i).Type)
+		}
+		spans[i] = span{start: offsets[p][0], width: offsets[p][1] - offsets[p][0]}
+	}
+	for r := 0; r < a.n; r++ {
+		base := r * a.w
+		for _, sp := range spans {
+			a.copySpan(dst, base+sp.start, sp.width)
+		}
+		dst.n++
+	}
+	return nil
+}
+
+// copySpan appends one column span of one row to dst's buffers.
+func (a *RecordArena) copySpan(dst *RecordArena, start, width int) {
+	dst.recs = append(dst.recs, a.recs[start:start+width]...)
+	dst.keys = append(dst.keys, a.keys[start:start+width]...)
+}

@@ -14,6 +14,7 @@ type Schema struct {
 	cols     []Column
 	byName   map[string]int
 	rowWidth int
+	offsets  [][2]int
 }
 
 // NewSchema builds a schema from the given columns, validating types and
@@ -38,10 +39,15 @@ func NewSchema(cols ...Column) (*Schema, error) {
 			return nil, fmt.Errorf("value: duplicate column name %q", c.Name)
 		}
 		s.byName[c.Name] = i
+		s.offsets = append(s.offsets, [2]int{s.rowWidth, s.rowWidth + c.Type.FixedWidth()})
 		s.rowWidth += c.Type.FixedWidth()
 	}
 	return s, nil
 }
+
+// ColumnOffsets returns the [start, end) byte range of each column within a
+// fixed-width record. The slice is shared and must not be mutated.
+func (s *Schema) ColumnOffsets() [][2]int { return s.offsets }
 
 // MustSchema is NewSchema that panics on error; intended for tests and
 // examples with literal schemas.
