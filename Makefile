@@ -26,7 +26,9 @@ BENCHTIME ?= 1s
 
 # bench records the perf trajectory of the hot paths — the engine's
 # epoch-keyed cache (must stay O(1) in table size), the maintained-sample
-# fast path, and the shared-sample batch — as a machine-readable artifact.
+# fast path, the shared-sample batch, and BenchmarkAdaptiveVsFixed's
+# rows-sampled-for-equal-accuracy comparison (rows/est + err_pts custom
+# metrics) — as a machine-readable artifact.
 bench:
 	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/engine . \
 		| tee /dev/stderr \

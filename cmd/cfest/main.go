@@ -51,6 +51,10 @@ func run() error {
 		seed       = flag.Uint64("seed", 1, "sampling seed")
 		withTruth  = flag.Bool("truth", false, "also compute exact CF by compressing everything")
 		buildIndex = flag.Bool("build-index", false, "materialize a real B+-tree on the sample")
+		// Adaptive estimation: state the accuracy, let the sampler pick r.
+		targetError = flag.Float64("target-error", 0, "adaptive mode: CI half-width target on CF (e.g. 0.02 = ±2 points); 0 = fixed sample size")
+		confidence  = flag.Float64("confidence", 0.95, "adaptive mode: CI confidence level")
+		maxRows     = flag.Int64("max-rows", 0, "adaptive mode: row budget (0 = table size)")
 	)
 	flag.Parse()
 
@@ -103,30 +107,76 @@ func run() error {
 	if *cols != "" {
 		keyCols = strings.Split(*cols, ",")
 	}
-	est, err := core.SampleCF(tab, tab.Schema(), core.Options{
+	opts := core.Options{
 		Fraction:   *fraction,
 		SampleRows: *rows,
 		Codec:      codec,
 		KeyColumns: keyCols,
 		Seed:       *seed,
 		BuildIndex: *buildIndex,
-	})
-	if err != nil {
-		return err
 	}
-
-	fmt.Printf("table rows        : %d\n", tab.NumRows())
-	fmt.Printf("sample rows (r)   : %d\n", est.SampleRows)
-	fmt.Printf("sample distinct d': %d\n", est.SampleDistinct)
-	fmt.Printf("codec             : %s\n", codec.Name())
-	fmt.Printf("estimated CF      : %.6f\n", est.CF)
-	fmt.Printf("estimated savings : %.1f%%\n", (1-est.CF)*100)
-	if strings.HasPrefix(codec.Name(), "nullsuppression") {
-		lo, hi := core.NSConfidenceInterval(est.CF, est.SampleRows, 2)
-		fmt.Printf("2σ interval (T1)  : [%.6f, %.6f]\n", lo, hi)
+	var est core.Estimate
+	if *targetError > 0 {
+		// Adaptive mode: grow the sample until CF is known to within
+		// ±target-error at the requested confidence (or -max-rows runs out).
+		// -fraction/-rows, when passed explicitly, seed the first round
+		// only — but the fixed-mode 1% *default* would be a blind starting
+		// size, so unless the user actually typed -fraction, adaptive mode
+		// starts from the adaptive minimum instead.
+		fractionSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "fraction" {
+				fractionSet = true
+			}
+		})
+		if !fractionSet && *rows == 0 {
+			opts.Fraction = 0
+		}
+		ares, err := core.SampleCFAdaptive(tab, tab.Schema(), opts, core.Precision{
+			TargetError:   *targetError,
+			Confidence:    *confidence,
+			MaxSampleRows: *maxRows,
+		})
+		if err != nil {
+			return err
+		}
+		est = ares.Estimate
+		fmt.Printf("table rows        : %d\n", tab.NumRows())
+		fmt.Printf("sample rows (r)   : %d (adaptive, %d rounds)\n", est.SampleRows, ares.Rounds)
+		fmt.Printf("sample distinct d': %d\n", est.SampleDistinct)
+		fmt.Printf("codec             : %s\n", codec.Name())
+		fmt.Printf("estimated CF      : %.6f\n", est.CF)
+		fmt.Printf("estimated savings : %.1f%%\n", (1-est.CF)*100)
+		fmt.Printf("achieved interval : [%.6f, %.6f] (±%.6f at %.0f%%, %s)\n",
+			ares.CILo, ares.CIHi, ares.AchievedError, *confidence*100, ares.Method)
+		if !ares.Converged {
+			budget := *maxRows
+			if budget == 0 {
+				budget = tab.NumRows() // SampleCFAdaptive's default cap
+			}
+			fmt.Printf("NOT CONVERGED     : row budget %d exhausted before reaching ±%.6f\n",
+				budget, *targetError)
+		}
+		fmt.Printf("durations         : sample %v, build %v, compress %v\n",
+			est.SampleDuration, est.BuildDuration, est.CompressDuration)
+	} else {
+		est, err = core.SampleCF(tab, tab.Schema(), opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("table rows        : %d\n", tab.NumRows())
+		fmt.Printf("sample rows (r)   : %d\n", est.SampleRows)
+		fmt.Printf("sample distinct d': %d\n", est.SampleDistinct)
+		fmt.Printf("codec             : %s\n", codec.Name())
+		fmt.Printf("estimated CF      : %.6f\n", est.CF)
+		fmt.Printf("estimated savings : %.1f%%\n", (1-est.CF)*100)
+		if strings.HasPrefix(codec.Name(), "nullsuppression") {
+			lo, hi := core.NSConfidenceInterval(est.CF, est.SampleRows, 2)
+			fmt.Printf("2σ interval (T1)  : [%.6f, %.6f]\n", lo, hi)
+		}
+		fmt.Printf("durations         : sample %v, build %v, compress %v\n",
+			est.SampleDuration, est.BuildDuration, est.CompressDuration)
 	}
-	fmt.Printf("durations         : sample %v, build %v, compress %v\n",
-		est.SampleDuration, est.BuildDuration, est.CompressDuration)
 
 	if *withTruth {
 		truth, err := core.TrueCF(tab, keyCols, codec, 0)

@@ -149,6 +149,13 @@ type estimateRequestJSON struct {
 	SampleRows int64    `json:"sample_rows,omitempty"`
 	Seed       uint64   `json:"seed,omitempty"`
 	PageSize   int      `json:"page_size,omitempty"`
+	// Adaptive estimation: targetError asks for CF within ±targetError at
+	// the given confidence (default 0.95), spending at most maxSampleRows
+	// (default: the table size). fraction/sample_rows then seed only the
+	// first round.
+	TargetError   float64 `json:"target_error,omitempty"`
+	Confidence    float64 `json:"confidence,omitempty"`
+	MaxSampleRows int64   `json:"max_sample_rows,omitempty"`
 }
 
 type estimateResultJSON struct {
@@ -162,7 +169,13 @@ type estimateResultJSON struct {
 	UncompressedBytes int64    `json:"uncompressed_bytes"`
 	CacheHit          bool     `json:"cache_hit"`
 	SharedSample      bool     `json:"shared_sample,omitempty"`
-	Error             string   `json:"error,omitempty"`
+	// Adaptive-request outcome: the achieved CI half-width, rounds run,
+	// and whether the target was met within the row budget (absent on
+	// fixed-r requests).
+	AchievedError float64 `json:"achieved_error,omitempty"`
+	Rounds        int     `json:"rounds,omitempty"`
+	Converged     *bool   `json:"converged,omitempty"`
+	Error         string  `json:"error,omitempty"`
 }
 
 type whatIfRequestJSON struct {
@@ -173,6 +186,10 @@ type whatIfRequestJSON struct {
 	Seed       uint64          `json:"seed,omitempty"`
 	PageSize   int             `json:"page_size,omitempty"`
 	TimeoutMS  int64           `json:"timeout_ms,omitempty"`
+	// Adaptive estimation (applies to every candidate): see /estimate.
+	TargetError   float64 `json:"target_error,omitempty"`
+	Confidence    float64 `json:"confidence,omitempty"`
+	MaxSampleRows int64   `json:"max_sample_rows,omitempty"`
 }
 
 // queryJSON is one workload statement in an /advise request.
@@ -191,11 +208,21 @@ type adviseRequestJSON struct {
 	Fraction    float64         `json:"fraction,omitempty"`
 	Seed        uint64          `json:"seed,omitempty"`
 	TimeoutMS   int64           `json:"timeout_ms,omitempty"`
+	// Adaptive coarse-to-fine sizing: candidates are screened at a loose
+	// precision (coarse_error, default 4×target_error) and only the ones
+	// still able to win their index-key group are refined to target_error.
+	TargetError   float64 `json:"target_error,omitempty"`
+	CoarseError   float64 `json:"coarse_error,omitempty"`
+	Confidence    float64 `json:"confidence,omitempty"`
+	MaxSampleRows int64   `json:"max_sample_rows,omitempty"`
 }
 
 // defaultFraction applies the service-wide sampling default of 1%.
-func defaultFraction(f float64) float64 {
-	if f == 0 {
+// Adaptive requests (targetError > 0) keep a zero fraction: the adaptive
+// loop picks its own starting size and a 1% default would force an
+// oversized first round.
+func defaultFraction(f, targetError float64) float64 {
+	if f == 0 && targetError == 0 {
 		return 0.01
 	}
 	return f
@@ -224,6 +251,9 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"maintained_stale": st.MaintainedStale,
 		"indexes_prepared": st.IndexesPrepared,
 		"evaluated":        st.Evaluated,
+		"precision_hits":   st.PrecisionHits,
+		"adaptive_rounds":  st.AdaptiveRounds,
+		"adaptive_rows":    st.AdaptiveRows,
 		"tables":           tables,
 	})
 }
@@ -309,13 +339,16 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res := s.eng.Estimate(r.Context(), engine.Request{
-		Table:      tab,
-		KeyColumns: req.Columns,
-		Codec:      codec,
-		Fraction:   defaultFraction(req.Fraction),
-		SampleRows: req.SampleRows,
-		Seed:       req.Seed,
-		PageSize:   req.PageSize,
+		Table:         tab,
+		KeyColumns:    req.Columns,
+		Codec:         codec,
+		Fraction:      defaultFraction(req.Fraction, req.TargetError),
+		SampleRows:    req.SampleRows,
+		Seed:          req.Seed,
+		PageSize:      req.PageSize,
+		TargetError:   req.TargetError,
+		Confidence:    req.Confidence,
+		MaxSampleRows: req.MaxSampleRows,
 	})
 	if res.Err != nil {
 		httpError(w, http.StatusUnprocessableEntity, res.Err)
@@ -346,13 +379,16 @@ func (s *server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		reqs[i] = engine.Request{
-			Table:      tab,
-			KeyColumns: c.Columns,
-			Codec:      codec,
-			Fraction:   defaultFraction(req.Fraction),
-			SampleRows: req.SampleRows,
-			Seed:       req.Seed,
-			PageSize:   req.PageSize,
+			Table:         tab,
+			KeyColumns:    c.Columns,
+			Codec:         codec,
+			Fraction:      defaultFraction(req.Fraction, req.TargetError),
+			SampleRows:    req.SampleRows,
+			Seed:          req.Seed,
+			PageSize:      req.PageSize,
+			TargetError:   req.TargetError,
+			Confidence:    req.Confidence,
+			MaxSampleRows: req.MaxSampleRows,
 		}
 	}
 	ctx := r.Context()
@@ -411,10 +447,14 @@ func (s *server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		queries[i] = physdesign.Query{Name: q.Name, Columns: q.Columns, Weight: q.Weight, Selectivity: q.Selectivity}
 	}
 	rec, err := physdesign.Recommend(cands, queries, req.BudgetBytes, physdesign.Options{
-		SampleFraction: defaultFraction(req.Fraction),
+		SampleFraction: defaultFraction(req.Fraction, req.TargetError),
 		Seed:           req.Seed,
 		Engine:         s.eng,
 		Context:        ctx,
+		TargetError:    req.TargetError,
+		CoarseError:    req.CoarseError,
+		Confidence:     req.Confidence,
+		MaxSampleRows:  req.MaxSampleRows,
 	})
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, err)
@@ -462,6 +502,12 @@ func toResultJSON(cols []string, codecName string, res engine.Result) estimateRe
 	out.UncompressedBytes = est.Result.UncompressedBytes
 	out.CacheHit = res.CacheHit
 	out.SharedSample = res.SharedSample
+	if res.Rounds > 0 || res.AchievedError > 0 {
+		out.AchievedError = res.AchievedError
+		out.Rounds = res.Rounds
+		converged := res.Converged
+		out.Converged = &converged
+	}
 	return out
 }
 

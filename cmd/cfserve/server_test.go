@@ -365,3 +365,94 @@ func TestPprofExposure(t *testing.T) {
 		t.Fatalf("pprof=off = %d, want 404", rec.Code)
 	}
 }
+
+// TestAdaptiveEstimateEndpoint drives the precision-targeted request shape
+// end to end: target_error in, achieved_error/rounds/converged out, and
+// precision-dominance cache behaviour across asks.
+func TestAdaptiveEstimateEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var est estimateResultJSON
+	code := postJSON(t, ts.URL+"/estimate",
+		`{"table":"demo","columns":["region"],"codec":"nullsuppression","target_error":0.03,"seed":3}`, &est)
+	if code != http.StatusOK {
+		t.Fatalf("adaptive estimate status %d (%+v)", code, est)
+	}
+	if est.Converged == nil || !*est.Converged {
+		t.Fatalf("expected convergence, got %+v", est)
+	}
+	if est.AchievedError <= 0 || est.AchievedError > 0.03 {
+		t.Errorf("achieved_error %v, want in (0, 0.03]", est.AchievedError)
+	}
+	if est.Rounds < 1 {
+		t.Errorf("rounds = %d", est.Rounds)
+	}
+	if est.SampleRows <= 0 || est.SampleRows >= 5000 {
+		t.Errorf("adaptive sample rows %d, want well under the 5000-row table", est.SampleRows)
+	}
+
+	// A looser ask is served from the precision cache by dominance.
+	var loose estimateResultJSON
+	postJSON(t, ts.URL+"/estimate",
+		`{"table":"demo","columns":["region"],"codec":"nullsuppression","target_error":0.1,"seed":99}`, &loose)
+	if !loose.CacheHit {
+		t.Error("±3% entry should answer a ±10% ask without resampling")
+	}
+
+	// Unreachable target within a tiny budget: honest non-convergence.
+	var tight estimateResultJSON
+	postJSON(t, ts.URL+"/estimate",
+		`{"table":"demo","columns":["region"],"codec":"nullsuppression","target_error":0.001,"max_sample_rows":300,"seed":3}`, &tight)
+	if tight.Converged == nil || *tight.Converged {
+		t.Errorf("±0.1%% from 300 rows should not converge: %+v", tight)
+	}
+	if tight.SampleRows != 300 {
+		t.Errorf("budget-exhausted request spent %d rows, want 300", tight.SampleRows)
+	}
+
+	// Malformed: confidence without target_error.
+	if code := postJSON(t, ts.URL+"/estimate",
+		`{"table":"demo","codec":"nullsuppression","fraction":0.05,"confidence":0.95}`, nil); code != http.StatusUnprocessableEntity {
+		t.Errorf("confidence-without-target status %d, want 422", code)
+	}
+	// /stats exposes the adaptive counters.
+	var st map[string]any
+	getJSON(t, ts.URL+"/stats", &st)
+	for _, k := range []string{"precision_hits", "adaptive_rounds", "adaptive_rows"} {
+		if _, ok := st[k]; !ok {
+			t.Errorf("/stats missing %q", k)
+		}
+	}
+}
+
+// TestAdaptiveWhatIfEndpoint checks the batch shape: every candidate
+// carries its own convergence metadata, and fixed-r results stay free of it.
+func TestAdaptiveWhatIfEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var out struct {
+		Results []estimateResultJSON `json:"results"`
+	}
+	code := postJSON(t, ts.URL+"/whatif", `{
+		"table":"demo","target_error":0.05,"seed":7,
+		"candidates":[
+			{"columns":["region"],"codec":"nullsuppression"},
+			{"columns":["region"],"codec":"rle"}
+		]}`, &out)
+	if code != http.StatusOK {
+		t.Fatalf("adaptive whatif status %d", code)
+	}
+	for i, r := range out.Results {
+		if r.Error != "" {
+			t.Fatalf("candidate %d: %s", i, r.Error)
+		}
+		if r.Converged == nil || !*r.Converged || r.AchievedError > 0.05 {
+			t.Errorf("candidate %d: converged=%v achieved=±%v", i, r.Converged, r.AchievedError)
+		}
+	}
+	// Fixed-r requests must not grow adaptive fields.
+	var fixed estimateResultJSON
+	postJSON(t, ts.URL+"/estimate",
+		`{"table":"demo","columns":["region"],"codec":"rle","fraction":0.02,"seed":1}`, &fixed)
+	if fixed.Converged != nil || fixed.Rounds != 0 || fixed.AchievedError != 0 {
+		t.Errorf("fixed-r response carries adaptive fields: %+v", fixed)
+	}
+}

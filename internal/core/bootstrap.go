@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"fmt"
 	"sort"
 
@@ -45,10 +44,13 @@ type BootstrapCI struct {
 	SD float64
 }
 
-// Bootstrap computes a percentile CI for the CF estimate by resampling the
-// sample underlying est. The sample rows must be re-supplied (Estimate does
-// not retain them); use SampleCFWithRows to get both in one call.
-func Bootstrap(sampleRows []value.Row, keySchema *value.Schema, codec compress.Codec,
+// Bootstrap computes a percentile CI for a CF estimate by resampling the
+// key-projected sample arena underlying it. The sample must be re-supplied
+// (Estimate does not retain it); use SampleCFWithSample to get both in one
+// call. The whole resampling loop runs on arena offsets — an index draw, an
+// int32 permutation sort, and page measurement over aliased record slices —
+// so no per-row heap allocation happens at any B or r.
+func Bootstrap(sample *value.RecordArena, codec compress.Codec,
 	pageSize int, resamples int, alpha float64, seed uint64) (BootstrapCI, error) {
 	if resamples < 10 {
 		return BootstrapCI{}, fmt.Errorf("core: bootstrap needs >= 10 resamples, got %d", resamples)
@@ -56,41 +58,27 @@ func Bootstrap(sampleRows []value.Row, keySchema *value.Schema, codec compress.C
 	if alpha <= 0 || alpha >= 1 {
 		return BootstrapCI{}, fmt.Errorf("core: bootstrap alpha %v outside (0,1)", alpha)
 	}
-	if len(sampleRows) == 0 {
+	if sample == nil || sample.Len() == 0 {
 		return BootstrapCI{}, fmt.Errorf("core: bootstrap on empty sample")
 	}
-	// Pre-encode each sample row once.
-	type entry struct {
-		key, rec []byte
-	}
-	base := make([]entry, len(sampleRows))
-	for i, row := range sampleRows {
-		rec, err := value.EncodeRecord(keySchema, row, nil)
-		if err != nil {
-			return BootstrapCI{}, err
-		}
-		key, err := value.EncodeKey(keySchema, row, nil)
-		if err != nil {
-			return BootstrapCI{}, err
-		}
-		base[i] = entry{key: key, rec: rec}
-	}
+	r := sample.Len()
+	keySchema := sample.Schema()
 	rpp := compress.RowsPerPage(keySchema, pageSizeOrDefault(pageSize))
 	g := rng.New(seed)
 	cfs := make([]float64, 0, resamples)
 	var acc stats.Accumulator
-	resample := make([]entry, len(base))
+	perm := make([]int32, r)
+	recs := make([][]byte, r)
 	for b := 0; b < resamples; b++ {
-		for i := range resample {
-			resample[i] = base[g.Intn(len(base))]
+		for i := range perm {
+			perm[i] = int32(g.Intn(r))
 		}
 		// Re-sort: the index on the resample is ordered (Fig. 2 step 2).
-		sort.Slice(resample, func(i, j int) bool {
-			return bytes.Compare(resample[i].key, resample[j].key) < 0
-		})
-		recs := make([][]byte, len(resample))
-		for i := range resample {
-			recs[i] = resample[i].rec
+		// Keys are bijective with records, so tie order cannot change the
+		// measured byte stream.
+		sort.Sort(&arenaSorter{keys: sample.Keys(), w: sample.RowWidth(), perm: perm})
+		for i, pi := range perm {
+			recs[i] = sample.Rec(int(pi))
 		}
 		res, err := compress.MeasureRecords(keySchema, codec, recs, rpp)
 		if err != nil {
@@ -117,10 +105,12 @@ func pageSizeOrDefault(ps int) int {
 	return ps
 }
 
-// SampleCFWithRows runs SampleCF (uniform WR only) and returns the drawn
-// sample's key-projected rows alongside the estimate, so callers can
-// bootstrap without re-sampling the table.
-func SampleCFWithRows(src sampling.RowSource, schema *value.Schema, opts Options) (Estimate, []value.Row, error) {
+// SampleCFWithSample runs SampleCF (uniform WR only) and returns the drawn
+// sample's key-projected arena alongside the estimate, so callers can
+// bootstrap — or keep extending the sample adaptively — without re-sampling
+// the table. The arena is the estimator's own input format: no
+// []value.Row materializes anywhere on this path.
+func SampleCFWithSample(src sampling.RowSource, schema *value.Schema, opts Options) (Estimate, *value.RecordArena, error) {
 	if err := opts.Validate(); err != nil {
 		return Estimate{}, nil, err
 	}
@@ -146,20 +136,27 @@ func SampleCFWithRows(src sampling.RowSource, schema *value.Schema, opts Options
 	if r <= 0 {
 		return Estimate{}, nil, fmt.Errorf("core: sample size is zero")
 	}
-	rows, err := sampling.UniformWR(src, r, rng.New(opts.Seed))
+	full := value.NewRecordArena(schema, int(r))
+	if err := sampling.UniformWRInto(src, r, rng.New(opts.Seed), full); err != nil {
+		return Estimate{}, nil, err
+	}
+	// Project once so the bootstrap resamples only key columns; column
+	// projection of an arena is a byte-range copy whose keys are
+	// byte-identical to re-encoding the projected rows.
+	sample := full
+	if !identityProjection(project, schema.NumColumns()) {
+		sample = value.NewRecordArena(keySchema, int(r))
+		if err := full.ProjectTo(sample, project); err != nil {
+			return Estimate{}, nil, fmt.Errorf("core: project sample arena: %w", err)
+		}
+	}
+	p, err := prepareArena(sample, n, keySchema)
 	if err != nil {
 		return Estimate{}, nil, err
 	}
-	// Project once so the bootstrap re-encodes only key columns; the
-	// estimate below reuses the projected rows (nil project) rather than
-	// projecting again.
-	projected := make([]value.Row, len(rows))
-	for i, row := range rows {
-		projected[i] = projectRow(row, project)
-	}
-	est, err := estimateFromSample(projected, n, keySchema, nil, opts)
+	est, err := p.Estimate(opts)
 	if err != nil {
 		return Estimate{}, nil, err
 	}
-	return est, projected, nil
+	return est, sample, nil
 }

@@ -12,28 +12,28 @@ import (
 func TestBootstrapValidation(t *testing.T) {
 	tab := genTable(t, 1000, 50, distrib.NewUniformLen(2, 18), 1)
 	codec := mustCodec(t, "nullsuppression")
-	_, rows, err := SampleCFWithRows(tab, tab.Schema(), Options{
+	_, sample, err := SampleCFWithSample(tab, tab.Schema(), Options{
 		Fraction: 0.1, Codec: codec, Seed: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Bootstrap(rows, tab.Schema(), codec, 0, 5, 0.05, 1); err == nil {
+	if _, err := Bootstrap(sample, codec, 0, 5, 0.05, 1); err == nil {
 		t.Error("too few resamples accepted")
 	}
-	if _, err := Bootstrap(rows, tab.Schema(), codec, 0, 50, 1.5, 1); err == nil {
+	if _, err := Bootstrap(sample, codec, 0, 50, 1.5, 1); err == nil {
 		t.Error("alpha > 1 accepted")
 	}
-	if _, err := Bootstrap(nil, tab.Schema(), codec, 0, 50, 0.05, 1); err == nil {
+	if _, err := Bootstrap(nil, codec, 0, 50, 0.05, 1); err == nil {
 		t.Error("empty sample accepted")
 	}
 }
 
-func TestSampleCFWithRowsConsistent(t *testing.T) {
-	// Same options ⇒ SampleCFWithRows and SampleCF agree exactly.
+func TestSampleCFWithSampleConsistent(t *testing.T) {
+	// Same options ⇒ SampleCFWithSample and SampleCF agree exactly.
 	tab := genTable(t, 5000, 200, distrib.NewUniformLen(2, 18), 3)
 	opts := Options{Fraction: 0.05, Codec: mustCodec(t, "nullsuppression"), Seed: 11}
-	a, rows, err := SampleCFWithRows(tab, tab.Schema(), opts)
+	a, sample, err := SampleCFWithSample(tab, tab.Schema(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,10 +44,10 @@ func TestSampleCFWithRowsConsistent(t *testing.T) {
 	if a.CF != b.CF || a.SampleDistinct != b.SampleDistinct {
 		t.Fatalf("paths disagree: %v vs %v", a.CF, b.CF)
 	}
-	if int64(len(rows)) != a.SampleRows {
-		t.Fatalf("returned %d rows, estimate says %d", len(rows), a.SampleRows)
+	if int64(sample.Len()) != a.SampleRows {
+		t.Fatalf("returned %d rows, estimate says %d", sample.Len(), a.SampleRows)
 	}
-	if _, _, err := SampleCFWithRows(tab, tab.Schema(), Options{
+	if _, _, err := SampleCFWithSample(tab, tab.Schema(), Options{
 		Fraction: 0.05, Codec: mustCodec(t, "nullsuppression"), Method: MethodBlock,
 	}); err == nil {
 		t.Error("non-WR method accepted")
@@ -70,13 +70,13 @@ func TestBootstrapCICoversTruthNS(t *testing.T) {
 	covered := 0
 	const trials = 20
 	for seed := uint64(0); seed < trials; seed++ {
-		_, rows, err := SampleCFWithRows(tab, tab.Schema(), Options{
+		_, sample, err := SampleCFWithSample(tab, tab.Schema(), Options{
 			Fraction: 0.02, Codec: codec, Seed: seed,
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		ci, err := Bootstrap(rows, tab.Schema(), codec, 0, 200, 0.05, seed+1000)
+		ci, err := Bootstrap(sample, codec, 0, 200, 0.05, seed+1000)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -105,13 +105,13 @@ func TestBootstrapSDMatchesTheorem1Scale(t *testing.T) {
 		t.Fatal(err)
 	}
 	const r = 600
-	_, rows, err := SampleCFWithRows(tab, tab.Schema(), Options{
+	_, sample, err := SampleCFWithSample(tab, tab.Schema(), Options{
 		SampleRows: r, Codec: codec, Seed: 4,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ci, err := Bootstrap(rows, tab.Schema(), codec, 0, 300, 0.05, 5)
+	ci, err := Bootstrap(sample, codec, 0, 300, 0.05, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,13 +130,13 @@ func TestBootstrapDictCollapse(t *testing.T) {
 	// systematically undershoots the point estimate.
 	tab := genTable(t, 20000, 10000, distrib.NewConstantLen(10), 13)
 	codec := compress.GlobalDict{PointerBytes: 4}
-	est, rows, err := SampleCFWithRows(tab, tab.Schema(), Options{
+	est, sample, err := SampleCFWithSample(tab, tab.Schema(), Options{
 		Fraction: 0.02, Codec: codec, Seed: 21,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ci, err := Bootstrap(rows, tab.Schema(), codec, 0, 150, 0.05, 22)
+	ci, err := Bootstrap(sample, codec, 0, 150, 0.05, 22)
 	if err != nil {
 		t.Fatal(err)
 	}

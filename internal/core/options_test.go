@@ -76,8 +76,8 @@ func TestSampleCFRejectsInvalidOptions(t *testing.T) {
 	if _, err := SampleCF(src, schema, Options{Codec: codec, Fraction: 0.5, FillFactor: 3}); err == nil {
 		t.Error("SampleCF accepted FillFactor 3")
 	}
-	if _, _, err := SampleCFWithRows(src, schema, Options{Codec: codec, Fraction: 1.01}); err == nil {
-		t.Error("SampleCFWithRows accepted Fraction 1.01")
+	if _, _, err := SampleCFWithSample(src, schema, Options{Codec: codec, Fraction: 1.01}); err == nil {
+		t.Error("SampleCFWithSample accepted Fraction 1.01")
 	}
 
 	p, err := PrepareIndex(rows[:10], 100, schema, nil)

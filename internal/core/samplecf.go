@@ -216,8 +216,9 @@ func SampleCF(src sampling.RowSource, schema *value.Schema, opts Options) (Estim
 // materialized into a map-backed distinct.Profile only when requested.
 //
 // A PreparedIndex (including its arena, which it may share with the sample
-// that fed it) is immutable after construction and safe for concurrent
-// Estimate calls.
+// that fed it) is immutable under Estimate and safe for concurrent Estimate
+// calls. ExtendFromArena is the one mutation — the resumable-sample path —
+// and must be serialized against everything else by the caller.
 type PreparedIndex struct {
 	keySchema *value.Schema
 	ar        *value.RecordArena   // projected key rows, arena order
@@ -225,6 +226,10 @@ type PreparedIndex struct {
 	freqs     []distinct.FreqCount // run-length frequency-of-frequency
 	n         int64                // table size the sample came from
 	prepDur   time.Duration
+	// owned reports the arena belongs to this PreparedIndex alone;
+	// ExtendFromArena may append to an owned arena in place but must
+	// copy-on-extend an arena shared with the sample that fed it.
+	owned bool
 }
 
 // PrepareIndex encodes and key-sorts the sampled rows of a table of n rows
@@ -249,13 +254,41 @@ func PrepareFromArena(sample *value.RecordArena, n int64, keyCols []string) (*Pr
 		return nil, err
 	}
 	ar := sample
+	owned := false
 	if !identityProjection(project, schema.NumColumns()) {
 		ar = value.NewRecordArena(keySchema, sample.Len())
 		if err := sample.ProjectTo(ar, project); err != nil {
 			return nil, fmt.Errorf("core: project sample arena: %w", err)
 		}
+		owned = true
 	}
-	return prepareArena(ar, n, keySchema)
+	p, err := prepareArena(ar, n, keySchema)
+	if err != nil {
+		return nil, err
+	}
+	p.owned = owned
+	return p, nil
+}
+
+// ProjectSample projects a full-schema sample arena onto the index key
+// columns (empty = all columns), returning the sample itself when the
+// projection is the identity. This is the per-round projection step of
+// resumable sampling: extension batches arrive under the table schema and
+// are narrowed to the key schema by byte-range copies.
+func ProjectSample(sample *value.RecordArena, keyCols []string) (*value.RecordArena, error) {
+	schema := sample.Schema()
+	keySchema, project, err := keyProjection(schema, keyCols)
+	if err != nil {
+		return nil, err
+	}
+	if identityProjection(project, schema.NumColumns()) {
+		return sample, nil
+	}
+	out := value.NewRecordArena(keySchema, sample.Len())
+	if err := sample.ProjectTo(out, project); err != nil {
+		return nil, fmt.Errorf("core: project sample arena: %w", err)
+	}
+	return out, nil
 }
 
 // identityProjection reports whether project selects every column in order.
@@ -288,7 +321,12 @@ func prepareProjected(rows []value.Row, n int64, keySchema *value.Schema, projec
 			return nil, fmt.Errorf("core: encode sample row: %w", err)
 		}
 	}
-	return prepareArena(ar, n, keySchema)
+	p, err := prepareArena(ar, n, keySchema)
+	if err != nil {
+		return nil, err
+	}
+	p.owned = true
+	return p, nil
 }
 
 // arenaSorter sorts a permutation over arena rows by memcomparable key —
@@ -321,9 +359,21 @@ func prepareArena(ar *value.RecordArena, n int64, keySchema *value.Schema) (*Pre
 	}
 	sort.Sort(&arenaSorter{keys: ar.Keys(), w: ar.RowWidth(), perm: perm})
 
-	// d' and the frequency profile come from the sorted run in one pass,
-	// accumulated as run-length counts (no map): counts[l] is the number of
-	// distinct keys occupying exactly l sample rows.
+	p := &PreparedIndex{
+		keySchema: keySchema,
+		ar:        ar,
+		perm:      perm,
+		freqs:     runLengthFreqs(ar, perm),
+		n:         n,
+	}
+	p.prepDur = time.Since(buildStart)
+	return p, nil
+}
+
+// runLengthFreqs computes d' and the frequency profile from a key-sorted
+// permutation in one pass, accumulated as run-length counts (no map):
+// counts[l] is the number of distinct keys occupying exactly l sample rows.
+func runLengthFreqs(ar *value.RecordArena, perm []int32) []distinct.FreqCount {
 	var counts [smallRunCap + 1]int64
 	var overflow []int64
 	w := ar.RowWidth()
@@ -367,16 +417,64 @@ func prepareArena(ar *value.RecordArena, n int64, keySchema *value.Schema) (*Pre
 			}
 		}
 	}
+	return freqs
+}
 
-	p := &PreparedIndex{
-		keySchema: keySchema,
-		ar:        ar,
-		perm:      perm,
-		freqs:     freqs,
-		n:         n,
+// ExtendFromArena merges a batch of newly drawn rows (already projected to
+// the index key schema) into the prepared index: the batch is appended to
+// the arena, its permutation sorted alone, and the two sorted runs merged —
+// the old rows are never re-sorted, so round k+1 of an adaptive loop costs
+// O(extra·log extra + r) instead of O(r·log r). The run-length frequency
+// profile is rebuilt from the merged permutation in the same pass budget.
+//
+// Extension is a mutation: it must not run concurrently with Estimate on
+// the same PreparedIndex. A PreparedIndex that shares its arena with the
+// sample that fed it (identity projection in PrepareFromArena) copies the
+// arena on first extension, so the caller's sample arena is never touched.
+func (p *PreparedIndex) ExtendFromArena(extra *value.RecordArena) error {
+	if extra.Len() == 0 {
+		return nil
 	}
-	p.prepDur = time.Since(buildStart)
-	return p, nil
+	if extra.RowWidth() != p.ar.RowWidth() {
+		return fmt.Errorf("core: extension rows are %d bytes wide, prepared index requires %d",
+			extra.RowWidth(), p.ar.RowWidth())
+	}
+	start := time.Now()
+	if !p.owned {
+		p.ar = p.ar.Clone()
+		p.owned = true
+	}
+	old := p.ar.Len()
+	if err := p.ar.AppendAll(extra); err != nil {
+		return fmt.Errorf("core: extend sample arena: %w", err)
+	}
+	// Sort the new run alone, then merge with the (already sorted) old run.
+	newPerm := make([]int32, extra.Len())
+	for i := range newPerm {
+		newPerm[i] = int32(old + i)
+	}
+	w := p.ar.RowWidth()
+	keys := p.ar.Keys()
+	sort.Sort(&arenaSorter{keys: keys, w: w, perm: newPerm})
+	merged := make([]int32, 0, old+extra.Len())
+	i, j := 0, 0
+	for i < len(p.perm) && j < len(newPerm) {
+		a := int(p.perm[i]) * w
+		b := int(newPerm[j]) * w
+		if bytes.Compare(keys[a:a+w], keys[b:b+w]) <= 0 {
+			merged = append(merged, p.perm[i])
+			i++
+		} else {
+			merged = append(merged, newPerm[j])
+			j++
+		}
+	}
+	merged = append(merged, p.perm[i:]...)
+	merged = append(merged, newPerm[j:]...)
+	p.perm = merged
+	p.freqs = runLengthFreqs(p.ar, p.perm)
+	p.prepDur += time.Since(start)
+	return nil
 }
 
 // KeySchema returns the index key schema.

@@ -1,0 +1,386 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"samplecf/internal/db"
+	"samplecf/internal/value"
+)
+
+// TestAdaptiveRequestConverges drives a precision-targeted request through
+// the engine end to end: pool scheduling, resumable rounds, and the
+// reported convergence metadata.
+func TestAdaptiveRequestConverges(t *testing.T) {
+	tab := testTable(t, "adaptive", 20000, 3)
+	e := New(Config{Workers: 2})
+	defer e.Close()
+
+	res := e.Estimate(context.Background(), Request{
+		Table: tab, KeyColumns: []string{"a"}, Codec: codec(t, "nullsuppression"),
+		TargetError: 0.04, Seed: 1,
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: ±%v after %d rounds", res.AchievedError, res.Rounds)
+	}
+	if res.AchievedError > 0.04 || res.AchievedError <= 0 {
+		t.Errorf("achieved ±%v, want in (0, 0.04]", res.AchievedError)
+	}
+	if res.Rounds < 1 {
+		t.Errorf("rounds = %d", res.Rounds)
+	}
+	// ±4% at 95% needs ~601 rows under Theorem 1 — a fraction of the
+	// blind 1% (=200) ... of the n=20000 table the fixed path would use
+	// at f=3%; mainly: far below n.
+	if r := res.Estimate.SampleRows; r < 100 || r > 2000 {
+		t.Errorf("sampled %d rows, expected a few hundred (Theorem-1-implied)", r)
+	}
+	st := e.Stats()
+	if st.AdaptiveRounds == 0 || st.AdaptiveRows == 0 {
+		t.Errorf("adaptive counters not recorded: %+v", st)
+	}
+}
+
+// TestPrecisionCacheDominance is the cache rule of the adaptive plane: an
+// entry achieving ±1.5% must satisfy a later ±5% request for the same
+// (instance, epoch, columns, codec) without resampling — but a later
+// *tighter* request must recompute.
+func TestPrecisionCacheDominance(t *testing.T) {
+	tab := testTable(t, "dominance", 20000, 5)
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	ctx := context.Background()
+	base := Request{Table: tab, KeyColumns: []string{"a"}, Codec: codec(t, "nullsuppression"), Seed: 2}
+
+	tight := base
+	tight.TargetError = 0.015
+	first := e.Estimate(ctx, tight)
+	if first.Err != nil || first.CacheHit {
+		t.Fatalf("first adaptive call: %+v", first)
+	}
+
+	loose := base
+	loose.TargetError = 0.05
+	second := e.Estimate(ctx, loose)
+	if second.Err != nil {
+		t.Fatal(second.Err)
+	}
+	if !second.CacheHit {
+		t.Fatal("±1.5% entry must satisfy a ±5% ask by dominance")
+	}
+	if second.Estimate.CF != first.Estimate.CF {
+		t.Errorf("dominated hit returned different estimate: %v vs %v", second.Estimate.CF, first.Estimate.CF)
+	}
+	if second.AchievedError > 0.05 || !second.Converged {
+		t.Errorf("dominated hit metadata: ±%v converged=%v", second.AchievedError, second.Converged)
+	}
+
+	tighter := base
+	tighter.TargetError = 0.005
+	third := e.Estimate(ctx, tighter)
+	if third.Err != nil {
+		t.Fatal(third.Err)
+	}
+	if third.CacheHit {
+		t.Fatal("a ±1.5% entry must NOT satisfy a ±0.5% ask")
+	}
+	if third.Estimate.SampleRows <= first.Estimate.SampleRows {
+		t.Errorf("tighter ask should need more rows: %d vs %d",
+			third.Estimate.SampleRows, first.Estimate.SampleRows)
+	}
+
+	st := e.Stats()
+	if st.PrecisionHits != 1 {
+		t.Errorf("PrecisionHits = %d, want 1", st.PrecisionHits)
+	}
+	if st.PrecisionEntries != 1 {
+		t.Errorf("PrecisionEntries = %d, want 1 (same key, tightest kept)", st.PrecisionEntries)
+	}
+
+	// A different confidence rescales the same stored interval: ±0.5% at
+	// a low confidence is satisfiable by the ±0.5%-at-95% entry.
+	rescaled := base
+	rescaled.TargetError = 0.005
+	rescaled.Confidence = 0.5
+	fourth := e.Estimate(ctx, rescaled)
+	if fourth.Err != nil {
+		t.Fatal(fourth.Err)
+	}
+	if !fourth.CacheHit {
+		t.Error("confidence-rescaled ask within the stored interval should hit")
+	}
+}
+
+// TestAdaptiveEpochInvalidation: mutating the table must stop the precision
+// cache from answering (the entry is keyed at the old epoch).
+func TestAdaptiveEpochInvalidation(t *testing.T) {
+	d := db.New(0)
+	tab := liveTable(t, d, "adaptive-live", 5000)
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	ctx := context.Background()
+	req := Request{Table: tab, KeyColumns: []string{"city"}, Codec: mustCodec(t),
+		TargetError: 0.05, Seed: 1, MaxSampleRows: 1500}
+
+	if res := e.Estimate(ctx, req); res.Err != nil || res.CacheHit {
+		t.Fatalf("first adaptive estimate: %+v", res)
+	}
+	if res := e.Estimate(ctx, req); res.Err != nil || !res.CacheHit {
+		t.Fatalf("repeat should hit the precision cache: %+v", res)
+	}
+	if _, err := tab.Insert(value.Row{value.StringValue("mutation"), value.IntValue(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if res := e.Estimate(ctx, req); res.Err != nil || res.CacheHit {
+		t.Fatalf("post-mutation estimate must recompute: %+v", res)
+	}
+}
+
+// TestAdaptiveMaintainedRoute: when the table's maintained reservoir can
+// cover the entire adaptive row budget at the current epoch, rounds gather
+// from the snapshot instead of storage.
+func TestAdaptiveMaintainedRoute(t *testing.T) {
+	d := db.New(0) // default maintained-sample target: 2048 rows
+	tab := liveTable(t, d, "maintained", 8000)
+	e := New(Config{Workers: 2})
+	defer e.Close()
+
+	res := e.Estimate(context.Background(), Request{
+		Table: tab, KeyColumns: []string{"city"}, Codec: mustCodec(t),
+		TargetError: 0.05, Seed: 4, MaxSampleRows: 1024,
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: ±%v", res.AchievedError)
+	}
+	st := e.Stats()
+	if st.MaintainedHits != 1 {
+		t.Errorf("MaintainedHits = %d, want 1 (budget 1024 ≤ reservoir 2048)", st.MaintainedHits)
+	}
+	if st.SamplesDrawn != 0 {
+		t.Errorf("SamplesDrawn = %d, want 0 (no storage draw)", st.SamplesDrawn)
+	}
+
+	// A budget beyond the reservoir must fall back to fresh draws.
+	res2 := e.Estimate(context.Background(), Request{
+		Table: tab, KeyColumns: []string{"city"}, Codec: mustCodec(t),
+		TargetError: 0.01, Seed: 5, MaxSampleRows: 4096, FreshSample: true,
+	})
+	if res2.Err != nil {
+		t.Fatal(res2.Err)
+	}
+	if st := e.Stats(); st.SamplesDrawn != 1 {
+		t.Errorf("SamplesDrawn = %d, want 1 (fresh fallback)", st.SamplesDrawn)
+	}
+}
+
+// TestAdaptiveBudgetHonesty: the engine reports non-convergence rather than
+// silently clamping precision.
+func TestAdaptiveBudgetHonesty(t *testing.T) {
+	tab := testTable(t, "budget", 10000, 7)
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	res := e.Estimate(context.Background(), Request{
+		Table: tab, KeyColumns: []string{"a"}, Codec: codec(t, "nullsuppression"),
+		TargetError: 0.001, Seed: 1, MaxSampleRows: 500,
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Converged {
+		t.Fatal("±0.1% from 500 rows cannot converge under Theorem 1")
+	}
+	if res.Estimate.SampleRows != 500 {
+		t.Errorf("spent %d rows, want the full 500 budget", res.Estimate.SampleRows)
+	}
+	if res.AchievedError <= 0.001 {
+		t.Errorf("honest residual ±%v should exceed the target", res.AchievedError)
+	}
+	// The honest non-converged entry still serves a dominated (looser) ask.
+	loose := e.Estimate(context.Background(), Request{
+		Table: tab, KeyColumns: []string{"a"}, Codec: codec(t, "nullsuppression"),
+		TargetError: 0.08, Seed: 9,
+	})
+	if loose.Err != nil {
+		t.Fatal(loose.Err)
+	}
+	if !loose.CacheHit {
+		t.Error("unconverged ±~4.4% entry should satisfy a ±8% ask")
+	}
+}
+
+// TestAdaptiveValidation rejects malformed adaptive requests.
+func TestAdaptiveValidation(t *testing.T) {
+	tab := testTable(t, "adaptive-validate", 1000, 1)
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	bad := []Request{
+		{Table: tab, Codec: codec(t, "nullsuppression"), TargetError: -0.1},
+		{Table: tab, Codec: codec(t, "nullsuppression"), TargetError: 1.0},
+		{Table: tab, Codec: codec(t, "nullsuppression"), TargetError: 0.02, Confidence: 2},
+		{Table: tab, Codec: codec(t, "nullsuppression"), Fraction: 0.01, Confidence: 0.95},
+		{Table: tab, Codec: codec(t, "nullsuppression"), Fraction: 0.01, MaxSampleRows: 100},
+		{Table: tab, Codec: codec(t, "nullsuppression"), TargetError: 0.02, MaxSampleRows: -5},
+	}
+	for i, req := range bad {
+		if res := e.Estimate(context.Background(), req); res.Err == nil {
+			t.Errorf("case %d: malformed request accepted: %+v", i, req)
+		}
+	}
+}
+
+// TestAdaptiveBatchDedup: identical adaptive asks in one batch share one
+// loop — one sample stream, one set of rounds, identical results.
+func TestAdaptiveBatchDedup(t *testing.T) {
+	tab := testTable(t, "adaptive-dedup", 20000, 11)
+	e := New(Config{Workers: 4})
+	defer e.Close()
+	req := Request{Table: tab, KeyColumns: []string{"a"}, Codec: codec(t, "nullsuppression"),
+		TargetError: 0.03, Seed: 6}
+	res := e.WhatIf(context.Background(), []Request{req, req, req})
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		if r.Estimate.CF != res[0].Estimate.CF || r.Rounds != res[0].Rounds {
+			t.Errorf("item %d diverged from its group: %+v", i, r)
+		}
+	}
+	st := e.Stats()
+	if st.Evaluated != 1 {
+		t.Errorf("Evaluated = %d, want 1 (one shared loop for three identical asks)", st.Evaluated)
+	}
+	if st.SamplesDrawn != 1 {
+		t.Errorf("SamplesDrawn = %d, want 1", st.SamplesDrawn)
+	}
+	// An adaptive dominance hit counts in both Hits and PrecisionHits.
+	again := e.Estimate(context.Background(), req)
+	if again.Err != nil || !again.CacheHit {
+		t.Fatalf("repeat should hit: %+v", again)
+	}
+	st = e.Stats()
+	if st.PrecisionHits != 1 || st.Hits != 1 {
+		t.Errorf("Hits/PrecisionHits = %d/%d, want 1/1", st.Hits, st.PrecisionHits)
+	}
+}
+
+// TestAdaptiveCancellation: an expired context stops a started adaptive
+// loop at the next round boundary instead of running the row budget out.
+func TestAdaptiveCancellation(t *testing.T) {
+	tab := testTable(t, "adaptive-cancel", 50000, 13)
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := e.Estimate(ctx, Request{
+		Table: tab, KeyColumns: []string{"a"}, Codec: codec(t, "nullsuppression"),
+		TargetError: 0.001, Seed: 1,
+	})
+	if res.Err == nil {
+		t.Fatal("cancelled adaptive request returned a result")
+	}
+	if st := e.Stats(); st.AdaptiveRows != 0 {
+		t.Errorf("cancelled loop still drew %d rows", st.AdaptiveRows)
+	}
+}
+
+// TestAdaptiveRound0Sharing: adaptive candidates over the same table and
+// seed share their initial draw even across codecs and column sets — the
+// advisor's screen pays one storage draw, not one per candidate.
+func TestAdaptiveRound0Sharing(t *testing.T) {
+	tab := testTable(t, "adaptive-share", 20000, 17)
+	e := New(Config{Workers: 4})
+	defer e.Close()
+	res := e.WhatIf(context.Background(), []Request{
+		{Table: tab, KeyColumns: []string{"a"}, Codec: codec(t, "nullsuppression"), TargetError: 0.04, Seed: 3},
+		{Table: tab, KeyColumns: []string{"a"}, Codec: codec(t, "rle"), TargetError: 0.04, Seed: 3},
+		{Table: tab, KeyColumns: []string{"b"}, Codec: codec(t, "prefix"), TargetError: 0.04, Seed: 3},
+	})
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+	}
+	if st := e.Stats(); st.SamplesDrawn != 1 {
+		t.Errorf("SamplesDrawn = %d, want 1 (shared round-0 draw)", st.SamplesDrawn)
+	}
+	// Sharing must not change results: rerun each alone on a fresh engine.
+	for i, req := range []Request{
+		{Table: tab, KeyColumns: []string{"a"}, Codec: codec(t, "nullsuppression"), TargetError: 0.04, Seed: 3},
+		{Table: tab, KeyColumns: []string{"a"}, Codec: codec(t, "rle"), TargetError: 0.04, Seed: 3},
+		{Table: tab, KeyColumns: []string{"b"}, Codec: codec(t, "prefix"), TargetError: 0.04, Seed: 3},
+	} {
+		solo := New(Config{Workers: 1})
+		got := solo.Estimate(context.Background(), req)
+		solo.Close()
+		if got.Err != nil {
+			t.Fatalf("solo %d: %v", i, got.Err)
+		}
+		if got.Estimate.CF != res[i].Estimate.CF || got.Estimate.SampleRows != res[i].Estimate.SampleRows {
+			t.Errorf("item %d: shared (CF %v, r %d) != solo (CF %v, r %d)",
+				i, res[i].Estimate.CF, res[i].Estimate.SampleRows, got.Estimate.CF, got.Estimate.SampleRows)
+		}
+	}
+}
+
+// TestAdaptiveMaintainedDefaultBudget: with no explicit MaxSampleRows the
+// maintained route must still serve (the old policy demanded the reservoir
+// cover the full table size, making the fast path unreachable by default).
+func TestAdaptiveMaintainedDefaultBudget(t *testing.T) {
+	d := db.New(0) // reservoir target 2048 < n
+	tab := liveTable(t, d, "maintained-default", 8000)
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	res := e.Estimate(context.Background(), Request{
+		Table: tab, KeyColumns: []string{"city"}, Codec: mustCodec(t),
+		TargetError: 0.04, Seed: 2,
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: ±%v", res.AchievedError)
+	}
+	st := e.Stats()
+	if st.MaintainedHits != 1 || st.SamplesDrawn != 0 {
+		t.Errorf("maintained route not taken: hits=%d drawn=%d", st.MaintainedHits, st.SamplesDrawn)
+	}
+}
+
+// TestAdaptiveMaintainedFallbackToFresh: when the reservoir runs out below
+// the requested budget without converging, the request reruns fresh from
+// storage with the full budget — the caller's budget is never silently
+// weakened to the reservoir size.
+func TestAdaptiveMaintainedFallbackToFresh(t *testing.T) {
+	d := db.New(0, db.WithSampleTarget(300))
+	tab := liveTable(t, d, "small-reservoir", 8000)
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	// ±3% at 95% needs ~1068 rows under Theorem 1 — beyond the 300-row
+	// reservoir, within the default (table-size) budget.
+	res := e.Estimate(context.Background(), Request{
+		Table: tab, KeyColumns: []string{"city"}, Codec: mustCodec(t),
+		TargetError: 0.03, Seed: 6,
+	})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !res.Converged {
+		t.Fatalf("fallback should converge: ±%v after %d rows", res.AchievedError, res.Estimate.SampleRows)
+	}
+	if res.Estimate.SampleRows <= 300 {
+		t.Errorf("converged within the reservoir (%d rows)? expected fresh fallback past 300", res.Estimate.SampleRows)
+	}
+	st := e.Stats()
+	if st.MaintainedHits != 1 {
+		t.Errorf("MaintainedHits = %d, want 1 (the capped attempt)", st.MaintainedHits)
+	}
+	if st.SamplesDrawn != 1 {
+		t.Errorf("SamplesDrawn = %d, want 1 (the fresh rerun)", st.SamplesDrawn)
+	}
+}

@@ -94,6 +94,117 @@ func (c *lruCache) Put(key cacheKey, est core.Estimate) int {
 	return 1
 }
 
+// precisionKey identifies the family of adaptive estimates a cached
+// precision entry can answer: everything that changes the estimand, but —
+// deliberately — not the sample size, fraction, or seed. A precision-
+// targeted request asks for an accuracy, not a specific sample, so any
+// entry for the same (instance, epoch, columns, codec, page size,
+// freshness) whose achieved interval is at least as tight dominates it.
+type precisionKey struct {
+	inst     uint64
+	epoch    uint64
+	columns  string // "\x00"-joined key column names
+	codec    string
+	pageSize int
+	fresh    bool
+}
+
+// precisionEntry is one cached adaptive outcome.
+type precisionEntry struct {
+	key precisionKey
+	est core.Estimate
+	// sdScale is the confidence-free size of the achieved interval: the
+	// half-width at confidence z is sdScale·z (Theorem 1: 1/(2√r);
+	// bootstrap: SD). Storing the scale rather than a half-width lets one
+	// entry answer requests at any confidence level.
+	sdScale float64
+	rounds  int
+	rows    int64
+}
+
+// precisionCache is the adaptive complement of lruCache: a fixed-capacity
+// LRU over precisionKey holding, per key, the tightest estimate achieved so
+// far. Lookups are by dominance — a request is a hit when the stored
+// interval, rescaled to the request's confidence, is within the requested
+// target error — so an entry computed at ±1% keeps satisfying ±5% traffic
+// without resampling. Zero capacity disables it.
+type precisionCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent; values are *precisionEntry
+	items    map[precisionKey]*list.Element
+}
+
+func newPrecisionCache(capacity int) *precisionCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &precisionCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[precisionKey]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached entry for key if it dominates a request with the
+// given z multiplier and target half-width.
+func (c *precisionCache) Get(key precisionKey, z, targetError float64) (precisionEntry, bool) {
+	if c.capacity == 0 {
+		return precisionEntry{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return precisionEntry{}, false
+	}
+	ent := el.Value.(*precisionEntry)
+	if ent.sdScale*z > targetError {
+		return precisionEntry{}, false // cached interval too loose for this ask
+	}
+	c.order.MoveToFront(el)
+	out := *ent
+	out.est = cloneEstimate(ent.est)
+	return out, true
+}
+
+// Put stores an adaptive outcome, keeping the tightest sdScale per key.
+// Returns the number of evictions (0 or 1).
+func (c *precisionCache) Put(key precisionKey, est core.Estimate, sdScale float64, rounds int, rows int64) int {
+	if c.capacity == 0 {
+		return 0
+	}
+	ent := &precisionEntry{key: key, est: cloneEstimate(est), sdScale: sdScale, rounds: rounds, rows: rows}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		if old := el.Value.(*precisionEntry); old.sdScale <= sdScale {
+			// The resident entry is at least as tight; a looser result
+			// never replaces it (dominance is one-directional).
+			c.order.MoveToFront(el)
+			return 0
+		}
+		el.Value = ent
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.items[key] = c.order.PushFront(ent)
+	if c.order.Len() <= c.capacity {
+		return 0
+	}
+	oldest := c.order.Back()
+	c.order.Remove(oldest)
+	delete(c.items, oldest.Value.(*precisionEntry).key)
+	return 1
+}
+
+// Len reports the current entry count.
+func (c *precisionCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
 // cloneEstimate copies the one mutable field of an Estimate (the profile's
 // frequency map); everything else is value-typed.
 func cloneEstimate(est core.Estimate) core.Estimate {

@@ -45,6 +45,7 @@ import (
 	"samplecf/internal/page"
 	"samplecf/internal/rng"
 	"samplecf/internal/sampling"
+	"samplecf/internal/stats"
 	"samplecf/internal/value"
 )
 
@@ -104,6 +105,25 @@ type Request struct {
 	// are cached separately from maintained-sample results, so a fresh
 	// request is never answered with a maintained-sample estimate.
 	FreshSample bool
+
+	// TargetError switches the request to precision-targeted adaptive
+	// estimation: instead of a fixed sample size, the engine grows the
+	// sample in resumable rounds until the estimate's confidence interval
+	// has half-width ≤ TargetError (absolute, on CF) or the row budget is
+	// exhausted. Fraction/SampleRows, when set, seed the first round's
+	// size. Adaptive results are cached by precision dominance — an entry
+	// achieving ±1% answers a later ±5% request for the same (instance,
+	// epoch, columns, codec) without resampling — rather than by exact
+	// (fraction, rows, seed) match.
+	TargetError float64
+	// Confidence is the adaptive CI's two-sided confidence level
+	// (default 0.95). Requires TargetError.
+	Confidence float64
+	// MaxSampleRows caps the adaptive row budget (default: the table
+	// size). When the target is unreachable within the budget the result
+	// reports Converged=false with the honest achieved error. Requires
+	// TargetError.
+	MaxSampleRows int64
 }
 
 // Result is one candidate's outcome. Err is per-candidate: a failed or
@@ -111,11 +131,20 @@ type Request struct {
 type Result struct {
 	Estimate core.Estimate
 	Err      error
-	// CacheHit reports the estimate came from the LRU cache.
+	// CacheHit reports the estimate came from the LRU cache (fixed-r
+	// requests) or the precision cache by dominance (adaptive requests).
 	CacheHit bool
 	// SharedSample reports the estimate reused a sample drawn for another
 	// candidate in the same batch.
 	SharedSample bool
+
+	// Adaptive-request outcome (zero for fixed-r requests): AchievedError
+	// is the final CI half-width at the requested confidence, Rounds the
+	// number of estimate→extend rounds run, and Converged whether the
+	// target was met within the row budget.
+	AchievedError float64
+	Rounds        int
+	Converged     bool
 }
 
 // Stats is a snapshot of the engine's counters.
@@ -134,15 +163,26 @@ type Stats struct {
 	// IndexesPrepared counts encode+sort builds; Evaluated counts candidate
 	// estimates computed (cache hits excluded).
 	IndexesPrepared, Evaluated uint64
-	// CacheEntries is the current LRU size.
-	CacheEntries int
+	// PrecisionHits counts adaptive requests answered from the precision
+	// cache by dominance (a tighter cached interval satisfied the ask);
+	// each is also counted in Hits, so Hits/Misses stays the overall
+	// cache hit ledger across fixed and adaptive traffic.
+	PrecisionHits uint64
+	// AdaptiveRounds and AdaptiveRows total the estimate→extend rounds
+	// run and the rows drawn by adaptive requests (cache hits excluded).
+	AdaptiveRounds, AdaptiveRows uint64
+	// CacheEntries is the current LRU size; PrecisionEntries the current
+	// precision-cache size.
+	CacheEntries     int
+	PrecisionEntries int
 }
 
 // Engine owns the worker pool and result cache. Create with New, release
 // with Close. All methods are safe for concurrent use.
 type Engine struct {
-	cfg   Config
-	cache *lruCache
+	cfg       Config
+	cache     *lruCache
+	precision *precisionCache
 
 	jobs chan func()
 	quit chan struct{}
@@ -154,16 +194,19 @@ type Engine struct {
 	samplesDrawn, samplesShared     atomic.Uint64
 	maintainedHits, maintainedStale atomic.Uint64
 	prepared, evaluated             atomic.Uint64
+	precisionHits                   atomic.Uint64
+	adaptiveRounds, adaptiveRows    atomic.Uint64
 }
 
 // New starts an engine with cfg's worker pool.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		cfg:   cfg,
-		cache: newLRUCache(cfg.CacheEntries),
-		jobs:  make(chan func()),
-		quit:  make(chan struct{}),
+		cfg:       cfg,
+		cache:     newLRUCache(cfg.CacheEntries),
+		precision: newPrecisionCache(cfg.CacheEntries),
+		jobs:      make(chan func()),
+		quit:      make(chan struct{}),
 	}
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -195,16 +238,20 @@ func (e *Engine) Close() {
 // Stats snapshots the counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Hits:            e.hits.Load(),
-		Misses:          e.misses.Load(),
-		Evictions:       e.evictions.Load(),
-		SamplesDrawn:    e.samplesDrawn.Load(),
-		SamplesShared:   e.samplesShared.Load(),
-		MaintainedHits:  e.maintainedHits.Load(),
-		MaintainedStale: e.maintainedStale.Load(),
-		IndexesPrepared: e.prepared.Load(),
-		Evaluated:       e.evaluated.Load(),
-		CacheEntries:    e.cache.Len(),
+		Hits:             e.hits.Load(),
+		Misses:           e.misses.Load(),
+		Evictions:        e.evictions.Load(),
+		SamplesDrawn:     e.samplesDrawn.Load(),
+		SamplesShared:    e.samplesShared.Load(),
+		MaintainedHits:   e.maintainedHits.Load(),
+		MaintainedStale:  e.maintainedStale.Load(),
+		IndexesPrepared:  e.prepared.Load(),
+		Evaluated:        e.evaluated.Load(),
+		PrecisionHits:    e.precisionHits.Load(),
+		AdaptiveRounds:   e.adaptiveRounds.Load(),
+		AdaptiveRows:     e.adaptiveRows.Load(),
+		CacheEntries:     e.cache.Len(),
+		PrecisionEntries: e.precision.Len(),
 	}
 }
 
@@ -245,13 +292,70 @@ type prepGroup struct {
 	err  error
 }
 
-// batchItem is one request resolved against the dedup structures.
+// adaptiveGroupKey identifies adaptive batch items that may share one
+// loop: the precision key plus every knob that changes the loop itself.
+// (Two asks at different targets must not share — the looser one would be
+// fine with the tighter result, but not vice versa, and the scheduling
+// scan cannot know which finishes first.)
+type adaptiveGroupKey struct {
+	pkey       precisionKey
+	target     float64
+	confidence float64
+	maxRows    int64
+	fraction   float64
+	rows       int64
+	seed       uint64
+}
+
+// adaptiveGroup runs one precision-targeted loop for every batch item with
+// the same adaptive key: identical adaptive asks share everything (their
+// rounds, their rows, their result), so a batch listing the same
+// (columns, codec, target) twice costs one loop, not two.
+type adaptiveGroup struct {
+	once sync.Once
+	res  core.AdaptiveResult
+	err  error
+}
+
+// round0Key identifies adaptive batch items that can share their initial
+// draw even though their loops diverge afterwards: same table version,
+// seed, starting size, and freshness demand. The round-0 sample is drawn
+// under the full table schema, so items over different key columns — the
+// advisor's per-codec and per-column-set screen — all project out of one
+// shared arena, mirroring the fixed path's sample groups.
+type round0Key struct {
+	inst  uint64
+	epoch uint64
+	seed  uint64
+	r0    int64
+	fresh bool
+}
+
+// round0Group is the shared initial draw: the full-schema arena, plus —
+// on the maintained route — the snapshot it was gathered from and the
+// reservoir slots round 0 consumed (each loop continues from a copy).
+type round0Group struct {
+	once       sync.Once
+	full       *value.RecordArena
+	maintained bool
+	snap       catalog.Sample
+	chosen     map[int64]struct{}
+	err        error
+}
+
+// batchItem is one request resolved against the dedup structures. Adaptive
+// items carry a precision key and group instead of sample/prep groups:
+// sample sizes diverge across different adaptive keys as rounds progress,
+// so only identical keys share.
 type batchItem struct {
-	idx int
-	req Request
-	key cacheKey
-	sg  *sampleGroup
-	pg  *prepGroup
+	idx  int
+	req  Request
+	key  cacheKey
+	sg   *sampleGroup
+	pg   *prepGroup
+	pkey precisionKey
+	ag   *adaptiveGroup
+	r0g  *round0Group
 }
 
 // WhatIf evaluates a batch of candidates, drawing each distinct
@@ -281,20 +385,13 @@ func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
 	}
 	sampleGroups := make(map[sgKey]*sampleGroup)
 	prepGroups := make(map[pgKey]*prepGroup)
+	adaptiveGroups := make(map[adaptiveGroupKey]*adaptiveGroup)
+	round0Groups := make(map[round0Key]*round0Group)
 	var pending []*batchItem
 
 	for i, req := range reqs {
 		if err := validate(req); err != nil {
 			results[i] = Result{Err: err}
-			continue
-		}
-		n := req.Table.NumRows()
-		r := req.SampleRows
-		if r <= 0 {
-			r = sampling.SampleSize(n, req.Fraction)
-		}
-		if r <= 0 {
-			results[i] = Result{Err: fmt.Errorf("engine: request %d: sample size is zero (fraction %v)", i, req.Fraction)}
 			continue
 		}
 		// The version epoch read here keys both the cache entry and the
@@ -305,6 +402,64 @@ func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
 		pageSize := req.PageSize
 		if pageSize == 0 {
 			pageSize = e.cfg.PageSize
+		}
+		if req.TargetError > 0 {
+			// Adaptive request: consult the precision cache by dominance,
+			// then schedule a private resumable loop on the pool.
+			pk := precisionKey{
+				inst:     req.Table.InstanceID(),
+				epoch:    epoch,
+				columns:  strings.Join(req.KeyColumns, "\x00"),
+				codec:    req.Codec.Name(),
+				pageSize: pageSize,
+				fresh:    req.FreshSample,
+			}
+			if ent, ok := e.precision.Get(pk, zFor(req.Confidence), req.TargetError); ok {
+				// A dominance answer counts in both ledgers: Hits keeps
+				// hits/misses symmetric across fixed and adaptive traffic,
+				// PrecisionHits attributes it to the dominance rule.
+				e.hits.Add(1)
+				e.precisionHits.Add(1)
+				results[i] = Result{
+					Estimate:      ent.est,
+					CacheHit:      true,
+					AchievedError: ent.sdScale * zFor(req.Confidence),
+					Rounds:        ent.rounds,
+					Converged:     true,
+				}
+				continue
+			}
+			e.misses.Add(1)
+			ak := adaptiveGroupKey{
+				pkey: pk, target: req.TargetError, confidence: req.Confidence,
+				maxRows: req.MaxSampleRows, fraction: req.Fraction,
+				rows: req.SampleRows, seed: req.Seed,
+			}
+			ag, ok := adaptiveGroups[ak]
+			if !ok {
+				ag = &adaptiveGroup{}
+				adaptiveGroups[ak] = ag
+			}
+			rk := round0Key{
+				inst: pk.inst, epoch: epoch, seed: req.Seed,
+				r0: initialAdaptiveRows(req), fresh: req.FreshSample,
+			}
+			r0g, ok := round0Groups[rk]
+			if !ok {
+				r0g = &round0Group{}
+				round0Groups[rk] = r0g
+			}
+			pending = append(pending, &batchItem{idx: i, req: req, pkey: pk, ag: ag, r0g: r0g})
+			continue
+		}
+		n := req.Table.NumRows()
+		r := req.SampleRows
+		if r <= 0 {
+			r = sampling.SampleSize(n, req.Fraction)
+		}
+		if r <= 0 {
+			results[i] = Result{Err: fmt.Errorf("engine: request %d: sample size is zero (fraction %v)", i, req.Fraction)}
+			continue
 		}
 		key := cacheKey{
 			inst:     req.Table.InstanceID(),
@@ -373,6 +528,9 @@ func (e *Engine) evaluate(ctx context.Context, it *batchItem) Result {
 	if err := ctx.Err(); err != nil {
 		return Result{Err: fmt.Errorf("engine: request %d not started: %w", it.idx, err)}
 	}
+	if it.req.TargetError > 0 {
+		return e.evaluateAdaptive(ctx, it)
+	}
 	sg := it.sg
 	sg.once.Do(func() { e.drawSample(sg) })
 	if sg.err != nil {
@@ -432,6 +590,235 @@ func (e *Engine) drawSample(sg *sampleGroup) {
 	sg.ar, sg.err = ar, sampling.UniformWRInto(sg.table, sg.r, rng.New(sg.seed), ar)
 }
 
+// zFor converts a confidence level into the normal z multiplier, applying
+// the 0.95 default.
+func zFor(confidence float64) float64 {
+	if confidence == 0 {
+		confidence = 0.95
+	}
+	return stats.NormalQuantile(1 - (1-confidence)/2)
+}
+
+// evaluateAdaptive runs one precision-targeted request on a pool worker:
+// grow the sample in resumable rounds (estimate → CI-check → extend) until
+// the target half-width is met or the row budget runs out, then publish the
+// achieved precision to the dominance cache. The sample rounds come from
+// the maintained sample when its reservoir can cover the entire row budget
+// at the request's epoch, otherwise from fresh resumable uniform-WR draws.
+// Batch items with identical adaptive keys share one loop (it.ag); ctx is
+// re-checked before every extension round, so an expired deadline stops
+// the loop at the next round boundary instead of running the budget out.
+func (e *Engine) evaluateAdaptive(ctx context.Context, it *batchItem) Result {
+	ag := it.ag
+	ag.once.Do(func() { ag.res, ag.err = e.runAdaptive(ctx, it.req, it.pkey, it.r0g) })
+	if ag.err != nil {
+		return Result{Err: fmt.Errorf("engine: request %d: %w", it.idx, ag.err)}
+	}
+	res := ag.res
+	return Result{
+		Estimate:      res.Estimate,
+		AchievedError: res.AchievedError,
+		Rounds:        res.Rounds,
+		Converged:     res.Converged,
+	}
+}
+
+// initialAdaptiveRows resolves an adaptive request's round-0 size:
+// SampleRows/Fraction seed it when set, the adaptive minimum otherwise,
+// clamped to the row budget.
+func initialAdaptiveRows(req Request) int64 {
+	n := req.Table.NumRows()
+	r0 := req.SampleRows
+	if r0 <= 0 && req.Fraction > 0 {
+		r0 = sampling.SampleSize(n, req.Fraction)
+	}
+	if r0 <= 0 {
+		r0 = core.DefaultMinSampleRows
+	}
+	max := req.MaxSampleRows
+	if max == 0 {
+		max = n
+	}
+	if r0 > max {
+		r0 = max
+	}
+	return r0
+}
+
+// runAdaptive executes the precision-targeted loop for one adaptive key.
+// The round-0 draw is shared through r0g with every adaptive batch-mate at
+// the same (table version, seed, r0, freshness) — the loops diverge per
+// codec from round 1 on. The maintained route is tried first when the
+// reservoir offers at least r0 rows at the request's epoch: its loop runs
+// with the budget capped at the reservoir size, and only if that capped
+// budget runs out unconverged does the request rerun fresh against storage
+// with the full budget — the common converging case never touches storage.
+func (e *Engine) runAdaptive(ctx context.Context, req Request, pkey precisionKey, r0g *round0Group) (core.AdaptiveResult, error) {
+	pageSize := req.PageSize
+	if pageSize == 0 {
+		pageSize = e.cfg.PageSize
+	}
+	n := req.Table.NumRows()
+	target := core.Precision{
+		TargetError:   req.TargetError,
+		Confidence:    req.Confidence,
+		MaxSampleRows: req.MaxSampleRows,
+	}
+	if target.MaxSampleRows == 0 {
+		target.MaxSampleRows = n
+	}
+	opts := core.Options{
+		Codec:      req.Codec,
+		KeyColumns: req.KeyColumns,
+		PageSize:   pageSize,
+		Seed:       req.Seed,
+	}
+	r0 := initialAdaptiveRows(req)
+	r0g.once.Do(func() { e.drawAdaptiveRound0(req, pkey.epoch, r0, r0g) })
+	if r0g.err != nil {
+		return core.AdaptiveResult{}, r0g.err
+	}
+
+	var res core.AdaptiveResult
+	var err error
+	if r0g.maintained {
+		// Cap the budget at what the reservoir can serve without
+		// replacement; rounds gather snapshot slots by byte range.
+		capped := target
+		if snapLen := int64(r0g.snap.Arena.Len()); snapLen < capped.MaxSampleRows {
+			capped.MaxSampleRows = snapLen
+		}
+		chosen := make(map[int64]struct{}, len(r0g.chosen))
+		for idx := range r0g.chosen {
+			chosen[idx] = struct{}{}
+		}
+		extend := func(round int, rows int64) (*value.RecordArena, error) {
+			idx, err := sampling.WORExtendIndices(int64(r0g.snap.Arena.Len()), rows, req.Seed, round, chosen)
+			if err != nil {
+				return nil, err
+			}
+			full := value.NewRecordArena(req.Table.Schema(), int(rows))
+			if err := full.AppendFrom(r0g.snap.Arena, idx); err != nil {
+				return nil, err
+			}
+			return core.ProjectSample(full, req.KeyColumns)
+		}
+		res, err = e.adaptiveLoop(ctx, req, opts, capped, r0g.full, extend)
+		if err != nil {
+			return core.AdaptiveResult{}, err
+		}
+		if !res.Converged && capped.MaxSampleRows < target.MaxSampleRows {
+			// The reservoir ran out below the requested budget: rerun
+			// fresh from storage with the full budget rather than
+			// reporting a weaker budget than the caller asked for.
+			e.samplesDrawn.Add(1)
+			res, err = e.freshAdaptive(ctx, req, opts, target, r0)
+		}
+	} else {
+		res, err = e.adaptiveLoop(ctx, req, opts, target, r0g.full, e.freshExtend(req))
+	}
+	if err != nil {
+		return core.AdaptiveResult{}, err
+	}
+	e.evaluated.Add(1)
+	// Publish the achieved precision for dominance reuse: the interval is
+	// stored confidence-free (half-width ÷ z) so one entry answers asks at
+	// any confidence level.
+	e.precision.Put(pkey, res.Estimate, res.AchievedError/zFor(req.Confidence), res.Rounds, res.Estimate.SampleRows)
+	return res, nil
+}
+
+// drawAdaptiveRound0 fills a shared round-0 group: a maintained-snapshot
+// WOR gather when the table offers at least r0 reservoir rows at the
+// request's epoch, a fresh resumable WR draw otherwise.
+func (e *Engine) drawAdaptiveRound0(req Request, epoch uint64, r0 int64, g *round0Group) {
+	if sp, ok := req.Table.(catalog.SampleProvider); ok && !req.FreshSample {
+		if s, ok := sp.MaintainedSample(r0); ok && s.Epoch == epoch {
+			e.maintainedHits.Add(1)
+			chosen := make(map[int64]struct{}, r0)
+			idx, err := sampling.WORExtendIndices(int64(s.Arena.Len()), r0, req.Seed, 0, chosen)
+			if err != nil {
+				g.err = err
+				return
+			}
+			full := value.NewRecordArena(req.Table.Schema(), int(r0))
+			if err := full.AppendFrom(s.Arena, idx); err != nil {
+				g.err = err
+				return
+			}
+			g.full, g.maintained, g.snap, g.chosen = full, true, s, chosen
+			return
+		}
+		e.maintainedStale.Add(1)
+	}
+	e.samplesDrawn.Add(1)
+	full := value.NewRecordArena(req.Table.Schema(), int(r0))
+	if err := sampling.ExtendWRInto(req.Table, full, r0, req.Seed, 0); err != nil {
+		g.err = err
+		return
+	}
+	g.full = full
+}
+
+// freshExtend returns the resumable fresh-draw extension for a request.
+func (e *Engine) freshExtend(req Request) core.ExtendFunc {
+	return func(round int, rows int64) (*value.RecordArena, error) {
+		full := value.NewRecordArena(req.Table.Schema(), int(rows))
+		if err := sampling.ExtendWRInto(req.Table, full, rows, req.Seed, round); err != nil {
+			return nil, err
+		}
+		return core.ProjectSample(full, req.KeyColumns)
+	}
+}
+
+// freshAdaptive runs a complete adaptive loop against storage, including
+// its own round-0 draw (the maintained-route fallback path; not shared).
+func (e *Engine) freshAdaptive(ctx context.Context, req Request, opts core.Options, target core.Precision, r0 int64) (core.AdaptiveResult, error) {
+	if err := ctx.Err(); err != nil {
+		return core.AdaptiveResult{}, err
+	}
+	full := value.NewRecordArena(req.Table.Schema(), int(r0))
+	if err := sampling.ExtendWRInto(req.Table, full, r0, req.Seed, 0); err != nil {
+		return core.AdaptiveResult{}, err
+	}
+	return e.adaptiveLoop(ctx, req, opts, target, full, e.freshExtend(req))
+}
+
+// adaptiveLoop prepares the (possibly shared) round-0 arena for this
+// request's key columns and drives AdaptiveEstimate with ctx re-checked
+// before every extension. When the projection is the identity the prepared
+// index aliases the shared arena; the first extension copies it
+// (core.ExtendFromArena's copy-on-extend), which is exactly what keeps the
+// shared round-0 bytes safe for the other loops in the group.
+func (e *Engine) adaptiveLoop(ctx context.Context, req Request, opts core.Options, target core.Precision,
+	round0 *value.RecordArena, extend core.ExtendFunc) (core.AdaptiveResult, error) {
+	if err := ctx.Err(); err != nil {
+		return core.AdaptiveResult{}, err
+	}
+	guarded := func(round int, rows int64) (*value.RecordArena, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return extend(round, rows)
+	}
+	initial, err := core.ProjectSample(round0, req.KeyColumns)
+	if err != nil {
+		return core.AdaptiveResult{}, err
+	}
+	prep, err := core.PrepareFromArena(initial, req.Table.NumRows(), nil)
+	if err != nil {
+		return core.AdaptiveResult{}, err
+	}
+	e.prepared.Add(1)
+	res, err := prep.AdaptiveEstimate(target, opts, guarded)
+	if err != nil {
+		return core.AdaptiveResult{}, err
+	}
+	e.adaptiveRounds.Add(uint64(res.Rounds))
+	e.adaptiveRows.Add(uint64(res.Estimate.SampleRows))
+	return res, nil
+}
+
 // validate rejects malformed requests before they reach the pool.
 func validate(req Request) error {
 	switch {
@@ -443,7 +830,19 @@ func validate(req Request) error {
 		return fmt.Errorf("engine: table %q is empty", req.Table.Name())
 	case req.SampleRows < 0:
 		return fmt.Errorf("engine: negative sample size %d", req.SampleRows)
-	case req.SampleRows == 0 && (req.Fraction <= 0 || req.Fraction > 1):
+	case req.TargetError < 0 || req.TargetError >= 1:
+		return fmt.Errorf("engine: target error %v outside (0,1)", req.TargetError)
+	case req.Confidence != 0 && (req.Confidence <= 0 || req.Confidence >= 1):
+		return fmt.Errorf("engine: confidence %v outside (0,1)", req.Confidence)
+	case req.TargetError == 0 && req.Confidence != 0:
+		return fmt.Errorf("engine: Confidence requires TargetError")
+	case req.TargetError == 0 && req.MaxSampleRows != 0:
+		return fmt.Errorf("engine: MaxSampleRows requires TargetError")
+	case req.MaxSampleRows < 0:
+		return fmt.Errorf("engine: negative row budget %d", req.MaxSampleRows)
+	case req.TargetError > 0 && req.Fraction < 0:
+		return fmt.Errorf("engine: negative fraction %v", req.Fraction)
+	case req.TargetError == 0 && req.SampleRows == 0 && (req.Fraction <= 0 || req.Fraction > 1):
 		return fmt.Errorf("engine: fraction %v outside (0,1]", req.Fraction)
 	}
 	return nil

@@ -227,13 +227,13 @@ func runE13(cfg Config, w io.Writer) error {
 	covered := 0
 	var widths stats.Accumulator
 	for trial := 0; trial < trials; trial++ {
-		_, rows, err := core.SampleCFWithRows(tab, tab.Schema(), core.Options{
+		_, sample, err := core.SampleCFWithSample(tab, tab.Schema(), core.Options{
 			Fraction: f, Codec: nsCodec, Seed: cfg.Seed ^ uint64(trial)*1607,
 		})
 		if err != nil {
 			return err
 		}
-		ci, err := core.Bootstrap(rows, tab.Schema(), nsCodec, 0, resamples, 0.05, cfg.Seed+uint64(trial))
+		ci, err := core.Bootstrap(sample, nsCodec, 0, resamples, 0.05, cfg.Seed+uint64(trial))
 		if err != nil {
 			return err
 		}
@@ -251,13 +251,13 @@ func runE13(cfg Config, w io.Writer) error {
 
 	// Dictionary collapse: bootstrap mean vs point estimate.
 	dictCodec := compress.GlobalDict{PointerBytes: 4}
-	est, rows, err := core.SampleCFWithRows(tab, tab.Schema(), core.Options{
+	est, sample, err := core.SampleCFWithSample(tab, tab.Schema(), core.Options{
 		Fraction: f, Codec: dictCodec, Seed: cfg.Seed + 9999,
 	})
 	if err != nil {
 		return err
 	}
-	ci, err := core.Bootstrap(rows, tab.Schema(), dictCodec, 0, resamples, 0.05, cfg.Seed+10000)
+	ci, err := core.Bootstrap(sample, dictCodec, 0, resamples, 0.05, cfg.Seed+10000)
 	if err != nil {
 		return err
 	}

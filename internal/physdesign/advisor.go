@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 
 	"samplecf/internal/catalog"
 	"samplecf/internal/compress"
@@ -55,6 +56,17 @@ type Sized struct {
 	UncompressedBytes int64
 	// EstimatedBytes is CF × UncompressedBytes.
 	EstimatedBytes int64
+
+	// Adaptive-sizing outcome (zero when Options.TargetError is unset):
+	// AchievedError is the CF estimate's CI half-width, SampleRows the
+	// rows spent, Rounds the adaptive rounds run, and Refined whether the
+	// candidate survived coarse screening and was re-sized at the full
+	// target precision (false = eliminated on the coarse front, where its
+	// loose estimate already could not win its index-key group).
+	AchievedError float64
+	SampleRows    int64
+	Rounds        int
+	Refined       bool
 }
 
 // Options tune the advisor.
@@ -76,6 +88,23 @@ type Options struct {
 	Engine *engine.Engine
 	// Context bounds candidate sizing (nil = no deadline).
 	Context context.Context
+
+	// TargetError switches sizing to coarse-to-fine adaptive estimation:
+	// every candidate is first screened at CoarseError precision, then
+	// only the candidates still able to win their (table, key columns)
+	// group — the ones whose coarse size interval overlaps the group's
+	// best — are refined to TargetError. Advisor cost drops from
+	// O(candidates × r_full) to O(candidates × r_coarse + survivors ×
+	// r_full). Zero keeps the fixed-fraction path byte-identical.
+	TargetError float64
+	// CoarseError is the screening precision (default 4 × TargetError,
+	// capped below 0.5).
+	CoarseError float64
+	// Confidence is the adaptive CI confidence level (default 0.95).
+	Confidence float64
+	// MaxSampleRows caps each candidate's adaptive row budget (default:
+	// table size).
+	MaxSampleRows int64
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +116,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CPUPenalty == 0 {
 		o.CPUPenalty = 0.2
+	}
+	if o.TargetError > 0 && o.CoarseError == 0 {
+		o.CoarseError = 4 * o.TargetError
+		if o.CoarseError > 0.5 {
+			o.CoarseError = 0.5
+		}
+	}
+	if o.CoarseError < o.TargetError {
+		o.CoarseError = o.TargetError
 	}
 	return o
 }
@@ -106,6 +144,13 @@ func SizeCandidate(c Candidate, opts Options) (Sized, error) {
 // every codec of the same key column set shares one sorted index build.
 // This is the advisor's enumeration path — sizing N candidates costs one
 // sample + one sort per distinct column set, not N of each.
+//
+// With Options.TargetError set, sizing becomes coarse-to-fine successive
+// halving instead: one loose adaptive pass screens everything, then only
+// the candidates whose coarse size interval keeps them in contention for
+// their (table, key columns) group are re-sized at the full target
+// precision — the advisor's enumeration spends full-precision samples only
+// where the decision needs them.
 func SizeCandidates(cands []Candidate, opts Options) ([]Sized, error) {
 	opts = opts.withDefaults()
 	eng := opts.Engine
@@ -119,8 +164,7 @@ func SizeCandidates(cands []Candidate, opts Options) ([]Sized, error) {
 	}
 
 	sized := make([]Sized, len(cands))
-	var reqs []engine.Request
-	var reqIdx []int // reqs[j] sizes cands[reqIdx[j]]
+	var compressed []int // indices of candidates that need estimation
 	for i, c := range cands {
 		keySchema, err := keySchemaOf(c)
 		if err != nil {
@@ -128,28 +172,114 @@ func SizeCandidates(cands []Candidate, opts Options) ([]Sized, error) {
 		}
 		uncompressed := c.Table.NumRows() * int64(keySchema.RowWidth())
 		sized[i] = Sized{Candidate: c, EstimatedCF: 1.0, UncompressedBytes: uncompressed, EstimatedBytes: uncompressed}
-		if c.Codec == nil {
-			continue
+		if c.Codec != nil {
+			compressed = append(compressed, i)
 		}
-		reqs = append(reqs, engine.Request{
-			Table:      c.Table,
-			KeyColumns: c.KeyColumns,
-			Codec:      c.Codec,
-			Fraction:   opts.SampleFraction,
+	}
+	if opts.TargetError > 0 {
+		if err := sizeAdaptive(ctx, eng, cands, sized, compressed, opts); err != nil {
+			return nil, err
+		}
+		return sized, nil
+	}
+	if err := sizeBatch(ctx, eng, cands, sized, compressed, opts, 0); err != nil {
+		return nil, err
+	}
+	return sized, nil
+}
+
+// sizeBatch sizes the candidates at the given indices in one engine batch.
+// targetError 0 is the fixed-fraction path; > 0 requests precision-targeted
+// adaptive estimation at that half-width.
+func sizeBatch(ctx context.Context, eng *engine.Engine, cands []Candidate, sized []Sized, idx []int, opts Options, targetError float64) error {
+	reqs := make([]engine.Request, 0, len(idx))
+	for _, i := range idx {
+		req := engine.Request{
+			Table:      cands[i].Table,
+			KeyColumns: cands[i].KeyColumns,
+			Codec:      cands[i].Codec,
 			Seed:       opts.Seed,
 			PageSize:   opts.PageSize,
-		})
-		reqIdx = append(reqIdx, i)
+		}
+		if targetError > 0 {
+			req.TargetError = targetError
+			req.Confidence = opts.Confidence
+			req.MaxSampleRows = opts.MaxSampleRows
+		} else {
+			req.Fraction = opts.SampleFraction
+		}
+		reqs = append(reqs, req)
 	}
 	for j, res := range eng.WhatIf(ctx, reqs) {
-		i := reqIdx[j]
+		i := idx[j]
 		if res.Err != nil {
-			return nil, fmt.Errorf("physdesign: size %s: %w", cands[i].Name, res.Err)
+			return fmt.Errorf("physdesign: size %s: %w", cands[i].Name, res.Err)
 		}
 		sized[i].EstimatedCF = res.Estimate.CF
 		sized[i].EstimatedBytes = int64(res.Estimate.CF * float64(sized[i].UncompressedBytes))
+		sized[i].AchievedError = res.AchievedError
+		sized[i].SampleRows = res.Estimate.SampleRows
+		sized[i].Rounds = res.Rounds
 	}
-	return sized, nil
+	return nil
+}
+
+// sizeAdaptive is the coarse-to-fine pass: screen every compressed
+// candidate at Options.CoarseError, keep per (table, key columns) group
+// only the candidates whose size interval overlaps the group's best —
+// the surviving front — and re-size those at Options.TargetError.
+func sizeAdaptive(ctx context.Context, eng *engine.Engine, cands []Candidate, sized []Sized, compressed []int, opts Options) error {
+	if err := sizeBatch(ctx, eng, cands, sized, compressed, opts, opts.CoarseError); err != nil {
+		return err
+	}
+	if opts.CoarseError <= opts.TargetError {
+		// No refinement headroom: the screen already ran at target.
+		for _, i := range compressed {
+			sized[i].Refined = true
+		}
+		return nil
+	}
+	// Group by (table instance, key columns): Recommend keeps at most one
+	// candidate per group, so codecs compete within it. A candidate stays
+	// on the front iff its optimistic size (CI low end) beats the most
+	// pessimistic size (CI high end) of the group's best — everything else
+	// is CI-separated from winning and keeps its coarse estimate.
+	type groupKey struct {
+		inst uint64
+		cols string
+	}
+	bestHi := make(map[groupKey]int64)
+	lo := func(i int) int64 {
+		cf := sized[i].EstimatedCF - sized[i].AchievedError
+		if cf < 0 {
+			cf = 0
+		}
+		return int64(cf * float64(sized[i].UncompressedBytes))
+	}
+	hi := func(i int) int64 {
+		cf := sized[i].EstimatedCF + sized[i].AchievedError
+		if cf > 1 {
+			cf = 1
+		}
+		return int64(cf * float64(sized[i].UncompressedBytes))
+	}
+	key := func(i int) groupKey {
+		return groupKey{inst: cands[i].Table.InstanceID(), cols: strings.Join(cands[i].KeyColumns, "\x00")}
+	}
+	for _, i := range compressed {
+		k := key(i)
+		if h, ok := bestHi[k]; !ok || hi(i) < h {
+			bestHi[k] = hi(i)
+		}
+	}
+	var survivors []int
+	for _, i := range compressed {
+		if lo(i) <= bestHi[key(i)] {
+			survivors = append(survivors, i)
+			sized[i].Refined = true
+		}
+	}
+	return sizeBatch(ctx, eng, cands, sized, survivors, opts, opts.TargetError)
 }
 
 // keySchemaOf resolves a candidate's key schema.

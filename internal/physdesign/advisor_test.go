@@ -265,3 +265,124 @@ func TestRecommendExplainsRejections(t *testing.T) {
 		t.Fatalf("missing explanation, got %v", rec.Rejected)
 	}
 }
+
+// TestSizeCandidatesCoarseToFine checks the successive-halving path: every
+// compressed candidate gets a CI-carrying size, survivors of the coarse
+// screen are refined to the full target, and eliminated candidates keep
+// their (honest, loose) coarse estimates.
+func TestSizeCandidatesCoarseToFine(t *testing.T) {
+	tab := advisorTable(t, 30000)
+	eng := engine.New(engine.Config{Workers: 2})
+	defer eng.Close()
+	cands := []Candidate{
+		{Name: "ix_name", Table: tab, KeyColumns: []string{"name"}},
+		{Name: "ix_name_ns", Table: tab, KeyColumns: []string{"name"}, Codec: mustCodec(t, "nullsuppression")},
+		{Name: "ix_name_dict", Table: tab, KeyColumns: []string{"name"}, Codec: mustCodec(t, "pagedict")},
+		{Name: "ix_name_rle", Table: tab, KeyColumns: []string{"name"}, Codec: mustCodec(t, "rle")},
+		{Name: "ix_id_ns", Table: tab, KeyColumns: []string{"id"}, Codec: mustCodec(t, "nullsuppression")},
+	}
+	const target = 0.02
+	sized, err := SizeCandidates(cands, Options{
+		Engine: eng, TargetError: target, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sized[0].AchievedError != 0 || sized[0].Rounds != 0 {
+		t.Errorf("uncompressed candidate carries adaptive metadata: %+v", sized[0])
+	}
+	refined := 0
+	for _, s := range sized[1:] {
+		if s.AchievedError <= 0 {
+			t.Errorf("%s: no achieved error reported", s.Name)
+		}
+		if s.SampleRows <= 0 || s.Rounds < 1 {
+			t.Errorf("%s: missing sampling metadata: rows=%d rounds=%d", s.Name, s.SampleRows, s.Rounds)
+		}
+		if s.Refined {
+			refined++
+			if s.AchievedError > target {
+				t.Errorf("%s: refined but achieved ±%v > target ±%v", s.Name, s.AchievedError, target)
+			}
+		} else if s.AchievedError > 4*target {
+			t.Errorf("%s: eliminated candidate exceeds even the coarse precision: ±%v", s.Name, s.AchievedError)
+		}
+	}
+	// The singleton id group has no competition and must be refined; the
+	// name group must refine at least its best codec.
+	if !sized[4].Refined {
+		t.Error("singleton group candidate was not refined")
+	}
+	if refined < 2 {
+		t.Errorf("only %d candidates refined; the front must include each group's best", refined)
+	}
+	// The group's CI-best candidate is always on the front: no refined
+	// candidate in the name group may be dominated by an unrefined one.
+	var bestUnrefinedLo, worstRefinedHi int64 = 1 << 62, 0
+	for _, s := range sized[1:4] {
+		lo := int64((s.EstimatedCF - s.AchievedError) * float64(s.UncompressedBytes))
+		hi := int64((s.EstimatedCF + s.AchievedError) * float64(s.UncompressedBytes))
+		if s.Refined {
+			if hi > worstRefinedHi {
+				worstRefinedHi = hi
+			}
+		} else if lo < bestUnrefinedLo {
+			bestUnrefinedLo = lo
+		}
+	}
+	if bestUnrefinedLo < worstRefinedHi && bestUnrefinedLo != 1<<62 {
+		// An unrefined candidate overlapping the refined fronts would mean
+		// the screen dropped a contender.
+		t.Errorf("eliminated candidate (lo %d) still overlaps refined front (hi %d)",
+			bestUnrefinedLo, worstRefinedHi)
+	}
+}
+
+// TestSizeCandidatesFixedPathUnchanged pins that a zero TargetError runs
+// the exact legacy fixed-fraction batch — same estimates as a direct
+// engine request, no adaptive metadata.
+func TestSizeCandidatesFixedPathUnchanged(t *testing.T) {
+	tab := advisorTable(t, 5000)
+	sized, err := SizeCandidates([]Candidate{
+		{Name: "ix", Table: tab, KeyColumns: []string{"name"}, Codec: mustCodec(t, "nullsuppression")},
+	}, Options{SampleFraction: 0.05, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := core.SampleCF(tab, tab.Schema(), core.Options{
+		Fraction: 0.05, Codec: mustCodec(t, "nullsuppression"),
+		KeyColumns: []string{"name"}, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sized[0].EstimatedCF != direct.CF {
+		t.Fatalf("fixed path drifted: %v vs %v", sized[0].EstimatedCF, direct.CF)
+	}
+	if sized[0].AchievedError != 0 || sized[0].Rounds != 0 || sized[0].Refined {
+		t.Errorf("fixed path carries adaptive metadata: %+v", sized[0])
+	}
+}
+
+// TestRecommendAdaptive runs the advisor end to end in adaptive mode.
+func TestRecommendAdaptive(t *testing.T) {
+	tab := advisorTable(t, 20000)
+	queries := []Query{{Name: "by-name", Columns: []string{"name"}, Weight: 10, Selectivity: 0.05}}
+	cands := []Candidate{
+		{Name: "ix_name", Table: tab, KeyColumns: []string{"name"}},
+		{Name: "ix_name_ns", Table: tab, KeyColumns: []string{"name"}, Codec: mustCodec(t, "nullsuppression")},
+		{Name: "ix_name_rle", Table: tab, KeyColumns: []string{"name"}, Codec: mustCodec(t, "rle")},
+	}
+	rec, err := Recommend(cands, queries, 1<<30, Options{TargetError: 0.03, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Chosen) == 0 {
+		t.Fatal("adaptive advisor chose nothing")
+	}
+	for _, c := range rec.Chosen {
+		if c.Codec != nil && !c.Refined {
+			t.Errorf("%s was chosen without full-precision refinement", c.Name)
+		}
+	}
+}

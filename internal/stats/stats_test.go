@@ -214,3 +214,32 @@ func TestWelfordNumericalStability(t *testing.T) {
 		t.Fatalf("variance %v, want ≈1/12", v)
 	}
 }
+
+// TestNormalQuantile pins Φ⁻¹ against standard reference values and basic
+// symmetry; adaptive sampling derives its z multipliers from it.
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, z float64 }{
+		{0.5, 0},
+		{0.8413447460685429, 1}, // Φ(1)
+		{0.90, 1.2815515655446004},
+		{0.95, 1.6448536269514722},
+		{0.975, 1.959963984540054},
+		{0.995, 2.5758293035489004},
+		{0.9995, 3.2905267314919255},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.z) > 1e-8 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.z)
+		}
+		// Symmetry: Φ⁻¹(1-p) = -Φ⁻¹(p).
+		if got := NormalQuantile(1 - c.p); math.Abs(got+c.z) > 1e-8 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", 1-c.p, got, -c.z)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("edge quantiles should be ±Inf")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) {
+		t.Error("out-of-domain quantiles should be NaN")
+	}
+}

@@ -214,6 +214,20 @@ func (a *RecordArena) AppendFrom(src *RecordArena, order []int64) error {
 	return nil
 }
 
+// AppendAll appends every row of src (records and keys, byte-wise) — the
+// bulk-extension primitive resumable sampling uses to merge a newly drawn
+// round into a growing sample. Schemas must have identical row widths;
+// rows are copied, so src may be discarded or reused afterwards.
+func (a *RecordArena) AppendAll(src *RecordArena) error {
+	if src.w != a.w {
+		return fmt.Errorf("value: arena append across schemas %s and %s", src.schema, a.schema)
+	}
+	a.recs = append(a.recs, src.recs...)
+	a.keys = append(a.keys, src.keys...)
+	a.n += src.n
+	return nil
+}
+
 // ProjectTo appends every row of the arena, restricted to the columns at
 // positions proj (which must match dst's schema), into dst. Projection is a
 // per-column byte-range copy out of the record and key buffers: both

@@ -235,6 +235,33 @@ func TrueCF(src core.RowScanner, keyCols []string, codec Codec, pageSize int) (C
 	return core.TrueCF(src, keyCols, codec, pageSize)
 }
 
+// --- adaptive (precision-targeted) estimation ---------------------------------
+
+// Precision is an accuracy target for adaptive estimation: the requested
+// CI half-width on CF, the confidence level, and the row budget.
+type Precision = core.Precision
+
+// AdaptiveEstimation is the outcome of a precision-targeted estimation:
+// the estimate, the achieved confidence interval, the rounds run, and
+// whether the target was met within the row budget.
+type AdaptiveEstimation = core.AdaptiveResult
+
+// EstimateAdaptive runs SampleCF driven to a precision target instead of a
+// fixed sample size: the sample grows in resumable rounds (estimate →
+// CI-check → extend, never redrawing earlier rows) until CF is known to
+// within target.TargetError at target.Confidence or target.MaxSampleRows
+// is exhausted. Options.SampleRows/Fraction, when set, seed the first
+// round's size.
+func EstimateAdaptive(table *Table, opts Options, target Precision) (AdaptiveEstimation, error) {
+	return core.SampleCFAdaptive(table, table.Schema(), opts, target)
+}
+
+// EstimateVirtualAdaptive is EstimateAdaptive for a virtual table: the
+// constant-memory path for precision-targeting tables too big to hold.
+func EstimateVirtualAdaptive(table *VirtualTable, opts Options, target Precision) (AdaptiveEstimation, error) {
+	return core.SampleCFAdaptive(table, table.Schema(), opts, target)
+}
+
 // BootstrapInterval is a resampling-based confidence interval for a CF
 // estimate. Sound for additive codecs (null suppression); biased low for
 // cardinality-sensitive codecs — see the core.Bootstrap documentation.
@@ -242,20 +269,14 @@ type BootstrapInterval = core.BootstrapCI
 
 // EstimateWithBootstrap runs SampleCF (uniform WR) and derives a percentile
 // bootstrap interval from the same sample. resamples ≥ 10; alpha = 0.05
-// yields a 95% interval.
+// yields a 95% interval. The sample travels as an arena (the estimator's
+// own format), so the bootstrap allocates nothing per row.
 func EstimateWithBootstrap(table *Table, opts Options, resamples int, alpha float64) (Estimation, BootstrapInterval, error) {
-	est, rows, err := core.SampleCFWithRows(table, table.Schema(), opts)
+	est, sample, err := core.SampleCFWithSample(table, table.Schema(), opts)
 	if err != nil {
 		return Estimation{}, BootstrapInterval{}, err
 	}
-	keySchema := table.Schema()
-	if len(opts.KeyColumns) > 0 {
-		keySchema, err = table.Schema().Project(opts.KeyColumns...)
-		if err != nil {
-			return Estimation{}, BootstrapInterval{}, err
-		}
-	}
-	ci, err := core.Bootstrap(rows, keySchema, opts.Codec, opts.PageSize, resamples, alpha, opts.Seed+0x5eed)
+	ci, err := core.Bootstrap(sample, opts.Codec, opts.PageSize, resamples, alpha, opts.Seed+0x5eed)
 	if err != nil {
 		return Estimation{}, BootstrapInterval{}, err
 	}

@@ -194,3 +194,30 @@ func TestPublicEstimateWithBootstrap(t *testing.T) {
 		t.Fatalf("truth %v wildly outside interval [%v,%v] (sd %v)", truth.CF(), ci.Lo, ci.Hi, ci.SD)
 	}
 }
+
+func TestPublicEstimateAdaptive(t *testing.T) {
+	tab := demoTable(t, 50000, 300)
+	codec, err := samplecf.LookupCodec("nullsuppression")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := samplecf.EstimateAdaptive(tab,
+		samplecf.Options{Codec: codec, Seed: 4},
+		samplecf.Precision{TargetError: 0.025, Confidence: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.AchievedError > 0.025 {
+		t.Fatalf("adaptive run: converged=%v achieved=±%v", res.Converged, res.AchievedError)
+	}
+	if res.Estimate.SampleRows >= tab.NumRows() {
+		t.Fatalf("adaptive spent %d rows on a %d-row table", res.Estimate.SampleRows, tab.NumRows())
+	}
+	truth, err := samplecf.TrueCF(tab, nil, codec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.CF() < res.CILo || truth.CF() > res.CIHi {
+		t.Fatalf("truth %v outside achieved interval [%v,%v]", truth.CF(), res.CILo, res.CIHi)
+	}
+}
