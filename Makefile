@@ -26,11 +26,13 @@ BENCHTIME ?= 1s
 
 # bench records the perf trajectory of the hot paths — the engine's
 # epoch-keyed cache (must stay O(1) in table size), the maintained-sample
-# fast path, the shared-sample batch, and BenchmarkAdaptiveVsFixed's
+# fast path, the shared-sample batch, BenchmarkAdaptiveVsFixed's
 # rows-sampled-for-equal-accuracy comparison (rows/est + err_pts custom
-# metrics) — as a machine-readable artifact.
+# metrics), and the sort subsystem (BenchmarkPrepareSort's radix-vs-stdsort
+# pairs, BenchmarkTrueCFParallel's worker sweep) — as a machine-readable
+# artifact.
 bench:
-	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/engine . \
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/engine ./internal/core . \
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson > BENCH_engine.json
 	@echo "wrote BENCH_engine.json"
@@ -41,7 +43,7 @@ bench:
 # are too noisy to gate on); run locally with the default BENCHTIME before
 # sending a perf-sensitive change.
 bench-diff:
-	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/engine . \
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/engine ./internal/core . \
 		| $(GO) run ./cmd/benchjson -diff BENCH_engine.json
 
 # bench-race drives the estimation hot path — pooled codec scratch,

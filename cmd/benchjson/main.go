@@ -23,7 +23,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -132,7 +132,7 @@ func diff(w *os.File, path string, fresh *document, threshold float64) (bool, er
 		}
 		lines = append(lines, line{name: name, text: text, regressed: bad})
 	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	slices.SortFunc(lines, func(a, b line) int { return strings.Compare(a.name, b.name) })
 	for _, l := range lines {
 		fmt.Fprintln(w, l.text)
 	}

@@ -254,6 +254,8 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"precision_hits":   st.PrecisionHits,
 		"adaptive_rounds":  st.AdaptiveRounds,
 		"adaptive_rows":    st.AdaptiveRows,
+		"prepare_nanos":    st.PrepareNanos,
+		"sort_rows":        st.SortRows,
 		"tables":           tables,
 	})
 }

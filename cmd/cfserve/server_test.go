@@ -165,6 +165,46 @@ func TestEstimateEndpoint(t *testing.T) {
 	}
 }
 
+// TestStatsPrepareCounters pins the sort-subsystem ledger end to end: an
+// estimate that misses the cache runs one prepare (encode + radix sort +
+// profile), so /stats must advance prepare_nanos and sort_rows by exactly
+// that build, and a cache hit must leave them untouched.
+func TestStatsPrepareCounters(t *testing.T) {
+	ts, _ := newTestServer(t)
+	var before map[string]any
+	getJSON(t, ts.URL+"/stats", &before)
+	for _, k := range []string{"prepare_nanos", "sort_rows"} {
+		if _, ok := before[k]; !ok {
+			t.Fatalf("/stats missing %q", k)
+		}
+	}
+	code := postJSON(t, ts.URL+"/estimate",
+		`{"table":"demo","columns":["region"],"codec":"rle","sample_rows":400,"seed":11}`, nil)
+	if code != http.StatusOK {
+		t.Fatalf("estimate status %d", code)
+	}
+	var after map[string]any
+	getJSON(t, ts.URL+"/stats", &after)
+	if after["prepare_nanos"].(float64) <= before["prepare_nanos"].(float64) {
+		t.Errorf("prepare_nanos did not advance: %v -> %v", before["prepare_nanos"], after["prepare_nanos"])
+	}
+	wantRows := before["sort_rows"].(float64) + 400
+	if after["sort_rows"].(float64) != wantRows {
+		t.Errorf("sort_rows = %v, want %v", after["sort_rows"], wantRows)
+	}
+	// A cache hit runs no prepare: both counters hold still.
+	postJSON(t, ts.URL+"/estimate",
+		`{"table":"demo","columns":["region"],"codec":"rle","sample_rows":400,"seed":11}`, nil)
+	var cached map[string]any
+	getJSON(t, ts.URL+"/stats", &cached)
+	if cached["sort_rows"].(float64) != wantRows {
+		t.Errorf("cache hit moved sort_rows: %v -> %v", wantRows, cached["sort_rows"])
+	}
+	if cached["prepare_nanos"].(float64) != after["prepare_nanos"].(float64) {
+		t.Errorf("cache hit moved prepare_nanos: %v -> %v", after["prepare_nanos"], cached["prepare_nanos"])
+	}
+}
+
 func TestWhatIfEndpoint(t *testing.T) {
 	ts, _ := newTestServer(t)
 	var out struct {

@@ -23,7 +23,7 @@ package catalog
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -164,7 +164,7 @@ func (c *Catalog) Names() []string {
 	for n := range c.tables {
 		out = append(out, n)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -4,7 +4,7 @@ import (
 	"container/heap"
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"samplecf/internal/value"
@@ -254,11 +254,11 @@ func canonicalCodes(lens []byte) [256]hCode {
 			syms = append(syms, sl{s, l})
 		}
 	}
-	sort.Slice(syms, func(i, j int) bool {
-		if syms[i].l != syms[j].l {
-			return syms[i].l < syms[j].l
+	slices.SortFunc(syms, func(a, b sl) int {
+		if a.l != b.l {
+			return int(a.l) - int(b.l)
 		}
-		return syms[i].sym < syms[j].sym
+		return a.sym - b.sym
 	})
 	var codes [256]hCode
 	code := uint64(0)

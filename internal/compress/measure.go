@@ -2,12 +2,12 @@ package compress
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"samplecf/internal/btree"
 	"samplecf/internal/page"
 	"samplecf/internal/value"
+	"samplecf/internal/workgroup"
 )
 
 // MeasureTree compresses the leaf level of an index with codec and returns
@@ -64,21 +64,13 @@ var pageViewPool = sync.Pool{
 	New: func() any { v := make([][]byte, 0, 512); return &v },
 }
 
-// maxMeasureWorkers bounds the per-measurement page-compression fan-out; the
-// engine already parallelizes across candidates, so a small group per
-// candidate is enough to soak up leftover cores without oversubscribing.
-const maxMeasureWorkers = 8
-
-// measureWorkers returns the page fan-out width for a page count.
+// measureWorkers returns the page fan-out width for a page count: the
+// shared bounded worker-group discipline (workgroup.Limit) that every
+// per-operation parallel stage — page compression here, bucket recursion
+// in sortkeys, sharded ground-truth scans — follows, because the engine
+// already parallelizes across candidates.
 func measureWorkers(pages int) int {
-	w := runtime.GOMAXPROCS(0)
-	if w > maxMeasureWorkers {
-		w = maxMeasureWorkers
-	}
-	if w > pages {
-		w = pages
-	}
-	return w
+	return workgroup.Limit(pages)
 }
 
 // MeasureArena is the estimation hot path: it compresses the rowsPerPage-

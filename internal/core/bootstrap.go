@@ -2,11 +2,12 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"samplecf/internal/compress"
 	"samplecf/internal/rng"
 	"samplecf/internal/sampling"
+	"samplecf/internal/sortkeys"
 	"samplecf/internal/stats"
 	"samplecf/internal/value"
 )
@@ -76,7 +77,7 @@ func Bootstrap(sample *value.RecordArena, codec compress.Codec,
 		// Re-sort: the index on the resample is ordered (Fig. 2 step 2).
 		// Keys are bijective with records, so tie order cannot change the
 		// measured byte stream.
-		sort.Sort(&arenaSorter{keys: sample.Keys(), w: sample.RowWidth(), perm: perm})
+		sortkeys.Sort(sample.Keys(), sample.RowWidth(), perm)
 		for i, pi := range perm {
 			recs[i] = sample.Rec(int(pi))
 		}
@@ -87,7 +88,7 @@ func Bootstrap(sample *value.RecordArena, codec compress.Codec,
 		cfs = append(cfs, res.CF())
 		acc.Add(res.CF())
 	}
-	sort.Float64s(cfs)
+	slices.Sort(cfs)
 	return BootstrapCI{
 		Lo:        stats.Quantile(cfs, alpha/2),
 		Hi:        stats.Quantile(cfs, 1-alpha/2),

@@ -18,7 +18,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 	"time"
 
 	"samplecf/internal/btree"
@@ -28,7 +28,9 @@ import (
 	"samplecf/internal/page"
 	"samplecf/internal/rng"
 	"samplecf/internal/sampling"
+	"samplecf/internal/sortkeys"
 	"samplecf/internal/value"
+	"samplecf/internal/workgroup"
 )
 
 // Method selects the sampling scheme for step 1.
@@ -329,95 +331,27 @@ func prepareProjected(rows []value.Row, n int64, keySchema *value.Schema, projec
 	return p, nil
 }
 
-// arenaSorter sorts a permutation over arena rows by memcomparable key —
-// a concrete sort.Interface, so the inner loop carries no closure captures
-// and no per-comparison allocations.
-type arenaSorter struct {
-	keys []byte
-	w    int
-	perm []int32
-}
-
-func (s *arenaSorter) Len() int { return len(s.perm) }
-func (s *arenaSorter) Less(i, j int) bool {
-	a := int(s.perm[i]) * s.w
-	b := int(s.perm[j]) * s.w
-	return bytes.Compare(s.keys[a:a+s.w], s.keys[b:b+s.w]) < 0
-}
-func (s *arenaSorter) Swap(i, j int) { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] }
-
-// smallRunCap bounds the stack-allocated run-length histogram; runs longer
-// than this (a value occupying >512 sample rows) spill to a tiny slice.
-const smallRunCap = 512
-
-// prepareArena runs the sort and profile passes over an encoded arena.
+// prepareArena runs the fused sort+profile pass over an encoded arena: one
+// MSD radix sort of the key permutation that emits the run-length frequency
+// profile as a by-product (internal/sortkeys), replacing the former
+// comparison sort plus separate profiling pass.
 func prepareArena(ar *value.RecordArena, n int64, keySchema *value.Schema) (*PreparedIndex, error) {
 	buildStart := time.Now()
 	perm := make([]int32, ar.Len())
 	for i := range perm {
 		perm[i] = int32(i)
 	}
-	sort.Sort(&arenaSorter{keys: ar.Keys(), w: ar.RowWidth(), perm: perm})
+	freqs := sortkeys.SortProfile(ar.Keys(), ar.RowWidth(), perm)
 
 	p := &PreparedIndex{
 		keySchema: keySchema,
 		ar:        ar,
 		perm:      perm,
-		freqs:     runLengthFreqs(ar, perm),
+		freqs:     freqs,
 		n:         n,
 	}
 	p.prepDur = time.Since(buildStart)
 	return p, nil
-}
-
-// runLengthFreqs computes d' and the frequency profile from a key-sorted
-// permutation in one pass, accumulated as run-length counts (no map):
-// counts[l] is the number of distinct keys occupying exactly l sample rows.
-func runLengthFreqs(ar *value.RecordArena, perm []int32) []distinct.FreqCount {
-	var counts [smallRunCap + 1]int64
-	var overflow []int64
-	w := ar.RowWidth()
-	keys := ar.Keys()
-	runLen := int64(0)
-	for i := range perm {
-		if i > 0 {
-			a := int(perm[i]) * w
-			b := int(perm[i-1]) * w
-			if !bytes.Equal(keys[a:a+w], keys[b:b+w]) {
-				if runLen <= smallRunCap {
-					counts[runLen]++
-				} else {
-					overflow = append(overflow, runLen)
-				}
-				runLen = 0
-			}
-		}
-		runLen++
-	}
-	if len(perm) > 0 {
-		if runLen <= smallRunCap {
-			counts[runLen]++
-		} else {
-			overflow = append(overflow, runLen)
-		}
-	}
-	var freqs []distinct.FreqCount
-	for l := int64(1); l <= smallRunCap; l++ {
-		if counts[l] > 0 {
-			freqs = append(freqs, distinct.FreqCount{Count: l, Num: counts[l]})
-		}
-	}
-	if len(overflow) > 0 {
-		sort.Slice(overflow, func(i, j int) bool { return overflow[i] < overflow[j] })
-		for _, l := range overflow {
-			if len(freqs) > 0 && freqs[len(freqs)-1].Count == l {
-				freqs[len(freqs)-1].Num++
-			} else {
-				freqs = append(freqs, distinct.FreqCount{Count: l, Num: 1})
-			}
-		}
-	}
-	return freqs
 }
 
 // ExtendFromArena merges a batch of newly drawn rows (already projected to
@@ -455,7 +389,7 @@ func (p *PreparedIndex) ExtendFromArena(extra *value.RecordArena) error {
 	}
 	w := p.ar.RowWidth()
 	keys := p.ar.Keys()
-	sort.Sort(&arenaSorter{keys: keys, w: w, perm: newPerm})
+	sortkeys.Sort(keys, w, newPerm)
 	merged := make([]int32, 0, old+extra.Len())
 	i, j := 0, 0
 	for i < len(p.perm) && j < len(newPerm) {
@@ -472,13 +406,18 @@ func (p *PreparedIndex) ExtendFromArena(extra *value.RecordArena) error {
 	merged = append(merged, p.perm[i:]...)
 	merged = append(merged, newPerm[j:]...)
 	p.perm = merged
-	p.freqs = runLengthFreqs(p.ar, p.perm)
+	p.freqs = sortkeys.ProfileSorted(keys, w, p.perm)
 	p.prepDur += time.Since(start)
 	return nil
 }
 
 // KeySchema returns the index key schema.
 func (p *PreparedIndex) KeySchema() *value.Schema { return p.keySchema }
+
+// PrepDuration returns the cumulative encode+sort+profile time spent
+// building (and extending) this prepared index — the engine's PrepareNanos
+// counter aggregates it across requests.
+func (p *PreparedIndex) PrepDuration() time.Duration { return p.prepDur }
 
 // SampleRows returns the realized sample size r.
 func (p *PreparedIndex) SampleRows() int64 { return int64(p.ar.Len()) }
@@ -601,10 +540,34 @@ type RowScanner interface {
 	Scan(fn func(i int64, row value.Row) error) error
 }
 
+// trueCFShardRows is the minimum rows per scan shard: below this the
+// goroutine handoff costs more than the encode it parallelizes.
+const trueCFShardRows = 16384
+
 // TrueCF computes the exact compression fraction of the index I(S) on the
 // FULL table: the ground truth SampleCF estimates, obtained the expensive
 // way the paper's introduction warns about (build + compress everything).
+//
+// The computation is sharded across the same bounded worker group as the
+// rest of the hot path (≤ min(GOMAXPROCS, workgroup.MaxWorkers)): sources
+// that opt into whole-scan stability (sampling.StableRowSource — frozen
+// rows and concurrency-safe Row, as materialized and virtual workload
+// tables are; live db tables stay on the sequential lock-holding Scan)
+// have their scan+encode partitioned into contiguous row ranges filled in
+// parallel, the key sort partitions into leading-byte buckets sorted and
+// profiled independently (internal/sortkeys), and page compression fans out
+// per page (compress.MeasureArena). Every partition is order-preserving, so
+// the result is byte-identical to the sequential scan→sort→measure.
 func TrueCF(src RowScanner, keyCols []string, codec compress.Codec, pageSize int) (compress.Result, error) {
+	return trueCF(src, keyCols, codec, pageSize, 0)
+}
+
+// trueCF is TrueCF with the worker-group width pinned (tests prove
+// width-independence, benchmarks compare widths): workers ≤ 0 lets each
+// stage size its own fan-out — the scan by rows per shard, the sort by
+// bucket count — since one shared width would undersize whichever stage
+// has more parallelism available; workers == 1 runs fully sequentially.
+func trueCF(src RowScanner, keyCols []string, codec compress.Codec, pageSize, workers int) (compress.Result, error) {
 	if pageSize == 0 {
 		pageSize = page.DefaultSize
 	}
@@ -613,21 +576,84 @@ func TrueCF(src RowScanner, keyCols []string, codec compress.Codec, pageSize int
 	if err != nil {
 		return compress.Result{}, err
 	}
+	scanWorkers := workers
+	if scanWorkers <= 0 {
+		scanWorkers = workgroup.Limit(int(src.NumRows()) / trueCFShardRows)
+	}
 	ar := value.NewRecordArena(keySchema, int(src.NumRows()))
-	krow := make(value.Row, keySchema.NumColumns())
-	err = src.Scan(func(_ int64, row value.Row) error {
-		for i, p := range project {
-			krow[i] = row[p]
-		}
-		return ar.Append(krow)
-	})
-	if err != nil {
+	if err := scanIntoArena(src, ar, project, scanWorkers); err != nil {
 		return compress.Result{}, fmt.Errorf("core: true CF scan: %w", err)
 	}
 	perm := make([]int32, ar.Len())
 	for i := range perm {
 		perm[i] = int32(i)
 	}
-	sort.Sort(&arenaSorter{keys: ar.Keys(), w: ar.RowWidth(), perm: perm})
+	if workers <= 0 {
+		sortkeys.Sort(ar.Keys(), ar.RowWidth(), perm)
+	} else {
+		sortkeys.SortWorkers(ar.Keys(), ar.RowWidth(), perm, workers)
+	}
 	return compress.MeasureArena(keySchema, codec, ar, perm, compress.RowsPerPage(keySchema, pageSize))
+}
+
+// scanIntoArena fills ar with the key projection of every row of src, row i
+// of the table at arena slot i. Sources marked scan-stable shard the scan
+// across the worker group — the arena is pre-grown and each worker encodes
+// a contiguous row range into its disjoint slots, preserving scan order
+// exactly — with a sequential Scan fallback for everything else. The gate
+// is sampling.StableRowSource, not bare Row access: a mutable table's Row
+// can be individually lock-safe while writers commit between calls, and
+// only the lock-holding Scan gives such sources a consistent snapshot.
+func scanIntoArena(src RowScanner, ar *value.RecordArena, project []int, workers int) error {
+	n := int(src.NumRows())
+	rs, ok := src.(sampling.StableRowSource)
+	if !ok || workers <= 1 {
+		krow := make(value.Row, len(project))
+		return src.Scan(func(_ int64, row value.Row) error {
+			for i, p := range project {
+				krow[i] = row[p]
+			}
+			return ar.Append(krow)
+		})
+	}
+	ar.Grow(n)
+	chunk := (n + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			krow := make(value.Row, len(project))
+			for i := lo; i < hi; i++ {
+				row, err := rs.Row(int64(i))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				for c, p := range project {
+					krow[c] = row[p]
+				}
+				if err := ar.SetRow(i, krow); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

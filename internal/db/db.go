@@ -22,7 +22,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"samplecf/internal/btree"
@@ -144,7 +144,7 @@ func (d *Database) TableNames() []string {
 	for n := range d.tables {
 		out = append(out, n)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -473,7 +473,7 @@ func (t *Table) CreateIndex(name string, keyCols []string, codec compress.Codec)
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(ents, func(i, j int) bool { return bytes.Compare(ents[i].key, ents[j].key) < 0 })
+	slices.SortFunc(ents, func(a, b ent) int { return bytes.Compare(a.key, b.key) })
 	items := make([]btree.Item, len(ents))
 	for i, e := range ents {
 		items[i] = btree.Item{Key: e.key, Payload: e.payload}
@@ -503,7 +503,7 @@ func (t *Table) IndexNames() []string {
 	for n := range t.indexes {
 		out = append(out, n)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -21,7 +21,7 @@ package distinct
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Profile summarizes a sample for distinct-value estimation.
@@ -285,7 +285,7 @@ func Names() []string {
 	for i, e := range ests {
 		out[i] = e.Name()
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

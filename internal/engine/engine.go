@@ -171,6 +171,11 @@ type Stats struct {
 	// AdaptiveRounds and AdaptiveRows total the estimate→extend rounds
 	// run and the rows drawn by adaptive requests (cache hits excluded).
 	AdaptiveRounds, AdaptiveRows uint64
+	// PrepareNanos totals wall time spent in the prepare stage (encode +
+	// radix sort + profile, including adaptive extensions); SortRows totals
+	// the rows those builds sorted. Together they expose the per-row cost
+	// of the sort subsystem: PrepareNanos/SortRows is the live ns/row.
+	PrepareNanos, SortRows uint64
 	// CacheEntries is the current LRU size; PrecisionEntries the current
 	// precision-cache size.
 	CacheEntries     int
@@ -196,6 +201,7 @@ type Engine struct {
 	prepared, evaluated             atomic.Uint64
 	precisionHits                   atomic.Uint64
 	adaptiveRounds, adaptiveRows    atomic.Uint64
+	prepareNanos, sortRows          atomic.Uint64
 }
 
 // New starts an engine with cfg's worker pool.
@@ -250,6 +256,8 @@ func (e *Engine) Stats() Stats {
 		PrecisionHits:    e.precisionHits.Load(),
 		AdaptiveRounds:   e.adaptiveRounds.Load(),
 		AdaptiveRows:     e.adaptiveRows.Load(),
+		PrepareNanos:     e.prepareNanos.Load(),
+		SortRows:         e.sortRows.Load(),
 		CacheEntries:     e.cache.Len(),
 		PrecisionEntries: e.precision.Len(),
 	}
@@ -540,6 +548,10 @@ func (e *Engine) evaluate(ctx context.Context, it *batchItem) Result {
 	pg.once.Do(func() {
 		e.prepared.Add(1)
 		pg.prep, pg.err = core.PrepareFromArena(sg.ar, sg.table.NumRows(), pg.keyCols)
+		if pg.err == nil {
+			e.prepareNanos.Add(uint64(pg.prep.PrepDuration().Nanoseconds()))
+			e.sortRows.Add(uint64(pg.prep.SampleRows()))
+		}
 	})
 	if pg.err != nil {
 		return Result{Err: fmt.Errorf("engine: request %d: prepare index: %w", it.idx, pg.err)}
@@ -816,6 +828,10 @@ func (e *Engine) adaptiveLoop(ctx context.Context, req Request, opts core.Option
 	}
 	e.adaptiveRounds.Add(uint64(res.Rounds))
 	e.adaptiveRows.Add(uint64(res.Estimate.SampleRows))
+	// PrepDuration and SampleRows here include every extension round's
+	// incremental sort+merge, so the prepare ledger covers adaptive growth.
+	e.prepareNanos.Add(uint64(prep.PrepDuration().Nanoseconds()))
+	e.sortRows.Add(uint64(prep.SampleRows()))
 	return res, nil
 }
 

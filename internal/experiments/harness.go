@@ -3,7 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -74,9 +74,9 @@ func All() []Experiment {
 	for _, e := range registry {
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool {
+	slices.SortFunc(out, func(a, b Experiment) int {
 		// E1..E10: numeric-aware ordering.
-		return idOrder(out[i].ID) < idOrder(out[j].ID)
+		return idOrder(a.ID) - idOrder(b.ID)
 	})
 	return out
 }

@@ -13,9 +13,10 @@
 package physdesign
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"samplecf/internal/catalog"
@@ -383,8 +384,8 @@ func Recommend(cands []Candidate, queries []Query, budgetBytes int64, opts Optio
 		}
 		scoredList = append(scoredList, scored{s: s, benefit: b, density: density})
 	}
-	sort.SliceStable(scoredList, func(i, j int) bool {
-		return scoredList[i].density > scoredList[j].density
+	slices.SortStableFunc(scoredList, func(a, b scored) int {
+		return cmp.Compare(b.density, a.density)
 	})
 
 	var rec Recommendation

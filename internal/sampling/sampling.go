@@ -31,6 +31,22 @@ type RowSource interface {
 	Row(i int64) (value.Row, error)
 }
 
+// StableRowSource marks a RowSource whose row set is frozen while readers
+// hold it: Row is safe to call from many goroutines AND the rows cannot
+// change between two calls, so a multi-goroutine sweep over [0, NumRows())
+// observes one consistent table state. Materialized workload tables (rows
+// mutate only through explicit re-layout calls the owner serializes around
+// readers) and virtual tables (pure functions of the row index) qualify;
+// live db tables do NOT — their Row is individually lock-safe but writers
+// may commit between calls, so whole-scan consistency there requires the
+// lock-holding Scan. Sharded full-table reads (core.TrueCF) parallelize
+// only over sources that opt in via this marker.
+type StableRowSource interface {
+	RowSource
+	// StableRows is a marker; it performs no work.
+	StableRows()
+}
+
 // Stream is a one-pass row iterator, the input shape for reservoir and
 // Bernoulli sampling.
 type Stream interface {

@@ -1,0 +1,53 @@
+package sortkeys
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSortProfile feeds arbitrary byte soup through the radix sort at
+// several worker widths and cross-checks the permutation's key sequence
+// and fused profile against the sort.Sort oracle. The corpus seeds cover
+// the structural edge cases; CI runs a short -fuzztime smoke on top.
+func FuzzSortProfile(f *testing.F) {
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{0x00}, uint8(1))
+	f.Add(bytes.Repeat([]byte{0x7F}, 64), uint8(4))
+	f.Add([]byte("abcabcabcabcabcabc"), uint8(3))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}, uint8(8))
+	f.Add(bytes.Repeat([]byte{0xFF, 0x00}, 600), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, widthSeed uint8) {
+		w := int(widthSeed%16) + 1
+		n := len(data) / w
+		keys := data[:n*w]
+
+		refPerm := identity(n)
+		wantProfile := refSortProfile(keys, w, refPerm)
+		for _, workers := range []int{1, 3} {
+			perm := identity(n)
+			got := SortProfileWorkers(keys, w, perm, workers)
+			seen := make([]bool, n)
+			for _, p := range perm {
+				if p < 0 || int(p) >= n || seen[p] {
+					t.Fatalf("workers=%d: not a permutation (index %d)", workers, p)
+				}
+				seen[p] = true
+			}
+			for i := 0; i < n; i++ {
+				a := int(perm[i]) * w
+				b := int(refPerm[i]) * w
+				if !bytes.Equal(keys[a:a+w], keys[b:b+w]) {
+					t.Fatalf("workers=%d: key sequence diverges from oracle at %d", workers, i)
+				}
+			}
+			if len(got) != len(wantProfile) {
+				t.Fatalf("workers=%d: profile %v, oracle %v", workers, got, wantProfile)
+			}
+			for i := range got {
+				if got[i] != wantProfile[i] {
+					t.Fatalf("workers=%d: profile %v, oracle %v", workers, got, wantProfile)
+				}
+			}
+		}
+	})
+}

@@ -6,7 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Accumulator computes streaming mean/variance via Welford's algorithm,
@@ -205,7 +205,7 @@ func Summarize(values []float64) Summary {
 	}
 	s.CI95Lo, s.CI95Hi = acc.MeanCI95()
 	if len(values) > 0 {
-		sort.Float64s(values)
+		slices.Sort(values)
 		s.P50 = Quantile(values, 0.5)
 		s.P95 = Quantile(values, 0.95)
 		s.P99 = Quantile(values, 0.99)

@@ -167,6 +167,36 @@ func (a *RecordArena) MoveRow(dst, src int) {
 	copy(a.keys[dst*a.w:(dst+1)*a.w], a.keys[src*a.w:(src+1)*a.w])
 }
 
+// Grow appends n zeroed rows, extending the arena to Len()+n. The new
+// slots hold no valid encoding until overwritten; pair with SetRow, which
+// rewrites a slot's record and key bytes completely. Pre-growing and
+// filling disjoint slot ranges from multiple goroutines is the parallel
+// bulk-ingestion pattern sharded full-table scans use — SetRow touches
+// only its own row's byte ranges, so disjoint slots never race.
+func (a *RecordArena) Grow(n int) {
+	if n <= 0 {
+		return
+	}
+	a.recs = zeroExtend(a.recs, n*a.w)
+	a.keys = zeroExtend(a.keys, n*a.w)
+	a.n += n
+}
+
+// zeroExtend lengthens b by n zeroed bytes without the transient zero
+// buffer append(b, make([]byte, n)...) would build: when capacity is
+// already reserved (NewRecordArena pre-sizes for the caller's row count)
+// it reslices in place and clears only the exposed region, which may hold
+// stale bytes from a previous Truncate or Reset.
+func zeroExtend(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		m := len(b)
+		b = b[:m+n]
+		clear(b[m:])
+		return b
+	}
+	return append(b, make([]byte, n)...)
+}
+
 // Truncate shortens the arena to n rows.
 func (a *RecordArena) Truncate(n int) {
 	if n < 0 || n > a.n {

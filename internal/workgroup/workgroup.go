@@ -1,0 +1,65 @@
+// Package workgroup is the shared bounded-fan-out discipline of the
+// estimation hot paths. Every per-operation parallel stage in the system —
+// compress.MeasureArena's page fan-out, sortkeys' bucket recursion, the
+// sharded TrueCF ground-truth scan — uses the same bound: at most
+// min(GOMAXPROCS, MaxWorkers) goroutines per operation, because the layers
+// above (the engine's worker pool, the advisor's batch) already parallelize
+// across operations and a wide per-operation fan-out would oversubscribe
+// the machine.
+package workgroup
+
+import "runtime"
+
+// MaxWorkers caps one operation's fan-out regardless of core count; a
+// small group per operation soaks up leftover cores without starving the
+// candidate-level parallelism above it.
+const MaxWorkers = 8
+
+// Limit returns the worker-group width for an operation with `units`
+// independent pieces of work: min(GOMAXPROCS, MaxWorkers, units), never
+// below 1. Callers treat a return of 1 as "run sequentially".
+func Limit(units int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > MaxWorkers {
+		w = MaxWorkers
+	}
+	if w > units {
+		w = units
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Sem is a counting semaphore bounding the EXTRA goroutines an operation
+// may spawn beyond its calling goroutine. A nil Sem admits no extra
+// goroutines — TryAcquire on it always fails — so sequential callers pass
+// nil instead of branching.
+type Sem chan struct{}
+
+// NewSem returns a semaphore admitting n extra goroutines (n ≤ 0 yields a
+// nil Sem: strictly sequential).
+func NewSem(n int) Sem {
+	if n <= 0 {
+		return nil
+	}
+	return make(Sem, n)
+}
+
+// TryAcquire claims a goroutine slot without blocking; the caller must
+// Release it when the goroutine exits.
+func (s Sem) TryAcquire() bool {
+	if s == nil {
+		return false
+	}
+	select {
+	case s <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot claimed by TryAcquire.
+func (s Sem) Release() { <-s }

@@ -1,0 +1,49 @@
+package workgroup
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestLimit(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	want := func(units int) int {
+		w := procs
+		if w > MaxWorkers {
+			w = MaxWorkers
+		}
+		if w > units {
+			w = units
+		}
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+	for _, units := range []int{-1, 0, 1, 2, 7, 8, 9, 1000} {
+		if got := Limit(units); got != want(units) {
+			t.Errorf("Limit(%d) = %d, want %d", units, got, want(units))
+		}
+	}
+}
+
+func TestSem(t *testing.T) {
+	if NewSem(0) != nil || NewSem(-1) != nil {
+		t.Fatal("non-positive capacity must yield a nil Sem")
+	}
+	var nilSem Sem
+	if nilSem.TryAcquire() {
+		t.Fatal("nil Sem must never admit a goroutine")
+	}
+	s := NewSem(2)
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("fresh Sem(2) must admit two")
+	}
+	if s.TryAcquire() {
+		t.Fatal("exhausted Sem must refuse")
+	}
+	s.Release()
+	if !s.TryAcquire() {
+		t.Fatal("released slot must be reusable")
+	}
+}

@@ -2,7 +2,7 @@ package workload
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"samplecf/internal/catalog"
 	"samplecf/internal/rng"
@@ -143,6 +143,11 @@ func (t *Table) Row(i int64) (value.Row, error) {
 // Rows exposes the backing slice (not a copy; callers must not mutate).
 func (t *Table) Rows() []value.Row { return t.rows }
 
+// StableRows marks the table as a sampling.StableRowSource: rows only move
+// through the explicit re-layout calls (SortByColumn, Shuffle) the owner
+// serializes around readers, so concurrent sweeps see one frozen state.
+func (t *Table) StableRows() {}
+
 // Scan iterates all rows in storage order.
 func (t *Table) Scan(fn func(i int64, row value.Row) error) error {
 	for i, r := range t.rows {
@@ -159,8 +164,8 @@ func (t *Table) Scan(fn func(i int64, row value.Row) error) error {
 // stale.
 func (t *Table) SortByColumn(col int) {
 	typ := t.schema.Column(col).Type
-	sort.SliceStable(t.rows, func(i, j int) bool {
-		return value.CompareValues(typ, t.rows[i][col], t.rows[j][col]) < 0
+	slices.SortStableFunc(t.rows, func(a, b value.Row) int {
+		return value.CompareValues(typ, a[col], b[col])
 	})
 	t.Bump()
 }
@@ -242,6 +247,10 @@ func (v *VirtualTable) Schema() *value.Schema { return v.schema }
 
 // NumRows implements sampling.RowSource.
 func (v *VirtualTable) NumRows() int64 { return v.spec.N }
+
+// StableRows marks the table as a sampling.StableRowSource: rows are pure
+// functions of the row index, so any sweep is trivially consistent.
+func (v *VirtualTable) StableRows() {}
 
 // Row implements sampling.RowSource.
 func (v *VirtualTable) Row(i int64) (value.Row, error) {
