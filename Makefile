@@ -28,26 +28,31 @@ BENCHTIME ?= 1s
 # epoch-keyed cache (must stay O(1) in table size), the maintained-sample
 # fast path, the shared-sample batch, BenchmarkAdaptiveVsFixed's
 # rows-sampled-for-equal-accuracy comparison (rows/est + err_pts custom
-# metrics), and the sort subsystem (BenchmarkPrepareSort's radix-vs-stdsort
-# pairs, BenchmarkTrueCFParallel's worker sweep) — as a machine-readable
-# artifact.
+# metrics), the sort subsystem (BenchmarkPrepareSort's radix-vs-stdsort
+# pairs, BenchmarkTrueCFParallel's worker sweep), and the telemetry layer
+# (BenchmarkObsOverhead's instrumented-vs-noop cost per metric update) —
+# as a machine-readable artifact.
 bench:
-	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/engine ./internal/core . \
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/engine ./internal/core ./internal/obs . \
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson > BENCH_engine.json
 	@echo "wrote BENCH_engine.json"
 
 # bench-diff runs the same benchmarks and compares them against the
 # committed BENCH_engine.json, exiting nonzero on a >25% ns/op or
-# allocs/op regression. CI runs it as a non-blocking report (1x iterations
-# are too noisy to gate on); run locally with the default BENCHTIME before
-# sending a perf-sensitive change.
+# allocs/op regression — and on ANY allocs/op growth in
+# BenchmarkEstimateSampleSizes, whose zero-alloc steady state is a hard
+# contract of the estimation hot path. CI runs it as a non-blocking report
+# (1x iterations are too noisy to gate on); run locally with the default
+# BENCHTIME before sending a perf-sensitive change.
 bench-diff:
-	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/engine ./internal/core . \
-		| $(GO) run ./cmd/benchjson -diff BENCH_engine.json
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/engine ./internal/core ./internal/obs . \
+		| $(GO) run ./cmd/benchjson -diff BENCH_engine.json -allocs-exact 'BenchmarkEstimateSampleSizes'
 
 # bench-race drives the estimation hot path — pooled codec scratch,
-# parallel page compression, shared arenas — under the race detector so a
-# data race in pooling or fan-out cannot land silently.
+# parallel page compression, shared arenas — and the telemetry instruments
+# under the race detector so a data race in pooling, fan-out, or metric
+# updates cannot land silently.
 bench-race:
 	$(GO) test -race -bench EstimateSampleSizes -benchtime 1x -run '^$$' .
+	$(GO) test -race -bench ObsOverhead -benchtime 1x -run '^$$' ./internal/obs

@@ -14,6 +14,11 @@
 // report step (single-iteration CI runs are too noisy to gate merges on).
 //
 //	go test -bench . -benchmem -run '^$' ./... | benchjson -diff BENCH_engine.json
+//
+// -allocs-exact REGEX tightens the allocation gate for matching benchmarks:
+// any allocs/op growth at all fails, regardless of -threshold. `make
+// bench-diff` applies it to BenchmarkEstimateSampleSizes, whose zero-alloc
+// steady state is a hard contract of the estimation hot path.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"slices"
@@ -51,10 +57,21 @@ type document struct {
 
 func main() {
 	var (
-		diffPath  = flag.String("diff", "", "baseline JSON to compare the fresh run against (report mode)")
-		threshold = flag.Float64("threshold", 0.25, "relative ns/op or allocs/op growth that counts as a regression in -diff mode")
+		diffPath    = flag.String("diff", "", "baseline JSON to compare the fresh run against (report mode)")
+		threshold   = flag.Float64("threshold", 0.25, "relative ns/op or allocs/op growth that counts as a regression in -diff mode")
+		allocsExact = flag.String("allocs-exact", "", "regexp of benchmarks whose allocs/op must not grow AT ALL in -diff mode (zero-alloc guarantees; the ns/op threshold still applies)")
 	)
 	flag.Parse()
+
+	var exactRe *regexp.Regexp
+	if *allocsExact != "" {
+		re, err := regexp.Compile(*allocsExact)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -allocs-exact: %v\n", err)
+			os.Exit(1)
+		}
+		exactRe = re
+	}
 
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -62,7 +79,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *diffPath != "" {
-		regressed, err := diff(os.Stdout, *diffPath, doc, *threshold)
+		regressed, err := diff(os.Stdout, *diffPath, doc, *threshold, exactRe)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
@@ -89,8 +106,9 @@ func normalizeName(name string) string { return gomaxprocsSuffix.ReplaceAllStrin
 
 // diff compares the fresh results against the baseline document at path and
 // reports per-benchmark deltas. It returns true when any benchmark's ns/op
-// or allocs/op grew by more than threshold.
-func diff(w *os.File, path string, fresh *document, threshold float64) (bool, error) {
+// or allocs/op grew by more than threshold, or — for benchmarks matching
+// exactRe — when allocs/op grew at all (the zero-alloc contract).
+func diff(w io.Writer, path string, fresh *document, threshold float64, exactRe *regexp.Regexp) (bool, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return false, err
@@ -125,6 +143,10 @@ func diff(w *os.File, path string, fresh *document, threshold float64) (bool, er
 			aDelta := relDelta(float64(*old.AllocsPerOp), float64(*cur.AllocsPerOp))
 			text += fmt.Sprintf("  allocs %8d -> %8d (%+6.1f%%)", *old.AllocsPerOp, *cur.AllocsPerOp, 100*aDelta)
 			bad = bad || aDelta > threshold
+			if exactRe != nil && exactRe.MatchString(name) && *cur.AllocsPerOp > *old.AllocsPerOp {
+				text += "  ALLOCS-EXACT"
+				bad = true
+			}
 		}
 		if bad {
 			text += "  REGRESSION"

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, doc document) string {
+	t.Helper()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func allocs(n int64) *int64 { return &n }
+
+// TestDiffAllocsExact pins the zero-alloc gate: a 1% allocs/op growth is
+// far under the 25% threshold, but any growth at all fails a benchmark
+// matched by -allocs-exact.
+func TestDiffAllocsExact(t *testing.T) {
+	base := writeBaseline(t, document{Results: []result{
+		{Name: "BenchmarkEstimateSampleSizes/r=1000-8", NsPerOp: 1000, AllocsPerOp: allocs(100)},
+		{Name: "BenchmarkOther-8", NsPerOp: 1000, AllocsPerOp: allocs(100)},
+	}})
+	fresh := &document{Results: []result{
+		{Name: "BenchmarkEstimateSampleSizes/r=1000-8", NsPerOp: 1000, AllocsPerOp: allocs(101)},
+		{Name: "BenchmarkOther-8", NsPerOp: 1000, AllocsPerOp: allocs(101)},
+	}}
+
+	var out strings.Builder
+	regressed, err := diff(&out, base, fresh, 0.25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("1%% allocs growth regressed without -allocs-exact:\n%s", out.String())
+	}
+
+	out.Reset()
+	regressed, err = diff(&out, base, fresh, 0.25, regexp.MustCompile("BenchmarkEstimateSampleSizes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("allocs growth on matched benchmark did not regress:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ALLOCS-EXACT") {
+		t.Fatalf("report missing ALLOCS-EXACT marker:\n%s", out.String())
+	}
+	if strings.Count(out.String(), "ALLOCS-EXACT") != 1 {
+		t.Fatalf("unmatched benchmark also flagged:\n%s", out.String())
+	}
+}
+
+// TestDiffAllocsExactUnchanged checks equal allocs/op pass the exact gate.
+func TestDiffAllocsExactUnchanged(t *testing.T) {
+	base := writeBaseline(t, document{Results: []result{
+		{Name: "BenchmarkEstimateSampleSizes/r=1000-8", NsPerOp: 1000, AllocsPerOp: allocs(0)},
+	}})
+	fresh := &document{Results: []result{
+		{Name: "BenchmarkEstimateSampleSizes/r=1000-16", NsPerOp: 1100, AllocsPerOp: allocs(0)},
+	}}
+	var out strings.Builder
+	regressed, err := diff(&out, base, fresh, 0.25, regexp.MustCompile("BenchmarkEstimateSampleSizes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("unchanged allocs regressed:\n%s", out.String())
+	}
+}
+
+// TestParseBenchLine covers the custom-metric and -benchmem columns.
+func TestParseBenchLine(t *testing.T) {
+	doc, err := parse(bufio.NewScanner(strings.NewReader(
+		"goos: linux\npkg: samplecf/internal/engine\n" +
+			"BenchmarkX-8  100  250.5 ns/op  64 B/op  2 allocs/op  12.5 rows/est\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 1 {
+		t.Fatalf("parsed %d results", len(doc.Results))
+	}
+	r := doc.Results[0]
+	if r.NsPerOp != 250.5 || *r.BytesPerOp != 64 || *r.AllocsPerOp != 2 || r.Extra["rows/est"] != 12.5 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.Package != "samplecf/internal/engine" {
+		t.Fatalf("package %q", r.Package)
+	}
+}

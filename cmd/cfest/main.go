@@ -11,10 +11,13 @@
 //
 // Flags -cols selects the index columns (default: all), -truth additionally
 // computes the exact CF by compressing everything (slow — that is the
-// point), and -seed fixes the sample.
+// point), and -seed fixes the sample. -timing reruns the estimate through
+// the estimation engine and prints the per-stage span tree (draw, sort,
+// compress, adaptive rounds) recorded by the tracing layer.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +27,8 @@ import (
 	"samplecf/internal/core"
 	"samplecf/internal/csvio"
 	"samplecf/internal/distrib"
+	"samplecf/internal/engine"
+	"samplecf/internal/obs"
 	"samplecf/internal/value"
 	"samplecf/internal/workload"
 )
@@ -51,6 +56,7 @@ func run() error {
 		seed       = flag.Uint64("seed", 1, "sampling seed")
 		withTruth  = flag.Bool("truth", false, "also compute exact CF by compressing everything")
 		buildIndex = flag.Bool("build-index", false, "materialize a real B+-tree on the sample")
+		timing     = flag.Bool("timing", false, "print the per-stage span tree (draw/sort/compress/rounds) of the estimate")
 		// Adaptive estimation: state the accuracy, let the sampler pick r.
 		targetError = flag.Float64("target-error", 0, "adaptive mode: CI half-width target on CF (e.g. 0.02 = ±2 points); 0 = fixed sample size")
 		confidence  = flag.Float64("confidence", 0.95, "adaptive mode: CI confidence level")
@@ -115,20 +121,40 @@ func run() error {
 		Seed:       *seed,
 		BuildIndex: *buildIndex,
 	}
+	// -fraction/-rows, when passed explicitly, seed an adaptive run's first
+	// round only — but the fixed-mode 1% *default* would be a blind starting
+	// size, so unless the user actually typed -fraction, adaptive mode
+	// starts from the adaptive minimum instead.
+	fractionSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fraction" {
+			fractionSet = true
+		}
+	})
+
+	if *timing {
+		// -timing routes the one-shot estimate through the estimation
+		// engine with a trace on the context — the same span machinery
+		// cfserve uses — and prints the recorded stage tree.
+		if *buildIndex {
+			return fmt.Errorf("-timing estimates through the engine pipeline, which sizes pages without materializing a B+-tree; drop -build-index")
+		}
+		return runTimed(tab, keyCols, codec, timedOptions{
+			fraction:    opts.Fraction,
+			rows:        *rows,
+			seed:        *seed,
+			targetError: *targetError,
+			confidence:  *confidence,
+			maxRows:     *maxRows,
+			fractionSet: fractionSet,
+			withTruth:   *withTruth,
+		})
+	}
+
 	var est core.Estimate
 	if *targetError > 0 {
 		// Adaptive mode: grow the sample until CF is known to within
 		// ±target-error at the requested confidence (or -max-rows runs out).
-		// -fraction/-rows, when passed explicitly, seed the first round
-		// only — but the fixed-mode 1% *default* would be a blind starting
-		// size, so unless the user actually typed -fraction, adaptive mode
-		// starts from the adaptive minimum instead.
-		fractionSet := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "fraction" {
-				fractionSet = true
-			}
-		})
 		if !fractionSet && *rows == 0 {
 			opts.Fraction = 0
 		}
@@ -179,6 +205,78 @@ func run() error {
 	}
 
 	if *withTruth {
+		truth, err := core.TrueCF(tab, keyCols, codec, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("exact CF          : %.6f (ratio error %.4f)\n",
+			truth.CF(), ratioErr(est.CF, truth.CF()))
+	}
+	return nil
+}
+
+// timedOptions carries the flag values the -timing path needs.
+type timedOptions struct {
+	fraction    float64
+	rows        int64
+	seed        uint64
+	targetError float64
+	confidence  float64
+	maxRows     int64
+	fractionSet bool
+	withTruth   bool
+}
+
+// runTimed estimates through the engine with a trace threaded on the
+// context, then prints the estimate followed by the per-stage span tree.
+func runTimed(tab *workload.Table, keyCols []string, codec compress.Codec, o timedOptions) error {
+	req := engine.Request{
+		Table:      tab,
+		KeyColumns: keyCols,
+		Codec:      codec,
+		Fraction:   o.fraction,
+		SampleRows: o.rows,
+		Seed:       o.seed,
+	}
+	adaptive := o.targetError > 0
+	if adaptive {
+		req.TargetError = o.targetError
+		req.Confidence = o.confidence
+		req.MaxSampleRows = o.maxRows
+		if !o.fractionSet && o.rows == 0 {
+			req.Fraction = 0 // start from the adaptive minimum, not the fixed-mode default
+		}
+	}
+
+	eng := engine.New(engine.Config{Workers: 1, CacheEntries: -1})
+	defer eng.Close()
+	tr := obs.NewTrace("estimate " + tab.Name())
+	ctx := obs.WithTrace(context.Background(), tr)
+	res := eng.Estimate(ctx, req)
+	tr.Finish()
+	if res.Err != nil {
+		return res.Err
+	}
+
+	est := res.Estimate
+	fmt.Printf("table rows        : %d\n", tab.NumRows())
+	if adaptive {
+		fmt.Printf("sample rows (r)   : %d (adaptive, %d rounds)\n", est.SampleRows, res.Rounds)
+	} else {
+		fmt.Printf("sample rows (r)   : %d\n", est.SampleRows)
+	}
+	fmt.Printf("sample distinct d': %d\n", est.SampleDistinct)
+	fmt.Printf("codec             : %s\n", codec.Name())
+	fmt.Printf("estimated CF      : %.6f\n", est.CF)
+	fmt.Printf("estimated savings : %.1f%%\n", (1-est.CF)*100)
+	if adaptive {
+		fmt.Printf("achieved error    : ±%.6f at %.0f%% (converged=%v)\n",
+			res.AchievedError, o.confidence*100, res.Converged)
+	}
+	fmt.Printf("\nstage timings (total %v):\n", tr.Total())
+	tr.WriteTree(os.Stdout)
+
+	if o.withTruth {
 		truth, err := core.TrueCF(tab, keyCols, codec, 0)
 		if err != nil {
 			return err

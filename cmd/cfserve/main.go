@@ -30,9 +30,11 @@
 // cached results for that table in O(1) (the epoch in the cache key
 // changes), while untouched tables keep serving hits.
 //
-// Endpoints: GET /healthz, /stats, /codecs, /tables; POST /tables,
-// /tables/{t}/rows, /estimate, /whatif, /advise; DELETE /tables/{t},
-// /tables/{t}/rows. See docs/cfserve.md for the full API.
+// Endpoints: GET /healthz, /stats, /metrics, /codecs, /tables; POST
+// /tables, /tables/{t}/rows, /estimate, /whatif, /advise; DELETE
+// /tables/{t}, /tables/{t}/rows. See docs/cfserve.md for the full API.
+// Every response carries X-Request-ID and a Server-Timing header; requests
+// slower than -slow-trace dump their span tree as structured trace JSON.
 // The server drains in-flight requests and exits cleanly on SIGINT/SIGTERM.
 package main
 
@@ -42,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -68,6 +71,8 @@ func run() error {
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
 		maxRows   = flag.Int64("max-rows", defaultMaxTableRows, "per-table row limit for POST /tables")
 		pprofMode = flag.String("pprof", "local", "/debug/pprof/ exposure: local (loopback clients only), all, or off")
+		slowTrace = flag.Duration("slow-trace", time.Second, "dump the span tree of requests at least this slow as trace JSON (0 disables)")
+		logJSON   = flag.Bool("log-json", false, "emit the access log as JSON lines instead of logfmt-style text")
 	)
 	flag.Parse()
 
@@ -80,6 +85,12 @@ func run() error {
 	defer eng.Close()
 	srv := newServer(eng)
 	srv.pprofMode = *pprofMode
+	srv.slowTrace = *slowTrace
+	if *logJSON {
+		srv.logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	} else {
+		srv.logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	if *maxRows > 0 {
 		srv.maxTableRows = *maxRows
 	}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"samplecf/internal/obs"
+)
+
+// requestIDHeader is the request-ID contract header: an inbound value is
+// propagated (so callers and upstream proxies can correlate), otherwise
+// the server generates one; either way the response echoes it and every
+// access-log line carries it.
+const requestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds accepted inbound request IDs; longer or
+// non-printable values are replaced with a generated one rather than
+// letting clients inject arbitrary bytes into logs.
+const maxRequestIDLen = 64
+
+// serverTimingStages is how many of the longest stages the Server-Timing
+// header reports alongside the total.
+const serverTimingStages = 3
+
+type requestIDKey struct{}
+
+// requestIDFrom returns the request ID middleware stored in ctx ("" when
+// the request skipped the middleware, e.g. in direct handler tests).
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// requestID returns the inbound X-Request-ID when acceptable, else a fresh
+// random one.
+func requestID(r *http.Request) string {
+	id := r.Header.Get(requestIDHeader)
+	if id != "" && len(id) <= maxRequestIDLen && isPrintable(id) {
+		return id
+	}
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+func isPrintable(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x21 || s[i] > 0x7e {
+			return false
+		}
+	}
+	return true
+}
+
+// routeLabel collapses a request path to its first segment — a bounded
+// label set (estimate, whatif, tables, metrics, ...) for the HTTP metric
+// families, independent of path parameters like table names.
+func routeLabel(r *http.Request) string {
+	p := strings.TrimPrefix(r.URL.Path, "/")
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		p = p[:i]
+	}
+	if p == "" {
+		return "root"
+	}
+	return p
+}
+
+// timingWriter wraps a ResponseWriter to (a) capture status and size for
+// the access log and (b) inject the Server-Timing header at first write —
+// headers are immutable after WriteHeader, and by then the request's span
+// tree holds every finished stage.
+type timingWriter struct {
+	http.ResponseWriter
+	trace  *obs.Trace
+	status int
+	bytes  int64
+}
+
+func (w *timingWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+		w.Header().Set("Server-Timing", w.trace.ServerTimingHeader(serverTimingStages))
+		w.ResponseWriter.WriteHeader(status)
+	}
+}
+
+func (w *timingWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.WriteHeader(http.StatusOK)
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// middleware is the observability envelope around every route: request-ID
+// propagation, per-request trace creation, HTTP metrics, the Server-Timing
+// header, the slog access log, and the slow-request trace dump.
+func (s *server) middleware(next http.Handler) http.Handler {
+	requests := s.registry.CounterVec("samplecf_http_requests_total",
+		"HTTP requests served, by first path segment.", "route")
+	latency := s.registry.HistogramVec("samplecf_http_request_duration_seconds",
+		"HTTP request latency, by first path segment.", "route")
+	inFlight := s.registry.Gauge("samplecf_http_inflight_requests",
+		"HTTP requests currently being served.")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routeLabel(r)
+		id := requestID(r)
+		tr := obs.NewTrace(r.Method + " /" + route)
+		ctx := obs.WithTrace(r.Context(), tr)
+		ctx = context.WithValue(ctx, requestIDKey{}, id)
+
+		w.Header().Set(requestIDHeader, id)
+		tw := &timingWriter{ResponseWriter: w, trace: tr}
+		inFlight.Inc()
+		start := time.Now()
+		next.ServeHTTP(tw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		inFlight.Dec()
+		tr.Finish()
+
+		if tw.status == 0 {
+			// Handler never wrote: net/http sends 200 with an empty body.
+			tw.status = http.StatusOK
+		}
+		requests.With(route).Inc()
+		latency.With(route).Observe(elapsed)
+
+		s.logger.LogAttrs(ctx, slog.LevelInfo, "request",
+			slog.String("request_id", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", tw.status),
+			slog.Int64("bytes", tw.bytes),
+			slog.Duration("duration", elapsed),
+			slog.String("remote", r.RemoteAddr),
+		)
+		if s.slowTrace > 0 && elapsed >= s.slowTrace {
+			doc, err := json.Marshal(tr)
+			if err != nil {
+				doc = []byte(`{"error":"trace marshal failed"}`)
+			}
+			s.logger.LogAttrs(ctx, slog.LevelWarn, "slow request",
+				slog.String("request_id", id),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Duration("duration", elapsed),
+				slog.Duration("threshold", s.slowTrace),
+				slog.Any("trace", json.RawMessage(doc)),
+			)
+		}
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition: the server/engine
+// registry (HTTP + engine instruments) followed by the process-wide
+// default registry (sampling, sortkeys, compress, workgroup). Metric names
+// are disjoint by construction, so the concatenation is one valid
+// exposition document.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", obs.ExpositionContentType)
+	if err := s.registry.WritePrometheus(w); err != nil {
+		return
+	}
+	_ = obs.Default().WritePrometheus(w)
+}

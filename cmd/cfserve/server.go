@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -13,6 +14,7 @@ import (
 	"samplecf/internal/compress"
 	"samplecf/internal/db"
 	"samplecf/internal/engine"
+	"samplecf/internal/obs"
 	"samplecf/internal/physdesign"
 )
 
@@ -33,6 +35,18 @@ type server struct {
 	db  *db.Database
 	cat *catalog.Catalog
 
+	// registry is the engine's obs registry: the server's HTTP instruments
+	// register alongside the engine's, and GET /metrics serves both it and
+	// the process-wide default registry.
+	registry *obs.Registry
+	// logger receives the access log and slow-request dumps. Defaults to
+	// discard; main wires a real handler.
+	logger *slog.Logger
+	// slowTrace is the slow-request threshold: requests taking at least
+	// this long dump their span tree as structured trace JSON to the log
+	// (0 disables; the -slow-trace flag sets it).
+	slowTrace time.Duration
+
 	// maxTableRows caps the n of a registered table (default
 	// defaultMaxTableRows; the -max-rows flag overrides).
 	maxTableRows int64
@@ -49,16 +63,20 @@ func newServer(eng *engine.Engine) *server {
 		eng:          eng,
 		db:           db.New(0),
 		cat:          catalog.New(),
+		registry:     eng.Registry(),
+		logger:       slog.New(slog.DiscardHandler),
 		maxTableRows: defaultMaxTableRows,
 		started:      time.Now(),
 	}
 }
 
-// handler builds the route table.
+// handler builds the route table, wrapped in the observability middleware
+// (request IDs, tracing, HTTP metrics, access log, Server-Timing).
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /codecs", s.handleCodecs)
 	mux.HandleFunc("GET /tables", s.handleListTables)
 	mux.HandleFunc("POST /tables", s.handleCreateTable)
@@ -69,7 +87,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /whatif", s.handleWhatIf)
 	mux.HandleFunc("POST /advise", s.handleAdvise)
 	s.mountPprof(mux)
-	return mux
+	return s.middleware(mux)
 }
 
 // mountPprof exposes the runtime profiler under /debug/pprof/ so hot-path
@@ -237,27 +255,41 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// statsFields is the /stats compatibility shim: the legacy JSON contract's
+// field names mapped onto the registry metrics they are now derived from.
+// The engine's counters live solely on the obs registry; /stats is a
+// re-keyed read of the same instruments, so the two endpoints can never
+// disagree. Renaming either side is an API break — a regression test pins
+// the JSON names.
+var statsFields = []struct {
+	json   string
+	metric string
+}{
+	{"cache_hits", engine.MetricCacheHits},
+	{"cache_misses", engine.MetricCacheMisses},
+	{"cache_evictions", engine.MetricCacheEvictions},
+	{"cache_entries", engine.MetricCacheEntries},
+	{"samples_drawn", engine.MetricSamplesDrawn},
+	{"samples_shared", engine.MetricSamplesShared},
+	{"maintained_hits", engine.MetricMaintainedHits},
+	{"maintained_stale", engine.MetricMaintainedStale},
+	{"indexes_prepared", engine.MetricIndexesPrepared},
+	{"evaluated", engine.MetricEvaluated},
+	{"precision_hits", engine.MetricPrecisionHits},
+	{"adaptive_rounds", engine.MetricAdaptiveRounds},
+	{"adaptive_rows", engine.MetricAdaptiveRows},
+	{"prepare_nanos", engine.MetricPrepareNanos},
+	{"sort_rows", engine.MetricSortRows},
+}
+
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := s.eng.Stats()
-	tables := s.cat.Len()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"cache_hits":       st.Hits,
-		"cache_misses":     st.Misses,
-		"cache_evictions":  st.Evictions,
-		"cache_entries":    st.CacheEntries,
-		"samples_drawn":    st.SamplesDrawn,
-		"samples_shared":   st.SamplesShared,
-		"maintained_hits":  st.MaintainedHits,
-		"maintained_stale": st.MaintainedStale,
-		"indexes_prepared": st.IndexesPrepared,
-		"evaluated":        st.Evaluated,
-		"precision_hits":   st.PrecisionHits,
-		"adaptive_rounds":  st.AdaptiveRounds,
-		"adaptive_rows":    st.AdaptiveRows,
-		"prepare_nanos":    st.PrepareNanos,
-		"sort_rows":        st.SortRows,
-		"tables":           tables,
-	})
+	out := make(map[string]any, len(statsFields)+1)
+	for _, f := range statsFields {
+		v, _ := s.registry.Value(f.metric)
+		out[f.json] = uint64(v)
+	}
+	out["tables"] = s.cat.Len()
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) handleCodecs(w http.ResponseWriter, _ *http.Request) {

@@ -31,7 +31,11 @@ func MeasureTree(t *btree.Tree, keySchema *value.Schema, codec Codec) (Result, e
 	if err != nil {
 		return Result{}, fmt.Errorf("compress: measure tree: %w", err)
 	}
-	return sess.Finish()
+	res, err := sess.Finish()
+	if err == nil {
+		recordMeasure(codec, res)
+	}
+	return res, err
 }
 
 // MeasureRecords chunks fixed-width records into synthetic pages of
@@ -92,10 +96,17 @@ func MeasureArena(keySchema *value.Schema, codec Codec, ar *value.RecordArena, p
 	pages := (n + rowsPerPage - 1) / rowsPerPage
 	if p, ok := codec.(Paged); ok {
 		if ap, ok := p.PC.(PageAppender); ok {
+			var res Result
+			var err error
 			if workers := measureWorkers(pages); workers > 1 {
-				return measureArenaParallel(keySchema, ap, ar, perm, rowsPerPage, pages, workers)
+				res, err = measureArenaParallel(keySchema, ap, ar, perm, rowsPerPage, pages, workers)
+			} else {
+				res, err = measureArenaSequential(keySchema, ap, ar, perm, rowsPerPage)
 			}
-			return measureArenaSequential(keySchema, ap, ar, perm, rowsPerPage)
+			if err == nil {
+				recordMeasure(codec, res)
+			}
+			return res, err
 		}
 	}
 	// Generic codec: feed a session page by page, discarding encodings when
@@ -122,6 +133,9 @@ func MeasureArena(keySchema *value.Schema, codec Codec, ar *value.RecordArena, p
 	}
 	res, err := sess.Finish()
 	res.Encoded = nil
+	if err == nil {
+		recordMeasure(codec, res)
+	}
 	return res, err
 }
 

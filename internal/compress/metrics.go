@@ -1,0 +1,40 @@
+package compress
+
+import "samplecf/internal/obs"
+
+// Process-wide measurement tallies on the default obs registry, labeled by
+// codec family — the codec name with parameter suffixes stripped, so label
+// cardinality stays bounded by the codec catalog, not its configurations.
+var (
+	measureBytesIn = obs.Default().CounterVec(
+		"samplecf_compress_uncompressed_bytes_total",
+		"Bytes fed into compression measurement, by codec family.", "codec")
+	measureBytesOut = obs.Default().CounterVec(
+		"samplecf_compress_compressed_bytes_total",
+		"Bytes produced by compression measurement, by codec family.", "codec")
+	measurePages = obs.Default().CounterVec(
+		"samplecf_compress_pages_total",
+		"Pages compressed during measurement, by codec family.", "codec")
+)
+
+// familyOf strips a codec name to its family: parameterized names like
+// "pagedict+ns" or "globaldict(p=2)" collapse to "pagedict"/"globaldict".
+// Pure slicing — no allocation on the measurement hot path.
+func familyOf(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '(' || name[i] == '+' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// recordMeasure tallies one finished measurement onto the family counters:
+// three atomic adds after two map reads, once per measured index — never
+// per page or per row.
+func recordMeasure(codec Codec, res Result) {
+	f := familyOf(codec.Name())
+	measureBytesIn.With(f).Add(uint64(res.UncompressedBytes))
+	measureBytesOut.With(f).Add(uint64(res.CompressedBytes))
+	measurePages.With(f).Add(uint64(res.Pages))
+}

@@ -37,11 +37,12 @@ import (
 	"runtime"
 	"strings"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"samplecf/internal/catalog"
 	"samplecf/internal/compress"
 	"samplecf/internal/core"
+	"samplecf/internal/obs"
 	"samplecf/internal/page"
 	"samplecf/internal/rng"
 	"samplecf/internal/sampling"
@@ -64,6 +65,12 @@ type Config struct {
 	// PageSize is the default index page size for requests that leave
 	// theirs zero (default page.DefaultSize).
 	PageSize int
+	// Metrics is the registry the engine's instruments register on. Leave
+	// nil for a private registry: an engine's counters are per-engine
+	// state, and sharing a process registry across engines would merge
+	// their ledgers. cfserve passes its own registry so GET /metrics
+	// serves the engine's instruments.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -188,6 +195,7 @@ type Engine struct {
 	cfg       Config
 	cache     *lruCache
 	precision *precisionCache
+	registry  *obs.Registry
 
 	jobs chan func()
 	quit chan struct{}
@@ -195,25 +203,32 @@ type Engine struct {
 
 	closeOnce sync.Once
 
-	hits, misses, evictions         atomic.Uint64
-	samplesDrawn, samplesShared     atomic.Uint64
-	maintainedHits, maintainedStale atomic.Uint64
-	prepared, evaluated             atomic.Uint64
-	precisionHits                   atomic.Uint64
-	adaptiveRounds, adaptiveRows    atomic.Uint64
-	prepareNanos, sortRows          atomic.Uint64
+	// metrics is embedded so counter sites read as e.hits.Add(1): every
+	// ledger the engine keeps lives on the obs registry, and Stats() is a
+	// read-back view of the same instruments.
+	metrics
 }
 
 // New starts an engine with cfg's worker pool.
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	e := &Engine{
 		cfg:       cfg,
 		cache:     newLRUCache(cfg.CacheEntries),
 		precision: newPrecisionCache(cfg.CacheEntries),
+		registry:  reg,
 		jobs:      make(chan func()),
 		quit:      make(chan struct{}),
+		metrics:   newMetrics(reg),
 	}
+	reg.GaugeFunc(MetricCacheEntries, "Entries resident in the LRU result cache.",
+		func() int64 { return int64(e.cache.Len()) })
+	reg.GaugeFunc(MetricPrecisionEntries, "Entries resident in the precision dominance cache.",
+		func() int64 { return int64(e.precision.Len()) })
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go func() {
@@ -241,27 +256,33 @@ func (e *Engine) Close() {
 	e.wg.Wait()
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters — a read-back view of the same obs
+// instruments GET /metrics exposes, kept for the /stats JSON contract and
+// in-process callers.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Hits:             e.hits.Load(),
-		Misses:           e.misses.Load(),
-		Evictions:        e.evictions.Load(),
-		SamplesDrawn:     e.samplesDrawn.Load(),
-		SamplesShared:    e.samplesShared.Load(),
-		MaintainedHits:   e.maintainedHits.Load(),
-		MaintainedStale:  e.maintainedStale.Load(),
-		IndexesPrepared:  e.prepared.Load(),
-		Evaluated:        e.evaluated.Load(),
-		PrecisionHits:    e.precisionHits.Load(),
-		AdaptiveRounds:   e.adaptiveRounds.Load(),
-		AdaptiveRows:     e.adaptiveRows.Load(),
-		PrepareNanos:     e.prepareNanos.Load(),
-		SortRows:         e.sortRows.Load(),
+		Hits:             e.hits.Value(),
+		Misses:           e.misses.Value(),
+		Evictions:        e.evictions.Value(),
+		SamplesDrawn:     e.samplesDrawn.Value(),
+		SamplesShared:    e.samplesShared.Value(),
+		MaintainedHits:   e.maintainedHits.Value(),
+		MaintainedStale:  e.maintainedStale.Value(),
+		IndexesPrepared:  e.prepared.Value(),
+		Evaluated:        e.evaluated.Value(),
+		PrecisionHits:    e.precisionHits.Value(),
+		AdaptiveRounds:   e.adaptiveRounds.Value(),
+		AdaptiveRows:     e.adaptiveRows.Value(),
+		PrepareNanos:     e.prepareNanos.Value(),
+		SortRows:         e.sortRows.Value(),
 		CacheEntries:     e.cache.Len(),
 		PrecisionEntries: e.precision.Len(),
 	}
 }
+
+// Registry returns the obs registry the engine's instruments live on (the
+// one passed via Config.Metrics, or the engine's private registry).
+func (e *Engine) Registry() *obs.Registry { return e.registry }
 
 // Estimate answers a single what-if question through the engine (cache,
 // pool, and all); it is WhatIf with a one-element batch.
@@ -512,16 +533,22 @@ func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
 		it := it
 		job := func() {
 			defer wg.Done()
+			e.queueDepth.Dec()
+			e.inFlight.Inc()
+			defer e.inFlight.Dec()
 			results[it.idx] = e.evaluate(ctx, it)
 		}
 		wg.Add(1)
+		e.queueDepth.Inc()
 		select {
 		case e.jobs <- job:
 		case <-e.quit:
 			wg.Done()
+			e.queueDepth.Dec()
 			results[it.idx] = Result{Err: fmt.Errorf("engine: closed")}
 		case <-ctx.Done():
 			wg.Done()
+			e.queueDepth.Dec()
 			results[it.idx] = Result{Err: fmt.Errorf("engine: request %d not started: %w", it.idx, ctx.Err())}
 		}
 	}
@@ -540,17 +567,27 @@ func (e *Engine) evaluate(ctx context.Context, it *batchItem) Result {
 		return e.evaluateAdaptive(ctx, it)
 	}
 	sg := it.sg
-	sg.once.Do(func() { e.drawSample(sg) })
+	sg.once.Do(func() {
+		_, end := obs.StartSpan(ctx, stageDraw)
+		t0 := time.Now()
+		e.drawSample(sg)
+		e.stageDrawHist.Observe(time.Since(t0))
+		end.End()
+	})
 	if sg.err != nil {
 		return Result{Err: fmt.Errorf("engine: request %d: sampling: %w", it.idx, sg.err)}
 	}
 	pg := it.pg
 	pg.once.Do(func() {
+		_, end := obs.StartSpan(ctx, stageSort)
+		defer end.End()
 		e.prepared.Add(1)
 		pg.prep, pg.err = core.PrepareFromArena(sg.ar, sg.table.NumRows(), pg.keyCols)
 		if pg.err == nil {
-			e.prepareNanos.Add(uint64(pg.prep.PrepDuration().Nanoseconds()))
+			d := pg.prep.PrepDuration()
+			e.prepareNanos.Add(uint64(d.Nanoseconds()))
 			e.sortRows.Add(uint64(pg.prep.SampleRows()))
+			e.stageSortHist.Observe(d)
 		}
 	})
 	if pg.err != nil {
@@ -560,7 +597,11 @@ func (e *Engine) evaluate(ctx context.Context, it *batchItem) Result {
 	if pageSize == 0 {
 		pageSize = e.cfg.PageSize
 	}
+	_, endCompress := obs.StartSpan(ctx, stageCompress)
+	t0 := time.Now()
 	est, err := pg.prep.Estimate(core.Options{Codec: it.req.Codec, PageSize: pageSize})
+	e.stageCompressHist.Observe(time.Since(t0))
+	endCompress.End()
 	if err != nil {
 		return Result{Err: fmt.Errorf("engine: request %d: %w", it.idx, err)}
 	}
@@ -569,9 +610,11 @@ func (e *Engine) evaluate(ctx context.Context, it *batchItem) Result {
 	if shared {
 		e.samplesShared.Add(1)
 	}
+	_, endCache := obs.StartSpan(ctx, "cache")
 	if ev := e.cache.Put(it.key, est); ev > 0 {
 		e.evictions.Add(uint64(ev))
 	}
+	endCache.End()
 	return Result{Estimate: est, SharedSample: shared}
 }
 
@@ -686,7 +729,13 @@ func (e *Engine) runAdaptive(ctx context.Context, req Request, pkey precisionKey
 		Seed:       req.Seed,
 	}
 	r0 := initialAdaptiveRows(req)
-	r0g.once.Do(func() { e.drawAdaptiveRound0(req, pkey.epoch, r0, r0g) })
+	r0g.once.Do(func() {
+		_, end := obs.StartSpan(ctx, stageDraw)
+		t0 := time.Now()
+		e.drawAdaptiveRound0(req, pkey.epoch, r0, r0g)
+		e.stageDrawHist.Observe(time.Since(t0))
+		end.End()
+	})
 	if r0g.err != nil {
 		return core.AdaptiveResult{}, r0g.err
 	}
@@ -813,16 +862,25 @@ func (e *Engine) adaptiveLoop(ctx context.Context, req Request, opts core.Option
 		}
 		return extend(round, rows)
 	}
+	_, endSort := obs.StartSpan(ctx, stageSort)
 	initial, err := core.ProjectSample(round0, req.KeyColumns)
 	if err != nil {
+		endSort.End()
 		return core.AdaptiveResult{}, err
 	}
 	prep, err := core.PrepareFromArena(initial, req.Table.NumRows(), nil)
 	if err != nil {
+		endSort.End()
 		return core.AdaptiveResult{}, err
 	}
+	e.stageSortHist.Observe(prep.PrepDuration())
+	endSort.End()
 	e.prepared.Add(1)
+	_, endRounds := obs.StartSpan(ctx, stageRounds)
+	t0 := time.Now()
 	res, err := prep.AdaptiveEstimate(target, opts, guarded)
+	e.stageRoundsHist.Observe(time.Since(t0))
+	endRounds.End()
 	if err != nil {
 		return core.AdaptiveResult{}, err
 	}

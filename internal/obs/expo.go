@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ExpositionContentType is the Content-Type cfserve serves /metrics under —
+// Prometheus text exposition format version 0.0.4.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format: one # HELP and # TYPE line per family followed by its
+// samples, families ordered by name and label values ordered
+// lexicographically, so output is deterministic for golden tests.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.snapshot() {
+		d := m.describe()
+		bw.WriteString("# HELP ")
+		bw.WriteString(d.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(d.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(d.name)
+		bw.WriteByte(' ')
+		bw.WriteString(m.typeName())
+		bw.WriteByte('\n')
+		switch v := m.(type) {
+		case *Counter:
+			writeSample(bw, d.name, "", "", "", float64(v.Value()))
+		case *Gauge:
+			writeSample(bw, d.name, "", "", "", float64(v.Value()))
+		case *gaugeFunc:
+			writeSample(bw, d.name, "", "", "", float64(v.fn()))
+		case *Histogram:
+			writeHistogram(bw, d.name, "", "", v)
+		case *CounterVec:
+			v.mu.RLock()
+			for _, lv := range sortedKeys(v.children) {
+				writeSample(bw, d.name, "", d.label, lv, float64(v.children[lv].Value()))
+			}
+			v.mu.RUnlock()
+		case *HistogramVec:
+			v.mu.RLock()
+			for _, lv := range sortedKeys(v.children) {
+				writeHistogram(bw, d.name, d.label, lv, v.children[lv])
+			}
+			v.mu.RUnlock()
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits the cumulative bucket ladder, sum, and count of one
+// histogram child. Bucket upper bounds are 2^k nanoseconds expressed in
+// seconds for k in [histFirstBucket, histLastBucket]; cumulation makes the
+// series monotone by construction, and the +Inf bucket equals _count.
+func writeHistogram(w *bufio.Writer, name, label, labelValue string, h *Histogram) {
+	// Snapshot the per-exponent counts once; concurrent observers may move
+	// individual slots between loads, but cumulating a single snapshot keeps
+	// the emitted ladder internally monotone.
+	var counts [histNumBuckets]uint64
+	for i := range counts {
+		counts[i] = h.counts[i].Load()
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	var cum uint64
+	next := 0
+	for k := histFirstBucket; k <= histLastBucket; k++ {
+		for next <= k {
+			cum += counts[next]
+			next++
+		}
+		le := formatFloat(math.Ldexp(1, k) / 1e9)
+		writeBucket(w, name, label, labelValue, le, cum)
+	}
+	writeBucket(w, name, label, labelValue, "+Inf", total)
+	writeSample(w, name+"_sum", "", label, labelValue, float64(h.SumNanos())/1e9)
+	writeSample(w, name+"_count", "", label, labelValue, float64(total))
+}
+
+// writeBucket emits one <name>_bucket sample with the le label (and the
+// family's own label when present).
+func writeBucket(w *bufio.Writer, name, label, labelValue, le string, v uint64) {
+	w.WriteString(name)
+	w.WriteString("_bucket{")
+	if label != "" {
+		w.WriteString(label)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(labelValue))
+		w.WriteString(`",`)
+	}
+	w.WriteString(`le="`)
+	w.WriteString(le)
+	w.WriteString(`"} `)
+	w.WriteString(strconv.FormatUint(v, 10))
+	w.WriteByte('\n')
+}
+
+// writeSample emits one sample line; suffix and label are optional.
+func writeSample(w *bufio.Writer, name, suffix, label, labelValue string, v float64) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if label != "" {
+		w.WriteByte('{')
+		w.WriteString(label)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabel(labelValue))
+		w.WriteString(`"} `)
+	} else {
+		w.WriteByte(' ')
+	}
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// integers without a decimal point, everything else in shortest form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only (quotes are
+// legal in help text).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestExpositionGolden pins the full text exposition shape — HELP/TYPE
+// lines, ordering, label escaping, histogram ladder — against a golden
+// file. Regenerate with `go test ./internal/obs -run Golden -update`.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("samplecf_test_requests_total", "Requests served.").Add(7)
+	g := r.Gauge("samplecf_test_inflight", "Requests in flight.")
+	g.Set(3)
+	r.GaugeFunc("samplecf_test_cache_entries", "Entries resident in the cache.", func() int64 { return 12 })
+	h := r.Histogram("samplecf_test_latency_seconds", "Request latency.")
+	h.Observe(1500 * time.Nanosecond) // len=11 bucket → le=2^11ns
+	h.Observe(3 * time.Millisecond)   // ~2^22ns
+	h.Observe(700 * time.Millisecond) // ~2^30ns
+	h.Observe(40 * time.Second)       // past the ladder → +Inf only
+	cv := r.CounterVec("samplecf_test_bytes_total", "Bytes per codec.", "codec")
+	cv.With("rle").Add(1024)
+	cv.With(`we"ird\label` + "\n").Add(1)
+	hv := r.HistogramVec("samplecf_test_stage_seconds", "Stage latency.", "stage")
+	hv.With("draw").Observe(2 * time.Microsecond)
+	hv.With("sort").Observe(5 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (rerun with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExpositionWellFormed checks structural invariants independent of the
+// golden bytes: every sample is preceded by its HELP and TYPE lines, and
+// every histogram's cumulative buckets are monotone with the +Inf bucket
+// equal to _count.
+func TestExpositionWellFormed(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hist_seconds", "A histogram.")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i*i) * time.Microsecond)
+	}
+	r.Counter("c_total", "A counter.").Add(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+
+	seenHelp := map[string]bool{}
+	seenType := map[string]bool{}
+	var prevBucket uint64
+	var inf, count uint64
+	for _, ln := range lines {
+		switch {
+		case strings.HasPrefix(ln, "# HELP "):
+			seenHelp[strings.Fields(ln)[2]] = true
+		case strings.HasPrefix(ln, "# TYPE "):
+			f := strings.Fields(ln)
+			seenType[f[2]] = true
+			if f[3] != "counter" && f[3] != "gauge" && f[3] != "histogram" {
+				t.Fatalf("bad TYPE %q", ln)
+			}
+		case strings.HasPrefix(ln, "hist_seconds_bucket{"):
+			v, err := strconv.ParseUint(ln[strings.LastIndexByte(ln, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bucket line %q: %v", ln, err)
+			}
+			if v < prevBucket {
+				t.Fatalf("bucket ladder not monotone at %q (prev %d)", ln, prevBucket)
+			}
+			prevBucket = v
+			if strings.Contains(ln, `le="+Inf"`) {
+				inf = v
+			}
+		case strings.HasPrefix(ln, "hist_seconds_count"):
+			count, _ = strconv.ParseUint(ln[strings.LastIndexByte(ln, ' ')+1:], 10, 64)
+		}
+	}
+	if !seenHelp["hist_seconds"] || !seenType["hist_seconds"] || !seenHelp["c_total"] || !seenType["c_total"] {
+		t.Fatalf("missing HELP/TYPE lines: help=%v type=%v", seenHelp, seenType)
+	}
+	if inf != 100 || count != 100 {
+		t.Fatalf("+Inf bucket %d and _count %d, want both 100", inf, count)
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	got := escapeLabel("a\\b\"c\nd")
+	want := `a\\b\"c\nd`
+	if got != want {
+		t.Fatalf("escapeLabel = %q, want %q", got, want)
+	}
+	if escapeLabel("plain") != "plain" {
+		t.Fatalf("plain label escaped")
+	}
+}

@@ -1,0 +1,433 @@
+// Package obs is the dependency-free telemetry layer of the estimation
+// pipeline: a metrics registry (atomic counters, gauges, log-bucketed
+// latency histograms, single-label families) exposed in Prometheus text
+// exposition format, plus lightweight per-request tracing (Span trees
+// threaded through context.Context with runtime/pprof stage labels).
+//
+// The design constraint is the PR 3 one: the estimation hot path is
+// zero-alloc and must stay that way, so every observation primitive —
+// Counter.Add, Gauge.Set, Histogram.Observe, Trace span recording — is
+// allocation-free and lock-free (atomics) or amortized-allocation-free
+// (span slices preallocated per trace). The only allocations happen at
+// registration (one-time), at label-child creation (first use of a label
+// value), and at exposition (reading /metrics).
+//
+// Instruments are nil-safe: methods on a nil *Counter, *Gauge, *Histogram,
+// or vec are no-ops, and a nil *Registry hands out nil instruments — the
+// "no-op registry" BenchmarkObsOverhead compares against.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// desc is the identity of one registered metric.
+type desc struct {
+	name string
+	help string
+	// label is the one label-dimension name for vec metrics ("" for plain).
+	label string
+}
+
+// metric is anything a Registry can expose.
+type metric interface {
+	describe() desc
+	// typeName is the Prometheus TYPE: "counter", "gauge", or "histogram".
+	typeName() string
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// exposition format. Get-or-register lookups are idempotent: asking twice
+// for the same name returns the same instrument, so independent subsystems
+// can share counters by name alone. All methods are safe for concurrent
+// use, and all methods on a nil *Registry are no-ops returning nil
+// instruments.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]metric)}
+}
+
+// defaultRegistry is the process-wide registry the low-level pipeline
+// packages (sampling, sortkeys, compress, workgroup) register into: they
+// have no configuration surface to receive a registry through, and their
+// counters are process-cumulative by nature.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry. cfserve serves it (merged
+// with the engine's own registry) at GET /metrics.
+func Default() *Registry { return defaultRegistry }
+
+// lookup returns the resident metric under name, or registers the one
+// built by mk. It panics when name is already registered as a different
+// kind — a wiring bug, not a runtime condition.
+func (r *Registry) lookup(name string, mk func() metric) metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	m, ok := r.metrics[name]
+	r.mu.RUnlock()
+	if ok {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m = mk()
+	r.metrics[name] = m
+	return m
+}
+
+// mustBe asserts the registered kind of a name matches the requested one.
+func mustBe[T metric](name string, m metric) T {
+	if m == nil {
+		var zero T
+		return zero
+	}
+	t, ok := m.(T)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q re-registered as a different kind (%T)", name, m))
+	}
+	return t
+}
+
+// Counter returns the monotonically increasing counter registered under
+// name, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return mustBe[*Counter](name, r.lookup(name, func() metric {
+		return &Counter{d: desc{name: name, help: help}}
+	}))
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return mustBe[*Gauge](name, r.lookup(name, func() metric {
+		return &Gauge{d: desc{name: name, help: help}}
+	}))
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at exposition
+// time — the shape for values that already live elsewhere (cache sizes,
+// pool occupancy) and would otherwise need write-through mirroring.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.lookup(name, func() metric {
+		return &gaugeFunc{d: desc{name: name, help: help}, fn: fn}
+	})
+}
+
+// Histogram returns the log₂-bucketed duration histogram registered under
+// name, creating it on first use.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return mustBe[*Histogram](name, r.lookup(name, func() metric {
+		return &Histogram{d: desc{name: name, help: help}}
+	}))
+}
+
+// CounterVec returns the counter family registered under name with one
+// label dimension, creating it on first use.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return mustBe[*CounterVec](name, r.lookup(name, func() metric {
+		return &CounterVec{d: desc{name: name, help: help, label: label}}
+	}))
+}
+
+// HistogramVec returns the histogram family registered under name with one
+// label dimension, creating it on first use.
+func (r *Registry) HistogramVec(name, help, label string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return mustBe[*HistogramVec](name, r.lookup(name, func() metric {
+		return &HistogramVec{d: desc{name: name, help: help, label: label}}
+	}))
+}
+
+// Value returns the current value of the plain counter or gauge registered
+// under name — the lookup the cfserve /stats compatibility shim re-derives
+// the legacy JSON fields through.
+func (r *Registry) Value(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.RLock()
+	m, ok := r.metrics[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	switch v := m.(type) {
+	case *Counter:
+		return float64(v.Value()), true
+	case *Gauge:
+		return float64(v.Value()), true
+	case *gaugeFunc:
+		return float64(v.fn()), true
+	default:
+		return 0, false
+	}
+}
+
+// snapshot returns the registered metrics sorted by name, for stable
+// exposition output.
+func (r *Registry) snapshot() []metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].describe().name < out[j].describe().name })
+	return out
+}
+
+// --- counter -------------------------------------------------------------------
+
+// Counter is a monotonically increasing counter. The zero value is usable;
+// methods on a nil *Counter are no-ops.
+type Counter struct {
+	d desc
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) describe() desc   { return c.d }
+func (c *Counter) typeName() string { return "counter" }
+
+// --- gauge ---------------------------------------------------------------------
+
+// Gauge is an instantaneous value that can go up and down. Methods on a
+// nil *Gauge are no-ops.
+type Gauge struct {
+	d desc
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by delta (negative deltas decrease it).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Inc and Dec move the gauge by ±1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec decrements the gauge by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) describe() desc   { return g.d }
+func (g *Gauge) typeName() string { return "gauge" }
+
+// gaugeFunc is a gauge read through a callback at exposition time.
+type gaugeFunc struct {
+	d  desc
+	fn func() int64
+}
+
+func (g *gaugeFunc) describe() desc   { return g.d }
+func (g *gaugeFunc) typeName() string { return "gauge" }
+
+// --- histogram -----------------------------------------------------------------
+
+// histFirstBucket and histLastBucket bound the emitted bucket range: the
+// k-th bucket holds observations with bits.Len64(nanos) == k, i.e. values
+// in [2^(k-1), 2^k). Exposition emits upper bounds 2^k ns for k in
+// [histFirstBucket, histLastBucket] — 1.024µs up to ~17.2s — a fixed,
+// monotone bucket ladder; observations outside the range still count (they
+// fold into the first cumulative bucket or the +Inf remainder).
+const (
+	histFirstBucket = 10
+	histLastBucket  = 34
+	histNumBuckets  = 65 // bits.Len64 ranges over [0, 64]
+)
+
+// Histogram is a log₂-bucketed duration histogram: Observe costs one
+// bits.Len64, two atomic adds, and no allocation or lock — cheap enough
+// for the estimation hot path. Methods on a nil *Histogram are no-ops.
+type Histogram struct {
+	d      desc
+	counts [histNumBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sumNs  atomic.Uint64
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.counts[bits.Len64(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// SumNanos returns the summed observed nanoseconds.
+func (h *Histogram) SumNanos() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sumNs.Load()
+}
+
+func (h *Histogram) describe() desc   { return h.d }
+func (h *Histogram) typeName() string { return "histogram" }
+
+// --- label families ------------------------------------------------------------
+
+// CounterVec is a family of counters distinguished by one label value.
+// With performs a read-locked map lookup and allocates only the first time
+// a label value is seen; hot paths that observe with a fixed label should
+// call With once at setup and keep the child.
+type CounterVec struct {
+	d        desc
+	mu       sync.RWMutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the label value, creating it on first
+// use. Nil-safe.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	c, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[value]; ok {
+		return c
+	}
+	if v.children == nil {
+		v.children = make(map[string]*Counter)
+	}
+	c = &Counter{d: v.d}
+	v.children[value] = c
+	return c
+}
+
+func (v *CounterVec) describe() desc   { return v.d }
+func (v *CounterVec) typeName() string { return "counter" }
+
+// HistogramVec is a family of histograms distinguished by one label value.
+type HistogramVec struct {
+	d        desc
+	mu       sync.RWMutex
+	children map[string]*Histogram
+}
+
+// With returns the child histogram for the label value, creating it on
+// first use. Nil-safe.
+func (v *HistogramVec) With(value string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	h, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.children[value]; ok {
+		return h
+	}
+	if v.children == nil {
+		v.children = make(map[string]*Histogram)
+	}
+	h = &Histogram{d: v.d}
+	v.children[value] = h
+	return h
+}
+
+func (v *HistogramVec) describe() desc   { return v.d }
+func (v *HistogramVec) typeName() string { return "histogram" }
+
+// sortedKeys returns a vec's label values in sorted order for stable
+// exposition.
+func sortedKeys[T any](m map[string]T) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryIdempotentLookup(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "help")
+	c2 := r.Counter("x_total", "other help ignored")
+	if c1 != c2 {
+		t.Fatalf("same name returned distinct counters")
+	}
+	c1.Add(3)
+	if got := c2.Value(); got != 3 {
+		t.Fatalf("shared counter value = %d, want 3", got)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic re-registering counter as gauge")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a", "")
+	g := r.Gauge("b", "")
+	h := r.Histogram("c", "")
+	cv := r.CounterVec("d", "", "l")
+	hv := r.HistogramVec("e", "", "l")
+	r.GaugeFunc("f", "", func() int64 { return 1 })
+
+	// All of these must be no-ops, not panics.
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(-2)
+	g.Inc()
+	g.Dec()
+	h.Observe(time.Millisecond)
+	cv.With("x").Inc()
+	hv.With("x").Observe(time.Second)
+
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.SumNanos() != 0 {
+		t.Fatalf("nil instruments reported nonzero values")
+	}
+	if _, ok := r.Value("a"); ok {
+		t.Fatalf("nil registry Value returned ok")
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("nil registry exposition non-empty: %q", sb.String())
+	}
+}
+
+func TestGaugeAndValue(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "")
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	if v, ok := r.Value("g"); !ok || v != 7 {
+		t.Fatalf("Value(g) = %v,%v want 7,true", v, ok)
+	}
+	r.GaugeFunc("gf", "", func() int64 { return 42 })
+	if v, ok := r.Value("gf"); !ok || v != 42 {
+		t.Fatalf("Value(gf) = %v,%v want 42,true", v, ok)
+	}
+	if _, ok := r.Value("missing"); ok {
+		t.Fatalf("Value(missing) reported ok")
+	}
+}
+
+func TestHistogramCountSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "")
+	h.Observe(3 * time.Millisecond)
+	h.Observe(5 * time.Millisecond)
+	h.Observe(-time.Second) // clamps to zero
+	if got := h.Count(); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+	if got := h.SumNanos(); got != uint64(8*time.Millisecond) {
+		t.Fatalf("sum = %d, want %d", got, 8*time.Millisecond)
+	}
+}
+
+func TestVecChildrenDistinct(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("family_total", "", "codec")
+	cv.With("lz").Add(2)
+	cv.With("rle").Add(5)
+	if cv.With("lz").Value() != 2 || cv.With("rle").Value() != 5 {
+		t.Fatalf("vec children not independent")
+	}
+	if cv.With("lz") != cv.With("lz") {
+		t.Fatalf("With not idempotent")
+	}
+}
+
+// TestConcurrentInstruments hammers every instrument kind from many
+// goroutines; run under -race this is the data-race gate for the hot-path
+// primitives, and the totals check catches lost updates.
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			labels := [...]string{"a", "b", "c"}
+			for j := 0; j < iters; j++ {
+				r.Counter("c_total", "").Inc()
+				r.Gauge("g", "").Add(1)
+				r.Histogram("h", "").Observe(time.Duration(j) * time.Microsecond)
+				r.CounterVec("cv_total", "", "l").With(labels[j%len(labels)]).Inc()
+				r.HistogramVec("hv", "", "l").With(labels[(i+j)%len(labels)]).Observe(time.Millisecond)
+			}
+		}(i)
+	}
+	// Exposition races against the writers by design.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	const want = goroutines * iters
+	if got := r.Counter("c_total", "").Value(); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if got := r.Gauge("g", "").Value(); got != want {
+		t.Fatalf("gauge = %d, want %d", got, want)
+	}
+	if got := r.Histogram("h", "").Count(); got != want {
+		t.Fatalf("histogram count = %d, want %d", got, want)
+	}
+	var vecTotal uint64
+	for _, l := range []string{"a", "b", "c"} {
+		vecTotal += r.CounterVec("cv_total", "", "l").With(l).Value()
+	}
+	if vecTotal != want {
+		t.Fatalf("counter vec total = %d, want %d", vecTotal, want)
+	}
+}
+
+// BenchmarkObsOverhead prices hot-path instrumentation: the instrumented
+// case observes a histogram, bumps a counter, and moves a gauge — the
+// per-estimate metric work the engine performs — against the same calls on
+// nil (no-op) instruments. Both must report 0 allocs/op; the pair is
+// recorded into BENCH_engine.json so regressions surface in benchjson
+// -diff, and make bench-race runs it so instrumentation races can't land.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("instrumented", func(b *testing.B) {
+		r := NewRegistry()
+		c := r.Counter("bench_total", "")
+		g := r.Gauge("bench_inflight", "")
+		h := r.HistogramVec("bench_seconds", "", "stage").With("draw")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Inc()
+			c.Add(64)
+			h.Observe(time.Duration(i))
+			g.Dec()
+		}
+	})
+	b.Run("noop", func(b *testing.B) {
+		var r *Registry
+		c := r.Counter("bench_total", "")
+		g := r.Gauge("bench_inflight", "")
+		h := r.HistogramVec("bench_seconds", "", "stage").With("draw")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Inc()
+			c.Add(64)
+			h.Observe(time.Duration(i))
+			g.Dec()
+		}
+	})
+}

@@ -220,6 +220,7 @@ func (b *Backing) Stats() BackingStats {
 func (b *Backing) Reset(seed uint64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	metricReservoirRebuilds.Inc()
 	b.ar.Reset()
 	b.keys = b.keys[:0]
 	b.pos = make(map[uint64]int, b.target)

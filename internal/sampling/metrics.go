@@ -1,0 +1,15 @@
+package sampling
+
+import "samplecf/internal/obs"
+
+// Process-wide sampling tallies on the default obs registry: one atomic
+// add per draw call (not per row), so the sampling paths stay
+// allocation-free.
+var (
+	metricRowsDrawn = obs.Default().Counter(
+		"samplecf_sampling_rows_drawn_total",
+		"Rows drawn by the uniform and block sampling routines.")
+	metricReservoirRebuilds = obs.Default().Counter(
+		"samplecf_reservoir_rebuilds_total",
+		"Backing-sample reservoir resets ahead of a staleness rebuild scan.")
+)

@@ -81,6 +81,7 @@ func UniformWR(src RowSource, r int64, g *rng.RNG) ([]value.Row, error) {
 		}
 		out = append(out, row)
 	}
+	metricRowsDrawn.Add(uint64(r))
 	return out, nil
 }
 
@@ -99,6 +100,7 @@ func UniformWOR(src RowSource, r int64, g *rng.RNG) ([]value.Row, error) {
 		}
 		out = append(out, row)
 	}
+	metricRowsDrawn.Add(uint64(r))
 	return out, nil
 }
 
@@ -144,6 +146,7 @@ func UniformWRInto(src RowSource, r int64, g *rng.RNG, ar *value.RecordArena) er
 			return fmt.Errorf("sampling: encode row: %w", err)
 		}
 	}
+	metricRowsDrawn.Add(uint64(r))
 	return nil
 }
 
@@ -279,6 +282,7 @@ func BlockSample(ps PageSource, pages int, g *rng.RNG) ([]value.Row, error) {
 		}
 		out = append(out, rows...)
 	}
+	metricRowsDrawn.Add(uint64(len(out)))
 	return out, nil
 }
 

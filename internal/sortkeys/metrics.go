@@ -1,0 +1,15 @@
+package sortkeys
+
+import "samplecf/internal/obs"
+
+// Process-wide sort tallies on the default obs registry: one atomic add
+// per sort (not per row) and one per parallel bucket hand-off, so the
+// zero-alloc sort path stays zero-alloc.
+var (
+	metricRowsSorted = obs.Default().Counter(
+		"samplecf_sortkeys_rows_sorted_total",
+		"Permutation entries sorted by the MSD radix sort.")
+	metricParallelBuckets = obs.Default().Counter(
+		"samplecf_sortkeys_parallel_buckets_total",
+		"Radix buckets handed to worker goroutines instead of recursing inline.")
+)

@@ -197,6 +197,7 @@ func run(keys []byte, w int, perm []int32, workers int, g *hist) {
 	if n == 0 {
 		return
 	}
+	metricRowsSorted.Add(uint64(n))
 	if w == 0 {
 		// Zero-width keys are all equal: nothing to sort, one run of n.
 		if g != nil {
@@ -239,6 +240,7 @@ func run(keys []byte, w int, perm []int32, workers int, g *hist) {
 func (s *sorter) spawned(perm []int32, lo, hi, depth int) {
 	defer s.wg.Done()
 	defer s.sem.Release()
+	metricParallelBuckets.Inc()
 	var h *hist
 	if s.global != nil {
 		h = &hist{}

@@ -8,7 +8,18 @@
 // the machine.
 package workgroup
 
-import "runtime"
+import (
+	"runtime"
+
+	"samplecf/internal/obs"
+)
+
+// metricActive gauges how many extra goroutines all Sems in the process
+// currently admit — the fan-out occupancy of the per-operation parallel
+// stages, updated with one atomic add per acquire/release.
+var metricActive = obs.Default().Gauge(
+	"samplecf_workgroup_active_goroutines",
+	"Extra goroutines currently admitted by bounded worker-group semaphores.")
 
 // MaxWorkers caps one operation's fan-out regardless of core count; a
 // small group per operation soaks up leftover cores without starving the
@@ -55,6 +66,7 @@ func (s Sem) TryAcquire() bool {
 	}
 	select {
 	case s <- struct{}{}:
+		metricActive.Inc()
 		return true
 	default:
 		return false
@@ -62,4 +74,7 @@ func (s Sem) TryAcquire() bool {
 }
 
 // Release returns a slot claimed by TryAcquire.
-func (s Sem) Release() { <-s }
+func (s Sem) Release() {
+	<-s
+	metricActive.Dec()
+}
