@@ -13,9 +13,24 @@ import (
 	"fmt"
 	"net/http"
 
+	"samplecf/internal/catalog"
 	"samplecf/internal/db"
+	"samplecf/internal/heap"
 	"samplecf/internal/value"
 	"samplecf/internal/workload"
+)
+
+// liveTable is what the mutation endpoints need from a table: both plain
+// db tables and sharded tables qualify, so one handler serves either.
+type liveTable interface {
+	catalog.Table
+	Insert(row value.Row) (heap.RID, error)
+	DeleteWhere(column string, val []byte, limit int) (int, error)
+}
+
+var (
+	_ liveTable = (*db.Table)(nil)
+	_ liveTable = (*db.ShardedTable)(nil)
 )
 
 // buildLiveTable creates a db-backed table from the wire spec and seeds
@@ -63,6 +78,80 @@ func (s *server) buildLiveTable(spec tableSpecJSON) (*db.Table, error) {
 		}
 	}
 	return tab, nil
+}
+
+// buildLiveShardedTable creates a partitioned db-backed table from the
+// wire spec: each shard owns its own storage, maintained sample, and
+// epoch. Seed rows route through the partitioner exactly like later
+// inserts.
+func (s *server) buildLiveShardedTable(spec tableSpecJSON) (*db.ShardedTable, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("table name is required")
+	}
+	if spec.N < 0 {
+		return nil, fmt.Errorf("table %q: n must be non-negative", spec.Name)
+	}
+	cols := make([]workload.SpecColumn, 0, len(spec.Cols))
+	for _, c := range spec.Cols {
+		gen, err := buildColumn(c)
+		if err != nil {
+			return nil, fmt.Errorf("table %q, column %q: %w", spec.Name, c.Name, err)
+		}
+		cols = append(cols, workload.SpecColumn{Name: c.Name, Gen: gen})
+	}
+	wspec := workload.Spec{Name: spec.Name, N: spec.N, Seed: spec.Seed, Cols: cols}
+	schema, err := wspec.Schema()
+	if err != nil {
+		return nil, err
+	}
+	by := spec.ShardBy
+	if by == "" {
+		by = db.ShardByHash
+	}
+	pos, ok := schema.ColumnIndex(spec.ShardColumn)
+	if !ok {
+		return nil, fmt.Errorf("table %q: no shard column %q", spec.Name, spec.ShardColumn)
+	}
+	bounds := make([][]byte, len(spec.ShardBounds))
+	for i, raw := range spec.ShardBounds {
+		b, err := payloadFromJSON(schema.Column(pos).Type, raw)
+		if err != nil {
+			return nil, fmt.Errorf("table %q: shard bound %d: %w", spec.Name, i, err)
+		}
+		bounds[i] = b
+	}
+	st, err := s.db.CreateShardedTable(spec.Name, schema, db.ShardSpec{
+		Shards: spec.Shards, Column: spec.ShardColumn, By: by, Bounds: bounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if spec.N > 0 {
+		gen, err := workload.NewVirtual(wspec)
+		if err != nil {
+			_ = s.db.DropTable(spec.Name)
+			return nil, err
+		}
+		err = gen.Scan(func(_ int64, row value.Row) error {
+			_, err := st.Insert(row)
+			return err
+		})
+		if err != nil {
+			_ = s.db.DropTable(spec.Name)
+			return nil, fmt.Errorf("table %q: seed rows: %w", spec.Name, err)
+		}
+	}
+	return st, nil
+}
+
+// shardEpochs returns the per-shard epoch vector when t is sharded, nil
+// otherwise — mutation responses include it so clients can observe which
+// shard a write invalidated.
+func shardEpochs(t catalog.Table) []uint64 {
+	if sh, ok := t.(catalog.Sharded); ok {
+		return sh.EpochVector()
+	}
+	return nil
 }
 
 // insertRowsJSON is the body of POST /tables/{table}/rows: rows as arrays
@@ -114,12 +203,16 @@ func (s *server) handleInsertRows(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"table":    tab.Name(),
 		"inserted": len(req.Rows),
 		"rows":     tab.NumRows(),
 		"epoch":    tab.Epoch(),
-	})
+	}
+	if ev := shardEpochs(tab); ev != nil {
+		out["shard_epochs"] = ev
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleDeleteRows deletes rows matching a column-equality predicate.
@@ -152,12 +245,16 @@ func (s *server) handleDeleteRows(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"table":   tab.Name(),
 		"deleted": deleted,
 		"rows":    tab.NumRows(),
 		"epoch":   tab.Epoch(),
-	})
+	}
+	if ev := shardEpochs(tab); ev != nil {
+		out["shard_epochs"] = ev
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleDropTable removes a table from the registry; live tables are also
@@ -170,7 +267,7 @@ func (s *server) handleDropTable(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no table %q", name))
 		return
 	}
-	if _, live := t.(*db.Table); live {
+	if _, live := t.(liveTable); live {
 		if err := s.db.DropTable(name); err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 			return

@@ -167,6 +167,7 @@ func (s *server) middleware(next http.Handler) http.Handler {
 // are disjoint by construction, so the concatenation is one valid
 // exposition document.
 func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.refreshShardGauges()
 	w.Header().Set("Content-Type", obs.ExpositionContentType)
 	if err := s.registry.WritePrometheus(w); err != nil {
 		return

@@ -268,6 +268,7 @@ func TestStatsShimFieldNames(t *testing.T) {
 		"cache_hits", "cache_misses", "cache_evictions", "cache_entries",
 		"samples_drawn", "samples_shared", "maintained_hits", "maintained_stale",
 		"indexes_prepared", "evaluated", "precision_hits",
+		"shard_scatters", "shard_cache_hits", "shard_cache_misses",
 		"adaptive_rounds", "adaptive_rows", "prepare_nanos", "sort_rows",
 		"tables",
 	}

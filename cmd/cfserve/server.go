@@ -47,6 +47,12 @@ type server struct {
 	// (0 disables; the -slow-trace flag sets it).
 	slowTrace time.Duration
 
+	// shardCount and shardEpoch are per-table gauges refreshed at scrape
+	// time from the catalog: shard fan-out per sharded table, and the
+	// version epoch of each shard (labeled "table/shard").
+	shardCount *obs.GaugeVec
+	shardEpoch *obs.GaugeVec
+
 	// maxTableRows caps the n of a registered table (default
 	// defaultMaxTableRows; the -max-rows flag overrides).
 	maxTableRows int64
@@ -59,14 +65,41 @@ type server struct {
 }
 
 func newServer(eng *engine.Engine) *server {
+	reg := eng.Registry()
 	return &server{
-		eng:          eng,
-		db:           db.New(0),
-		cat:          catalog.New(),
-		registry:     eng.Registry(),
-		logger:       slog.New(slog.DiscardHandler),
+		eng:      eng,
+		db:       db.New(0),
+		cat:      catalog.New(),
+		registry: reg,
+		logger:   slog.New(slog.DiscardHandler),
+		shardCount: reg.GaugeVec("samplecf_table_shards",
+			"Shard fan-out of each sharded table.", "table"),
+		shardEpoch: reg.GaugeVec("samplecf_table_shard_epoch",
+			"Version epoch of each shard, labeled table/shard.", "shard"),
 		maxTableRows: defaultMaxTableRows,
 		started:      time.Now(),
+	}
+}
+
+// refreshShardGauges re-reads every sharded table's shard count and
+// per-shard epochs into the gauge vectors. Called at scrape time
+// (/metrics, /stats) so the exposition reflects the current catalog
+// without mutation hooks. Entries for dropped tables keep their last
+// value — gauge families are append-only — which scrapers tolerate.
+func (s *server) refreshShardGauges() {
+	for _, name := range s.cat.Names() {
+		t, ok := s.cat.Lookup(name)
+		if !ok {
+			continue
+		}
+		sh, ok := t.(catalog.Sharded)
+		if !ok {
+			continue
+		}
+		s.shardCount.With(name).Set(int64(sh.NumShards()))
+		for i, e := range sh.EpochVector() {
+			s.shardEpoch.With(fmt.Sprintf("%s/%d", name, i)).Set(int64(e))
+		}
 	}
 }
 
@@ -137,13 +170,14 @@ func (s *server) lookup(name string) (engine.Table, error) {
 	return t, nil
 }
 
-// lookupLive resolves a registered table that supports mutation.
-func (s *server) lookupLive(name string) (*db.Table, error) {
+// lookupLive resolves a registered table that supports mutation (plain or
+// sharded db-backed tables).
+func (s *server) lookupLive(name string) (liveTable, error) {
 	t, err := s.lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	live, ok := t.(*db.Table)
+	live, ok := t.(liveTable)
 	if !ok {
 		return nil, fmt.Errorf("table %q is immutable (create it with \"live\": true to mutate)", name)
 	}
@@ -276,6 +310,9 @@ var statsFields = []struct {
 	{"indexes_prepared", engine.MetricIndexesPrepared},
 	{"evaluated", engine.MetricEvaluated},
 	{"precision_hits", engine.MetricPrecisionHits},
+	{"shard_scatters", engine.MetricShardScatters},
+	{"shard_cache_hits", engine.MetricShardHits},
+	{"shard_cache_misses", engine.MetricShardMisses},
 	{"adaptive_rounds", engine.MetricAdaptiveRounds},
 	{"adaptive_rows", engine.MetricAdaptiveRows},
 	{"prepare_nanos", engine.MetricPrepareNanos},
@@ -283,12 +320,28 @@ var statsFields = []struct {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	out := make(map[string]any, len(statsFields)+1)
+	s.refreshShardGauges()
+	out := make(map[string]any, len(statsFields)+2)
 	for _, f := range statsFields {
 		v, _ := s.registry.Value(f.metric)
 		out[f.json] = uint64(v)
 	}
 	out["tables"] = s.cat.Len()
+	// Per-shard view of every sharded table: fan-out and epoch vector.
+	sharded := map[string]any{}
+	for _, name := range s.cat.Names() {
+		if t, ok := s.cat.Lookup(name); ok {
+			if sh, ok := t.(catalog.Sharded); ok {
+				sharded[name] = map[string]any{
+					"shards":       sh.NumShards(),
+					"shard_epochs": sh.EpochVector(),
+				}
+			}
+		}
+	}
+	if len(sharded) > 0 {
+		out["sharded_tables"] = sharded
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -298,11 +351,13 @@ func (s *server) handleCodecs(w http.ResponseWriter, _ *http.Request) {
 
 func (s *server) handleListTables(w http.ResponseWriter, _ *http.Request) {
 	type info struct {
-		Name    string   `json:"name"`
-		Rows    int64    `json:"rows"`
-		Columns []string `json:"columns"`
-		Epoch   uint64   `json:"epoch"`
-		Live    bool     `json:"live"`
+		Name        string   `json:"name"`
+		Rows        int64    `json:"rows"`
+		Columns     []string `json:"columns"`
+		Epoch       uint64   `json:"epoch"`
+		Live        bool     `json:"live"`
+		Shards      int      `json:"shards,omitempty"`
+		ShardEpochs []uint64 `json:"shard_epochs,omitempty"`
 	}
 	names := s.cat.Names() // sorted
 	out := make([]info, 0, len(names))
@@ -315,8 +370,13 @@ func (s *server) handleListTables(w http.ResponseWriter, _ *http.Request) {
 		for _, c := range t.Schema().Columns() {
 			cols = append(cols, c.Name)
 		}
-		_, live := t.(*db.Table)
-		out = append(out, info{Name: t.Name(), Rows: t.NumRows(), Columns: cols, Epoch: t.Epoch(), Live: live})
+		_, live := t.(liveTable)
+		row := info{Name: t.Name(), Rows: t.NumRows(), Columns: cols, Epoch: t.Epoch(), Live: live}
+		if sh, ok := t.(catalog.Sharded); ok {
+			row.Shards = sh.NumShards()
+			row.ShardEpochs = sh.EpochVector()
+		}
+		out = append(out, row)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"tables": out})
 }
@@ -333,9 +393,16 @@ func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 	}
 	var t engine.Table
 	var err error
-	if spec.Live {
+	switch {
+	case spec.Shards > 0 && !spec.Live:
+		httpError(w, http.StatusBadRequest,
+			fmt.Errorf("table %q: sharding requires \"live\": true", spec.Name))
+		return
+	case spec.Shards > 0:
+		t, err = s.buildLiveShardedTable(spec)
+	case spec.Live:
 		t, err = s.buildLiveTable(spec)
-	} else {
+	default:
 		t, err = buildTable(spec)
 	}
 	if err != nil {
@@ -349,12 +416,17 @@ func (s *server) handleCreateTable(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{
+	out := map[string]any{
 		"table": t.Name(),
 		"rows":  t.NumRows(),
 		"epoch": t.Epoch(),
 		"live":  spec.Live,
-	})
+	}
+	if sh, ok := t.(catalog.Sharded); ok {
+		out["shards"] = sh.NumShards()
+		out["shard_epochs"] = sh.EpochVector()
+	}
+	writeJSON(w, http.StatusCreated, out)
 }
 
 func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {

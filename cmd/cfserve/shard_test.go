@@ -1,0 +1,169 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// shardedSpec is a live range-partitioned table spec: 3 shards over qty
+// with bounds 170 and 340 (qty is uniform over [0, 500)).
+func shardedSpec(name string, n int) string {
+	return fmt.Sprintf(`{
+		"name": %q, "n": %d, "seed": 3, "live": true,
+		"shards": 3, "shard_by": "range", "shard_column": "qty",
+		"shard_bounds": [170, 340],
+		"cols": [
+			{"name": "city", "type": "char:16", "dist": "uniform:40", "len": "uniform:4:10", "seed": 1},
+			{"name": "qty",  "type": "int32",   "dist": "uniform:500"}
+		]
+	}`, name, n)
+}
+
+// epochVec pulls a []float64 shard-epoch vector out of a decoded response.
+func epochVec(t *testing.T, m map[string]any, key string) []float64 {
+	t.Helper()
+	raw, ok := m[key].([]any)
+	if !ok {
+		t.Fatalf("%s missing in %v", key, m)
+	}
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		out[i] = v.(float64)
+	}
+	return out
+}
+
+// TestShardedTableEndToEnd drives the shard API over HTTP: creation with
+// a range spec, per-shard epochs in responses, the hot-shard cache
+// property surfaced through /stats, and the per-shard gauges on /metrics.
+func TestShardedTableEndToEnd(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	var created map[string]any
+	if code := postJSON(t, ts.URL+"/tables", shardedSpec("parts", 3000), &created); code != http.StatusCreated {
+		t.Fatalf("create: %d %v", code, created)
+	}
+	if created["shards"].(float64) != 3 {
+		t.Fatalf("created = %v", created)
+	}
+	before := epochVec(t, created, "shard_epochs")
+	if len(before) != 3 {
+		t.Fatalf("shard_epochs = %v", before)
+	}
+
+	// GET /tables lists the shard fan-out and epoch vector.
+	var tables map[string][]map[string]any
+	getJSON(t, ts.URL+"/tables", &tables)
+	for _, ti := range tables["tables"] {
+		if ti["name"] == "parts" {
+			if ti["shards"].(float64) != 3 {
+				t.Fatalf("listed table = %v", ti)
+			}
+		}
+	}
+
+	// Warm the estimate cache, then confirm a repeat is a full hit.
+	est := func() estimateResultJSON {
+		var res estimateResultJSON
+		if code := postJSON(t, ts.URL+"/estimate", estimateBody("parts"), &res); code != http.StatusOK {
+			t.Fatalf("estimate: status %d (%+v)", code, res)
+		}
+		return res
+	}
+	if est(); !est().CacheHit {
+		t.Fatal("repeat estimate did not hit the cache")
+	}
+
+	// Insert a row routing to shard 0 (qty 1 < bound 170): only that
+	// shard's epoch moves.
+	var ins map[string]any
+	if code := doJSON(t, http.MethodPost, ts.URL+"/tables/parts/rows",
+		`{"rows": [["atlantis", 1]]}`, &ins); code != http.StatusOK {
+		t.Fatalf("insert: %d %v", code, ins)
+	}
+	after := epochVec(t, ins, "shard_epochs")
+	if after[0] != before[0]+1 || after[1] != before[1] || after[2] != before[2] {
+		t.Fatalf("shard_epochs %v -> %v, want only shard 0 bumped", before, after)
+	}
+
+	// The next estimate recomputes only the mutated shard; the other two
+	// serve from their per-shard cache entries.
+	var s0 map[string]any
+	getJSON(t, ts.URL+"/stats", &s0)
+	if est().CacheHit {
+		t.Fatal("estimate after insert served the stale merged result")
+	}
+	var s1 map[string]any
+	getJSON(t, ts.URL+"/stats", &s1)
+	if hits := s1["shard_cache_hits"].(float64) - s0["shard_cache_hits"].(float64); hits != 2 {
+		t.Errorf("untouched shards served %v hits, want 2", hits)
+	}
+	if misses := s1["shard_cache_misses"].(float64) - s0["shard_cache_misses"].(float64); misses != 1 {
+		t.Errorf("hot shard missed %v times, want 1", misses)
+	}
+	sharded, ok := s1["sharded_tables"].(map[string]any)
+	if !ok || sharded["parts"] == nil {
+		t.Fatalf("/stats sharded_tables = %v", s1["sharded_tables"])
+	}
+
+	// /metrics exposes the per-shard gauges.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	if !strings.Contains(text, `samplecf_table_shards{table="parts"} 3`) {
+		t.Errorf("/metrics missing shard-count gauge:\n%s", grepLines(text, "samplecf_table_shards"))
+	}
+	if !strings.Contains(text, `samplecf_table_shard_epoch{shard="parts/0"}`) {
+		t.Errorf("/metrics missing shard-epoch gauge:\n%s", grepLines(text, "samplecf_table_shard_epoch"))
+	}
+
+	// Drop removes the whole partitioned table.
+	if code := doJSON(t, http.MethodDelete, ts.URL+"/tables/parts", "", nil); code != http.StatusOK {
+		t.Fatal("drop failed")
+	}
+	if code := postJSON(t, ts.URL+"/estimate", estimateBody("parts"), nil); code != http.StatusNotFound {
+		t.Fatalf("estimate after drop: %d", code)
+	}
+}
+
+func TestShardedSpecValidation(t *testing.T) {
+	ts, _ := newTestServer(t)
+	post := func(body string) int {
+		return postJSON(t, ts.URL+"/tables", body, nil)
+	}
+	cols := `"cols": [{"name": "a", "type": "int32", "dist": "uniform:10"}]`
+	// Sharding an immutable table is rejected.
+	if code := post(`{"name": "x", "n": 10, "shards": 2, "shard_column": "a", ` + cols + `}`); code != http.StatusBadRequest {
+		t.Errorf("non-live sharded spec accepted: %d", code)
+	}
+	// Unknown shard column.
+	if code := post(`{"name": "x", "n": 10, "live": true, "shards": 2, "shard_column": "zz", ` + cols + `}`); code != http.StatusBadRequest {
+		t.Errorf("unknown shard column accepted: %d", code)
+	}
+	// Range sharding with the wrong bound count.
+	if code := post(`{"name": "x", "n": 10, "live": true, "shards": 3, "shard_by": "range", "shard_column": "a", "shard_bounds": [5], ` + cols + `}`); code != http.StatusBadRequest {
+		t.Errorf("bad bound count accepted: %d", code)
+	}
+	// A valid hash spec needs no bounds.
+	if code := post(`{"name": "ok", "n": 10, "live": true, "shards": 2, "shard_column": "a", ` + cols + `}`); code != http.StatusCreated {
+		t.Errorf("valid hash spec rejected: %d", code)
+	}
+}
+
+// grepLines returns the lines of text containing substr, for error output.
+func grepLines(text, substr string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
@@ -24,6 +25,16 @@ type tableSpecJSON struct {
 	// tables accept the /tables/{t}/rows mutation endpoints and may start
 	// empty (n = 0).
 	Live bool `json:"live,omitempty"`
+	// Shards partitions a live table (requires "live": true) into this
+	// many shards, each with its own storage, maintained sample, and
+	// version epoch — mutations to one shard leave the others' cached
+	// estimates valid. ShardBy is "hash" (default) or "range" over
+	// ShardColumn; range partitioning takes Shards-1 strictly ascending
+	// upper-exclusive ShardBounds typed like row values.
+	Shards      int               `json:"shards,omitempty"`
+	ShardBy     string            `json:"shard_by,omitempty"`
+	ShardColumn string            `json:"shard_column,omitempty"`
+	ShardBounds []json.RawMessage `json:"shard_bounds,omitempty"`
 }
 
 // columnSpecJSON describes one generated column.

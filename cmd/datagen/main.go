@@ -45,10 +45,18 @@ func run() error {
 		seed      = flag.Uint64("seed", 1, "generator seed")
 		out       = flag.String("o", "", "output file (default stdout)")
 		stats     = flag.Bool("stats", false, "print exact column statistics to stderr")
+		shards    = flag.Int64("shards", 0, "emit a partition-skewed int32 \"shard\" column over this many shards (0 = off)")
+		hotFrac   = flag.Float64("hot-shard-frac", 0.8, "fraction of rows landing on the hot shard (with -shards)")
 	)
 	flag.Parse()
 	if *hi < 0 {
 		*hi = *k
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be non-negative")
+	}
+	if *shards > 1 && (*hotFrac <= 0 || *hotFrac >= 1) {
+		return fmt.Errorf("-hot-shard-frac must be in (0,1)")
 	}
 
 	var valueDist distrib.Discrete
@@ -80,13 +88,28 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	cols := []workload.SpecColumn{{Name: "a", Gen: col}}
+	if *shards > 0 {
+		// Partition-skewed shard assignment: shard 0 is hot and draws
+		// -hot-shard-frac of the rows, the rest spread uniformly — the
+		// workload shape sharded estimation is built for (one churning
+		// shard, many quiet ones).
+		var shardDist distrib.Discrete = distrib.NewUniform(1)
+		if *shards > 1 {
+			shardDist = distrib.NewHotSet(*shards, 1/float64(*shards), *hotFrac)
+		}
+		shardCol, err := workload.NewIntColumn(value.Int32(), shardDist, 0)
+		if err != nil {
+			return err
+		}
+		cols = append(cols, workload.SpecColumn{Name: "shard", Gen: shardCol})
+	}
 	layout := workload.LayoutShuffled
 	if *clustered {
 		layout = workload.LayoutClustered
 	}
 	tab, err := workload.Generate(workload.Spec{
-		Name: "datagen", N: *n, Seed: *seed, Layout: layout,
-		Cols: []workload.SpecColumn{{Name: "a", Gen: col}},
+		Name: "datagen", N: *n, Seed: *seed, Layout: layout, Cols: cols,
 	})
 	if err != nil {
 		return err
@@ -118,6 +141,20 @@ func run() error {
 			c.N, c.Distinct, c.SumNS, c.MeanNS(), c.VarNS())
 		fmt.Fprintf(os.Stderr, "analytic CF: NS=%.6f globaldict(p=4)=%.6f\n",
 			c.CFNullSuppression(*k, 1), c.CFGlobalDict(*k, 4))
+		if *shards > 0 {
+			counts := make([]int64, *shards)
+			err := tab.Scan(func(_ int64, row value.Row) error {
+				counts[value.DecodeInt32(row[1])]++
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			for s, cnt := range counts {
+				fmt.Fprintf(os.Stderr, "shard %d: %d rows (%.1f%%)\n",
+					s, cnt, 100*float64(cnt)/float64(*n))
+			}
+		}
 	}
 	return nil
 }

@@ -1,0 +1,124 @@
+// Golden equivalence for sharding: a single-shard partitioned table is the
+// degenerate configuration and must be *byte-identical* to the unsharded
+// path — same sample draw, same sorted arena, same compressed size — for
+// every pinned golden case the engine can serve. Shard 0 keeps the request
+// seed and a one-element merge passes the estimate through verbatim, so
+// any drift here means the scatter path changed estimator semantics, not
+// just performance.
+package samplecf_test
+
+import (
+	"context"
+	"testing"
+
+	"samplecf"
+	"samplecf/internal/db"
+	"samplecf/internal/value"
+)
+
+// goldenShardedTable loads the golden rows into a db-backed table
+// partitioned into the given number of shards (hash on region).
+func goldenShardedTable(t *testing.T, d *db.Database, name string, shards int) *db.ShardedTable {
+	t.Helper()
+	tab := goldenTable(t)
+	st, err := d.CreateShardedTable(name, tab.Schema(), db.ShardSpec{
+		Shards: shards, Column: "region", By: db.ShardByHash,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = tab.Scan(func(_ int64, row value.Row) error {
+		_, err := st.Insert(row)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestGoldenSingleShardMatchesUnsharded pins the N=1 sharded configuration
+// to the golden table: every engine-eligible case (fixed-r, WR) must
+// reproduce the exact pinned {comp, uncomp, r, d'} quadruple through the
+// scatter path. FreshSample keeps the draw a pure function of (rows, r,
+// seed), independent of the maintained backing sample's instance seed.
+func TestGoldenSingleShardMatchesUnsharded(t *testing.T) {
+	d := db.New(0)
+	st := goldenShardedTable(t, d, "golden1", 1)
+	eng := samplecf.NewEngine(samplecf.EngineConfig{CacheEntries: -1})
+	defer eng.Close()
+
+	cases := goldenMatrix()
+	if len(cases) != len(goldenWant) {
+		t.Fatalf("golden table has %d rows, matrix has %d cases", len(goldenWant), len(cases))
+	}
+	ran := 0
+	for i, c := range cases {
+		if c.wor || c.rows == 0 {
+			continue // engine draws WR with SampleRows
+		}
+		wantComp, wantUncomp := goldenWant[i][0], goldenWant[i][1]
+		wantR, wantD := goldenWant[i][2], goldenWant[i][3]
+		t.Run(c.name(), func(t *testing.T) {
+			codec, err := samplecf.LookupCodec(c.codec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := eng.Estimate(context.Background(), samplecf.EngineRequest{
+				Table: st, KeyColumns: c.cols, Codec: codec,
+				SampleRows: c.rows, Seed: c.seed, FreshSample: true,
+			})
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			est := res.Estimate
+			if est.Result.CompressedBytes != wantComp ||
+				est.Result.UncompressedBytes != wantUncomp ||
+				est.SampleRows != wantR ||
+				est.SampleDistinct != wantD {
+				t.Errorf("single-shard estimate drifted: got {comp=%d, uncomp=%d, r=%d, d'=%d}, want {%d, %d, %d, %d}",
+					est.Result.CompressedBytes, est.Result.UncompressedBytes,
+					est.SampleRows, est.SampleDistinct,
+					wantComp, wantUncomp, wantR, wantD)
+			}
+			if want := float64(wantComp) / float64(wantUncomp); est.CF != want {
+				t.Errorf("CF = %v, want %v", est.CF, want)
+			}
+		})
+		ran++
+	}
+	if ran == 0 {
+		t.Fatal("no golden cases were engine-eligible")
+	}
+}
+
+// TestGoldenShardedTrueCF pins the shard-parallel ground-truth scan to the
+// sequential answer: ExactCF over a 4-shard table must equal ExactCF over
+// the same rows unsharded, byte for byte, for a codec whose output depends
+// on row order (the shard scan preserves global scan order).
+func TestGoldenShardedTrueCF(t *testing.T) {
+	d := db.New(0)
+	st := goldenShardedTable(t, d, "golden4", 4)
+	tab := goldenTable(t)
+	for _, codecName := range []string{"nullsuppression", "rle", "pagedict+ns"} {
+		codec, err := samplecf.LookupCodec(codecName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cols := []string{"region", "product"}
+		seq, err := samplecf.TrueCF(tab, cols, codec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := samplecf.TrueCF(st, cols, codec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.CompressedBytes != par.CompressedBytes ||
+			seq.UncompressedBytes != par.UncompressedBytes {
+			t.Errorf("%s: sharded TrueCF {comp=%d uncomp=%d} != sequential {comp=%d uncomp=%d}",
+				codecName, par.CompressedBytes, par.UncompressedBytes,
+				seq.CompressedBytes, seq.UncompressedBytes)
+		}
+	}
+}

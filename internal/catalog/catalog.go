@@ -51,6 +51,30 @@ type Table interface {
 	InstanceID() uint64
 }
 
+// Sharded is the optional partitioning capability: tables whose rows are
+// split across range/hash shards, each shard a full Table with its own
+// instance id and epoch. The table-level Epoch() of a sharded table is an
+// aggregate (the sum of shard epochs — monotone because each addend is),
+// but epoch-keyed consumers should prefer EpochVector: keying derived
+// state per shard means a mutation on one shard invalidates only that
+// shard's entries, while everything derived from the untouched shards
+// keeps serving. The engine's scatter-gather estimation path and the
+// parallel TrueCF scan both discover shard structure through this
+// interface.
+type Sharded interface {
+	Table
+	// NumShards returns the number of shards (≥ 1, fixed at creation).
+	NumShards() int
+	// Shard returns shard i (0 ≤ i < NumShards) as a full Table: its
+	// NumRows/Row/Epoch/InstanceID describe that shard alone.
+	Shard(i int) Table
+	// EpochVector snapshots every shard's epoch in shard order. The
+	// vector is the cache contract: derived state recorded at
+	// (InstanceID, shard i, EpochVector[i]) stays valid until shard i
+	// itself mutates.
+	EpochVector() []uint64
+}
+
 // PageProvider is the optional block-sampling capability: tables whose
 // rows live on physical pages expose them for page-level draws.
 type PageProvider interface {

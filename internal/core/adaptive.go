@@ -190,6 +190,20 @@ func (p *PreparedIndex) ciHalfWidth(method string, opts Options, z float64, targ
 	return z * ci.SD, nil
 }
 
+// SDScale returns the confidence-free standard-deviation scale of the
+// prepared sample's CF estimate under the codec's CI method (the CI
+// half-width at confidence z is z·scale): Theorem 1's 1/(2√r) for the
+// null-suppression family, the bootstrap SD otherwise. It is the
+// per-stratum σ_h a sharded estimation composes by stratified variance
+// (stats.StratifiedSD); round decorrelates the bootstrap's resample
+// stream between refinement rounds, exactly as in AdaptiveEstimate.
+func (p *PreparedIndex) SDScale(opts Options, target Precision, round int) (method string, scale float64, err error) {
+	target = target.withDefaults()
+	method = ciMethodFor(opts)
+	scale, err = p.ciHalfWidth(method, opts, 1, target, round)
+	return method, scale, err
+}
+
 // nextSampleSize grows the sample: at least double (sequential-refinement
 // economics: total work ≤ 2× the final round), and for Theorem-1 codecs at
 // least the bound-implied r = ⌈(z/2ε)²⌉ — the bound is data-independent,

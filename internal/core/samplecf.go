@@ -540,6 +540,19 @@ type RowScanner interface {
 	Scan(fn func(i int64, row value.Row) error) error
 }
 
+// ShardScanner is the partitioned-table shape TrueCF exploits for
+// shard-parallel ground-truth scans. It is structural (core cannot import
+// the storage layer): db.ShardedTable satisfies it. ShardScan(s, fn) must
+// iterate only shard s with shard-local indices starting at 0, and the
+// per-shard scans must be safe to run concurrently — each shard owns its
+// storage and lock.
+type ShardScanner interface {
+	RowScanner
+	NumShards() int
+	ShardRows(s int) int64
+	ShardScan(s int, fn func(i int64, row value.Row) error) error
+}
+
 // trueCFShardRows is the minimum rows per scan shard: below this the
 // goroutine handoff costs more than the encode it parallelizes.
 const trueCFShardRows = 16384
@@ -578,7 +591,13 @@ func trueCF(src RowScanner, keyCols []string, codec compress.Codec, pageSize, wo
 	}
 	scanWorkers := workers
 	if scanWorkers <= 0 {
-		scanWorkers = workgroup.Limit(int(src.NumRows()) / trueCFShardRows)
+		units := int(src.NumRows()) / trueCFShardRows
+		if ss, ok := src.(ShardScanner); ok && ss.NumShards() > units {
+			// Partitioned sources parallelize per shard regardless of row
+			// count: each shard scan is independent lock-wise.
+			units = ss.NumShards()
+		}
+		scanWorkers = workgroup.Limit(units)
 	}
 	ar := value.NewRecordArena(keySchema, int(src.NumRows()))
 	if err := scanIntoArena(src, ar, project, scanWorkers); err != nil {
@@ -606,6 +625,9 @@ func trueCF(src RowScanner, keyCols []string, codec compress.Codec, pageSize, wo
 // only the lock-holding Scan gives such sources a consistent snapshot.
 func scanIntoArena(src RowScanner, ar *value.RecordArena, project []int, workers int) error {
 	n := int(src.NumRows())
+	if ss, ok := src.(ShardScanner); ok && workers > 1 && ss.NumShards() > 1 {
+		return scanShardsIntoArena(ss, ar, project, workers)
+	}
 	rs, ok := src.(sampling.StableRowSource)
 	if !ok || workers <= 1 {
 		krow := make(value.Row, len(project))
@@ -648,6 +670,69 @@ func scanIntoArena(src RowScanner, ar *value.RecordArena, project []int, workers
 				}
 			}
 		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanShardsIntoArena fills ar shard-parallel: shard s's rows land in the
+// contiguous slot range starting at the prefix sum of earlier shards'
+// counts, in shard-local scan order, so the result is byte-identical to
+// the source's sequential Scan (which iterates shards in order). Each
+// per-shard scan holds only that shard's lock; a row-count drift between
+// the snapshot and a shard's scan means a concurrent mutation, reported as
+// an error rather than a torn arena.
+func scanShardsIntoArena(src ShardScanner, ar *value.RecordArena, project []int, workers int) error {
+	ns := src.NumShards()
+	counts := make([]int64, ns)
+	offsets := make([]int64, ns)
+	var total int64
+	for s := 0; s < ns; s++ {
+		counts[s] = src.ShardRows(s)
+		offsets[s] = total
+		total += counts[s]
+	}
+	ar.Grow(int(total))
+	sem := workgroup.NewSem(workgroup.Limit(ns) - 1)
+	if workers > 0 {
+		sem = workgroup.NewSem(workgroup.Limit(min(workers, ns)) - 1)
+	}
+	errs := make([]error, ns)
+	scanShard := func(s int) {
+		krow := make(value.Row, len(project))
+		seen := int64(0)
+		err := src.ShardScan(s, func(i int64, row value.Row) error {
+			if i >= counts[s] {
+				return fmt.Errorf("core: shard %d grew past %d rows during scan", s, counts[s])
+			}
+			seen = i + 1
+			for c, p := range project {
+				krow[c] = row[p]
+			}
+			return ar.SetRow(int(offsets[s]+i), krow)
+		})
+		if err == nil && seen != counts[s] {
+			err = fmt.Errorf("core: shard %d scanned %d of %d rows (concurrent mutation)", s, seen, counts[s])
+		}
+		errs[s] = err
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < ns; s++ {
+		if sem.TryAcquire() {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				defer sem.Release()
+				scanShard(s)
+			}(s)
+		} else {
+			scanShard(s)
+		}
 	}
 	wg.Wait()
 	for _, err := range errs {

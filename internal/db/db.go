@@ -59,6 +59,7 @@ type Database struct {
 	pageSize     int
 	sampleTarget int
 	tables       map[string]*Table
+	sharded      map[string]*ShardedTable
 }
 
 // New creates an empty database. pageSize 0 selects page.DefaultSize.
@@ -70,6 +71,7 @@ func New(pageSize int, opts ...Option) *Database {
 		pageSize:     pageSize,
 		sampleTarget: DefaultSampleTarget,
 		tables:       make(map[string]*Table),
+		sharded:      make(map[string]*ShardedTable),
 	}
 	for _, opt := range opts {
 		opt(d)
@@ -77,13 +79,10 @@ func New(pageSize int, opts ...Option) *Database {
 	return d
 }
 
-// CreateTable registers a new heap-backed table.
-func (d *Database) CreateTable(name string, schema *value.Schema) (*Table, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if _, dup := d.tables[name]; dup {
-		return nil, fmt.Errorf("db: table %q already exists", name)
-	}
+// newTable builds a heap-backed table without registering it: the shared
+// construction behind both user-visible tables and the per-shard children
+// of a ShardedTable.
+func (d *Database) newTable(name string, schema *value.Schema) (*Table, error) {
 	file, err := heap.Create(heap.NewMemStore(d.pageSize), schema)
 	if err != nil {
 		return nil, err
@@ -103,8 +102,34 @@ func (d *Database) CreateTable(name string, schema *value.Schema) (*Table, error
 			return nil, err
 		}
 	}
+	return t, nil
+}
+
+// CreateTable registers a new heap-backed table.
+func (d *Database) CreateTable(name string, schema *value.Schema) (*Table, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkNameFreeLocked(name); err != nil {
+		return nil, err
+	}
+	t, err := d.newTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
 	d.tables[name] = t
 	return t, nil
+}
+
+// checkNameFreeLocked rejects a name already taken by a plain or sharded
+// table. The caller holds the database lock.
+func (d *Database) checkNameFreeLocked(name string) error {
+	if _, dup := d.tables[name]; dup {
+		return fmt.Errorf("db: table %q already exists", name)
+	}
+	if _, dup := d.sharded[name]; dup {
+		return fmt.Errorf("db: table %q already exists", name)
+	}
+	return nil
 }
 
 // Table returns a table by name.
@@ -117,31 +142,46 @@ func (d *Database) Table(name string) (*Table, bool) {
 
 // DropTable removes a table and its indexes. The table object is marked
 // dropped: any retained *Table handle fails subsequent operations with
-// ErrTableDropped instead of touching orphaned storage.
+// ErrTableDropped instead of touching orphaned storage. Dropping a
+// sharded table drops every shard.
 func (d *Database) DropTable(name string) error {
 	d.mu.Lock()
 	t, ok := d.tables[name]
 	if !ok {
+		st, sok := d.sharded[name]
+		if !sok {
+			d.mu.Unlock()
+			return fmt.Errorf("db: no table %q", name)
+		}
+		delete(d.sharded, name)
 		d.mu.Unlock()
-		return fmt.Errorf("db: no table %q", name)
+		st.markDropped()
+		return nil
 	}
 	delete(d.tables, name)
 	d.mu.Unlock()
+	t.markDropped()
+	return nil
+}
 
+// markDropped flags the table dropped and invalidates epoch-keyed state.
+func (t *Table) markDropped() {
 	t.mu.Lock()
 	t.dropped = true
 	t.rowDir = nil
 	t.mu.Unlock()
 	t.Bump() // stale any epoch-keyed derived state immediately
-	return nil
 }
 
-// TableNames lists tables, sorted.
+// TableNames lists tables (plain and sharded), sorted.
 func (d *Database) TableNames() []string {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	out := make([]string, 0, len(d.tables))
+	out := make([]string, 0, len(d.tables)+len(d.sharded))
 	for n := range d.tables {
+		out = append(out, n)
+	}
+	for n := range d.sharded {
 		out = append(out, n)
 	}
 	slices.Sort(out)

@@ -1,0 +1,330 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+
+	"samplecf/internal/catalog"
+	"samplecf/internal/core"
+	"samplecf/internal/heap"
+	"samplecf/internal/value"
+)
+
+// ShardBy enumerates the partitioning strategies a ShardSpec can select.
+const (
+	// ShardByHash routes a row by FNV-1a over the partition column's
+	// SQL-normalized payload (CHAR padding trimmed), modulo shard count.
+	ShardByHash = "hash"
+	// ShardByRange routes a row by binary search over ascending
+	// upper-exclusive bounds; rows at or above the last bound land in the
+	// final shard.
+	ShardByRange = "range"
+)
+
+// ShardSpec describes how a sharded table partitions rows.
+type ShardSpec struct {
+	// Shards is the partition count, >= 1.
+	Shards int
+	// Column names the partition column.
+	Column string
+	// By selects the strategy: ShardByHash (default) or ShardByRange.
+	By string
+	// Bounds holds, for range partitioning, the Shards-1 ascending
+	// upper-exclusive bounds as column payloads: shard i receives rows
+	// with value < Bounds[i] (and >= Bounds[i-1]).
+	Bounds [][]byte
+}
+
+// validate checks the spec against the table schema and returns the
+// partition column's position and type.
+func (s ShardSpec) validate(schema *value.Schema) (pos int, typ value.Type, err error) {
+	if s.Shards < 1 {
+		return 0, typ, fmt.Errorf("db: shard count %d < 1", s.Shards)
+	}
+	pos, ok := schema.ColumnIndex(s.Column)
+	if !ok {
+		return 0, typ, fmt.Errorf("db: no shard column %q", s.Column)
+	}
+	typ = schema.Column(pos).Type
+	switch s.By {
+	case "", ShardByHash:
+		if len(s.Bounds) != 0 {
+			return 0, typ, fmt.Errorf("db: hash sharding takes no bounds")
+		}
+	case ShardByRange:
+		if len(s.Bounds) != s.Shards-1 {
+			return 0, typ, fmt.Errorf("db: range sharding over %d shards needs %d bounds, got %d",
+				s.Shards, s.Shards-1, len(s.Bounds))
+		}
+		for i := 1; i < len(s.Bounds); i++ {
+			if value.CompareValues(typ, s.Bounds[i-1], s.Bounds[i]) >= 0 {
+				return 0, typ, fmt.Errorf("db: range bounds must be strictly ascending at index %d", i)
+			}
+		}
+	default:
+		return 0, typ, fmt.Errorf("db: unknown shard strategy %q", s.By)
+	}
+	return pos, typ, nil
+}
+
+// ShardedTable partitions a logical table across Shards independent heap
+// tables. Each shard owns its storage, lock, maintained sample, and version
+// epoch, so a mutation bumps only the touched shard: derived state keyed on
+// the other shards' epochs stays valid. The logical table's own Epoch is
+// the sum of shard epochs — monotone, since shard epochs only grow — and
+// EpochVector exposes the per-shard epochs for vector-keyed caches
+// (catalog.Sharded).
+type ShardedTable struct {
+	// version supplies only the logical table's InstanceID; the epoch it
+	// carries is unused (Epoch is derived from the shards), so it is a
+	// named field rather than embedded.
+	version catalog.Version
+	db      *Database
+	name    string
+	schema  *value.Schema
+	spec    ShardSpec
+	colPos  int
+	colType value.Type
+	shards  []*Table
+}
+
+var _ catalog.Table = (*ShardedTable)(nil)
+var _ catalog.Sharded = (*ShardedTable)(nil)
+var _ core.RowScanner = (*ShardedTable)(nil)
+var _ core.ShardScanner = (*ShardedTable)(nil)
+
+// CreateShardedTable registers a table partitioned per spec. Shard children
+// are full heap tables named "name#i" but live outside the user namespace:
+// only the logical name is listed and resolvable.
+func (d *Database) CreateShardedTable(name string, schema *value.Schema, spec ShardSpec) (*ShardedTable, error) {
+	colPos, colType, err := spec.validate(schema)
+	if err != nil {
+		return nil, err
+	}
+	if spec.By == "" {
+		spec.By = ShardByHash
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkNameFreeLocked(name); err != nil {
+		return nil, err
+	}
+	st := &ShardedTable{
+		version: catalog.NewVersion(),
+		db:      d,
+		name:    name,
+		schema:  schema,
+		spec:    spec,
+		colPos:  colPos,
+		colType: colType,
+		shards:  make([]*Table, spec.Shards),
+	}
+	for i := range st.shards {
+		st.shards[i], err = d.newTable(fmt.Sprintf("%s#%d", name, i), schema)
+		if err != nil {
+			return nil, err
+		}
+	}
+	d.sharded[name] = st
+	return st, nil
+}
+
+// ShardedTable returns a sharded table by name.
+func (d *Database) ShardedTable(name string) (*ShardedTable, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	st, ok := d.sharded[name]
+	return st, ok
+}
+
+// LookupTable resolves a name to its live table, plain or sharded.
+func (d *Database) LookupTable(name string) (catalog.Table, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if t, ok := d.tables[name]; ok {
+		return t, true
+	}
+	if st, ok := d.sharded[name]; ok {
+		return st, true
+	}
+	return nil, false
+}
+
+// markDropped drops every shard.
+func (st *ShardedTable) markDropped() {
+	for _, s := range st.shards {
+		s.markDropped()
+	}
+}
+
+// Name implements catalog.Table.
+func (st *ShardedTable) Name() string { return st.name }
+
+// Schema implements catalog.Table.
+func (st *ShardedTable) Schema() *value.Schema { return st.schema }
+
+// InstanceID implements catalog.Table: the logical table's own identity,
+// distinct from every shard's.
+func (st *ShardedTable) InstanceID() uint64 { return st.version.InstanceID() }
+
+// Epoch implements catalog.Table as the sum of shard epochs. Shard epochs
+// only grow, so the sum is monotone: any mutation anywhere changes it,
+// which keeps whole-table cache keys correct, while per-shard consumers
+// use EpochVector to keep untouched shards' entries alive.
+func (st *ShardedTable) Epoch() uint64 {
+	var sum uint64
+	for _, s := range st.shards {
+		sum += s.Epoch()
+	}
+	return sum
+}
+
+// NumRows implements catalog.Table.
+func (st *ShardedTable) NumRows() int64 {
+	var n int64
+	for _, s := range st.shards {
+		n += s.NumRows()
+	}
+	return n
+}
+
+// Spec returns the partitioning spec.
+func (st *ShardedTable) Spec() ShardSpec { return st.spec }
+
+// NumShards implements catalog.Sharded.
+func (st *ShardedTable) NumShards() int { return len(st.shards) }
+
+// Shard implements catalog.Sharded: shard i as a full table (it also
+// satisfies the catalog sample/page capabilities, so estimation treats a
+// shard exactly like a plain table).
+func (st *ShardedTable) Shard(i int) catalog.Table { return st.shards[i] }
+
+// ShardTable returns shard i with its concrete type.
+func (st *ShardedTable) ShardTable(i int) *Table { return st.shards[i] }
+
+// EpochVector implements catalog.Sharded: the per-shard epochs, indexed by
+// shard. Each element is read atomically; the vector as a whole is not a
+// consistent snapshot across concurrent mutations, which is fine for cache
+// keying — a torn read only produces a key no one else writes.
+func (st *ShardedTable) EpochVector() []uint64 {
+	out := make([]uint64, len(st.shards))
+	for i, s := range st.shards {
+		out[i] = s.Epoch()
+	}
+	return out
+}
+
+// fnv1a is FNV-1a over one payload (inline to keep routing allocation-free).
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ShardFor returns the shard index a row routes to.
+func (st *ShardedTable) ShardFor(row value.Row) (int, error) {
+	if len(row) != st.schema.NumColumns() {
+		return 0, fmt.Errorf("db: row has %d columns, schema has %d", len(row), st.schema.NumColumns())
+	}
+	v := row[st.colPos]
+	if st.spec.By == ShardByRange {
+		// First shard whose upper-exclusive bound exceeds the value; rows
+		// at or beyond the last bound fall into the final shard.
+		return sort.Search(len(st.spec.Bounds), func(i int) bool {
+			return value.CompareValues(st.colType, v, st.spec.Bounds[i]) < 0
+		}), nil
+	}
+	// Hash SQL-normalized bytes so values that compare equal co-locate
+	// (CHAR ignores trailing padding).
+	return int(fnv1a(value.TrimPadding(st.colType, v)) % uint64(len(st.shards))), nil
+}
+
+// Insert routes the row to its shard; only that shard's epoch bumps.
+func (st *ShardedTable) Insert(row value.Row) (heap.RID, error) {
+	s, err := st.ShardFor(row)
+	if err != nil {
+		return heap.RID{}, err
+	}
+	return st.shards[s].Insert(row)
+}
+
+// DeleteWhere removes up to limit rows whose column equals val across all
+// shards (limit <= 0 means all matches), returning the number deleted.
+// When the predicate column is the partition column, only the owning
+// shard(s) are touched, so the other shards' epochs stay put.
+func (st *ShardedTable) DeleteWhere(column string, val []byte, limit int) (int, error) {
+	total := 0
+	for _, s := range st.shards {
+		remaining := 0
+		if limit > 0 {
+			remaining = limit - total
+			if remaining <= 0 {
+				break
+			}
+		}
+		if column == st.spec.Column {
+			// Partition-column predicate: skip shards that cannot hold the
+			// value instead of scanning (and epoch-checking) them.
+			probe := make(value.Row, st.schema.NumColumns())
+			probe[st.colPos] = val
+			if owner, err := st.ShardFor(probe); err == nil && st.shards[owner] != s {
+				continue
+			}
+		}
+		n, err := s.DeleteWhere(column, val, remaining)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Scan implements core.RowScanner: shards in order, rows in shard heap
+// order, with contiguous global indices. Row(i) uses the same order.
+func (st *ShardedTable) Scan(fn func(i int64, row value.Row) error) error {
+	base := int64(0)
+	for _, s := range st.shards {
+		n := int64(0)
+		err := s.Scan(func(i int64, row value.Row) error {
+			n = i + 1
+			return fn(base+i, row)
+		})
+		if err != nil {
+			return err
+		}
+		base += n
+	}
+	return nil
+}
+
+// Row implements catalog.Table: random access by global index, mapped to a
+// shard via prefix sums. Concurrent mutations can move the boundaries
+// between the count snapshot and the shard read; like Table.Row under
+// churn, the result is simply some valid row near the requested position.
+func (st *ShardedTable) Row(i int64) (value.Row, error) {
+	if i < 0 {
+		return nil, fmt.Errorf("db: row index %d out of range", i)
+	}
+	for _, s := range st.shards {
+		n := s.NumRows()
+		if i < n {
+			return s.Row(i)
+		}
+		i -= n
+	}
+	return nil, fmt.Errorf("db: row index beyond table")
+}
+
+// ShardRows implements core.ShardScanner.
+func (st *ShardedTable) ShardRows(s int) int64 { return st.shards[s].NumRows() }
+
+// ShardScan implements core.ShardScanner: shard-local scan with indices
+// from 0. Each shard holds only its own lock, so per-shard scans run
+// concurrently.
+func (st *ShardedTable) ShardScan(s int, fn func(i int64, row value.Row) error) error {
+	return st.shards[s].Scan(fn)
+}

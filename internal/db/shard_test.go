@@ -1,0 +1,326 @@
+package db
+
+import (
+	"fmt"
+	"testing"
+
+	"samplecf/internal/value"
+)
+
+// shardTestSchema is a two-column schema: a CHAR partition key and an
+// int32 payload.
+func shardTestSchema(t *testing.T) *value.Schema {
+	t.Helper()
+	s, err := value.NewSchema(
+		value.Column{Name: "k", Type: value.Char(8)},
+		value.Column{Name: "v", Type: value.Int32()},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func shardRow(k string, v int32) value.Row {
+	return value.Row{value.StringValue(k), value.IntValue(v)}
+}
+
+// TestShardSpecValidate pins the spec errors.
+func TestShardSpecValidate(t *testing.T) {
+	d := New(0)
+	schema := shardTestSchema(t)
+	cases := []struct {
+		name string
+		spec ShardSpec
+	}{
+		{"zero shards", ShardSpec{Shards: 0, Column: "k"}},
+		{"missing column", ShardSpec{Shards: 2, Column: "nope"}},
+		{"hash with bounds", ShardSpec{Shards: 2, Column: "k", Bounds: [][]byte{[]byte("m")}}},
+		{"range bound count", ShardSpec{Shards: 3, Column: "k", By: ShardByRange, Bounds: [][]byte{[]byte("m")}}},
+		{"range bounds unordered", ShardSpec{Shards: 3, Column: "k", By: ShardByRange,
+			Bounds: [][]byte{[]byte("z"), []byte("a")}}},
+		{"unknown strategy", ShardSpec{Shards: 2, Column: "k", By: "round-robin"}},
+	}
+	for _, tc := range cases {
+		if _, err := d.CreateShardedTable("t_"+tc.name, schema, tc.spec); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// TestShardedHashRouting checks hash routing: SQL-equal keys co-locate,
+// total rows add up, and every row is found where ShardFor says.
+func TestShardedHashRouting(t *testing.T) {
+	d := New(0)
+	st, err := d.CreateShardedTable("t", shardTestSchema(t), ShardSpec{Shards: 4, Column: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := st.Insert(shardRow(fmt.Sprintf("key%03d", i), int32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.NumRows() != 200 {
+		t.Fatalf("NumRows = %d, want 200", st.NumRows())
+	}
+	var sum int64
+	occupied := 0
+	for s := 0; s < st.NumShards(); s++ {
+		n := st.ShardRows(s)
+		sum += n
+		if n > 0 {
+			occupied++
+		}
+	}
+	if sum != 200 {
+		t.Fatalf("shard rows sum to %d, want 200", sum)
+	}
+	if occupied < 2 {
+		t.Fatalf("hash routing left %d of 4 shards occupied; want spread", occupied)
+	}
+	// Padded and unpadded CHAR payloads compare equal, so they must route
+	// to the same shard.
+	a, err := st.ShardFor(shardRow("abc", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := st.ShardFor(shardRow("abc  ", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("SQL-equal keys routed to shards %d and %d", a, b)
+	}
+}
+
+// TestShardedRangeRouting checks range routing against the bound semantics
+// (upper-exclusive, last shard catches the tail).
+func TestShardedRangeRouting(t *testing.T) {
+	d := New(0)
+	st, err := d.CreateShardedTable("t", shardTestSchema(t), ShardSpec{
+		Shards: 3, Column: "k", By: ShardByRange,
+		Bounds: [][]byte{[]byte("h"), []byte("p")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"apple": 0, "grape": 0, "h": 1, "melon": 1, "p": 2, "zebra": 2}
+	for k, shard := range want {
+		got, err := st.ShardFor(shardRow(k, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != shard {
+			t.Errorf("ShardFor(%q) = %d, want %d", k, got, shard)
+		}
+	}
+}
+
+// TestShardedEpochIsolation pins the tentpole property at the storage
+// layer: an insert bumps only the touched shard's epoch, the epoch vector
+// reflects it, and the logical epoch (the vector sum) stays monotone.
+func TestShardedEpochIsolation(t *testing.T) {
+	d := New(0)
+	st, err := d.CreateShardedTable("t", shardTestSchema(t), ShardSpec{
+		Shards: 3, Column: "k", By: ShardByRange,
+		Bounds: [][]byte{[]byte("h"), []byte("p")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.EpochVector()
+	logicalBefore := st.Epoch()
+	if _, err := st.Insert(shardRow("apple", 1)); err != nil { // shard 0
+		t.Fatal(err)
+	}
+	after := st.EpochVector()
+	if after[0] == before[0] {
+		t.Error("touched shard 0 epoch did not change")
+	}
+	if after[1] != before[1] || after[2] != before[2] {
+		t.Errorf("untouched shard epochs moved: before %v after %v", before, after)
+	}
+	if st.Epoch() <= logicalBefore {
+		t.Error("logical epoch must grow on any mutation")
+	}
+}
+
+// TestShardedScanAndRow checks that Scan yields contiguous indices in
+// shard order and Row(i) agrees with Scan's ordering.
+func TestShardedScanAndRow(t *testing.T) {
+	d := New(0)
+	st, err := d.CreateShardedTable("t", shardTestSchema(t), ShardSpec{Shards: 3, Column: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if _, err := st.Insert(shardRow(fmt.Sprintf("k%02d", i), int32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scanned []value.Row
+	next := int64(0)
+	err = st.Scan(func(i int64, row value.Row) error {
+		if i != next {
+			t.Fatalf("Scan index %d, want %d", i, next)
+		}
+		next++
+		scanned = append(scanned, row.Clone())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(scanned)) != st.NumRows() {
+		t.Fatalf("scanned %d rows, NumRows = %d", len(scanned), st.NumRows())
+	}
+	for i, want := range scanned {
+		got, err := st.Row(int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if value.CompareRows(st.Schema(), got, want) != 0 {
+			t.Fatalf("Row(%d) disagrees with Scan order", i)
+		}
+	}
+	// ShardScan indices are shard-local from zero and cover ShardRows.
+	for s := 0; s < st.NumShards(); s++ {
+		local := int64(0)
+		err := st.ShardScan(s, func(i int64, _ value.Row) error {
+			if i != local {
+				t.Fatalf("shard %d local index %d, want %d", s, i, local)
+			}
+			local++
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if local != st.ShardRows(s) {
+			t.Fatalf("shard %d scanned %d rows, ShardRows = %d", s, local, st.ShardRows(s))
+		}
+	}
+}
+
+// TestShardedDeleteWhere checks predicate deletes across shards, the limit,
+// and that a partition-column predicate leaves other shards' epochs alone.
+func TestShardedDeleteWhere(t *testing.T) {
+	d := New(0)
+	st, err := d.CreateShardedTable("t", shardTestSchema(t), ShardSpec{Shards: 4, Column: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := st.Insert(shardRow(fmt.Sprintf("k%02d", i%10), int32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-partition predicate: v == 7 matches exactly one row.
+	n, err := st.DeleteWhere("v", value.IntValue(7), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("DeleteWhere(v=7) deleted %d, want 1", n)
+	}
+	// Partition predicate: k == "k03" matches 4 rows, all in one shard;
+	// the other shards' epochs must not move.
+	owner, err := st.ShardFor(shardRow("k03", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.EpochVector()
+	n, err = st.DeleteWhere("k", value.StringValue("k03"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("limited DeleteWhere deleted %d, want 2", n)
+	}
+	after := st.EpochVector()
+	for s := range after {
+		if s == owner {
+			if after[s] == before[s] {
+				t.Errorf("owner shard %d epoch did not move", s)
+			}
+		} else if after[s] != before[s] {
+			t.Errorf("untouched shard %d epoch moved on partition-column delete", s)
+		}
+	}
+	if st.NumRows() != 40-1-2 {
+		t.Fatalf("NumRows = %d, want 37", st.NumRows())
+	}
+}
+
+// TestShardedNamespace checks registration: the logical name is listed and
+// resolvable, shard children are not, name conflicts are rejected both
+// ways, and drop kills every shard.
+func TestShardedNamespace(t *testing.T) {
+	d := New(0)
+	schema := shardTestSchema(t)
+	st, err := d.CreateShardedTable("t", schema, ShardSpec{Shards: 2, Column: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CreateTable("t", schema); err == nil {
+		t.Error("plain table over a sharded name must fail")
+	}
+	if _, err := d.CreateShardedTable("t", schema, ShardSpec{Shards: 2, Column: "k"}); err == nil {
+		t.Error("duplicate sharded table must fail")
+	}
+	if _, ok := d.Table("t#0"); ok {
+		t.Error("shard children must not be in the user namespace")
+	}
+	names := d.TableNames()
+	if len(names) != 1 || names[0] != "t" {
+		t.Errorf("TableNames = %v, want [t]", names)
+	}
+	if got, ok := d.LookupTable("t"); !ok || got.(*ShardedTable) != st {
+		t.Error("LookupTable must resolve the sharded table")
+	}
+
+	shard0 := st.ShardTable(0)
+	if err := d.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Insert(shardRow("a", 1)); err == nil {
+		t.Error("insert into dropped sharded table must fail")
+	}
+	if _, err := shard0.Insert(shardRow("a", 1)); err == nil {
+		t.Error("retained shard handle must be dropped too")
+	}
+	if _, ok := d.ShardedTable("t"); ok {
+		t.Error("dropped table still resolvable")
+	}
+	// The name is reusable after the drop.
+	if _, err := d.CreateShardedTable("t", schema, ShardSpec{Shards: 2, Column: "k"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSingleShardBehavesLikePlain checks the N=1 degenerate case: one
+// shard holds everything, routing is constant, and the epoch vector has
+// one entry.
+func TestSingleShardBehavesLikePlain(t *testing.T) {
+	d := New(0)
+	st, err := d.CreateShardedTable("t", shardTestSchema(t), ShardSpec{Shards: 1, Column: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := st.Insert(shardRow(fmt.Sprintf("k%02d", i), int32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.ShardRows(0) != 20 || st.NumRows() != 20 {
+		t.Fatalf("single shard holds %d of %d rows", st.ShardRows(0), st.NumRows())
+	}
+	if v := st.EpochVector(); len(v) != 1 {
+		t.Fatalf("EpochVector length %d, want 1", len(v))
+	}
+	s, err := st.ShardFor(shardRow("anything", 0))
+	if err != nil || s != 0 {
+		t.Fatalf("ShardFor = %d, %v; want 0, nil", s, err)
+	}
+}

@@ -25,7 +25,21 @@ type cacheKey struct {
 	// (Request.FreshSample) from maintained-sample results, so a fresh
 	// request can never be answered with a maintained-sample estimate.
 	fresh bool
+	// shard scopes the entry to one shard of a partitioned table (wholeTable
+	// for unsharded results). Per-shard entries carry the LOGICAL table's
+	// inst, the shard's index, and the shard's own epoch, while fraction,
+	// rows, and seed stay request-level: the shard's allocated sub-sample
+	// size is a deterministic function of (request, shard-count snapshot),
+	// and a cached shard estimate remains a valid unbiased CF_h estimate
+	// even when churn elsewhere has shifted the proportional allocation —
+	// that is exactly what lets untouched shards keep serving hits while a
+	// hot shard's epoch races ahead.
+	shard int
 }
+
+// wholeTable is the cacheKey.shard value of unsharded (whole-table)
+// entries; real shard indices are ≥ 0.
+const wholeTable = -1
 
 // lruCache is a fixed-capacity LRU map from cacheKey to core.Estimate.
 // A zero capacity disables caching (every Get misses, Put is a no-op).
@@ -107,6 +121,10 @@ type precisionKey struct {
 	codec    string
 	pageSize int
 	fresh    bool
+	// epochs is the packed per-shard epoch vector of a partitioned table
+	// ("" for unsharded). The summed epoch alone could alias two distinct
+	// vectors (one shard +2 vs. two shards +1 each); the vector cannot.
+	epochs string
 }
 
 // precisionEntry is one cached adaptive outcome.

@@ -183,6 +183,10 @@ type Stats struct {
 	// the rows those builds sorted. Together they expose the per-row cost
 	// of the sort subsystem: PrepareNanos/SortRows is the live ns/row.
 	PrepareNanos, SortRows uint64
+	// ShardScatters counts requests scattered across a partitioned table's
+	// shards; ShardCacheHits/ShardCacheMisses are the per-shard result-cache
+	// ledger inside those scatters (a fully-hit scatter is also one Hits).
+	ShardScatters, ShardCacheHits, ShardCacheMisses uint64
 	// CacheEntries is the current LRU size; PrecisionEntries the current
 	// precision-cache size.
 	CacheEntries     int
@@ -275,6 +279,9 @@ func (e *Engine) Stats() Stats {
 		AdaptiveRows:     e.adaptiveRows.Value(),
 		PrepareNanos:     e.prepareNanos.Value(),
 		SortRows:         e.sortRows.Value(),
+		ShardScatters:    e.shardScatters.Value(),
+		ShardCacheHits:   e.shardHits.Value(),
+		ShardCacheMisses: e.shardMisses.Value(),
 		CacheEntries:     e.cache.Len(),
 		PrecisionEntries: e.precision.Len(),
 	}
@@ -375,7 +382,8 @@ type round0Group struct {
 // batchItem is one request resolved against the dedup structures. Adaptive
 // items carry a precision key and group instead of sample/prep groups:
 // sample sizes diverge across different adaptive keys as rounds progress,
-// so only identical keys share.
+// so only identical keys share. Scattered items over partitioned tables
+// carry per-shard work units instead of a single sample/prep group.
 type batchItem struct {
 	idx  int
 	req  Request
@@ -385,6 +393,10 @@ type batchItem struct {
 	pkey precisionKey
 	ag   *adaptiveGroup
 	r0g  *round0Group
+	// shards, when non-nil, marks a scattered fixed-r request over a
+	// partitioned table: one work unit per non-empty shard, some possibly
+	// pre-answered from the per-shard cache.
+	shards []*shardWork
 }
 
 // WhatIf evaluates a batch of candidates, drawing each distinct
@@ -402,16 +414,6 @@ func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
 		ctx = context.Background()
 	}
 
-	type sgKey struct {
-		inst  uint64
-		epoch uint64
-		r     int64
-		seed  uint64
-	}
-	type pgKey struct {
-		sg   sgKey
-		cols string
-	}
 	sampleGroups := make(map[sgKey]*sampleGroup)
 	prepGroups := make(map[pgKey]*prepGroup)
 	adaptiveGroups := make(map[adaptiveGroupKey]*adaptiveGroup)
@@ -443,6 +445,9 @@ func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
 				pageSize: pageSize,
 				fresh:    req.FreshSample,
 			}
+			if sh, ok := req.Table.(catalog.Sharded); ok {
+				pk.epochs = packEpochs(sh.EpochVector())
+			}
 			if ent, ok := e.precision.Get(pk, zFor(req.Confidence), req.TargetError); ok {
 				// A dominance answer counts in both ledgers: Hits keeps
 				// hits/misses symmetric across fixed and adaptive traffic,
@@ -469,14 +474,21 @@ func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
 				ag = &adaptiveGroup{}
 				adaptiveGroups[ak] = ag
 			}
-			rk := round0Key{
-				inst: pk.inst, epoch: epoch, seed: req.Seed,
-				r0: initialAdaptiveRows(req), fresh: req.FreshSample,
-			}
-			r0g, ok := round0Groups[rk]
-			if !ok {
-				r0g = &round0Group{}
-				round0Groups[rk] = r0g
+			var r0g *round0Group
+			if _, sharded := req.Table.(catalog.Sharded); !sharded {
+				// Sharded adaptive loops draw per-shard round-0 samples
+				// inside the loop itself; only unsharded loops share the
+				// whole-table round-0 arena.
+				rk := round0Key{
+					inst: pk.inst, epoch: epoch, seed: req.Seed,
+					r0: initialAdaptiveRows(req), fresh: req.FreshSample,
+				}
+				var ok bool
+				r0g, ok = round0Groups[rk]
+				if !ok {
+					r0g = &round0Group{}
+					round0Groups[rk] = r0g
+				}
 			}
 			pending = append(pending, &batchItem{idx: i, req: req, pkey: pk, ag: ag, r0g: r0g})
 			continue
@@ -490,6 +502,18 @@ func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
 			results[i] = Result{Err: fmt.Errorf("engine: request %d: sample size is zero (fraction %v)", i, req.Fraction)}
 			continue
 		}
+		if sh, ok := req.Table.(catalog.Sharded); ok {
+			// Partitioned table: scatter the request across shards, checking
+			// the per-shard cache first. A fully-cached scatter gathers
+			// immediately; otherwise only the missed shards evaluate.
+			it, res, done := e.planScatter(i, req, pageSize, r, sh, sampleGroups, prepGroups)
+			if done {
+				results[i] = res
+				continue
+			}
+			pending = append(pending, it)
+			continue
+		}
 		key := cacheKey{
 			inst:     req.Table.InstanceID(),
 			epoch:    epoch,
@@ -500,6 +524,7 @@ func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
 			seed:     req.Seed,
 			pageSize: pageSize,
 			fresh:    req.FreshSample,
+			shard:    wholeTable,
 		}
 		if est, ok := e.cache.Get(key); ok {
 			e.hits.Add(1)
@@ -565,6 +590,9 @@ func (e *Engine) evaluate(ctx context.Context, it *batchItem) Result {
 	}
 	if it.req.TargetError > 0 {
 		return e.evaluateAdaptive(ctx, it)
+	}
+	if it.shards != nil {
+		return e.evaluateScatter(ctx, it)
 	}
 	sg := it.sg
 	sg.once.Do(func() {
@@ -665,7 +693,13 @@ func zFor(confidence float64) float64 {
 // the loop at the next round boundary instead of running the budget out.
 func (e *Engine) evaluateAdaptive(ctx context.Context, it *batchItem) Result {
 	ag := it.ag
-	ag.once.Do(func() { ag.res, ag.err = e.runAdaptive(ctx, it.req, it.pkey, it.r0g) })
+	ag.once.Do(func() {
+		if sh, ok := it.req.Table.(catalog.Sharded); ok {
+			ag.res, ag.err = e.runShardedAdaptive(ctx, it.req, it.pkey, sh)
+			return
+		}
+		ag.res, ag.err = e.runAdaptive(ctx, it.req, it.pkey, it.r0g)
+	})
 	if ag.err != nil {
 		return Result{Err: fmt.Errorf("engine: request %d: %w", it.idx, ag.err)}
 	}

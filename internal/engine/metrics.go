@@ -35,9 +35,16 @@ type metrics struct {
 	adaptiveRows    *obs.Counter
 	prepareNanos    *obs.Counter
 	sortRows        *obs.Counter
+	shardScatters   *obs.Counter
+	shardHits       *obs.Counter
+	shardMisses     *obs.Counter
 
 	queueDepth *obs.Gauge
 	inFlight   *obs.Gauge
+
+	// scatterHist times one scattered request's full shard fan-out (draw +
+	// sort + compress across every missed shard, plus the gather).
+	scatterHist *obs.Histogram
 
 	// Pre-resolved per-stage latency children of
 	// samplecf_engine_stage_duration_seconds — resolved once here so the
@@ -66,6 +73,10 @@ const (
 	MetricAdaptiveRows     = "samplecf_engine_adaptive_rows_total"
 	MetricPrepareNanos     = "samplecf_engine_prepare_nanos_total"
 	MetricSortRows         = "samplecf_engine_sort_rows_total"
+	MetricShardScatters    = "samplecf_engine_shard_scatters_total"
+	MetricShardHits        = "samplecf_engine_shard_cache_hits_total"
+	MetricShardMisses      = "samplecf_engine_shard_cache_misses_total"
+	MetricScatterFanout    = "samplecf_engine_scatter_fanout_seconds"
 	MetricQueueDepth       = "samplecf_engine_queue_depth"
 	MetricInFlight         = "samplecf_engine_inflight_jobs"
 	MetricCacheEntries     = "samplecf_engine_cache_entries"
@@ -92,9 +103,14 @@ func newMetrics(r *obs.Registry) metrics {
 		adaptiveRows:    r.Counter(MetricAdaptiveRows, "Rows drawn by adaptive requests (cache hits excluded)."),
 		prepareNanos:    r.Counter(MetricPrepareNanos, "Wall nanoseconds spent in the prepare stage (encode + sort + profile)."),
 		sortRows:        r.Counter(MetricSortRows, "Rows sorted by prepare-stage builds."),
+		shardScatters:   r.Counter(MetricShardScatters, "Requests scattered across a partitioned table's shards."),
+		shardHits:       r.Counter(MetricShardHits, "Per-shard result-cache hits within scattered requests."),
+		shardMisses:     r.Counter(MetricShardMisses, "Per-shard result-cache misses within scattered requests."),
 
 		queueDepth: r.Gauge(MetricQueueDepth, "Batch items waiting for a pool worker."),
 		inFlight:   r.Gauge(MetricInFlight, "Batch items currently executing on pool workers."),
+
+		scatterHist: r.Histogram(MetricScatterFanout, "Latency of one scattered request's shard fan-out and gather."),
 
 		stageDrawHist:     stage.With(stageDraw),
 		stageSortHist:     stage.With(stageSort),

@@ -1,0 +1,610 @@
+// Sharded scatter-gather estimation: what-if requests against a
+// partitioned table (catalog.Sharded) are split into one sub-request per
+// shard, evaluated shard-parallel, and recombined by stratified
+// composition (internal/stats). Each shard is a full catalog table with
+// its own epoch, so the per-shard result cache keeps serving untouched
+// shards' entries while a hot shard's churn invalidates only its own —
+// the whole point of partitioning the cache key space.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"samplecf/internal/catalog"
+	"samplecf/internal/core"
+	"samplecf/internal/obs"
+	"samplecf/internal/sampling"
+	"samplecf/internal/stats"
+	"samplecf/internal/value"
+	"samplecf/internal/workgroup"
+)
+
+// sgKey identifies a shared sample draw within one batch: one draw per
+// (table instance, epoch, size, seed), whether the table is a whole table
+// or one shard of a partitioned one.
+type sgKey struct {
+	inst  uint64
+	epoch uint64
+	r     int64
+	seed  uint64
+}
+
+// pgKey identifies a shared prepared index within one batch.
+type pgKey struct {
+	sg   sgKey
+	cols string
+}
+
+// shardWork is one shard's slice of a scattered fixed-r request.
+type shardWork struct {
+	shard  int
+	table  Table
+	epoch  uint64
+	weight float64 // N_h/N at plan time
+	rows   int64   // allocated sub-sample size r_h
+	seed   uint64
+	key    cacheKey
+	sg     *sampleGroup
+	pg     *prepGroup
+	hit    bool
+	est    core.Estimate
+	err    error
+}
+
+// shardSeed derives shard h's sample-stream seed. Shard 0 keeps the base
+// seed, so a 1-shard table draws the byte-identical sample an unsharded
+// table would (the golden-equivalence contract); higher shards decorrelate
+// by a Weyl step.
+func shardSeed(seed uint64, shard int) uint64 {
+	return seed ^ (uint64(shard) * 0x9e3779b97f4a7c15)
+}
+
+// packEpochs renders an epoch vector for the precision cache key. The
+// summed epoch alone could alias two distinct vectors; the packed vector
+// cannot.
+func packEpochs(epochs []uint64) string {
+	b := make([]byte, 0, 8*len(epochs))
+	for _, e := range epochs {
+		b = strconv.AppendUint(b, e, 16)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// allocateRows splits a whole-table sample size r across shards
+// proportionally to their row counts, rounding by largest remainder
+// (shard index breaks ties, so the split is deterministic) and giving
+// every non-empty shard at least one row. When r is below the number of
+// non-empty shards the total allocation overshoots r: the stratified
+// estimate must cover every stratum to stay unbiased, and a one-row floor
+// is the cheapest cover.
+func allocateRows(r int64, counts []int64) []int64 {
+	out := make([]int64, len(counts))
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return out
+	}
+	type rem struct {
+		frac  float64
+		shard int
+	}
+	rems := make([]rem, 0, len(counts))
+	var used int64
+	for h, c := range counts {
+		if c == 0 {
+			continue
+		}
+		exact := float64(r) * float64(c) / float64(total)
+		base := int64(exact)
+		out[h] = base
+		used += base
+		rems = append(rems, rem{frac: exact - float64(base), shard: h})
+	}
+	sort.Slice(rems, func(i, j int) bool {
+		if rems[i].frac != rems[j].frac {
+			return rems[i].frac > rems[j].frac
+		}
+		return rems[i].shard < rems[j].shard
+	})
+	for left := r - used; left > 0 && len(rems) > 0; left-- {
+		out[rems[0].shard]++
+		rems = rems[1:]
+	}
+	for h, c := range counts {
+		if c > 0 && out[h] == 0 {
+			out[h] = 1
+		}
+	}
+	return out
+}
+
+// planScatter resolves one fixed-r request against a partitioned table:
+// snapshot the shard counts and epochs, allocate the sample across shards,
+// and consult the per-shard cache. A fully-cached request gathers
+// immediately (done=true); otherwise the returned batch item carries one
+// work unit per non-empty shard, with missed shards wired into the batch's
+// sample/prep dedup groups.
+func (e *Engine) planScatter(idx int, req Request, pageSize int, r int64, sh catalog.Sharded,
+	sampleGroups map[sgKey]*sampleGroup, prepGroups map[pgKey]*prepGroup) (*batchItem, Result, bool) {
+	ns := sh.NumShards()
+	counts := make([]int64, ns)
+	var total int64
+	for h := range counts {
+		counts[h] = sh.Shard(h).NumRows()
+		total += counts[h]
+	}
+	if total == 0 {
+		return nil, Result{Err: fmt.Errorf("engine: request %d: table %q is empty", idx, req.Table.Name())}, true
+	}
+	alloc := allocateRows(r, counts)
+	epochs := sh.EpochVector()
+	inst := req.Table.InstanceID()
+	cols := strings.Join(req.KeyColumns, "\x00")
+	works := make([]*shardWork, 0, ns)
+	allHit := true
+	for h := 0; h < ns; h++ {
+		if counts[h] == 0 {
+			continue
+		}
+		w := &shardWork{
+			shard:  h,
+			table:  sh.Shard(h),
+			epoch:  epochs[h],
+			weight: float64(counts[h]) / float64(total),
+			rows:   alloc[h],
+			seed:   shardSeed(req.Seed, h),
+			key: cacheKey{
+				inst:    inst,
+				epoch:   epochs[h],
+				columns: cols,
+				codec:   req.Codec.Name(),
+				// fraction/rows/seed stay request-level (not the allocated
+				// r_h): the allocation drifts as OTHER shards' counts move,
+				// and a cached shard estimate at a stale r_h is still a
+				// valid unbiased CF_h estimate — re-keying on r_h would let
+				// one hot shard's churn miss every shard's entry.
+				fraction: req.Fraction,
+				rows:     req.SampleRows,
+				seed:     req.Seed,
+				pageSize: pageSize,
+				fresh:    req.FreshSample,
+				shard:    h,
+			},
+		}
+		if est, ok := e.cache.Get(w.key); ok {
+			e.shardHits.Add(1)
+			w.hit, w.est = true, est
+		} else {
+			e.shardMisses.Add(1)
+			allHit = false
+		}
+		works = append(works, w)
+	}
+	if allHit {
+		e.hits.Add(1)
+		return nil, Result{Estimate: mergeShardEstimates(works), CacheHit: true}, true
+	}
+	e.misses.Add(1)
+	for _, w := range works {
+		if w.hit {
+			continue
+		}
+		sk := sgKey{inst: w.table.InstanceID(), epoch: w.epoch, r: w.rows, seed: w.seed}
+		sg, ok := sampleGroups[sk]
+		if !ok {
+			sg = &sampleGroup{table: w.table, r: w.rows, seed: w.seed, epoch: w.epoch}
+			sampleGroups[sk] = sg
+		}
+		if req.FreshSample {
+			sg.fresh = true
+		}
+		sg.members++
+		pk := pgKey{sg: sk, cols: cols}
+		pg, ok := prepGroups[pk]
+		if !ok {
+			pg = &prepGroup{sg: sg, keyCols: req.KeyColumns}
+			prepGroups[pk] = pg
+		}
+		pg.members++
+		w.sg, w.pg = sg, pg
+	}
+	return &batchItem{idx: idx, req: req, shards: works}, Result{}, false
+}
+
+// evaluateScatter runs one scattered request on a pool worker: the missed
+// shards fan out over the bounded workgroup semaphore — never the engine's
+// own pool, where a worker waiting on sub-jobs submitted behind it would
+// deadlock under saturation — and the per-shard estimates (cached and
+// computed alike) gather into one stratified whole-table estimate.
+func (e *Engine) evaluateScatter(ctx context.Context, it *batchItem) Result {
+	e.shardScatters.Add(1)
+	t0 := time.Now()
+	var missed []*shardWork
+	for _, w := range it.shards {
+		if !w.hit {
+			missed = append(missed, w)
+		}
+	}
+	sem := workgroup.NewSem(workgroup.Limit(len(missed)) - 1)
+	var wg sync.WaitGroup
+	for _, w := range missed {
+		if sem.TryAcquire() {
+			wg.Add(1)
+			go func(w *shardWork) {
+				defer wg.Done()
+				defer sem.Release()
+				e.evaluateShardWork(ctx, it, w)
+			}(w)
+		} else {
+			e.evaluateShardWork(ctx, it, w)
+		}
+	}
+	wg.Wait()
+	for _, w := range missed {
+		if w.err != nil {
+			return Result{Err: fmt.Errorf("engine: request %d: shard %d: %w", it.idx, w.shard, w.err)}
+		}
+	}
+	e.evaluated.Add(1)
+	shared := false
+	for _, w := range missed {
+		if w.sg.members > 1 {
+			shared = true
+		}
+	}
+	if shared {
+		e.samplesShared.Add(1)
+	}
+	est := mergeShardEstimates(it.shards)
+	e.scatterHist.Observe(time.Since(t0))
+	return Result{Estimate: est, SharedSample: shared}
+}
+
+// evaluateShardWork is the per-shard slice of evaluate: draw (or reuse)
+// the shard's sample group, build (or reuse) its sorted index, compress,
+// and cache under the per-shard key.
+func (e *Engine) evaluateShardWork(ctx context.Context, it *batchItem, w *shardWork) {
+	sg := w.sg
+	sg.once.Do(func() {
+		_, end := obs.StartSpan(ctx, stageDraw)
+		t0 := time.Now()
+		e.drawSample(sg)
+		e.stageDrawHist.Observe(time.Since(t0))
+		end.End()
+	})
+	if sg.err != nil {
+		w.err = fmt.Errorf("sampling: %w", sg.err)
+		return
+	}
+	pg := w.pg
+	pg.once.Do(func() {
+		_, end := obs.StartSpan(ctx, stageSort)
+		defer end.End()
+		e.prepared.Add(1)
+		pg.prep, pg.err = core.PrepareFromArena(sg.ar, sg.table.NumRows(), pg.keyCols)
+		if pg.err == nil {
+			d := pg.prep.PrepDuration()
+			e.prepareNanos.Add(uint64(d.Nanoseconds()))
+			e.sortRows.Add(uint64(pg.prep.SampleRows()))
+			e.stageSortHist.Observe(d)
+		}
+	})
+	if pg.err != nil {
+		w.err = fmt.Errorf("prepare index: %w", pg.err)
+		return
+	}
+	_, endCompress := obs.StartSpan(ctx, stageCompress)
+	t0 := time.Now()
+	est, err := pg.prep.Estimate(core.Options{Codec: it.req.Codec, PageSize: w.key.pageSize})
+	e.stageCompressHist.Observe(time.Since(t0))
+	endCompress.End()
+	if err != nil {
+		w.err = err
+		return
+	}
+	if ev := e.cache.Put(w.key, est); ev > 0 {
+		e.evictions.Add(uint64(ev))
+	}
+	w.est = est
+}
+
+// mergeShardEstimates composes per-shard estimates into one whole-table
+// estimate per the Sampling Algebra: CF is the size-weighted stratified
+// mean, counts and byte totals sum, frequency profiles merge, and stage
+// durations take the max (the shards ran in parallel). A single stratum
+// passes through verbatim — a 1-shard table's estimate is byte-identical
+// to the unsharded path's, compressed pages (Result.Encoded) included.
+func mergeShardEstimates(works []*shardWork) core.Estimate {
+	if len(works) == 1 {
+		return works[0].est
+	}
+	strata := make([]stats.Stratum, len(works))
+	var out core.Estimate
+	f := make(map[int64]int64)
+	for i, w := range works {
+		est := w.est
+		strata[i] = stats.Stratum{Weight: w.weight, Mean: est.CF}
+		out.SampleRows += est.SampleRows
+		// SampleDistinct and the merged profile sum per-shard distincts:
+		// exact when the index keys embed the partition column (shards
+		// cannot share a key), an upper bound otherwise.
+		out.SampleDistinct += est.SampleDistinct
+		out.Profile.N += est.Profile.N
+		out.Profile.R += est.Profile.R
+		out.Profile.D += est.Profile.D
+		for k, v := range est.Profile.F {
+			f[k] += v
+		}
+		out.Result.UncompressedBytes += est.Result.UncompressedBytes
+		out.Result.CompressedBytes += est.Result.CompressedBytes
+		out.Result.Rows += est.Result.Rows
+		out.Result.Pages += est.Result.Pages
+		out.Result.DictEntries += est.Result.DictEntries
+		if est.SampleDuration > out.SampleDuration {
+			out.SampleDuration = est.SampleDuration
+		}
+		if est.BuildDuration > out.BuildDuration {
+			out.BuildDuration = est.BuildDuration
+		}
+		if est.CompressDuration > out.CompressDuration {
+			out.CompressDuration = est.CompressDuration
+		}
+	}
+	out.Profile.F = f
+	out.CF = stats.StratifiedMean(strata)
+	return out
+}
+
+// shardLoop is one shard's arm of a sharded adaptive estimation: its own
+// resumable draw stream, prepared index, and current (estimate, SD) pair.
+type shardLoop struct {
+	shard  int
+	table  Table
+	weight float64
+	seed   uint64
+	opts   core.Options
+	prep   *core.PreparedIndex
+	round  int // next draw round in this shard's stream
+	est    core.Estimate
+	sd     float64
+	method string
+	dirty  bool // est/sd stale after an extension
+	err    error
+}
+
+// runShardedAdaptive is the precision-targeted loop over a partitioned
+// table: per-shard resumable sample streams, per-shard CI scales composed
+// by stratified variance (half-width z·StratifiedSD), and — the part that
+// makes partitioning pay — extensions routed only to the shards whose
+// contribution (w_h·σ_h)² dominates the composed variance, so rows are
+// spent where they tighten the interval most. Draws are always fresh
+// (per-shard maintained-sample routes would need per-shard budget-capping
+// and fallback plumbing for marginal gain — the whole-table maintained
+// route already covers unsharded tables).
+func (e *Engine) runShardedAdaptive(ctx context.Context, req Request, pkey precisionKey, sh catalog.Sharded) (core.AdaptiveResult, error) {
+	pageSize := req.PageSize
+	if pageSize == 0 {
+		pageSize = e.cfg.PageSize
+	}
+	ns := sh.NumShards()
+	counts := make([]int64, ns)
+	var total int64
+	for h := range counts {
+		counts[h] = sh.Shard(h).NumRows()
+		total += counts[h]
+	}
+	if total == 0 {
+		return core.AdaptiveResult{}, fmt.Errorf("table %q is empty", req.Table.Name())
+	}
+	target := core.Precision{
+		TargetError:   req.TargetError,
+		Confidence:    req.Confidence,
+		MaxSampleRows: req.MaxSampleRows,
+	}
+	if target.MaxSampleRows == 0 {
+		target.MaxSampleRows = total
+	}
+	z := zFor(req.Confidence)
+	alloc := allocateRows(initialAdaptiveRows(req), counts)
+
+	loops := make([]*shardLoop, 0, ns)
+	for h := 0; h < ns; h++ {
+		if counts[h] == 0 {
+			continue
+		}
+		seed := shardSeed(req.Seed, h)
+		loops = append(loops, &shardLoop{
+			shard:  h,
+			table:  sh.Shard(h),
+			weight: float64(counts[h]) / float64(total),
+			seed:   seed,
+			opts:   core.Options{Codec: req.Codec, PageSize: pageSize, Seed: seed},
+			dirty:  true,
+		})
+	}
+
+	// grow draws extra fresh rows from one shard's resumable stream and
+	// folds them into its prepared index (the first call prepares).
+	grow := func(l *shardLoop, extra int64) error {
+		full := value.NewRecordArena(req.Table.Schema(), int(extra))
+		if err := sampling.ExtendWRInto(l.table, full, extra, l.seed, l.round); err != nil {
+			return err
+		}
+		proj, err := core.ProjectSample(full, req.KeyColumns)
+		if err != nil {
+			return err
+		}
+		l.round++
+		l.dirty = true
+		if l.prep == nil {
+			e.samplesDrawn.Add(1)
+			prep, err := core.PrepareFromArena(proj, l.table.NumRows(), nil)
+			if err != nil {
+				return err
+			}
+			e.prepared.Add(1)
+			l.prep = prep
+			return nil
+		}
+		return l.prep.ExtendFromArena(proj)
+	}
+
+	// scatter fans grow calls across the bounded workgroup semaphore (never
+	// the engine pool — this already runs on a pool worker).
+	scatter := func(targets []*shardLoop, extras []int64) error {
+		sem := workgroup.NewSem(workgroup.Limit(len(targets)) - 1)
+		var wg sync.WaitGroup
+		for i, l := range targets {
+			extra := extras[i]
+			if sem.TryAcquire() {
+				wg.Add(1)
+				go func(l *shardLoop) {
+					defer wg.Done()
+					defer sem.Release()
+					l.err = grow(l, extra)
+				}(l)
+			} else {
+				l.err = grow(l, extra)
+			}
+		}
+		wg.Wait()
+		for _, l := range targets {
+			if l.err != nil {
+				return fmt.Errorf("shard %d: %w", l.shard, l.err)
+			}
+		}
+		return nil
+	}
+
+	_, endDraw := obs.StartSpan(ctx, stageDraw)
+	tDraw := time.Now()
+	round0 := make([]int64, len(loops))
+	for i, l := range loops {
+		round0[i] = alloc[l.shard]
+	}
+	err := scatter(loops, round0)
+	e.stageDrawHist.Observe(time.Since(tDraw))
+	endDraw.End()
+	if err != nil {
+		return core.AdaptiveResult{}, err
+	}
+
+	_, endRounds := obs.StartSpan(ctx, stageRounds)
+	defer endRounds.End()
+	tRounds := time.Now()
+	res := core.AdaptiveResult{}
+	var cf, half float64
+	for {
+		if err := ctx.Err(); err != nil {
+			return core.AdaptiveResult{}, err
+		}
+		strata := make([]stats.Stratum, len(loops))
+		for i, l := range loops {
+			if l.dirty {
+				est, err := l.prep.Estimate(l.opts)
+				if err != nil {
+					return core.AdaptiveResult{}, fmt.Errorf("shard %d: %w", l.shard, err)
+				}
+				method, sd, err := l.prep.SDScale(l.opts, target, l.round)
+				if err != nil {
+					return core.AdaptiveResult{}, fmt.Errorf("shard %d: %w", l.shard, err)
+				}
+				l.est, l.method, l.sd, l.dirty = est, method, sd, false
+			}
+			strata[i] = stats.Stratum{Weight: l.weight, Mean: l.est.CF, SD: l.sd}
+		}
+		res.Rounds++
+		res.Method = loops[0].method
+		cf = stats.StratifiedMean(strata)
+		half = z * stats.StratifiedSD(strata)
+		if half <= req.TargetError {
+			res.Converged = true
+			break
+		}
+		var rows int64
+		for _, l := range loops {
+			rows += l.prep.SampleRows()
+		}
+		if rows >= target.MaxSampleRows {
+			break // budget exhausted: honest non-convergence
+		}
+		// Extend the shards whose variance contribution c_h = (w_h·σ_h)²
+		// dominates — within 2× of the largest, and always the argmax — at
+		// least doubling each chosen shard's sample, clamped to the budget.
+		var maxC float64
+		for _, l := range loops {
+			if c := l.weight * l.sd * l.weight * l.sd; c > maxC {
+				maxC = c
+			}
+		}
+		var chosen []*shardLoop
+		var extras []int64
+		var want int64
+		for _, l := range loops {
+			if c := l.weight * l.sd * l.weight * l.sd; c >= maxC/2 {
+				chosen = append(chosen, l)
+				extras = append(extras, l.prep.SampleRows())
+				want += l.prep.SampleRows()
+			}
+		}
+		if remaining := target.MaxSampleRows - rows; want > remaining {
+			// Scale the extras to the remaining budget, at least one row
+			// each; a slight overshoot just ends the loop next round.
+			var scaled int64
+			for i := range extras {
+				extras[i] = extras[i] * remaining / want
+				if extras[i] < 1 {
+					extras[i] = 1
+				}
+				scaled += extras[i]
+			}
+			for i := len(extras) - 1; i >= 0 && scaled > remaining; i-- {
+				cut := extras[i] - 1
+				if over := scaled - remaining; cut > over {
+					cut = over
+				}
+				extras[i] -= cut
+				scaled -= cut
+			}
+		}
+		if err := scatter(chosen, extras); err != nil {
+			return core.AdaptiveResult{}, err
+		}
+	}
+	e.stageRoundsHist.Observe(time.Since(tRounds))
+
+	works := make([]*shardWork, len(loops))
+	for i, l := range loops {
+		works[i] = &shardWork{shard: l.shard, weight: l.weight, est: l.est}
+		e.prepareNanos.Add(uint64(l.prep.PrepDuration().Nanoseconds()))
+		e.sortRows.Add(uint64(l.prep.SampleRows()))
+	}
+	res.Estimate = mergeShardEstimates(works)
+	res.AchievedError = half
+	res.CILo, res.CIHi = clampUnit(cf-half), clampUnit(cf+half)
+	e.adaptiveRounds.Add(uint64(res.Rounds))
+	e.adaptiveRows.Add(uint64(res.Estimate.SampleRows))
+	e.evaluated.Add(1)
+	e.precision.Put(pkey, res.Estimate, res.AchievedError/z, res.Rounds, res.Estimate.SampleRows)
+	return res, nil
+}
+
+// clampUnit clamps a CI endpoint to the CF domain [0,1].
+func clampUnit(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -45,6 +45,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				writeSample(bw, d.name, "", d.label, lv, float64(v.children[lv].Value()))
 			}
 			v.mu.RUnlock()
+		case *GaugeVec:
+			v.mu.RLock()
+			for _, lv := range sortedKeys(v.children) {
+				writeSample(bw, d.name, "", d.label, lv, float64(v.children[lv].Value()))
+			}
+			v.mu.RUnlock()
 		case *HistogramVec:
 			v.mu.RLock()
 			for _, lv := range sortedKeys(v.children) {

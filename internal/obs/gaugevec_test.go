@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGaugeVec covers the gauge family: child identity, independent
+// values, nil-safety, and registry kind checks.
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("test_shard_epoch", "Per-shard epoch.", "shard")
+	v.With("t/0").Set(3)
+	v.With("t/1").Set(7)
+	v.With("t/0").Add(1)
+	if got := v.With("t/0").Value(); got != 4 {
+		t.Errorf("child t/0 = %d, want 4", got)
+	}
+	if got := v.With("t/1").Value(); got != 7 {
+		t.Errorf("child t/1 = %d, want 7", got)
+	}
+	if v.With("t/0") != v.With("t/0") {
+		t.Error("With must return the same child for the same label")
+	}
+	// Idempotent re-registration returns the same family.
+	if r.GaugeVec("test_shard_epoch", "Per-shard epoch.", "shard") != v {
+		t.Error("GaugeVec re-registration returned a different family")
+	}
+
+	// Nil-safety: every method is a no-op.
+	var nilVec *GaugeVec
+	nilVec.With("x").Set(1)
+	var nilReg *Registry
+	if nilReg.GaugeVec("x", "", "l") != nil {
+		t.Error("nil registry should hand out nil vecs")
+	}
+}
+
+// TestGaugeVecExposition pins the Prometheus rendering: one sample per
+// child, label values sorted, gauge TYPE line.
+func TestGaugeVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("test_table_shards", "Shard count per table.", "table")
+	v.With("zeta").Set(2)
+	v.With("alpha").Set(8)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	wantOrder := []string{
+		"# TYPE test_table_shards gauge",
+		`test_table_shards{table="alpha"} 8`,
+		`test_table_shards{table="zeta"} 2`,
+	}
+	pos := -1
+	for _, w := range wantOrder {
+		i := strings.Index(out, w)
+		if i < 0 {
+			t.Fatalf("exposition missing %q:\n%s", w, out)
+		}
+		if i < pos {
+			t.Errorf("exposition out of order at %q:\n%s", w, out)
+		}
+		pos = i
+	}
+}
+
+// TestGaugeVecKindMismatch pins the wiring-bug panic: re-registering a
+// gauge-vec name as a different kind must panic.
+func TestGaugeVecKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("test_kind", "x", "l")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected a kind-mismatch panic")
+		}
+	}()
+	r.Counter("test_kind", "x")
+}

@@ -158,6 +158,17 @@ func (r *Registry) CounterVec(name, help, label string) *CounterVec {
 	}))
 }
 
+// GaugeVec returns the gauge family registered under name with one label
+// dimension, creating it on first use.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return mustBe[*GaugeVec](name, r.lookup(name, func() metric {
+		return &GaugeVec{d: desc{name: name, help: help, label: label}}
+	}))
+}
+
 // HistogramVec returns the histogram family registered under name with one
 // label dimension, creating it on first use.
 func (r *Registry) HistogramVec(name, help, label string) *HistogramVec {
@@ -385,6 +396,43 @@ func (v *CounterVec) With(value string) *Counter {
 
 func (v *CounterVec) describe() desc   { return v.d }
 func (v *CounterVec) typeName() string { return "counter" }
+
+// GaugeVec is a family of gauges distinguished by one label value — the
+// shape for per-shard instantaneous values (shard epochs, shard counts)
+// whose label set is data-dependent.
+type GaugeVec struct {
+	d        desc
+	mu       sync.RWMutex
+	children map[string]*Gauge
+}
+
+// With returns the child gauge for the label value, creating it on first
+// use. Nil-safe.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	v.mu.RLock()
+	g, ok := v.children[value]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok := v.children[value]; ok {
+		return g
+	}
+	if v.children == nil {
+		v.children = make(map[string]*Gauge)
+	}
+	g = &Gauge{d: v.d}
+	v.children[value] = g
+	return g
+}
+
+func (v *GaugeVec) describe() desc   { return v.d }
+func (v *GaugeVec) typeName() string { return "gauge" }
 
 // HistogramVec is a family of histograms distinguished by one label value.
 type HistogramVec struct {
