@@ -28,7 +28,8 @@ BENCHTIME ?= 1s
 # epoch-keyed cache (must stay O(1) in table size), the maintained-sample
 # fast path, the shared-sample batch, BenchmarkAdaptiveVsFixed's
 # rows-sampled-for-equal-accuracy comparison (rows/est + err_pts custom
-# metrics), the sort subsystem (BenchmarkPrepareSort's radix-vs-stdsort
+# metrics), BenchmarkAdaptiveStratifiedZipf's uniform-vs-stratified
+# rows-to-±2% pairs on zipf keys, the sort subsystem (BenchmarkPrepareSort's radix-vs-stdsort
 # pairs, BenchmarkTrueCFParallel's worker sweep), and the telemetry layer
 # (BenchmarkObsOverhead's instrumented-vs-noop cost per metric update) —
 # as a machine-readable artifact.
@@ -50,9 +51,12 @@ bench-diff:
 		| $(GO) run ./cmd/benchjson -diff BENCH_engine.json -allocs-exact 'BenchmarkEstimateSampleSizes'
 
 # bench-race drives the estimation hot path — pooled codec scratch,
-# parallel page compression, shared arenas — and the telemetry instruments
-# under the race detector so a data race in pooling, fan-out, or metric
-# updates cannot land silently.
+# parallel page compression, shared arenas — the telemetry instruments,
+# and the stratified adaptive loop (per-stratum resumable streams
+# extending concurrently) under the race detector so a data race in
+# pooling, fan-out, stream extension, or metric updates cannot land
+# silently.
 bench-race:
 	$(GO) test -race -bench EstimateSampleSizes -benchtime 1x -run '^$$' .
 	$(GO) test -race -bench ObsOverhead -benchtime 1x -run '^$$' ./internal/obs
+	$(GO) test -race -bench AdaptiveStratifiedZipf -benchtime 1x -run '^$$' ./internal/engine

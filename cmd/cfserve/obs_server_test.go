@@ -269,6 +269,7 @@ func TestStatsShimFieldNames(t *testing.T) {
 		"samples_drawn", "samples_shared", "maintained_hits", "maintained_stale",
 		"indexes_prepared", "evaluated", "precision_hits",
 		"shard_scatters", "shard_cache_hits", "shard_cache_misses",
+		"stratified_estimates", "strata_directory_builds",
 		"adaptive_rounds", "adaptive_rows", "prepare_nanos", "sort_rows",
 		"tables",
 	}

@@ -201,6 +201,11 @@ type estimateRequestJSON struct {
 	SampleRows int64    `json:"sample_rows,omitempty"`
 	Seed       uint64   `json:"seed,omitempty"`
 	PageSize   int      `json:"page_size,omitempty"`
+	// Stratified sampling: strata cuts the index key domain into up to that
+	// many ranges, each sampled by its own stream (0 disables; 1 is the
+	// degenerate single stratum). Composes with target_error: the adaptive
+	// loop then refines the strata whose variance contribution dominates.
+	Strata int `json:"strata,omitempty"`
 	// Adaptive estimation: targetError asks for CF within ±targetError at
 	// the given confidence (default 0.95), spending at most maxSampleRows
 	// (default: the table size). fraction/sample_rows then seed only the
@@ -238,6 +243,8 @@ type whatIfRequestJSON struct {
 	Seed       uint64          `json:"seed,omitempty"`
 	PageSize   int             `json:"page_size,omitempty"`
 	TimeoutMS  int64           `json:"timeout_ms,omitempty"`
+	// Stratified sampling (applies to every candidate): see /estimate.
+	Strata int `json:"strata,omitempty"`
 	// Adaptive estimation (applies to every candidate): see /estimate.
 	TargetError   float64 `json:"target_error,omitempty"`
 	Confidence    float64 `json:"confidence,omitempty"`
@@ -313,6 +320,8 @@ var statsFields = []struct {
 	{"shard_scatters", engine.MetricShardScatters},
 	{"shard_cache_hits", engine.MetricShardHits},
 	{"shard_cache_misses", engine.MetricShardMisses},
+	{"stratified_estimates", engine.MetricStratified},
+	{"strata_directory_builds", engine.MetricStrataDirBuilds},
 	{"adaptive_rounds", engine.MetricAdaptiveRounds},
 	{"adaptive_rows", engine.MetricAdaptiveRows},
 	{"prepare_nanos", engine.MetricPrepareNanos},
@@ -452,6 +461,7 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		SampleRows:    req.SampleRows,
 		Seed:          req.Seed,
 		PageSize:      req.PageSize,
+		Strata:        req.Strata,
 		TargetError:   req.TargetError,
 		Confidence:    req.Confidence,
 		MaxSampleRows: req.MaxSampleRows,
@@ -492,6 +502,7 @@ func (s *server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 			SampleRows:    req.SampleRows,
 			Seed:          req.Seed,
 			PageSize:      req.PageSize,
+			Strata:        req.Strata,
 			TargetError:   req.TargetError,
 			Confidence:    req.Confidence,
 			MaxSampleRows: req.MaxSampleRows,

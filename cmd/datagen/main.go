@@ -2,10 +2,14 @@
 // feeding cmd/cfest or external tools.
 //
 //	datagen -n 100000 -d 5000 -k 20 -dist zipf -theta 0.8 -o data.csv
+//	datagen -n 100000 -d 5000 -k 20 -zipf-theta 0.86 -o skewed.csv
 //	datagen -n 10000 -d 100 -lengths bimodal -short 2 -long 18 -stats
 //
-// -stats prints the exact column statistics (n, d, Σℓ, analytic CFs) so the
-// generated file's true compression fraction is known without compressing.
+// -zipf-theta is the one-flag spelling of -dist zipf -theta θ, for
+// reproducing the stratified benchmarks from the CLI. -stats prints the
+// exact column statistics (n, d, Σℓ, analytic CFs) so the generated file's
+// true compression fraction is known without compressing, plus the
+// observed top-10 frequency skew.
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"samplecf/internal/csvio"
 	"samplecf/internal/distrib"
@@ -34,6 +39,7 @@ func run() error {
 		k         = flag.Int("k", 20, "CHAR(k) column width")
 		dist      = flag.String("dist", "uniform", "value distribution: uniform, zipf, hotset")
 		theta     = flag.Float64("theta", 0.8, "zipf skew (with -dist zipf)")
+		zipfTheta = flag.Float64("zipf-theta", 0, "shortcut: -dist zipf at this skew (overrides -dist and -theta when set)")
 		lengths   = flag.String("lengths", "uniform", "length distribution: uniform, constant, normal, bimodal")
 		lo        = flag.Int("lo", 0, "min length (uniform/normal)")
 		hi        = flag.Int("hi", -1, "max length (uniform/normal; default k)")
@@ -49,6 +55,9 @@ func run() error {
 		hotFrac   = flag.Float64("hot-shard-frac", 0.8, "fraction of rows landing on the hot shard (with -shards)")
 	)
 	flag.Parse()
+	if *zipfTheta > 0 {
+		*dist, *theta = "zipf", *zipfTheta
+	}
 	if *hi < 0 {
 		*hi = *k
 	}
@@ -141,6 +150,16 @@ func run() error {
 			c.N, c.Distinct, c.SumNS, c.MeanNS(), c.VarNS())
 		fmt.Fprintf(os.Stderr, "analytic CF: NS=%.6f globaldict(p=4)=%.6f\n",
 			c.CFNullSuppression(*k, 1), c.CFGlobalDict(*k, 4))
+		top, err := topFrequencies(tab, 10)
+		if err != nil {
+			return err
+		}
+		var cum float64
+		for rank, f := range top {
+			cum += f.frac
+			fmt.Fprintf(os.Stderr, "top-%d: %d rows (%.2f%%, cum %.2f%%)\n",
+				rank+1, f.count, 100*f.frac, 100*cum)
+		}
 		if *shards > 0 {
 			counts := make([]int64, *shards)
 			err := tab.Scan(func(_ int64, row value.Row) error {
@@ -157,4 +176,39 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// freq is one row of the observed frequency ranking.
+type freq struct {
+	count int64
+	frac  float64
+}
+
+// topFrequencies scans the table's first column and returns the k most
+// frequent values' counts and row fractions, most frequent first — the
+// observed skew a -zipf-theta choice actually produced, as opposed to the
+// analytic distribution it asked for.
+func topFrequencies(tab *workload.Table, k int) ([]freq, error) {
+	counts := make(map[string]int64)
+	err := tab.Scan(func(_ int64, row value.Row) error {
+		counts[string(row[0])]++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	all := make([]int64, 0, len(counts))
+	for _, c := range counts {
+		all = append(all, c)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] > all[j] })
+	if k > len(all) {
+		k = len(all)
+	}
+	n := tab.NumRows()
+	top := make([]freq, k)
+	for i := 0; i < k; i++ {
+		top[i] = freq{count: all[i], frac: float64(all[i]) / float64(n)}
+	}
+	return top, nil
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+
+	"samplecf/internal/distrib"
+	"samplecf/internal/value"
+	"samplecf/internal/workload"
+)
+
+// TestTopFrequencies checks the observed-skew ranking: ordered most
+// frequent first, fractions summing over the top-k to the head mass a
+// zipf draw actually produced, and k clamped to the distinct count.
+func TestTopFrequencies(t *testing.T) {
+	col, err := workload.NewStringColumn(value.Char(12), distrib.NewZipf(50, 0.86), distrib.NewConstantLen(8), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := workload.Generate(workload.Spec{
+		Name: "skew", N: 20_000, Seed: 7,
+		Cols: []workload.SpecColumn{{Name: "a", Gen: col}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := topFrequencies(tab, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 10 {
+		t.Fatalf("got %d entries, want 10", len(top))
+	}
+	var cum float64
+	for i, f := range top {
+		if i > 0 && f.count > top[i-1].count {
+			t.Fatalf("ranking not descending at %d: %d > %d", i, f.count, top[i-1].count)
+		}
+		if want := float64(f.count) / 20_000; f.frac != want {
+			t.Errorf("rank %d frac = %v, want %v", i, f.frac, want)
+		}
+		cum += f.frac
+	}
+	// θ=0.86 over 50 values concentrates well over a quarter of the rows
+	// in the top ten; a uniform draw would put exactly 20% there.
+	if cum < 0.25 {
+		t.Errorf("top-10 mass %.3f, want the zipf head to dominate", cum)
+	}
+
+	// k larger than the distinct count clamps.
+	clamped, err := topFrequencies(tab, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clamped) > 50 {
+		t.Errorf("got %d entries from a 50-value domain", len(clamped))
+	}
+}

@@ -205,6 +205,68 @@ func (t *Tree) LeafPages(fn func(pageNo uint32, p *page.Page) error) error {
 	}
 }
 
+// SeparatorKeys returns up to max-1 strictly ascending separator keys that
+// cut the tree's key domain into at most max near-equal-leaf-count ranges —
+// the index-assisted stratum boundaries stratified sampling wants. The walk
+// descends level by level from the root and stops at the shallowest internal
+// level holding enough separators (or the level above the leaves), so the
+// page reads are bounded by roughly fanout·max rather than the leaf count.
+// Separators at one level bound subtrees of equal depth, which bulk loading
+// fills uniformly, so the cuts are equi-depth in leaf pages. A tree of
+// height 1 (root is a leaf) has no separators and returns nil.
+func (t *Tree) SeparatorKeys(max int) ([][]byte, error) {
+	if max <= 1 || t.height <= 1 {
+		return nil, nil
+	}
+	frontier := []uint32{t.root}
+	for {
+		var keys [][]byte
+		var children []uint32
+		level := 0
+		for _, pn := range frontier {
+			n, err := t.readNode(pn)
+			if err != nil {
+				return nil, err
+			}
+			if n.isLeaf() {
+				return nil, fmt.Errorf("btree: separator walk reached leaf %d", pn)
+			}
+			level = n.level()
+			for j := 0; j < n.numEntries(); j++ {
+				rec := n.entry(j)
+				keys = append(keys, append([]byte(nil), decodeEntryKey(rec)...))
+				children = append(children, decodeInternalChild(rec))
+			}
+		}
+		// keys[0] is the global minimum (every level's first separator is the
+		// smallest key of the leftmost subtree) — not a cut point. The rest
+		// are candidates once this level has enough of them, or once the next
+		// level is the leaves.
+		if seps := keys[1:]; len(seps) >= max-1 || level == 1 {
+			m := len(seps)
+			picked := make([][]byte, 0, max-1)
+			prev := keys[0]
+			for j := 1; j < max && m > 0; j++ {
+				idx := j * m / max
+				if idx >= m {
+					idx = m - 1
+				}
+				b := seps[idx]
+				// Duplicate runs can repeat a separator (or echo the global
+				// minimum); dropping the collision keeps strict ascent at the
+				// cost of fewer strata, never an empty one.
+				if bytes.Compare(b, prev) <= 0 {
+					continue
+				}
+				picked = append(picked, b)
+				prev = b
+			}
+			return picked, nil
+		}
+		frontier = children
+	}
+}
+
 // NumLeafPages counts leaf pages by walking the sibling chain.
 func (t *Tree) NumLeafPages() (int, error) {
 	count := 0

@@ -561,3 +561,76 @@ func TestNodeAccessorsAndErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSeparatorKeys checks the stratification walk: boundaries ascend
+// strictly, cut the entry population into near-equal ranges, and degrade
+// gracefully on tiny or duplicate-only trees.
+func TestSeparatorKeys(t *testing.T) {
+	items := make([]Item, 4096)
+	for i := range items {
+		items[i] = Item{Key: key(i), Payload: val(i)}
+	}
+	tr, err := BulkLoadItems(heap.NewMemStore(page.MinSize), items, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, max := range []int{2, 4, 8, 16} {
+		seps, err := tr.SeparatorKeys(max)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seps) == 0 || len(seps) > max-1 {
+			t.Fatalf("max=%d: got %d separators", max, len(seps))
+		}
+		prev := []byte(nil)
+		for _, s := range seps {
+			if prev != nil && bytes.Compare(prev, s) >= 0 {
+				t.Fatalf("max=%d: separators not strictly ascending", max)
+			}
+			prev = s
+		}
+		// Count entries per range; with a uniform key domain the ranges
+		// should be within 3x of each other.
+		counts := make([]int64, len(seps)+1)
+		if err := tr.Ascend(nil, func(k, _ []byte) bool {
+			h := sort.Search(len(seps), func(i int) bool { return bytes.Compare(seps[i], k) > 0 })
+			counts[h]++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var lo, hi int64 = 1 << 62, 0
+		for _, c := range counts {
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+		if lo == 0 || hi > 3*lo {
+			t.Errorf("max=%d: uneven ranges %v", max, counts)
+		}
+	}
+	// Root-leaf tree: no separators at all.
+	small := newTestTree(t)
+	if err := small.Insert(key(1), val(1)); err != nil {
+		t.Fatal(err)
+	}
+	if seps, err := small.SeparatorKeys(8); err != nil || len(seps) != 0 {
+		t.Fatalf("leaf-root tree: seps=%v err=%v", seps, err)
+	}
+	// All-duplicate tree: every separator equals the minimum, so no cut
+	// point survives the strict-ascent filter.
+	dup := make([]Item, 4096)
+	for i := range dup {
+		dup[i] = Item{Key: []byte("same-key"), Payload: val(i)}
+	}
+	dtr, err := BulkLoadItems(heap.NewMemStore(page.MinSize), dup, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seps, err := dtr.SeparatorKeys(8); err != nil || len(seps) != 0 {
+		t.Fatalf("duplicate-only tree: seps=%v err=%v", seps, err)
+	}
+}

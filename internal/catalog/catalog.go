@@ -106,6 +106,22 @@ type SampleProvider interface {
 	MaintainedSample(min int64) (Sample, bool)
 }
 
+// IndexBoundaryProvider is the optional index-assisted stratification
+// capability: tables that maintain an ordered index over some key columns
+// can cut the key domain into near-equal-count ranges from a walk of the
+// index's separator keys — no table scan. Stratified estimation prefers
+// these boundaries over a pilot sample when an index matches the request's
+// key columns.
+type IndexBoundaryProvider interface {
+	// IndexKeyBoundaries returns up to strata-1 strictly ascending
+	// memcomparable boundary keys from an index whose key columns equal
+	// keyCols (nil/empty keyCols = all columns, matching core.Options), or
+	// ok=false when no such index exists. Fewer boundaries than requested
+	// (including zero, for a one-node index) is still ok=true: the index
+	// simply supports fewer cut points.
+	IndexKeyBoundaries(keyCols []string, strata int) (bounds [][]byte, ok bool)
+}
+
 // instanceIDs issues process-unique table instance ids. ID 0 is never
 // issued, so the zero Version is detectably uninitialized.
 var instanceIDs atomic.Uint64

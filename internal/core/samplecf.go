@@ -87,6 +87,14 @@ type Options struct {
 	PageSize int
 	// FillFactor is the bulk-load leaf utilization (default 1.0).
 	FillFactor float64
+	// Strata selects stratified sampling: the key domain is cut into up to
+	// Strata contiguous memcomparable-key ranges (index-assisted when the
+	// source exposes IndexBoundarySource, pilot-based otherwise), each
+	// range sampled by its own stream, and the per-stratum estimates
+	// composed by stratified mean and variance. 0 disables; 1 is the
+	// degenerate single stratum, byte-identical to the unstratified draw.
+	// Requires MethodUniformWR.
+	Strata int
 }
 
 // withDefaults normalizes zero-valued options.
@@ -117,6 +125,10 @@ func (o Options) Validate() error {
 		return fmt.Errorf("core: Options.PageSize %d is negative", o.PageSize)
 	case o.FillFactor != 0 && (o.FillFactor <= 0 || o.FillFactor > 1):
 		return fmt.Errorf("core: Options.FillFactor %v outside (0,1]", o.FillFactor)
+	case o.Strata < 0:
+		return fmt.Errorf("core: Options.Strata %d is negative", o.Strata)
+	case o.Strata > 0 && o.Method != MethodUniformWR:
+		return fmt.Errorf("core: stratified sampling supports only uniform WR (method %v)", o.Method)
 	}
 	return nil
 }
@@ -163,6 +175,9 @@ func SampleCF(src sampling.RowSource, schema *value.Schema, opts Options) (Estim
 	}
 	if r <= 0 {
 		return Estimate{}, fmt.Errorf("core: sample size is zero (fraction %v)", opts.Fraction)
+	}
+	if opts.Strata > 0 {
+		return sampleCFStratified(src, schema, opts, r)
 	}
 
 	g := rng.New(opts.Seed)

@@ -218,6 +218,7 @@ type Table struct {
 var _ catalog.Table = (*Table)(nil)
 var _ catalog.SampleProvider = (*Table)(nil)
 var _ catalog.PageProvider = (*Table)(nil)
+var _ catalog.IndexBoundaryProvider = (*Table)(nil)
 
 // Name implements catalog.Table.
 func (t *Table) Name() string { return t.name }
@@ -525,6 +526,49 @@ func (t *Table) CreateIndex(name string, keyCols []string, codec compress.Codec)
 	ix.tree = tree
 	t.indexes[name] = ix
 	return ix, nil
+}
+
+// IndexKeyBoundaries implements catalog.IndexBoundaryProvider: when some
+// index's key columns equal keyCols (nil/empty = all columns, on either
+// side), its separator keys cut the key domain into up to `strata`
+// near-equal-entry-count ranges for stratified estimation — one short walk
+// of the tree's internal levels, no table scan. Index names are visited in
+// sorted order so the choice among several matching indexes is
+// deterministic.
+func (t *Table) IndexKeyBoundaries(keyCols []string, strata int) ([][]byte, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	names := make([]string, 0, len(t.indexes))
+	for n := range t.indexes {
+		names = append(names, n)
+	}
+	slices.Sort(names)
+	want := t.resolveKeyCols(keyCols)
+	for _, n := range names {
+		ix := t.indexes[n]
+		if !slices.Equal(t.resolveKeyCols(ix.keyCols), want) {
+			continue
+		}
+		bounds, err := ix.tree.SeparatorKeys(strata)
+		if err != nil {
+			continue
+		}
+		return bounds, true
+	}
+	return nil, false
+}
+
+// resolveKeyCols normalizes a key-column list: nil/empty means every
+// schema column, in schema order.
+func (t *Table) resolveKeyCols(keyCols []string) []string {
+	if len(keyCols) > 0 {
+		return keyCols
+	}
+	out := make([]string, t.schema.NumColumns())
+	for i := range out {
+		out[i] = t.schema.Column(i).Name
+	}
+	return out
 }
 
 // Index returns a table's index by name.

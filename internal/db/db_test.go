@@ -273,3 +273,48 @@ func TestRowRandomAccessAfterDeletes(t *testing.T) {
 		t.Fatal("out of range accepted")
 	}
 }
+
+// TestIndexKeyBoundaries checks the index-assisted stratification
+// capability: a matching index yields ascending cut points, a mismatched
+// key-column list yields none.
+func TestIndexKeyBoundaries(t *testing.T) {
+	d := New(0)
+	tab, err := d.CreateTable("items", itemsSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		row := value.Row{value.StringValue(fmt.Sprintf("n-%06d", i)), value.IntValue(int32(i))}
+		if _, err := tab.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := tab.IndexKeyBoundaries([]string{"name"}, 8); ok {
+		t.Fatal("boundaries served with no index")
+	}
+	if _, err := tab.CreateIndex("ix_name", []string{"name"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	bounds, ok := tab.IndexKeyBoundaries([]string{"name"}, 8)
+	if !ok {
+		t.Fatal("matching index not found")
+	}
+	if len(bounds) == 0 || len(bounds) > 7 {
+		t.Fatalf("got %d boundaries, want 1..7", len(bounds))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if string(bounds[i-1]) >= string(bounds[i]) {
+			t.Fatal("boundaries not strictly ascending")
+		}
+	}
+	if _, ok := tab.IndexKeyBoundaries([]string{"qty"}, 8); ok {
+		t.Fatal("qty boundaries served by a name index")
+	}
+	// An all-columns index answers the nil (= all columns) request.
+	if _, err := tab.CreateIndex("ix_all", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tab.IndexKeyBoundaries(nil, 4); !ok {
+		t.Fatal("all-columns request unmatched by all-columns index")
+	}
+}

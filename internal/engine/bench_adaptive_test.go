@@ -109,6 +109,90 @@ func BenchmarkAdaptiveVsFixed(b *testing.B) {
 	})
 }
 
+// The zipf pair measures what stratification buys on heavily skewed keys:
+// rows sampled to satisfy CF ± 2 points at 95%, uniform adaptive versus
+// 16-stratum Neyman-allocated adaptive on the same θ=0.86 table. Sixteen
+// strata (not eight) because the zipf(128) head needs ~1/16 equi-depth
+// ranges to isolate the top values into their own arms; at 8 the second-
+// and third-ranked values share arms with tail mass and the win thins.
+// The workload puts the zipf head at the low end of the key domain (the
+// generator's uniqueness prefix sorts by domain index) with bimodal value
+// lengths, so compressibility varies sharply across contiguous key ranges
+// — the shape equi-depth strata isolate. The codec is rle — a
+// bootstrap-CI codec, deliberately: Theorem 1's bound depends only on the
+// total sample size, so stratification cannot tighten it, and running
+// this pair under nullsuppression would measure nothing. Under the
+// bootstrap CI the strata pin each head value's run structure inside its
+// own arm, removing the between-strata variance the uniform sample keeps
+// paying for.
+//
+// err_pts records |CF' − CF| against the exact CF. For run-length codecs
+// sample-compress carries a known small-r bias (a WR sample cannot
+// reproduce the table's long runs); the bootstrap CI tracks sampling
+// variance, not that bias, and both arms carry it equally — the pair's
+// comparison metric is rows-to-CI, with err_pts kept for honesty.
+//
+// Rows are re-spent every iteration (result and precision caches
+// disabled, seeds vary); only the strata directory is cached, matching
+// production where the O(n) stratify scan runs once per table version.
+func BenchmarkAdaptiveStratifiedZipf(b *testing.B) {
+	const n = 500_000
+	const requirement = 0.02
+	tab := benchZipfTable(b, n)
+	res, err := core.TrueCF(tab, nil, codec(b, "rle"), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	truth := res.CF()
+
+	run := func(b *testing.B, strata int) {
+		e := New(Config{CacheEntries: -1})
+		defer e.Close()
+		e.strataDirs = newStrataCache(4) // keep only the directory resident
+		var rows, errPts, rounds float64
+		for i := 0; i < b.N; i++ {
+			res := e.Estimate(context.Background(), Request{
+				Table: tab, KeyColumns: []string{"a"}, Codec: codec(b, "rle"),
+				TargetError: requirement, Strata: strata, Seed: uint64(i),
+				SampleRows: 64, // round-0 seed, small enough that neither arm stops on the floor
+			})
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			if !res.Converged || res.AchievedError > requirement {
+				b.Fatalf("requirement not met: converged=%v achieved=%v", res.Converged, res.AchievedError)
+			}
+			rows += float64(res.Estimate.SampleRows)
+			errPts += 100 * math.Abs(res.Estimate.CF-truth)
+			rounds += float64(res.Rounds)
+		}
+		b.ReportMetric(rows/float64(b.N), "rows/est")
+		b.ReportMetric(errPts/float64(b.N), "err_pts")
+		b.ReportMetric(rounds/float64(b.N), "rounds/est")
+	}
+	b.Run("zipf-uniform-2pct", func(b *testing.B) { run(b, 0) })
+	b.Run("zipf-strata16-2pct", func(b *testing.B) { run(b, 16) })
+}
+
+// benchZipfTable is the stratification workload: one CHAR(64) key column
+// under heavy zipf skew (θ=0.86) with bimodal value lengths, so
+// compressibility varies sharply across the key domain.
+func benchZipfTable(b *testing.B, n int64) *workload.Table {
+	b.Helper()
+	col, err := workload.NewStringColumn(value.Char(64), distrib.NewZipf(128, 0.86), distrib.NewBimodalLen(2, 60, 0.5), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab, err := workload.Generate(workload.Spec{
+		Name: "zipf-strata-bench", N: n, Seed: 2,
+		Cols: []workload.SpecColumn{{Name: "a", Gen: col}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tab
+}
+
 // benchAdaptiveTable builds the benchmark workload: a skewed CHAR(20)
 // column, the shape the fixed-1% advisor loop sizes all day.
 func benchAdaptiveTable(b *testing.B, n int64) *workload.Table {

@@ -35,6 +35,10 @@ type cacheKey struct {
 	// that is exactly what lets untouched shards keep serving hits while a
 	// hot shard's epoch races ahead.
 	shard int
+	// strata is Request.Strata (0 for unstratified entries): the strata
+	// count changes the draw streams and the composed estimate, so it is
+	// part of the outcome identity.
+	strata int
 }
 
 // wholeTable is the cacheKey.shard value of unsharded (whole-table)
@@ -125,6 +129,11 @@ type precisionKey struct {
 	// ("" for unsharded). The summed epoch alone could alias two distinct
 	// vectors (one shard +2 vs. two shards +1 each); the vector cannot.
 	epochs string
+	// strata is Request.Strata (0 for unstratified entries). Stratified and
+	// unstratified adaptive results estimate the same CF, but their CI
+	// machinery differs (composed vs. whole-sample variance), so dominance
+	// is only claimed within one strata setting.
+	strata int
 }
 
 // precisionEntry is one cached adaptive outcome.

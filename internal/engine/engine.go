@@ -113,6 +113,16 @@ type Request struct {
 	// request is never answered with a maintained-sample estimate.
 	FreshSample bool
 
+	// Strata switches the request to stratified sampling: the key domain
+	// splits into up to Strata contiguous ranges (boundaries from an
+	// existing index's separator keys, the maintained reservoir's observed
+	// keys, or a fixed-seed pilot — in that order), each range sampled by
+	// its own stream, composed by stratified mean and variance. 0 disables;
+	// 1 is the degenerate single stratum. Stratified draws are always fresh
+	// (the maintained sample serves only boundary resolution), and a
+	// partitioned table stratifies within each shard.
+	Strata int
+
 	// TargetError switches the request to precision-targeted adaptive
 	// estimation: instead of a fixed sample size, the engine grows the
 	// sample in resumable rounds until the estimate's confidence interval
@@ -187,6 +197,10 @@ type Stats struct {
 	// shards; ShardCacheHits/ShardCacheMisses are the per-shard result-cache
 	// ledger inside those scatters (a fully-hit scatter is also one Hits).
 	ShardScatters, ShardCacheHits, ShardCacheMisses uint64
+	// StratifiedEstimates counts stratified estimates computed (fixed and
+	// adaptive; cache hits excluded); StrataDirBuilds counts strata-directory
+	// builds — the O(n) stratify scans the directory cache did not absorb.
+	StratifiedEstimates, StrataDirBuilds uint64
 	// CacheEntries is the current LRU size; PrecisionEntries the current
 	// precision-cache size.
 	CacheEntries     int
@@ -196,10 +210,11 @@ type Stats struct {
 // Engine owns the worker pool and result cache. Create with New, release
 // with Close. All methods are safe for concurrent use.
 type Engine struct {
-	cfg       Config
-	cache     *lruCache
-	precision *precisionCache
-	registry  *obs.Registry
+	cfg        Config
+	cache      *lruCache
+	precision  *precisionCache
+	strataDirs *strataCache
+	registry   *obs.Registry
 
 	jobs chan func()
 	quit chan struct{}
@@ -221,13 +236,14 @@ func New(cfg Config) *Engine {
 		reg = obs.NewRegistry()
 	}
 	e := &Engine{
-		cfg:       cfg,
-		cache:     newLRUCache(cfg.CacheEntries),
-		precision: newPrecisionCache(cfg.CacheEntries),
-		registry:  reg,
-		jobs:      make(chan func()),
-		quit:      make(chan struct{}),
-		metrics:   newMetrics(reg),
+		cfg:        cfg,
+		cache:      newLRUCache(cfg.CacheEntries),
+		precision:  newPrecisionCache(cfg.CacheEntries),
+		strataDirs: newStrataCache(cfg.CacheEntries),
+		registry:   reg,
+		jobs:       make(chan func()),
+		quit:       make(chan struct{}),
+		metrics:    newMetrics(reg),
 	}
 	reg.GaugeFunc(MetricCacheEntries, "Entries resident in the LRU result cache.",
 		func() int64 { return int64(e.cache.Len()) })
@@ -265,25 +281,27 @@ func (e *Engine) Close() {
 // in-process callers.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Hits:             e.hits.Value(),
-		Misses:           e.misses.Value(),
-		Evictions:        e.evictions.Value(),
-		SamplesDrawn:     e.samplesDrawn.Value(),
-		SamplesShared:    e.samplesShared.Value(),
-		MaintainedHits:   e.maintainedHits.Value(),
-		MaintainedStale:  e.maintainedStale.Value(),
-		IndexesPrepared:  e.prepared.Value(),
-		Evaluated:        e.evaluated.Value(),
-		PrecisionHits:    e.precisionHits.Value(),
-		AdaptiveRounds:   e.adaptiveRounds.Value(),
-		AdaptiveRows:     e.adaptiveRows.Value(),
-		PrepareNanos:     e.prepareNanos.Value(),
-		SortRows:         e.sortRows.Value(),
-		ShardScatters:    e.shardScatters.Value(),
-		ShardCacheHits:   e.shardHits.Value(),
-		ShardCacheMisses: e.shardMisses.Value(),
-		CacheEntries:     e.cache.Len(),
-		PrecisionEntries: e.precision.Len(),
+		Hits:                e.hits.Value(),
+		Misses:              e.misses.Value(),
+		Evictions:           e.evictions.Value(),
+		SamplesDrawn:        e.samplesDrawn.Value(),
+		SamplesShared:       e.samplesShared.Value(),
+		MaintainedHits:      e.maintainedHits.Value(),
+		MaintainedStale:     e.maintainedStale.Value(),
+		IndexesPrepared:     e.prepared.Value(),
+		Evaluated:           e.evaluated.Value(),
+		PrecisionHits:       e.precisionHits.Value(),
+		AdaptiveRounds:      e.adaptiveRounds.Value(),
+		AdaptiveRows:        e.adaptiveRows.Value(),
+		PrepareNanos:        e.prepareNanos.Value(),
+		SortRows:            e.sortRows.Value(),
+		ShardScatters:       e.shardScatters.Value(),
+		ShardCacheHits:      e.shardHits.Value(),
+		ShardCacheMisses:    e.shardMisses.Value(),
+		StratifiedEstimates: e.stratified.Value(),
+		StrataDirBuilds:     e.strataDirBuilds.Value(),
+		CacheEntries:        e.cache.Len(),
+		PrecisionEntries:    e.precision.Len(),
 	}
 }
 
@@ -397,6 +415,9 @@ type batchItem struct {
 	// partitioned table: one work unit per non-empty shard, some possibly
 	// pre-answered from the per-shard cache.
 	shards []*shardWork
+	// stratified marks a fixed-r request routed through the stratified
+	// evaluator (Request.Strata > 0): per-stratum streams, no group dedup.
+	stratified bool
 }
 
 // WhatIf evaluates a batch of candidates, drawing each distinct
@@ -444,6 +465,7 @@ func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
 				codec:    req.Codec.Name(),
 				pageSize: pageSize,
 				fresh:    req.FreshSample,
+				strata:   req.Strata,
 			}
 			if sh, ok := req.Table.(catalog.Sharded); ok {
 				pk.epochs = packEpochs(sh.EpochVector())
@@ -475,10 +497,10 @@ func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
 				adaptiveGroups[ak] = ag
 			}
 			var r0g *round0Group
-			if _, sharded := req.Table.(catalog.Sharded); !sharded {
-				// Sharded adaptive loops draw per-shard round-0 samples
-				// inside the loop itself; only unsharded loops share the
-				// whole-table round-0 arena.
+			if _, sharded := req.Table.(catalog.Sharded); !sharded && req.Strata == 0 {
+				// Sharded and stratified adaptive loops draw per-arm round-0
+				// samples inside the loop itself; only plain unsharded loops
+				// share the whole-table round-0 arena.
 				rk := round0Key{
 					inst: pk.inst, epoch: epoch, seed: req.Seed,
 					r0: initialAdaptiveRows(req), fresh: req.FreshSample,
@@ -500,6 +522,34 @@ func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
 		}
 		if r <= 0 {
 			results[i] = Result{Err: fmt.Errorf("engine: request %d: sample size is zero (fraction %v)", i, req.Fraction)}
+			continue
+		}
+		if req.Strata > 0 {
+			// Stratified fixed-r request: no sample/prep dedup (draws are
+			// per-stratum streams) and no per-shard scatter cache — the
+			// merged estimate caches under the request-level key, and the
+			// expensive shared artifact (the strata directory) has its own
+			// per-table-version cache.
+			key := cacheKey{
+				inst:     req.Table.InstanceID(),
+				epoch:    epoch,
+				columns:  strings.Join(req.KeyColumns, "\x00"),
+				codec:    req.Codec.Name(),
+				fraction: req.Fraction,
+				rows:     req.SampleRows,
+				seed:     req.Seed,
+				pageSize: pageSize,
+				fresh:    req.FreshSample,
+				shard:    wholeTable,
+				strata:   req.Strata,
+			}
+			if est, ok := e.cache.Get(key); ok {
+				e.hits.Add(1)
+				results[i] = Result{Estimate: est, CacheHit: true}
+				continue
+			}
+			e.misses.Add(1)
+			pending = append(pending, &batchItem{idx: i, req: req, key: key, stratified: true})
 			continue
 		}
 		if sh, ok := req.Table.(catalog.Sharded); ok {
@@ -590,6 +640,9 @@ func (e *Engine) evaluate(ctx context.Context, it *batchItem) Result {
 	}
 	if it.req.TargetError > 0 {
 		return e.evaluateAdaptive(ctx, it)
+	}
+	if it.stratified {
+		return e.evaluateStratified(ctx, it)
 	}
 	if it.shards != nil {
 		return e.evaluateScatter(ctx, it)
@@ -694,6 +747,12 @@ func zFor(confidence float64) float64 {
 func (e *Engine) evaluateAdaptive(ctx context.Context, it *batchItem) Result {
 	ag := it.ag
 	ag.once.Do(func() {
+		if it.req.Strata > 0 {
+			// Stratified loops (sharded or not) build their arm set from
+			// the strata directories; shard composition happens inside.
+			ag.res, ag.err = e.runStratifiedAdaptive(ctx, it.req, it.pkey)
+			return
+		}
 		if sh, ok := it.req.Table.(catalog.Sharded); ok {
 			ag.res, ag.err = e.runShardedAdaptive(ctx, it.req, it.pkey, sh)
 			return
@@ -948,6 +1007,8 @@ func validate(req Request) error {
 		return fmt.Errorf("engine: MaxSampleRows requires TargetError")
 	case req.MaxSampleRows < 0:
 		return fmt.Errorf("engine: negative row budget %d", req.MaxSampleRows)
+	case req.Strata < 0:
+		return fmt.Errorf("engine: negative strata count %d", req.Strata)
 	case req.TargetError > 0 && req.Fraction < 0:
 		return fmt.Errorf("engine: negative fraction %v", req.Fraction)
 	case req.TargetError == 0 && req.SampleRows == 0 && (req.Fraction <= 0 || req.Fraction > 1):

@@ -38,6 +38,17 @@ type metrics struct {
 	shardScatters   *obs.Counter
 	shardHits       *obs.Counter
 	shardMisses     *obs.Counter
+	stratified      *obs.Counter
+	strataDirBuilds *obs.Counter
+
+	// strataRows ledgers rows drawn per stratum arm (label: the arm's index
+	// among its table's non-empty strata) — the skew of this vec is Neyman
+	// allocation made visible.
+	strataRows *obs.CounterVec
+	// strataCountHist records arms per stratified estimate (a count pushed
+	// through the duration-typed histogram: bucket boundaries are powers of
+	// two either way).
+	strataCountHist *obs.Histogram
 
 	queueDepth *obs.Gauge
 	inFlight   *obs.Gauge
@@ -76,6 +87,10 @@ const (
 	MetricShardScatters    = "samplecf_engine_shard_scatters_total"
 	MetricShardHits        = "samplecf_engine_shard_cache_hits_total"
 	MetricShardMisses      = "samplecf_engine_shard_cache_misses_total"
+	MetricStratified       = "samplecf_engine_stratified_estimates_total"
+	MetricStrataDirBuilds  = "samplecf_engine_strata_directory_builds_total"
+	MetricStrataRows       = "samplecf_engine_strata_rows_total"
+	MetricStrataCount      = "samplecf_engine_strata_count"
 	MetricScatterFanout    = "samplecf_engine_scatter_fanout_seconds"
 	MetricQueueDepth       = "samplecf_engine_queue_depth"
 	MetricInFlight         = "samplecf_engine_inflight_jobs"
@@ -106,6 +121,10 @@ func newMetrics(r *obs.Registry) metrics {
 		shardScatters:   r.Counter(MetricShardScatters, "Requests scattered across a partitioned table's shards."),
 		shardHits:       r.Counter(MetricShardHits, "Per-shard result-cache hits within scattered requests."),
 		shardMisses:     r.Counter(MetricShardMisses, "Per-shard result-cache misses within scattered requests."),
+		stratified:      r.Counter(MetricStratified, "Stratified estimates computed, fixed and adaptive (cache hits excluded)."),
+		strataDirBuilds: r.Counter(MetricStrataDirBuilds, "Strata-directory builds (stratify scans the directory cache did not absorb)."),
+		strataRows:      r.CounterVec(MetricStrataRows, "Rows drawn per stratum arm by stratified estimates.", "stratum"),
+		strataCountHist: r.Histogram(MetricStrataCount, "Arms per stratified estimate (a count, not a duration)."),
 
 		queueDepth: r.Gauge(MetricQueueDepth, "Batch items waiting for a pool worker."),
 		inFlight:   r.Gauge(MetricInFlight, "Batch items currently executing on pool workers."),

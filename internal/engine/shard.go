@@ -318,50 +318,20 @@ func (e *Engine) evaluateShardWork(ctx context.Context, it *batchItem, w *shardW
 }
 
 // mergeShardEstimates composes per-shard estimates into one whole-table
-// estimate per the Sampling Algebra: CF is the size-weighted stratified
-// mean, counts and byte totals sum, frequency profiles merge, and stage
-// durations take the max (the shards ran in parallel). A single stratum
-// passes through verbatim — a 1-shard table's estimate is byte-identical
-// to the unsharded path's, compressed pages (Result.Encoded) included.
+// estimate by stratified composition (core.MergeStratified): CF is the
+// size-weighted stratified mean, counts and byte totals sum, frequency
+// profiles merge, and stage durations take the max (the shards ran in
+// parallel). A single stratum passes through verbatim — a 1-shard table's
+// estimate is byte-identical to the unsharded path's, compressed pages
+// (Result.Encoded) included.
 func mergeShardEstimates(works []*shardWork) core.Estimate {
-	if len(works) == 1 {
-		return works[0].est
-	}
-	strata := make([]stats.Stratum, len(works))
-	var out core.Estimate
-	f := make(map[int64]int64)
+	weights := make([]float64, len(works))
+	ests := make([]core.Estimate, len(works))
 	for i, w := range works {
-		est := w.est
-		strata[i] = stats.Stratum{Weight: w.weight, Mean: est.CF}
-		out.SampleRows += est.SampleRows
-		// SampleDistinct and the merged profile sum per-shard distincts:
-		// exact when the index keys embed the partition column (shards
-		// cannot share a key), an upper bound otherwise.
-		out.SampleDistinct += est.SampleDistinct
-		out.Profile.N += est.Profile.N
-		out.Profile.R += est.Profile.R
-		out.Profile.D += est.Profile.D
-		for k, v := range est.Profile.F {
-			f[k] += v
-		}
-		out.Result.UncompressedBytes += est.Result.UncompressedBytes
-		out.Result.CompressedBytes += est.Result.CompressedBytes
-		out.Result.Rows += est.Result.Rows
-		out.Result.Pages += est.Result.Pages
-		out.Result.DictEntries += est.Result.DictEntries
-		if est.SampleDuration > out.SampleDuration {
-			out.SampleDuration = est.SampleDuration
-		}
-		if est.BuildDuration > out.BuildDuration {
-			out.BuildDuration = est.BuildDuration
-		}
-		if est.CompressDuration > out.CompressDuration {
-			out.CompressDuration = est.CompressDuration
-		}
+		weights[i] = w.weight
+		ests[i] = w.est
 	}
-	out.Profile.F = f
-	out.CF = stats.StratifiedMean(strata)
-	return out
+	return core.MergeStratified(weights, ests)
 }
 
 // shardLoop is one shard's arm of a sharded adaptive estimation: its own

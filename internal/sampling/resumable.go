@@ -45,6 +45,7 @@ func ExtendWRInto(src RowSource, ar *value.RecordArena, extra int64, seed uint64
 			return fmt.Errorf("sampling: encode row: %w", err)
 		}
 	}
+	metricRowsDrawn.Add(uint64(extra))
 	return nil
 }
 
@@ -70,6 +71,7 @@ func WORExtendIndices(n, extra int64, seed uint64, round int, chosen map[int64]s
 		return nil, fmt.Errorf("sampling: WOR extension of %d exceeds the %d unchosen rows", extra, free)
 	}
 	g := rng.New(seed).Derive(uint64(round))
+	metricRowsDrawn.Add(uint64(extra))
 	out := make([]int64, 0, extra)
 	for int64(len(out)) < extra {
 		idx := g.Int63n(n)

@@ -100,18 +100,19 @@ func UniformWOR(src RowSource, r int64, g *rng.RNG) ([]value.Row, error) {
 		}
 		out = append(out, row)
 	}
-	metricRowsDrawn.Add(uint64(r))
 	return out, nil
 }
 
 // WORIndices draws r distinct indices uniformly from [0, n) via Floyd's
 // algorithm, in the same draw order UniformWOR visits rows — callers that
 // gather rows from an arena by index get byte-identical samples to the
-// row-at-a-time path.
+// row-at-a-time path. The rows-drawn metric is observed here, at the index
+// draw, so the row-at-a-time route and the arena-gather route count alike.
 func WORIndices(n, r int64, g *rng.RNG) ([]int64, error) {
 	if r < 0 || r > n {
 		return nil, fmt.Errorf("sampling: WOR size %d outside [0,%d]", r, n)
 	}
+	metricRowsDrawn.Add(uint64(r))
 	chosen := make(map[int64]struct{}, r)
 	order := make([]int64, 0, r)
 	for j := n - r; j < n; j++ {
