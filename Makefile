@@ -52,11 +52,14 @@ bench-diff:
 
 # bench-race drives the estimation hot path — pooled codec scratch,
 # parallel page compression, shared arenas — the telemetry instruments,
-# and the stratified adaptive loop (per-stratum resumable streams
-# extending concurrently) under the race detector so a data race in
-# pooling, fan-out, stream extension, or metric updates cannot land
-# silently.
+# the stratified adaptive loop (per-stratum resumable streams extending
+# concurrently), and the serving-path concurrency machinery (snapshot
+# publication racing estimator reads in ConcurrentMixed, the coalescing
+# flight group absorbing a CoalescedStampede) under the race detector so
+# a data race in pooling, fan-out, stream extension, snapshot swap,
+# singleflight hand-off, or metric updates cannot land silently.
 bench-race:
 	$(GO) test -race -bench EstimateSampleSizes -benchtime 1x -run '^$$' .
 	$(GO) test -race -bench ObsOverhead -benchtime 1x -run '^$$' ./internal/obs
 	$(GO) test -race -bench AdaptiveStratifiedZipf -benchtime 1x -run '^$$' ./internal/engine
+	$(GO) test -race -bench 'ConcurrentMixed|CoalescedStampede' -benchtime 1x -run '^$$' ./internal/engine

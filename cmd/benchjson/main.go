@@ -29,6 +29,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 	"slices"
 	"strconv"
 	"strings"
@@ -40,6 +41,11 @@ type result struct {
 	Package    string  `json:"package,omitempty"`
 	Iterations int64   `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
+	// Procs is the GOMAXPROCS the benchmark ran under, parsed from the
+	// "-N" name suffix go test appends (1 when absent). Concurrency
+	// benchmarks mean nothing without it — a regression report comparing a
+	// -cpu 1 run against a -cpu 8 baseline is comparing different machines.
+	Procs int `json:"procs"`
 	// BytesPerOp/AllocsPerOp are present with -benchmem.
 	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
@@ -49,10 +55,15 @@ type result struct {
 
 // document is the full output.
 type document struct {
-	GoOS    string   `json:"goos,omitempty"`
-	GoArch  string   `json:"goarch,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []result `json:"results"`
+	GoOS   string `json:"goos,omitempty"`
+	GoArch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// GoMaxProcs records the recording machine's GOMAXPROCS (benchjson runs
+	// in the same pipeline, on the same box, as the `go test -bench` whose
+	// output it parses), so an archived baseline names the parallelism
+	// environment it was measured in.
+	GoMaxProcs int      `json:"gomaxprocs,omitempty"`
+	Results    []result `json:"results"`
 }
 
 func main() {
@@ -176,7 +187,7 @@ func relDelta(old, new float64) float64 {
 
 // parse consumes go test -bench output line by line.
 func parse(sc *bufio.Scanner) (*document, error) {
-	doc := &document{Results: []result{}}
+	doc := &document{GoMaxProcs: runtime.GOMAXPROCS(0), Results: []result{}}
 	pkg := ""
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -211,7 +222,12 @@ func parseBenchLine(line string) (result, bool) {
 	if err != nil {
 		return result{}, false
 	}
-	r := result{Name: fields[0], Iterations: iters}
+	r := result{Name: fields[0], Iterations: iters, Procs: 1}
+	if m := gomaxprocsSuffix.FindString(fields[0]); m != "" {
+		if p, err := strconv.Atoi(m[1:]); err == nil {
+			r.Procs = p
+		}
+	}
 	// The remainder alternates value, unit.
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)

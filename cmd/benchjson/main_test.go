@@ -100,3 +100,27 @@ func TestParseBenchLine(t *testing.T) {
 		t.Fatalf("package %q", r.Package)
 	}
 }
+
+// TestParseProcs covers the parallelism annotations: the per-result procs
+// parsed from go test's "-N" name suffix (1 when a -cpu 1 run omits it)
+// and the document-level GOMAXPROCS of the recording machine.
+func TestParseProcs(t *testing.T) {
+	doc, err := parse(bufio.NewScanner(strings.NewReader(
+		"BenchmarkA-8  100  250.5 ns/op\n" +
+			"BenchmarkB  100  99.5 ns/op\n" +
+			"BenchmarkC/sub=2-16  100  10.0 ns/op\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("parsed %d results", len(doc.Results))
+	}
+	for i, want := range []int{8, 1, 16} {
+		if got := doc.Results[i].Procs; got != want {
+			t.Errorf("result %d (%s): procs = %d, want %d", i, doc.Results[i].Name, got, want)
+		}
+	}
+	if doc.GoMaxProcs < 1 {
+		t.Errorf("document gomaxprocs = %d, want >= 1", doc.GoMaxProcs)
+	}
+}

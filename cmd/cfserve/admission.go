@@ -1,0 +1,56 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+)
+
+// opsExempt reports whether a path belongs to the operational surface that
+// must keep answering even when the service is saturated: health checks,
+// metric scrapes, stats reads, and profile captures are exactly how an
+// operator diagnoses the overload the limiter is reporting.
+func opsExempt(path string) bool {
+	switch path {
+	case "/healthz", "/metrics", "/stats":
+		return true
+	}
+	return strings.HasPrefix(path, "/debug/pprof")
+}
+
+// admission caps concurrently served non-ops requests at s.maxInflight
+// (0 disables the limiter and returns next unwrapped). Excess requests are
+// rejected immediately with 503 and Retry-After: 1 rather than queued —
+// under estimate stampedes the engine's worker pool is the bottleneck, and
+// queueing in the HTTP layer would only convert overload into unbounded
+// tail latency while holding a goroutine per queued request. The limiter
+// runs inside the observability middleware, so rejected requests still get
+// request IDs, access-log lines, and their samplecf_http_requests_total
+// increment; the rejections themselves are ledgered separately as
+// samplecf_http_rejected_total.
+func (s *server) admission(next http.Handler) http.Handler {
+	if s.maxInflight <= 0 {
+		return next
+	}
+	rejected := s.registry.Counter("samplecf_http_rejected_total",
+		"Requests rejected with 503 by the -max-inflight admission limit.")
+	limit := int64(s.maxInflight)
+	var inflight atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if opsExempt(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if inflight.Add(1) > limit {
+			inflight.Add(-1)
+			rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("at the -max-inflight limit of %d concurrent requests; retry shortly", s.maxInflight))
+			return
+		}
+		defer inflight.Add(-1)
+		next.ServeHTTP(w, r)
+	})
+}

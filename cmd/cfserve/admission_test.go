@@ -1,0 +1,128 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"samplecf/internal/engine"
+	"samplecf/internal/value"
+)
+
+// blockingTable wraps a registered table so the first Row call signals
+// entry and then blocks until released — it keeps one estimate (and so one
+// admission slot) deterministically in flight.
+type blockingTable struct {
+	engine.Table
+	enter   sync.Once
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingTable) Row(i int64) (value.Row, error) {
+	b.enter.Do(func() { close(b.entered) })
+	<-b.release
+	return b.Table.Row(i)
+}
+
+// TestAdmissionLimit drives the -max-inflight limiter end to end: with the
+// single slot held by a blocked estimate, further estimation requests get
+// an immediate 503 with Retry-After and the rejection counter moves, while
+// the ops surface (health, stats, metrics) keeps answering; once the slot
+// frees, requests are admitted again.
+func TestAdmissionLimit(t *testing.T) {
+	eng := engine.New(engine.Config{Workers: 4, CacheEntries: 64})
+	t.Cleanup(eng.Close)
+	srv := newServer(eng)
+	srv.maxInflight = 1
+	spec := demoSpec()
+	spec.N = 2000
+	inner, err := buildTable(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := &blockingTable{Table: inner, entered: make(chan struct{}), release: make(chan struct{})}
+	var once sync.Once
+	open := func() { once.Do(func() { close(gate.release) }) }
+	t.Cleanup(open)
+	if err := srv.register(gate); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	body := `{"table": "demo", "columns": ["region"], "codec": "rle", "fraction": 0.02, "seed": 9}`
+	first := make(chan int, 1)
+	go func() {
+		var est estimateResultJSON
+		first <- postJSON(t, ts.URL+"/estimate", body, &est)
+	}()
+	select {
+	case <-gate.entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("holder request never reached the gated draw")
+	}
+
+	// The slot is held: the next estimation request is turned away at the
+	// door, with the backoff hint and a JSON error body.
+	resp, err := http.Post(ts.URL+"/estimate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rej map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&rej); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated estimate status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+	if rej["error"] == "" {
+		t.Error("503 body carries no error message")
+	}
+	if v, _ := srv.registry.Value("samplecf_http_rejected_total"); v != 1 {
+		t.Errorf("samplecf_http_rejected_total = %v, want 1", v)
+	}
+
+	// The ops surface is exempt: an operator can still see what is wrong.
+	for _, path := range []string{"/healthz", "/stats", "/metrics"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("GET %s while saturated = %d, want 200", path, r.StatusCode)
+		}
+	}
+
+	// Release the holder; its estimate completes and the slot frees.
+	open()
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("holder request status = %d, want 200", code)
+	}
+	var est estimateResultJSON
+	if code := postJSON(t, ts.URL+"/estimate", body, &est); code != http.StatusOK {
+		t.Fatalf("post-release estimate status = %d, want 200", code)
+	}
+}
+
+// TestAdmissionDisabled pins the default: maxInflight 0 leaves the chain
+// unwrapped and nothing is ever rejected.
+func TestAdmissionDisabled(t *testing.T) {
+	ts, srv := newObsTestServer(t)
+	var est estimateResultJSON
+	if code := postJSON(t, ts.URL+"/estimate", obsEstimateBody, &est); code != http.StatusOK {
+		t.Fatalf("estimate status %d", code)
+	}
+	if v, ok := srv.registry.Value("samplecf_http_rejected_total"); ok && v != 0 {
+		t.Errorf("rejected counter = %v on an unlimited server", v)
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -64,15 +65,18 @@ func main() {
 
 func run() error {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "estimation worker goroutines (0 = GOMAXPROCS)")
-		cache     = flag.Int("cache", 1024, "LRU result cache entries (negative disables)")
-		demo      = flag.Bool("demo", false, "preload a demo table named \"demo\"")
-		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
-		maxRows   = flag.Int64("max-rows", defaultMaxTableRows, "per-table row limit for POST /tables")
-		pprofMode = flag.String("pprof", "local", "/debug/pprof/ exposure: local (loopback clients only), all, or off")
-		slowTrace = flag.Duration("slow-trace", time.Second, "dump the span tree of requests at least this slow as trace JSON (0 disables)")
-		logJSON   = flag.Bool("log-json", false, "emit the access log as JSON lines instead of logfmt-style text")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "estimation worker goroutines (0 = GOMAXPROCS)")
+		cache       = flag.Int("cache", 1024, "LRU result cache entries (negative disables)")
+		demo        = flag.Bool("demo", false, "preload a demo table named \"demo\"")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		maxRows     = flag.Int64("max-rows", defaultMaxTableRows, "per-table row limit for POST /tables")
+		maxInflight = flag.Int("max-inflight", 0, "reject non-ops requests beyond this many in flight with 503 (0 = unlimited)")
+		pprofMode   = flag.String("pprof", "local", "/debug/pprof/ exposure: local (loopback clients only), all, or off")
+		mutexFrac   = flag.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex (0 disables; inert with -pprof off)")
+		blockRate   = flag.Int("block-profile-rate", 0, "sample blocking events of at least n ns for /debug/pprof/block (0 disables; inert with -pprof off)")
+		slowTrace   = flag.Duration("slow-trace", time.Second, "dump the span tree of requests at least this slow as trace JSON (0 disables)")
+		logJSON     = flag.Bool("log-json", false, "emit the access log as JSON lines instead of logfmt-style text")
 	)
 	flag.Parse()
 
@@ -81,10 +85,22 @@ func run() error {
 	default:
 		return fmt.Errorf("invalid -pprof %q (want local, all, or off)", *pprofMode)
 	}
+	// Contention profiling piggybacks on the -pprof gate: the runtime
+	// samplers cost a little on every contended lock, so they only arm when
+	// the endpoint that can read them is actually exposed.
+	if *pprofMode != "off" {
+		if *mutexFrac > 0 {
+			runtime.SetMutexProfileFraction(*mutexFrac)
+		}
+		if *blockRate > 0 {
+			runtime.SetBlockProfileRate(*blockRate)
+		}
+	}
 	eng := engine.New(engine.Config{Workers: *workers, CacheEntries: *cache})
 	defer eng.Close()
 	srv := newServer(eng)
 	srv.pprofMode = *pprofMode
+	srv.maxInflight = *maxInflight
 	srv.slowTrace = *slowTrace
 	if *logJSON {
 		srv.logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))

@@ -267,7 +267,7 @@ func TestStatsShimFieldNames(t *testing.T) {
 	want := []string{
 		"cache_hits", "cache_misses", "cache_evictions", "cache_entries",
 		"samples_drawn", "samples_shared", "maintained_hits", "maintained_stale",
-		"indexes_prepared", "evaluated", "precision_hits",
+		"indexes_prepared", "evaluated", "precision_hits", "coalesced_waits",
 		"shard_scatters", "shard_cache_hits", "shard_cache_misses",
 		"stratified_estimates", "strata_directory_builds",
 		"adaptive_rounds", "adaptive_rows", "prepare_nanos", "sort_rows",

@@ -57,6 +57,11 @@ type server struct {
 	// defaultMaxTableRows; the -max-rows flag overrides).
 	maxTableRows int64
 
+	// maxInflight caps concurrently served non-ops requests; excess
+	// requests get an immediate 503 with Retry-After (0 = unlimited; the
+	// -max-inflight flag sets it). See admission.go.
+	maxInflight int
+
 	// pprofMode gates /debug/pprof/: "local" (default) serves profiles to
 	// loopback clients only, "all" to anyone, "off" not at all.
 	pprofMode string
@@ -120,7 +125,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /whatif", s.handleWhatIf)
 	mux.HandleFunc("POST /advise", s.handleAdvise)
 	s.mountPprof(mux)
-	return s.middleware(mux)
+	return s.middleware(s.admission(mux))
 }
 
 // mountPprof exposes the runtime profiler under /debug/pprof/ so hot-path
@@ -317,6 +322,7 @@ var statsFields = []struct {
 	{"indexes_prepared", engine.MetricIndexesPrepared},
 	{"evaluated", engine.MetricEvaluated},
 	{"precision_hits", engine.MetricPrecisionHits},
+	{"coalesced_waits", engine.MetricCoalescedWaits},
 	{"shard_scatters", engine.MetricShardScatters},
 	{"shard_cache_hits", engine.MetricShardHits},
 	{"shard_cache_misses", engine.MetricShardMisses},

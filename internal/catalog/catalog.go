@@ -106,6 +106,28 @@ type SampleProvider interface {
 	MaintainedSample(min int64) (Sample, bool)
 }
 
+// SnapshotProvider is the optional lock-free-read capability: tables that
+// publish copy-on-write row snapshots (an immutable arena view swapped in
+// atomically on every mutation) hand readers a pinned, scan-stable view of
+// their rows for the cost of one atomic pointer load. The returned source
+// satisfies sampling.StableRowSource — its row set is frozen no matter
+// what writers commit afterwards — so consumers that need whole-scan
+// consistency (sample draws, TrueCF's parallel arena fill) can run against
+// a live mutating table without holding its lock.
+//
+// Epoch-keyed caching is what makes the pinned view composable: the
+// returned epoch is the table epoch the snapshot was published at, and a
+// consumer that keys its derived state at that epoch gets exactly the
+// invalidation contract documented above — if the table moved on, the
+// epochs differ and the derived state misses naturally.
+type SnapshotProvider interface {
+	// SnapshotRows returns the current pinned row view and the epoch it
+	// was published at. Implementations may rebuild lazily (after a
+	// delete, say), so an error is possible; callers fall back to the
+	// table's locked access paths.
+	SnapshotRows() (sampling.StableRowSource, uint64, error)
+}
+
 // IndexBoundaryProvider is the optional index-assisted stratification
 // capability: tables that maintain an ordered index over some key columns
 // can cut the key domain into near-equal-count ranges from a walk of the

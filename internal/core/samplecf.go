@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"samplecf/internal/btree"
+	"samplecf/internal/catalog"
 	"samplecf/internal/compress"
 	"samplecf/internal/distinct"
 	"samplecf/internal/heap"
@@ -578,14 +579,15 @@ const trueCFShardRows = 16384
 //
 // The computation is sharded across the same bounded worker group as the
 // rest of the hot path (≤ min(GOMAXPROCS, workgroup.MaxWorkers)): sources
-// that opt into whole-scan stability (sampling.StableRowSource — frozen
-// rows and concurrency-safe Row, as materialized and virtual workload
-// tables are; live db tables stay on the sequential lock-holding Scan)
-// have their scan+encode partitioned into contiguous row ranges filled in
-// parallel, the key sort partitions into leading-byte buckets sorted and
-// profiled independently (internal/sortkeys), and page compression fans out
-// per page (compress.MeasureArena). Every partition is order-preserving, so
-// the result is byte-identical to the sequential scan→sort→measure.
+// that offer whole-scan stability — directly via sampling.StableRowSource
+// (frozen rows and concurrency-safe Row, as materialized and virtual
+// workload tables are) or indirectly via catalog.SnapshotProvider (a live
+// db table's pinned copy-on-write snapshot) — have their scan+encode
+// partitioned into contiguous row ranges filled in parallel, the key sort
+// partitions into leading-byte buckets sorted and profiled independently
+// (internal/sortkeys), and page compression fans out per page
+// (compress.MeasureArena). Every partition is order-preserving, so the
+// result is byte-identical to the sequential scan→sort→measure.
 func TrueCF(src RowScanner, keyCols []string, codec compress.Codec, pageSize int) (compress.Result, error) {
 	return trueCF(src, keyCols, codec, pageSize, 0)
 }
@@ -631,19 +633,31 @@ func trueCF(src RowScanner, keyCols []string, codec compress.Codec, pageSize, wo
 }
 
 // scanIntoArena fills ar with the key projection of every row of src, row i
-// of the table at arena slot i. Sources marked scan-stable shard the scan
-// across the worker group — the arena is pre-grown and each worker encodes
-// a contiguous row range into its disjoint slots, preserving scan order
-// exactly — with a sequential Scan fallback for everything else. The gate
-// is sampling.StableRowSource, not bare Row access: a mutable table's Row
-// can be individually lock-safe while writers commit between calls, and
-// only the lock-holding Scan gives such sources a consistent snapshot.
+// of the table at arena slot i. Sources with a scan-stable view shard the
+// scan across the worker group — the arena is pre-grown and each worker
+// encodes a contiguous row range into its disjoint slots, preserving scan
+// order exactly — with a sequential Scan fallback for everything else. The
+// gate is whole-scan stability, not bare Row access: a mutable table's Row
+// can be individually lock-safe while writers commit between calls. Two
+// routes qualify: the source itself is a sampling.StableRowSource (frozen
+// workload/virtual tables), or it publishes copy-on-write snapshots
+// (catalog.SnapshotProvider) — then the pinned snapshot is the stable view
+// and the scan runs against it without ever touching the table's lock. A
+// snapshot that disagrees with the row count the arena was sized for means
+// a mutation slipped between the two reads; those fall back to Scan.
 func scanIntoArena(src RowScanner, ar *value.RecordArena, project []int, workers int) error {
 	n := int(src.NumRows())
 	if ss, ok := src.(ShardScanner); ok && workers > 1 && ss.NumShards() > 1 {
 		return scanShardsIntoArena(ss, ar, project, workers)
 	}
 	rs, ok := src.(sampling.StableRowSource)
+	if !ok && workers > 1 {
+		if sp, sok := src.(catalog.SnapshotProvider); sok {
+			if view, _, err := sp.SnapshotRows(); err == nil && view.NumRows() == int64(n) {
+				rs, ok = view, true
+			}
+		}
+	}
 	if !ok || workers <= 1 {
 		krow := make(value.Row, len(project))
 		return src.Scan(func(_ int64, row value.Row) error {

@@ -53,11 +53,21 @@ func WithSampleTarget(rows int) Option {
 	return func(d *Database) { d.sampleTarget = rows }
 }
 
+// WithSnapshots toggles copy-on-write row snapshots for tables created
+// afterwards (default on). Disabling keeps the RWMutex-era read paths —
+// lock-holding Scan, row-directory Row — and exists for the baseline arm
+// of concurrency benchmarks and for workloads that cannot afford the
+// mirror's memory (one extra encoded copy of each table).
+func WithSnapshots(enabled bool) Option {
+	return func(d *Database) { d.snapshots = enabled }
+}
+
 // Database is a named collection of tables.
 type Database struct {
 	mu           sync.RWMutex
 	pageSize     int
 	sampleTarget int
+	snapshots    bool
 	tables       map[string]*Table
 	sharded      map[string]*ShardedTable
 }
@@ -70,6 +80,7 @@ func New(pageSize int, opts ...Option) *Database {
 	d := &Database{
 		pageSize:     pageSize,
 		sampleTarget: DefaultSampleTarget,
+		snapshots:    true,
 		tables:       make(map[string]*Table),
 		sharded:      make(map[string]*ShardedTable),
 	}
@@ -94,6 +105,14 @@ func (d *Database) newTable(name string, schema *value.Schema) (*Table, error) {
 		schema:  schema,
 		file:    file,
 		indexes: make(map[string]*Index),
+	}
+	if d.snapshots {
+		// Start the mirror empty and publish the empty view at epoch 0, so
+		// the append-only path tracks from the very first insert with no
+		// rebuild ever needed until the first delete.
+		t.snapshot.enabled = true
+		t.snapshot.live = value.NewRecordArena(schema, 0)
+		t.publishSnapshotLocked(t.Epoch())
 	}
 	if d.sampleTarget > 0 {
 		t.sampleSeed = t.InstanceID() * 0x9e3779b97f4a7c15
@@ -169,6 +188,7 @@ func (t *Table) markDropped() {
 	t.mu.Lock()
 	t.dropped = true
 	t.rowDir = nil
+	t.invalidateSnapshotLocked()
 	t.mu.Unlock()
 	t.Bump() // stale any epoch-keyed derived state immediately
 }
@@ -205,8 +225,14 @@ type Table struct {
 	dropped bool
 	indexes map[string]*Index
 	// rowDir caches the RID directory for random-access sampling; nil
-	// when stale (any mutation invalidates it).
+	// when stale (any mutation invalidates it). Only the WithSnapshots(false)
+	// baseline uses it — snapshot-enabled tables serve Row from the
+	// published snapshot without locks.
 	rowDir *heap.RowDir
+
+	// snapshot is the copy-on-write read view (see snapshot.go): a
+	// writer-private mirror arena plus the atomically published Snapshot.
+	snapshot snapshotState
 
 	// sample is the maintained backing sample fed by Insert/Delete; nil
 	// when the database disables maintained samples.
@@ -219,6 +245,8 @@ var _ catalog.Table = (*Table)(nil)
 var _ catalog.SampleProvider = (*Table)(nil)
 var _ catalog.PageProvider = (*Table)(nil)
 var _ catalog.IndexBoundaryProvider = (*Table)(nil)
+var _ catalog.SnapshotProvider = (*Table)(nil)
+var _ sampling.StableRowSource = (*Snapshot)(nil)
 
 // Name implements catalog.Table.
 func (t *Table) Name() string { return t.name }
@@ -226,8 +254,14 @@ func (t *Table) Name() string { return t.name }
 // Schema implements catalog.Table.
 func (t *Table) Schema() *value.Schema { return t.schema }
 
-// NumRows implements catalog.Table.
+// NumRows implements catalog.Table. With snapshots enabled the count comes
+// from the published view — one atomic load, no lock. A non-nil published
+// snapshot is always current: every mutation either publishes a successor
+// or nils the pointer before releasing the write lock.
 func (t *Table) NumRows() int64 {
+	if s := t.snapshot.snap.Load(); s != nil {
+		return s.NumRows()
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.file.NumRows()
@@ -253,8 +287,31 @@ func (t *Table) Insert(row value.Row) (heap.RID, error) {
 	}
 	// Storage changed: the epoch must bump on every exit from here on,
 	// including index-maintenance failures, or stale estimates would keep
-	// serving at the old epoch.
-	defer t.Bump()
+	// serving at the old epoch. On the success path the same deferred hook
+	// extends the snapshot mirror and publishes the new view at the
+	// post-mutation epoch — heap appends always land on the tail page, so
+	// appending to the mirror preserves heap scan order. On any failure the
+	// mirror is dropped instead: derived state may be half-updated, and a
+	// lazy rebuild is cheaper than reasoning about partial maintenance.
+	ok := false
+	defer func() {
+		epoch := t.Bump()
+		if !t.snapshot.enabled {
+			return
+		}
+		if !ok || t.snapshot.live == nil {
+			// Failure, or the mirror was already dropped by an earlier
+			// delete; the next Snapshot() call rebuilds with one scan.
+			t.invalidateSnapshotLocked()
+			return
+		}
+		if err := t.snapshot.live.Append(row); err != nil {
+			t.invalidateSnapshotLocked()
+			return
+		}
+		t.snapshot.liveRIDs = append(t.snapshot.liveRIDs, ridKey(rid))
+		t.publishSnapshotLocked(epoch)
+	}()
 	t.rowDir = nil
 	if t.sample != nil {
 		// The backing sample encodes the row into its own arena; no clone.
@@ -267,6 +324,7 @@ func (t *Table) Insert(row value.Row) (heap.RID, error) {
 			return heap.RID{}, fmt.Errorf("db: maintain index %s: %w", ix.name, err)
 		}
 	}
+	ok = true
 	return rid, nil
 }
 
@@ -291,8 +349,13 @@ func (t *Table) deleteLocked(rid heap.RID) error {
 		return err
 	}
 	// Storage changed: the epoch must bump on every exit from here on,
-	// including index-maintenance failures.
-	defer t.Bump()
+	// including index-maintenance failures. Deletes shrink the heap in
+	// place, so the append-only mirror cannot track them — drop it and let
+	// the next snapshot request rebuild.
+	defer func() {
+		t.Bump()
+		t.invalidateSnapshotLocked()
+	}()
 	t.rowDir = nil
 	if t.sample != nil {
 		t.sample.Delete(ridKey(rid))
@@ -315,9 +378,14 @@ func (t *Table) Get(rid heap.RID) (value.Row, error) {
 	return t.file.Get(rid)
 }
 
-// Scan iterates all rows (core.RowScanner / workload.Scanner shape). The
-// table is read-locked for the duration of the scan.
+// Scan iterates all rows (core.RowScanner / workload.Scanner shape). With
+// a published snapshot the scan runs lock-free against the immutable view
+// (same rows, same order as the heap walk); otherwise the table is
+// read-locked for the duration of the scan.
 func (t *Table) Scan(fn func(i int64, row value.Row) error) error {
+	if s := t.snapshot.snap.Load(); s != nil {
+		return s.Scan(fn)
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if t.dropped {
@@ -331,10 +399,16 @@ func (t *Table) Scan(fn func(i int64, row value.Row) error) error {
 	})
 }
 
-// Row implements catalog.Table: uniform random access for sampling. The
-// first call after a mutation rebuilds the RID directory with one scan;
-// subsequent calls are a directory lookup plus one page read.
+// Row implements catalog.Table: uniform random access for sampling. With a
+// published snapshot the lookup is one atomic load plus an arena decode —
+// no lock, and inserts never stall behind it. When the snapshot is missing
+// (disabled, or dropped by a delete) the first call rebuilds the relevant
+// directory with one scan under the write lock; subsequent calls are a
+// lookup.
 func (t *Table) Row(i int64) (value.Row, error) {
+	if s := t.snapshot.snap.Load(); s != nil {
+		return s.Row(i)
+	}
 	t.mu.RLock()
 	if t.dropped {
 		t.mu.RUnlock()
@@ -350,6 +424,16 @@ func (t *Table) Row(i int64) (value.Row, error) {
 	defer t.mu.Unlock()
 	if t.dropped {
 		return nil, ErrTableDropped
+	}
+	if t.snapshot.enabled {
+		// Rebuild the snapshot rather than the RID directory: the same
+		// O(n) scan yields an artifact every later reader uses lock-free.
+		if s := t.snapshot.snap.Load(); s == nil {
+			if err := t.rebuildSnapshotLocked(); err != nil {
+				return nil, err
+			}
+		}
+		return t.snapshot.snap.Load().Row(i)
 	}
 	if t.rowDir == nil {
 		dir, err := heap.NewRowDir(t.file)
@@ -439,11 +523,25 @@ func (t *Table) MaintainedSample(min int64) (catalog.Sample, bool) {
 	return catalog.Sample{Arena: ar, Epoch: epoch}, true
 }
 
-// rebuildSampleLocked refills the backing sample with one heap scan. The
-// caller holds the write lock.
+// rebuildSampleLocked refills the backing sample. With a current snapshot
+// the rows come from its arena (decodes, no page walk) in the same order
+// with the same storage keys the heap scan would produce, so the refilled
+// reservoir is identical either way. The caller holds the write lock.
 func (t *Table) rebuildSampleLocked() error {
 	t.sampleRebuilds++
 	t.sample.Reset(t.sampleSeed + t.sampleRebuilds)
+	if s := t.snapshot.snap.Load(); s != nil {
+		for i := 0; i < s.ar.Len(); i++ {
+			row, err := s.ar.Row(i)
+			if err != nil {
+				return err
+			}
+			if err := t.sample.Insert(s.rids[i], row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	return t.file.Scan(func(rid heap.RID, row value.Row) error {
 		return t.sample.Insert(ridKey(rid), row)
 	})

@@ -68,9 +68,11 @@ func (s ShardSpec) validate(schema *value.Schema) (pos int, typ value.Type, err 
 }
 
 // ShardedTable partitions a logical table across Shards independent heap
-// tables. Each shard owns its storage, lock, maintained sample, and version
-// epoch, so a mutation bumps only the touched shard: derived state keyed on
-// the other shards' epochs stays valid. The logical table's own Epoch is
+// tables. Each shard owns its storage, lock, maintained sample, version
+// epoch, and (when the database enables snapshots) its own copy-on-write
+// row snapshot, so a mutation bumps only the touched shard: derived state
+// keyed on the other shards' epochs stays valid, and readers of the other
+// shards keep their lock-free views. The logical table's own Epoch is
 // the sum of shard epochs — monotone, since shard epochs only grow — and
 // EpochVector exposes the per-shard epochs for vector-keyed caches
 // (catalog.Sharded).

@@ -24,7 +24,16 @@
 //   - a maintained-sample fast path — tables that keep a backing sample
 //     (catalog.SampleProvider, e.g. live db tables) serve estimation
 //     samples from memory when the snapshot matches the request's epoch,
-//     skipping the O(r) storage draw entirely.
+//     skipping the O(r) storage draw entirely;
+//   - cross-request coalescing — concurrent identical cache misses from
+//     different batches collapse into one in-flight computation whose
+//     result fans out to every waiter (flight.go), with per-waiter
+//     cancellation that never aborts the shared work while a waiter
+//     remains;
+//   - snapshot-pinned draws — fresh draws against tables that publish
+//     copy-on-write snapshots (catalog.SnapshotProvider) read a pinned
+//     immutable view, so sampling a live table holds no lock and never
+//     stalls its writers.
 //
 // Batches take a context: items not yet started when the deadline expires
 // fail with the context error, while every other item completes normally —
@@ -154,6 +163,9 @@ type Result struct {
 	// SharedSample reports the estimate reused a sample drawn for another
 	// candidate in the same batch.
 	SharedSample bool
+	// Coalesced reports the estimate was computed by a concurrent identical
+	// request (possibly from another batch) and fanned out to this one.
+	Coalesced bool
 
 	// Adaptive-request outcome (zero for fixed-r requests): AchievedError
 	// is the final CI half-width at the requested confidence, Rounds the
@@ -201,6 +213,10 @@ type Stats struct {
 	// adaptive; cache hits excluded); StrataDirBuilds counts strata-directory
 	// builds — the O(n) stratify scans the directory cache did not absorb.
 	StratifiedEstimates, StrataDirBuilds uint64
+	// CoalescedWaits counts results served by waiting on a concurrent
+	// identical request's in-flight computation (flight.go) instead of
+	// computing — the cross-request sharing the per-batch groups cannot see.
+	CoalescedWaits uint64
 	// CacheEntries is the current LRU size; PrecisionEntries the current
 	// precision-cache size.
 	CacheEntries     int
@@ -214,6 +230,7 @@ type Engine struct {
 	cache      *lruCache
 	precision  *precisionCache
 	strataDirs *strataCache
+	flights    flightGroup
 	registry   *obs.Registry
 
 	jobs chan func()
@@ -300,6 +317,7 @@ func (e *Engine) Stats() Stats {
 		ShardCacheMisses:    e.shardMisses.Value(),
 		StratifiedEstimates: e.stratified.Value(),
 		StrataDirBuilds:     e.strataDirBuilds.Value(),
+		CoalescedWaits:      e.coalescedWaits.Value(),
 		CacheEntries:        e.cache.Len(),
 		PrecisionEntries:    e.precision.Len(),
 	}
@@ -631,10 +649,25 @@ func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
 	return results
 }
 
-// evaluate runs one batch item on a pool worker: draw (or reuse) the
-// group's sample, build (or reuse) the sorted index, compress with the
-// item's codec, and cache the result.
+// evaluate runs one batch item on a pool worker, coalescing identical
+// concurrent misses across batches: items with a coalescing key run
+// through the flight group (flight.go), which either leads the computation
+// or waits on another request's in-flight one. Scattered items (nil key)
+// evaluate directly — their per-shard cache handles cross-request reuse.
 func (e *Engine) evaluate(ctx context.Context, it *batchItem) Result {
+	if err := ctx.Err(); err != nil {
+		return Result{Err: fmt.Errorf("engine: request %d not started: %w", it.idx, err)}
+	}
+	if key := flightKey(it); key != nil {
+		return e.coalesce(ctx, key, it)
+	}
+	return e.evaluateMiss(ctx, it)
+}
+
+// evaluateMiss computes one batch item: draw (or reuse) the group's
+// sample, build (or reuse) the sorted index, compress with the item's
+// codec, and cache the result.
+func (e *Engine) evaluateMiss(ctx context.Context, it *batchItem) Result {
 	if err := ctx.Err(); err != nil {
 		return Result{Err: fmt.Errorf("engine: request %d not started: %w", it.idx, err)}
 	}
@@ -707,7 +740,9 @@ func (e *Engine) evaluate(ctx context.Context, it *batchItem) Result {
 // snapshot is already arena-encoded the subsample is a pure byte-range
 // gather. Any mismatch — no provider support, fewer than r maintained
 // rows, or a snapshot at a different epoch than the request was keyed at —
-// falls back to a fresh uniform-WR draw encoded straight into the arena.
+// falls back to a fresh uniform-WR draw encoded straight into the arena,
+// pinned to the table's copy-on-write snapshot when one is published at
+// the group's epoch (lock-free, and every Row call sees the same rows).
 func (e *Engine) drawSample(sg *sampleGroup) {
 	ar := value.NewRecordArena(sg.table.Schema(), int(sg.r))
 	if sp, ok := sg.table.(catalog.SampleProvider); ok && !sg.fresh {
@@ -723,7 +758,37 @@ func (e *Engine) drawSample(sg *sampleGroup) {
 		e.maintainedStale.Add(1)
 	}
 	e.samplesDrawn.Add(1)
-	sg.ar, sg.err = ar, sampling.UniformWRInto(sg.table, sg.r, rng.New(sg.seed), ar)
+	sg.ar, sg.err = ar, sampling.UniformWRInto(pinnedSourceAt(sg.table, sg.epoch), sg.r, rng.New(sg.seed), ar)
+}
+
+// pinnedSourceAt returns the table's published copy-on-write snapshot when
+// one exists at exactly epoch — the epoch the request was keyed at — so a
+// multi-call draw reads one consistent row set without the table's lock
+// and stays byte-identical to the Row path it replaces. Any mismatch
+// (no snapshot support, rebuild error, or a snapshot published at another
+// epoch) returns the table itself: the draw then goes through Table.Row,
+// exactly the pre-snapshot behavior.
+func pinnedSourceAt(t Table, epoch uint64) sampling.RowSource {
+	if sp, ok := t.(catalog.SnapshotProvider); ok {
+		if view, ve, err := sp.SnapshotRows(); err == nil && ve == epoch {
+			return view
+		}
+	}
+	return t
+}
+
+// pinnedSource is pinnedSourceAt without the epoch gate: adaptive
+// extension rounds sample the table's current state (the pre-snapshot
+// behavior already allowed rows to change between rounds), so any
+// published snapshot qualifies — the win is that the whole round reads
+// one consistent row set, lock-free.
+func pinnedSource(t Table) sampling.RowSource {
+	if sp, ok := t.(catalog.SnapshotProvider); ok {
+		if view, _, err := sp.SnapshotRows(); err == nil {
+			return view
+		}
+	}
+	return t
 }
 
 // zFor converts a confidence level into the normal z multiplier, applying
@@ -907,18 +972,20 @@ func (e *Engine) drawAdaptiveRound0(req Request, epoch uint64, r0 int64, g *roun
 	}
 	e.samplesDrawn.Add(1)
 	full := value.NewRecordArena(req.Table.Schema(), int(r0))
-	if err := sampling.ExtendWRInto(req.Table, full, r0, req.Seed, 0); err != nil {
+	if err := sampling.ExtendWRInto(pinnedSourceAt(req.Table, epoch), full, r0, req.Seed, 0); err != nil {
 		g.err = err
 		return
 	}
 	g.full = full
 }
 
-// freshExtend returns the resumable fresh-draw extension for a request.
+// freshExtend returns the resumable fresh-draw extension for a request;
+// each round draws against the table's pinned snapshot when one is
+// published.
 func (e *Engine) freshExtend(req Request) core.ExtendFunc {
 	return func(round int, rows int64) (*value.RecordArena, error) {
 		full := value.NewRecordArena(req.Table.Schema(), int(rows))
-		if err := sampling.ExtendWRInto(req.Table, full, rows, req.Seed, round); err != nil {
+		if err := sampling.ExtendWRInto(pinnedSource(req.Table), full, rows, req.Seed, round); err != nil {
 			return nil, err
 		}
 		return core.ProjectSample(full, req.KeyColumns)
@@ -932,7 +999,7 @@ func (e *Engine) freshAdaptive(ctx context.Context, req Request, opts core.Optio
 		return core.AdaptiveResult{}, err
 	}
 	full := value.NewRecordArena(req.Table.Schema(), int(r0))
-	if err := sampling.ExtendWRInto(req.Table, full, r0, req.Seed, 0); err != nil {
+	if err := sampling.ExtendWRInto(pinnedSource(req.Table), full, r0, req.Seed, 0); err != nil {
 		return core.AdaptiveResult{}, err
 	}
 	return e.adaptiveLoop(ctx, req, opts, target, full, e.freshExtend(req))

@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"samplecf/internal/catalog"
+	"samplecf/internal/value"
+)
+
+// TestFlightStampede sends K identical single-request batches concurrently
+// and checks the stampede collapses: exactly one physical sample draw,
+// exactly one computation, and every caller gets the same estimate.
+func TestFlightStampede(t *testing.T) {
+	tab := testTable(t, "stampede", 3000, 11)
+	e := New(Config{Workers: 4})
+	defer e.Close()
+
+	const K = 8
+	req := Request{Table: tab, KeyColumns: []string{"a"}, Codec: codec(t, "nullsuppression"), Fraction: 0.1, Seed: 21}
+	results := make([]Result, K)
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = e.Estimate(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+
+	computed := 0
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("caller %d: %v", i, r.Err)
+		}
+		if r.Estimate.CF != results[0].Estimate.CF ||
+			r.Estimate.SampleRows != results[0].Estimate.SampleRows ||
+			r.Estimate.Result.CompressedBytes != results[0].Estimate.Result.CompressedBytes {
+			t.Errorf("caller %d: estimate diverged: %+v vs %+v", i, r.Estimate, results[0].Estimate)
+		}
+		if !r.CacheHit && !r.Coalesced {
+			computed++
+		}
+	}
+	if computed != 1 {
+		t.Errorf("%d callers computed, want exactly 1 (rest coalesced or cache-hit)", computed)
+	}
+	if st := e.Stats(); st.SamplesDrawn != 1 {
+		t.Errorf("SamplesDrawn = %d, want 1", st.SamplesDrawn)
+	}
+}
+
+// TestFlightAdaptiveStampede is the stampede test for precision-targeted
+// requests: identical adaptive asks from concurrent batches share one
+// loop through the adaptive flight key space.
+func TestFlightAdaptiveStampede(t *testing.T) {
+	tab := testTable(t, "stampede-adaptive", 3000, 13)
+	e := New(Config{Workers: 4})
+	defer e.Close()
+
+	const K = 6
+	req := Request{
+		Table: tab, KeyColumns: []string{"a"}, Codec: codec(t, "nullsuppression"),
+		Seed: 5, TargetError: 0.05,
+	}
+	results := make([]Result, K)
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = e.Estimate(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+
+	computed := 0
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("caller %d: %v", i, r.Err)
+		}
+		if r.Estimate.CF != results[0].Estimate.CF {
+			t.Errorf("caller %d: CF %v != %v", i, r.Estimate.CF, results[0].Estimate.CF)
+		}
+		if !r.Converged {
+			t.Errorf("caller %d: not converged", i)
+		}
+		if !r.CacheHit && !r.Coalesced {
+			computed++
+		}
+	}
+	if computed != 1 {
+		t.Errorf("%d callers ran the adaptive loop, want exactly 1", computed)
+	}
+	if st := e.Stats(); st.Evaluated != 1 {
+		t.Errorf("Evaluated = %d, want 1 (one shared loop)", st.Evaluated)
+	}
+}
+
+// gateTable wraps a table so the first Row call signals entry and then
+// blocks until released — it holds a flight open while the test arranges
+// waiters around it.
+type gateTable struct {
+	catalog.Table
+	enter   sync.Once
+	entered chan struct{}
+	hold    chan struct{}
+}
+
+func newGateTable(inner catalog.Table) *gateTable {
+	return &gateTable{Table: inner, entered: make(chan struct{}), hold: make(chan struct{})}
+}
+
+func (g *gateTable) Row(i int64) (value.Row, error) {
+	g.enter.Do(func() { close(g.entered) })
+	<-g.hold
+	return g.Table.Row(i)
+}
+
+// TestFlightWaiterCancel pins the cancellation contract: with a leader and
+// two waiters on one flight, cancelling one waiter returns its context
+// error immediately but neither aborts the shared computation nor poisons
+// the surviving waiter, and the whole flight still cost one draw.
+func TestFlightWaiterCancel(t *testing.T) {
+	gate := newGateTable(testTable(t, "gated", 2000, 17))
+	e := New(Config{Workers: 4})
+	defer e.Close()
+
+	req := Request{Table: gate, KeyColumns: []string{"a"}, Codec: codec(t, "nullsuppression"), Fraction: 0.05, Seed: 3}
+
+	var leaderRes, survivorRes Result
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leaderRes = e.Estimate(context.Background(), req)
+	}()
+	select {
+	case <-gate.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader never reached the gated draw")
+	}
+
+	cancelCtx, cancel := context.WithCancel(context.Background())
+	cancelled := make(chan Result, 1)
+	go func() { cancelled <- e.Estimate(cancelCtx, req) }()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		survivorRes = e.Estimate(context.Background(), req)
+	}()
+
+	// Wait until both extra parties have joined the leader's flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		e.flights.mu.Lock()
+		refs := 0
+		for _, f := range e.flights.m {
+			f.mu.Lock()
+			refs = f.refs
+			f.mu.Unlock()
+		}
+		e.flights.mu.Unlock()
+		if refs >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flight refs = %d, want 3", refs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case r := <-cancelled:
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("cancelled waiter got %+v, want context.Canceled", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter did not return")
+	}
+
+	close(gate.hold)
+	wg.Wait()
+
+	if leaderRes.Err != nil {
+		t.Fatalf("leader: %v", leaderRes.Err)
+	}
+	if survivorRes.Err != nil {
+		t.Fatalf("surviving waiter: %v", survivorRes.Err)
+	}
+	if !survivorRes.Coalesced {
+		t.Error("surviving waiter result not marked Coalesced")
+	}
+	if survivorRes.Estimate.CF != leaderRes.Estimate.CF {
+		t.Errorf("survivor CF %v != leader CF %v", survivorRes.Estimate.CF, leaderRes.Estimate.CF)
+	}
+	st := e.Stats()
+	if st.SamplesDrawn != 1 {
+		t.Errorf("SamplesDrawn = %d, want 1", st.SamplesDrawn)
+	}
+	if st.CoalescedWaits != 1 {
+		t.Errorf("CoalescedWaits = %d, want 1 (the survivor)", st.CoalescedWaits)
+	}
+}

@@ -40,6 +40,7 @@ type metrics struct {
 	shardMisses     *obs.Counter
 	stratified      *obs.Counter
 	strataDirBuilds *obs.Counter
+	coalescedWaits  *obs.Counter
 
 	// strataRows ledgers rows drawn per stratum arm (label: the arm's index
 	// among its table's non-empty strata) — the skew of this vec is Neyman
@@ -89,6 +90,7 @@ const (
 	MetricShardMisses      = "samplecf_engine_shard_cache_misses_total"
 	MetricStratified       = "samplecf_engine_stratified_estimates_total"
 	MetricStrataDirBuilds  = "samplecf_engine_strata_directory_builds_total"
+	MetricCoalescedWaits   = "samplecf_engine_coalesced_waits_total"
 	MetricStrataRows       = "samplecf_engine_strata_rows_total"
 	MetricStrataCount      = "samplecf_engine_strata_count"
 	MetricScatterFanout    = "samplecf_engine_scatter_fanout_seconds"
@@ -123,6 +125,7 @@ func newMetrics(r *obs.Registry) metrics {
 		shardMisses:     r.Counter(MetricShardMisses, "Per-shard result-cache misses within scattered requests."),
 		stratified:      r.Counter(MetricStratified, "Stratified estimates computed, fixed and adaptive (cache hits excluded)."),
 		strataDirBuilds: r.Counter(MetricStrataDirBuilds, "Strata-directory builds (stratify scans the directory cache did not absorb)."),
+		coalescedWaits:  r.Counter(MetricCoalescedWaits, "Results served by waiting on a concurrent identical request's in-flight computation."),
 		strataRows:      r.CounterVec(MetricStrataRows, "Rows drawn per stratum arm by stratified estimates.", "stratum"),
 		strataCountHist: r.Histogram(MetricStrataCount, "Arms per stratified estimate (a count, not a duration)."),
 

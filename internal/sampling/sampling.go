@@ -36,11 +36,13 @@ type RowSource interface {
 // change between two calls, so a multi-goroutine sweep over [0, NumRows())
 // observes one consistent table state. Materialized workload tables (rows
 // mutate only through explicit re-layout calls the owner serializes around
-// readers) and virtual tables (pure functions of the row index) qualify;
-// live db tables do NOT — their Row is individually lock-safe but writers
-// may commit between calls, so whole-scan consistency there requires the
-// lock-holding Scan. Sharded full-table reads (core.TrueCF) parallelize
-// only over sources that opt in via this marker.
+// readers) and virtual tables (pure functions of the row index) qualify
+// directly. Live db tables qualify indirectly: the table handle itself is
+// mutable, but its published copy-on-write snapshot
+// (catalog.SnapshotProvider) is an immutable view that satisfies this
+// interface — readers pin the snapshot and writers commit past it. Sharded
+// full-table reads (core.TrueCF) parallelize only over sources that opt in
+// via this marker.
 type StableRowSource interface {
 	RowSource
 	// StableRows is a marker; it performs no work.

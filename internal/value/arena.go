@@ -213,6 +213,26 @@ func (a *RecordArena) Row(i int) (Row, error) {
 	return DecodeRecord(a.schema, a.Rec(i))
 }
 
+// Freeze returns an immutable snapshot header over the arena's current
+// rows in O(1): the snapshot shares the backing buffers with a, capped at
+// today's length. The contract that makes this safe for concurrent readers
+// is append-only growth — the owner may keep Appending to a (writes land
+// past the frozen length, or reallocate both buffers entirely) but must
+// never SetRow/MoveRow/Truncate/Reset rows the snapshot covers, because
+// those mutate the shared prefix in place. Capacity is clamped to length
+// (three-index slices), so even an accidental append through the snapshot
+// copies instead of clobbering the owner's bytes.
+func (a *RecordArena) Freeze() *RecordArena {
+	return &RecordArena{
+		schema:  a.schema,
+		w:       a.w,
+		intOffs: a.intOffs,
+		recs:    a.recs[:len(a.recs):len(a.recs)],
+		keys:    a.keys[:len(a.keys):len(a.keys)],
+		n:       a.n,
+	}
+}
+
 // Clone returns a deep copy of the arena.
 func (a *RecordArena) Clone() *RecordArena {
 	out := &RecordArena{
