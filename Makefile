@@ -30,11 +30,12 @@ BENCHTIME ?= 1s
 # rows-sampled-for-equal-accuracy comparison (rows/est + err_pts custom
 # metrics), BenchmarkAdaptiveStratifiedZipf's uniform-vs-stratified
 # rows-to-±2% pairs on zipf keys, the sort subsystem (BenchmarkPrepareSort's radix-vs-stdsort
-# pairs, BenchmarkTrueCFParallel's worker sweep), and the telemetry layer
-# (BenchmarkObsOverhead's instrumented-vs-noop cost per metric update) —
-# as a machine-readable artifact.
+# pairs, BenchmarkTrueCFParallel's worker sweep), the telemetry layer
+# (BenchmarkObsOverhead's instrumented-vs-noop cost per metric update),
+# and the fault-injection switchboard (BenchmarkFaultPointDisarmed's
+# zero-cost disarmed contract) — as a machine-readable artifact.
 bench:
-	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/engine ./internal/core ./internal/obs . \
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/engine ./internal/core ./internal/obs ./internal/faults . \
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson > BENCH_engine.json
 	@echo "wrote BENCH_engine.json"
@@ -47,7 +48,7 @@ bench:
 # (1x iterations are too noisy to gate on); run locally with the default
 # BENCHTIME before sending a perf-sensitive change.
 bench-diff:
-	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/engine ./internal/core ./internal/obs . \
+	$(GO) test -bench . -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/engine ./internal/core ./internal/obs ./internal/faults . \
 		| $(GO) run ./cmd/benchjson -diff BENCH_engine.json -allocs-exact 'BenchmarkEstimateSampleSizes'
 
 # bench-race drives the estimation hot path — pooled codec scratch,

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"samplecf/internal/engine"
+	"samplecf/internal/faults"
+)
+
+// Chaos tests for the HTTP layer: engine failures map onto the right
+// status codes, and SIGTERM drains in-flight requests under load without
+// leaking goroutines. Fault schedules are process-global, so no test here
+// may call t.Parallel.
+
+func armServerChaos(t *testing.T, schedule string, seed uint64) {
+	t.Helper()
+	if err := faults.Arm(schedule, seed); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faults.Disarm)
+}
+
+// TestChaosStatusForMapping unit-pins the error→status table.
+func TestChaosStatusForMapping(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want int
+	}{
+		{engine.ErrInvalidRequest, http.StatusBadRequest},
+		{fmt.Errorf("request 0: %w", engine.ErrInvalidRequest), http.StatusBadRequest},
+		{engine.ErrBreakerOpen, http.StatusServiceUnavailable},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, http.StatusGatewayTimeout},
+		{errors.New("disk on fire"), http.StatusInternalServerError},
+		{&faults.InjectedError{Point: "sampling.draw"}, http.StatusInternalServerError},
+	} {
+		if got := statusFor(tc.err); got != tc.want {
+			t.Errorf("statusFor(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestChaosStatusMappingE2E drives the three mapped failure classes
+// through the real handler stack: validation answers 400, a deadline
+// blown mid-computation answers 504, and an internal (injected) storage
+// failure answers 500 with the failure named in the body.
+func TestChaosStatusMappingE2E(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	// Validation: 400.
+	var out map[string]any
+	if code := postJSON(t, ts.URL+"/estimate",
+		`{"table":"demo","codec":"nullsuppression","fraction":0.05,"confidence":0.95}`, &out); code != http.StatusBadRequest {
+		t.Errorf("validation failure status %d, want 400 (%v)", code, out)
+	}
+
+	// Deadline: a latency fault stretches the round-0 draw past the
+	// request's budget, so the adaptive loop's ctx check trips. 504.
+	armServerChaos(t, "sampling.draw:lat:200ms@1+", 1)
+	if code := postJSON(t, ts.URL+"/estimate",
+		`{"table":"demo","codec":"nullsuppression","target_error":0.02,"seed":41,"timeout_ms":30}`, &out); code != http.StatusGatewayTimeout {
+		t.Errorf("blown deadline status %d, want 504 (%v)", code, out)
+	}
+
+	// Internal: a persistent draw failure is nobody's request bug. 500.
+	armServerChaos(t, "sampling.draw:err@1+", 1)
+	if code := postJSON(t, ts.URL+"/estimate",
+		`{"table":"demo","columns":["region"],"codec":"nullsuppression","fraction":0.05,"seed":42}`, &out); code != http.StatusInternalServerError {
+		t.Errorf("injected failure status %d, want 500 (%v)", code, out)
+	}
+	if msg, _ := out["error"].(string); msg == "" {
+		t.Error("500 body carries no error message")
+	}
+}
+
+// TestChaosSigtermDrain boots the real main path (run, flags, signal
+// handling) inside the test process, puts slow requests in flight, sends
+// itself SIGTERM, and proves the drain contract: every request that was
+// in flight when the signal landed completes with 200, run returns
+// cleanly, and the goroutine count settles back to its baseline.
+func TestChaosSigtermDrain(t *testing.T) {
+	armServerChaos(t, "sampling.draw:lat:150ms@1+", 1)
+	g0 := runtime.NumGoroutine()
+
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-demo", "-drain", "5s"}, ready)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	client := &http.Client{}
+	defer client.CloseIdleConnections()
+	base := "http://" + addr.String()
+
+	// Distinct seeds so every request is a fresh (slow) computation.
+	const inflight = 3
+	codes := make([]int, inflight)
+	errs := make([]error, inflight)
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"table":"demo","columns":["region"],"codec":"nullsuppression","fraction":0.05,"seed":%d}`, 100+i)
+			req, _ := http.NewRequest("POST", base+"/estimate", strings.NewReader(body))
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := client.Do(req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	// Let the requests reach their slow draws, then signal mid-flight.
+	time.Sleep(50 * time.Millisecond)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i := 0; i < inflight; i++ {
+		if errs[i] != nil {
+			t.Errorf("in-flight request %d dropped during drain: %v", i, errs[i])
+		} else if codes[i] != http.StatusOK {
+			t.Errorf("in-flight request %d status %d, want 200", i, codes[i])
+		}
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after SIGTERM")
+	}
+
+	// Goroutine leak check: everything the server spawned (listener,
+	// engine pool, background refreshes) must be gone. Allow a little
+	// slack for runtime housekeeping goroutines winding down.
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= g0+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines %d > baseline %d after drain\n%s",
+				runtime.NumGoroutine(), g0, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

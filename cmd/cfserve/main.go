@@ -57,28 +57,36 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], nil); err != nil {
 		fmt.Fprintf(os.Stderr, "cfserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run is the whole service lifecycle: flags, engine, listener, drain. It
+// takes its argv and an optional ready channel (sent the bound address
+// once the listener is up) so the shutdown e2e test can run the real
+// main path — signal handling included — inside the test process.
+func run(args []string, ready chan<- net.Addr) error {
+	fs := flag.NewFlagSet("cfserve", flag.ContinueOnError)
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		workers     = flag.Int("workers", 0, "estimation worker goroutines (0 = GOMAXPROCS)")
-		cache       = flag.Int("cache", 1024, "LRU result cache entries (negative disables)")
-		demo        = flag.Bool("demo", false, "preload a demo table named \"demo\"")
-		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
-		maxRows     = flag.Int64("max-rows", defaultMaxTableRows, "per-table row limit for POST /tables")
-		maxInflight = flag.Int("max-inflight", 0, "reject non-ops requests beyond this many in flight with 503 (0 = unlimited)")
-		pprofMode   = flag.String("pprof", "local", "/debug/pprof/ exposure: local (loopback clients only), all, or off")
-		mutexFrac   = flag.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex (0 disables; inert with -pprof off)")
-		blockRate   = flag.Int("block-profile-rate", 0, "sample blocking events of at least n ns for /debug/pprof/block (0 disables; inert with -pprof off)")
-		slowTrace   = flag.Duration("slow-trace", time.Second, "dump the span tree of requests at least this slow as trace JSON (0 disables)")
-		logJSON     = flag.Bool("log-json", false, "emit the access log as JSON lines instead of logfmt-style text")
+		addr         = fs.String("addr", ":8080", "listen address")
+		workers      = fs.Int("workers", 0, "estimation worker goroutines (0 = GOMAXPROCS)")
+		cache        = fs.Int("cache", 1024, "LRU result cache entries (negative disables)")
+		demo         = fs.Bool("demo", false, "preload a demo table named \"demo\"")
+		drain        = fs.Duration("drain", 10*time.Second, "graceful shutdown drain timeout")
+		maxRows      = fs.Int64("max-rows", defaultMaxTableRows, "per-table row limit for POST /tables")
+		maxInflight  = fs.Int("max-inflight", 0, "reject non-ops requests beyond this many in flight with 503 (0 = unlimited)")
+		pprofMode    = fs.String("pprof", "local", "/debug/pprof/ exposure: local (loopback clients only), all, or off")
+		mutexFrac    = fs.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex (0 disables; inert with -pprof off)")
+		blockRate    = fs.Int("block-profile-rate", 0, "sample blocking events of at least n ns for /debug/pprof/block (0 disables; inert with -pprof off)")
+		slowTrace    = fs.Duration("slow-trace", time.Second, "dump the span tree of requests at least this slow as trace JSON (0 disables)")
+		logJSON      = fs.Bool("log-json", false, "emit the access log as JSON lines instead of logfmt-style text")
+		allowPartial = fs.Bool("allow-partial", false, "serve degraded estimates from surviving shards when some shards fail (per-request allow_partial overrides off)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	switch *pprofMode {
 	case "local", "all", "off":
@@ -102,6 +110,7 @@ func run() error {
 	srv.pprofMode = *pprofMode
 	srv.maxInflight = *maxInflight
 	srv.slowTrace = *slowTrace
+	srv.allowPartial = *allowPartial
 	if *logJSON {
 		srv.logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	} else {
@@ -135,6 +144,9 @@ func run() error {
 		return err
 	}
 	log.Printf("cfserve listening on %s (workers=%d, cache capacity %d)", ln.Addr(), *workers, *cache)
+	if ready != nil {
+		ready <- ln.Addr()
+	}
 
 	errCh := make(chan error, 1)
 	go func() {

@@ -271,6 +271,8 @@ func TestStatsShimFieldNames(t *testing.T) {
 		"shard_scatters", "shard_cache_hits", "shard_cache_misses",
 		"stratified_estimates", "strata_directory_builds",
 		"adaptive_rounds", "adaptive_rows", "prepare_nanos", "sort_rows",
+		"panics_recovered", "shard_retries", "degraded_results",
+		"stale_served", "breaker_opens",
 		"tables",
 	}
 	for _, field := range want {

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net"
@@ -65,6 +66,12 @@ type server struct {
 	// pprofMode gates /debug/pprof/: "local" (default) serves profiles to
 	// loopback clients only, "all" to anyone, "off" not at all.
 	pprofMode string
+
+	// allowPartial is the service-wide degraded-serving default (the
+	// -allow-partial flag): when set, every estimate request tolerates
+	// partial shard failures unless it says otherwise. A request's own
+	// allow_partial:true still opts in per call when the flag is off.
+	allowPartial bool
 
 	started time.Time
 }
@@ -218,6 +225,13 @@ type estimateRequestJSON struct {
 	TargetError   float64 `json:"target_error,omitempty"`
 	Confidence    float64 `json:"confidence,omitempty"`
 	MaxSampleRows int64   `json:"max_sample_rows,omitempty"`
+	// AllowPartial tolerates shard failures on partitioned tables: the
+	// estimate is merged from the surviving shards with renormalized
+	// stratified weights and marked degraded, instead of failing the
+	// request. Ignored on unsharded tables.
+	AllowPartial bool `json:"allow_partial,omitempty"`
+	// TimeoutMS bounds the estimation; exceeding it answers 504.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 type estimateResultJSON struct {
@@ -237,7 +251,15 @@ type estimateResultJSON struct {
 	AchievedError float64 `json:"achieved_error,omitempty"`
 	Rounds        int     `json:"rounds,omitempty"`
 	Converged     *bool   `json:"converged,omitempty"`
-	Error         string  `json:"error,omitempty"`
+	// Degraded serving: the estimate was merged from the surviving shards
+	// after shards_failed failed persistently (allow_partial requests
+	// only); achieved_error then carries the widened CI half-width over
+	// the survivors. Stale marks a last-good estimate served while the
+	// table's circuit breaker was open.
+	Degraded     bool   `json:"degraded,omitempty"`
+	ShardsFailed []int  `json:"shards_failed,omitempty"`
+	Stale        bool   `json:"stale,omitempty"`
+	Error        string `json:"error,omitempty"`
 }
 
 type whatIfRequestJSON struct {
@@ -254,6 +276,8 @@ type whatIfRequestJSON struct {
 	TargetError   float64 `json:"target_error,omitempty"`
 	Confidence    float64 `json:"confidence,omitempty"`
 	MaxSampleRows int64   `json:"max_sample_rows,omitempty"`
+	// Degraded serving (applies to every candidate): see /estimate.
+	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
 // queryJSON is one workload statement in an /advise request.
@@ -332,6 +356,11 @@ var statsFields = []struct {
 	{"adaptive_rows", engine.MetricAdaptiveRows},
 	{"prepare_nanos", engine.MetricPrepareNanos},
 	{"sort_rows", engine.MetricSortRows},
+	{"panics_recovered", engine.MetricPanicsRecovered},
+	{"shard_retries", engine.MetricShardRetries},
+	{"degraded_results", engine.MetricDegradedResults},
+	{"stale_served", engine.MetricStaleServed},
+	{"breaker_opens", engine.MetricBreakerOpens},
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -459,7 +488,13 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	res := s.eng.Estimate(r.Context(), engine.Request{
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	res := s.eng.Estimate(ctx, engine.Request{
 		Table:         tab,
 		KeyColumns:    req.Columns,
 		Codec:         codec,
@@ -471,12 +506,31 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		TargetError:   req.TargetError,
 		Confidence:    req.Confidence,
 		MaxSampleRows: req.MaxSampleRows,
+		AllowPartial:  req.AllowPartial || s.allowPartial,
 	})
 	if res.Err != nil {
-		httpError(w, http.StatusUnprocessableEntity, res.Err)
+		httpError(w, statusFor(res.Err), res.Err)
 		return
 	}
 	writeJSON(w, http.StatusOK, toResultJSON(req.Columns, req.Codec, res))
+}
+
+// statusFor maps an engine error onto the HTTP status that tells the
+// client what to do about it: fix the request (400), retry later with the
+// breaker open (503), retry with a longer budget (504), or report a bug
+// (500 — including recovered panics, which arrive as ordinary errors
+// carrying the failure's stack).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrInvalidRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, engine.ErrBreakerOpen):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 func (s *server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
@@ -512,6 +566,7 @@ func (s *server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 			TargetError:   req.TargetError,
 			Confidence:    req.Confidence,
 			MaxSampleRows: req.MaxSampleRows,
+			AllowPartial:  req.AllowPartial || s.allowPartial,
 		}
 	}
 	ctx := r.Context()
@@ -631,6 +686,12 @@ func toResultJSON(cols []string, codecName string, res engine.Result) estimateRe
 		converged := res.Converged
 		out.Converged = &converged
 	}
+	if res.Degraded {
+		out.Degraded = true
+		out.ShardsFailed = res.ShardsFailed
+		out.AchievedError = res.AchievedError
+	}
+	out.Stale = res.Stale
 	return out
 }
 

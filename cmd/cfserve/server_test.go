@@ -451,8 +451,8 @@ func TestAdaptiveEstimateEndpoint(t *testing.T) {
 
 	// Malformed: confidence without target_error.
 	if code := postJSON(t, ts.URL+"/estimate",
-		`{"table":"demo","codec":"nullsuppression","fraction":0.05,"confidence":0.95}`, nil); code != http.StatusUnprocessableEntity {
-		t.Errorf("confidence-without-target status %d, want 422", code)
+		`{"table":"demo","codec":"nullsuppression","fraction":0.05,"confidence":0.95}`, nil); code != http.StatusBadRequest {
+		t.Errorf("confidence-without-target status %d, want 400", code)
 	}
 	// /stats exposes the adaptive counters.
 	var st map[string]any

@@ -1,0 +1,9 @@
+package compress
+
+import "samplecf/internal/faults"
+
+// encodePoint is the codec-encode injection point: consulted once per page
+// on every MeasureArena route (parallel, sequential, and generic-session),
+// so a chaos schedule can fail or panic "the Nth page encode" whether the
+// codec fans out or not. Disarmed cost: one atomic load per page.
+var encodePoint = faults.Register("compress.encode")

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"samplecf/internal/btree"
+	"samplecf/internal/faults"
 	"samplecf/internal/page"
 	"samplecf/internal/value"
 	"samplecf/internal/workgroup"
@@ -85,7 +86,17 @@ func measureWorkers(pages int) int {
 // bounded worker group; page sizes are summed, so the result is
 // deterministic regardless of worker interleaving and byte-identical to the
 // sequential session path.
-func MeasureArena(keySchema *value.Schema, codec Codec, ar *value.RecordArena, perm []int32, rowsPerPage int) (Result, error) {
+func MeasureArena(keySchema *value.Schema, codec Codec, ar *value.RecordArena, perm []int32, rowsPerPage int) (res Result, err error) {
+	// A panicking codec poisons one measurement, not the process: the
+	// estimation path promises per-candidate error isolation, and a codec is
+	// exactly the pluggable component most likely to harbor a data-dependent
+	// panic. Worker goroutines in measureArenaParallel carry their own
+	// recovery; this one covers the sequential and session routes.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = Result{}, fmt.Errorf("compress: measure %s: %w", codec.Name(), faults.AsError(r))
+		}
+	}()
 	if rowsPerPage <= 0 {
 		return Result{}, fmt.Errorf("compress: rowsPerPage %d must be positive", rowsPerPage)
 	}
@@ -127,11 +138,14 @@ func MeasureArena(keySchema *value.Schema, codec Codec, ar *value.RecordArena, p
 		}
 		view := fillPageView((*viewPtr)[:0], ar, perm, start, end)
 		*viewPtr = view[:0]
+		if err := encodePoint.Check(); err != nil {
+			return Result{}, err
+		}
 		if err := sess.AddPage(view); err != nil {
 			return Result{}, err
 		}
 	}
-	res, err := sess.Finish()
+	res, err = sess.Finish()
 	res.Encoded = nil
 	if err == nil {
 		recordMeasure(codec, res)
@@ -171,6 +185,9 @@ func measureArenaSequential(keySchema *value.Schema, ap PageAppender, ar *value.
 		}
 		view := fillPageView((*viewPtr)[:0], ar, perm, start, end)
 		*viewPtr = view[:0]
+		if err := encodePoint.Check(); err != nil {
+			return Result{}, err
+		}
 		enc, de, err := ap.AppendPage(keySchema, view, buf[:0])
 		if err != nil {
 			return Result{}, err
@@ -201,6 +218,14 @@ func measureArenaParallel(keySchema *value.Schema, ap PageAppender, ar *value.Re
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// A panic on a fan-out worker (poisoned codec, injected fault)
+			// lands in this worker's error slot instead of crashing the
+			// process; the gather below surfaces it like any page error.
+			defer func() {
+				if r := recover(); r != nil {
+					partials[w].err = faults.AsError(r)
+				}
+			}()
 			viewPtr := pageViewPool.Get().(*[][]byte)
 			defer pageViewPool.Put(viewPtr)
 			buf := getPageBuf()
@@ -213,6 +238,10 @@ func measureArenaParallel(keySchema *value.Schema, ap PageAppender, ar *value.Re
 				}
 				view := fillPageView((*viewPtr)[:0], ar, perm, start, end)
 				*viewPtr = view[:0]
+				if err := encodePoint.Check(); err != nil {
+					partials[w].err = err
+					return
+				}
 				enc, de, err := ap.AppendPage(keySchema, view, buf[:0])
 				if err != nil {
 					partials[w].err = err

@@ -25,6 +25,7 @@ import (
 	"samplecf/internal/catalog"
 	"samplecf/internal/compress"
 	"samplecf/internal/distinct"
+	"samplecf/internal/faults"
 	"samplecf/internal/heap"
 	"samplecf/internal/page"
 	"samplecf/internal/rng"
@@ -597,7 +598,15 @@ func TrueCF(src RowScanner, keyCols []string, codec compress.Codec, pageSize int
 // stage size its own fan-out — the scan by rows per shard, the sort by
 // bucket count — since one shared width would undersize whichever stage
 // has more parallelism available; workers == 1 runs fully sequentially.
-func trueCF(src RowScanner, keyCols []string, codec compress.Codec, pageSize, workers int) (compress.Result, error) {
+func trueCF(src RowScanner, keyCols []string, codec compress.Codec, pageSize, workers int) (res compress.Result, err error) {
+	// Ground-truth scans run over caller-supplied scanners and codecs; a
+	// panic in either (or re-raised from a sort bucket goroutine) degrades
+	// to this measurement's error, never a process crash.
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = compress.Result{}, fmt.Errorf("core: true CF: %w", faults.AsError(r))
+		}
+	}()
 	if pageSize == 0 {
 		pageSize = page.DefaultSize
 	}
@@ -683,6 +692,7 @@ func scanIntoArena(src RowScanner, ar *value.RecordArena, project []int, workers
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer workgroup.Recover(&errs[w])
 			krow := make(value.Row, len(project))
 			for i := lo; i < hi; i++ {
 				row, err := rs.Row(int64(i))
@@ -757,6 +767,7 @@ func scanShardsIntoArena(src ShardScanner, ar *value.RecordArena, project []int,
 			go func(s int) {
 				defer wg.Done()
 				defer sem.Release()
+				defer workgroup.Recover(&errs[s])
 				scanShard(s)
 			}(s)
 		} else {

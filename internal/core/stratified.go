@@ -240,6 +240,7 @@ func EstimateStratified(arms []StratumArm, alloc []int64, opts Options) (Estimat
 			go func(i int) {
 				defer wg.Done()
 				defer sem.Release()
+				defer workgroup.Recover(&errs[i])
 				eval(i)
 			}(i)
 		} else {
@@ -338,6 +339,7 @@ func AdaptiveEstimateStratified(arms []StratumArm, round0 []int64, target Precis
 				go func(l *armLoop) {
 					defer wg.Done()
 					defer sem.Release()
+					defer workgroup.Recover(&l.err)
 					l.err = grow(l, extra)
 				}(l)
 			} else {

@@ -51,6 +51,7 @@ import (
 	"samplecf/internal/catalog"
 	"samplecf/internal/compress"
 	"samplecf/internal/core"
+	"samplecf/internal/faults"
 	"samplecf/internal/obs"
 	"samplecf/internal/page"
 	"samplecf/internal/rng"
@@ -80,6 +81,27 @@ type Config struct {
 	// their ledgers. cfserve passes its own registry so GET /metrics
 	// serves the engine's instruments.
 	Metrics *obs.Registry
+
+	// RetryMax caps how many times a failed shard of a scattered request
+	// is retried before the request gives up on it (default 2; negative
+	// disables retries).
+	RetryMax int
+	// RetryBackoff is the first retry's backoff (default 1ms); it doubles
+	// per attempt up to RetryBackoffCap (default 50ms). The sleep is
+	// jittered over [d/2, d] and aborts when the request's context
+	// expires.
+	RetryBackoff    time.Duration
+	RetryBackoffCap time.Duration
+
+	// BreakerThreshold is the consecutive full-failure count that opens a
+	// (table instance, codec) circuit breaker (default 5; negative
+	// disables the breaker and the stale-while-revalidate path with it).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker denies computation
+	// before admitting one probe (default 1s). While open, requests are
+	// served the last good estimate marked Stale when one exists, and
+	// ErrBreakerOpen otherwise.
+	BreakerCooldown time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +116,27 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PageSize == 0 {
 		c.PageSize = page.DefaultSize
+	}
+	switch {
+	case c.RetryMax == 0:
+		c.RetryMax = 2
+	case c.RetryMax < 0:
+		c.RetryMax = 0
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = time.Millisecond
+	}
+	if c.RetryBackoffCap == 0 {
+		c.RetryBackoffCap = 50 * time.Millisecond
+	}
+	switch {
+	case c.BreakerThreshold == 0:
+		c.BreakerThreshold = 5
+	case c.BreakerThreshold < 0:
+		c.BreakerThreshold = 0
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = time.Second
 	}
 	return c
 }
@@ -150,6 +193,18 @@ type Request struct {
 	// reports Converged=false with the honest achieved error. Requires
 	// TargetError.
 	MaxSampleRows int64
+
+	// AllowPartial lets a request against a partitioned table succeed
+	// when some shards fail persistently (after retries): the surviving
+	// shards merge under renormalized stratified weights and the result
+	// reports Degraded, the failed shard indices, and a widened
+	// confidence interval. Without it, any shard failure fails the
+	// request with every shard's error joined.
+	AllowPartial bool
+
+	// bypassBreaker marks the engine's own background revalidation
+	// requests, which must compute even while the breaker is open.
+	bypassBreaker bool
 }
 
 // Result is one candidate's outcome. Err is per-candidate: a failed or
@@ -170,10 +225,24 @@ type Result struct {
 	// Adaptive-request outcome (zero for fixed-r requests): AchievedError
 	// is the final CI half-width at the requested confidence, Rounds the
 	// number of estimate→extend rounds run, and Converged whether the
-	// target was met within the row budget.
+	// target was met within the row budget. Degraded results repurpose
+	// AchievedError for the widened interval (see Degraded).
 	AchievedError float64
 	Rounds        int
 	Converged     bool
+
+	// Degraded reports a partial scatter-gather (Request.AllowPartial):
+	// the shards in ShardsFailed failed persistently and the estimate
+	// merges only the survivors under renormalized stratified weights,
+	// with AchievedError carrying the widened 95% half-width. Degraded
+	// results are never cached — the next request retries the shards.
+	Degraded     bool
+	ShardsFailed []int
+
+	// Stale reports the estimate is the last good result for this
+	// request's identity, served because the (table, codec) circuit
+	// breaker is open; a background revalidation may be in flight.
+	Stale bool
 }
 
 // Stats is a snapshot of the engine's counters.
@@ -217,6 +286,15 @@ type Stats struct {
 	// identical request's in-flight computation (flight.go) instead of
 	// computing — the cross-request sharing the per-batch groups cannot see.
 	CoalescedWaits uint64
+	// PanicsRecovered counts panics converted to per-item or per-shard
+	// errors by the engine's isolation traps; ShardRetries counts failed
+	// shard work units re-run with backoff; DegradedResults counts
+	// partial scatter-gathers served under Request.AllowPartial;
+	// StaleServed counts results served from the last-good-estimate cache
+	// while a breaker was open; BreakerOpens counts closed→open breaker
+	// transitions.
+	PanicsRecovered, ShardRetries, DegradedResults uint64
+	StaleServed, BreakerOpens                      uint64
 	// CacheEntries is the current LRU size; PrecisionEntries the current
 	// precision-cache size.
 	CacheEntries     int
@@ -230,12 +308,19 @@ type Engine struct {
 	cache      *lruCache
 	precision  *precisionCache
 	strataDirs *strataCache
+	stale      *staleCache
 	flights    flightGroup
 	registry   *obs.Registry
+
+	brMu     sync.Mutex
+	breakers map[breakerKey]*breaker
 
 	jobs chan func()
 	quit chan struct{}
 	wg   sync.WaitGroup
+	// bg tracks background revalidation goroutines (spawnRefresh); Close
+	// waits for them after the pool drains.
+	bg sync.WaitGroup
 
 	closeOnce sync.Once
 
@@ -257,6 +342,8 @@ func New(cfg Config) *Engine {
 		cache:      newLRUCache(cfg.CacheEntries),
 		precision:  newPrecisionCache(cfg.CacheEntries),
 		strataDirs: newStrataCache(cfg.CacheEntries),
+		stale:      newStaleCache(cfg.CacheEntries),
+		breakers:   make(map[breakerKey]*breaker),
 		registry:   reg,
 		jobs:       make(chan func()),
 		quit:       make(chan struct{}),
@@ -286,11 +373,13 @@ func New(cfg Config) *Engine {
 	return e
 }
 
-// Close stops the worker pool after in-flight work drains. Batches
-// submitted after Close fail with an error result per item.
+// Close stops the worker pool after in-flight work drains, then waits
+// for any background revalidations. Batches submitted after Close fail
+// with an error result per item.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() { close(e.quit) })
 	e.wg.Wait()
+	e.bg.Wait()
 }
 
 // Stats snapshots the counters — a read-back view of the same obs
@@ -318,6 +407,11 @@ func (e *Engine) Stats() Stats {
 		StratifiedEstimates: e.stratified.Value(),
 		StrataDirBuilds:     e.strataDirBuilds.Value(),
 		CoalescedWaits:      e.coalescedWaits.Value(),
+		PanicsRecovered:     e.panicsRecovered.Value(),
+		ShardRetries:        e.shardRetries.Value(),
+		DegradedResults:     e.degradedResults.Value(),
+		StaleServed:         e.staleServed.Value(),
+		BreakerOpens:        e.breakerOpens.Value(),
 		CacheEntries:        e.cache.Len(),
 		PrecisionEntries:    e.precision.Len(),
 	}
@@ -377,6 +471,9 @@ type adaptiveGroupKey struct {
 	fraction   float64
 	rows       int64
 	seed       uint64
+	// partial separates AllowPartial loops from strict ones: a degraded
+	// partial result must never fan out to a waiter that did not opt in.
+	partial bool
 }
 
 // adaptiveGroup runs one precision-targeted loop for every batch item with
@@ -386,7 +483,10 @@ type adaptiveGroupKey struct {
 type adaptiveGroup struct {
 	once sync.Once
 	res  core.AdaptiveResult
-	err  error
+	// failed lists the shard indices a degraded sharded loop dropped
+	// (AllowPartial only; empty for full results).
+	failed []int
+	err    error
 }
 
 // round0Key identifies adaptive batch items that can share their initial
@@ -507,7 +607,7 @@ func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
 			ak := adaptiveGroupKey{
 				pkey: pk, target: req.TargetError, confidence: req.Confidence,
 				maxRows: req.MaxSampleRows, fraction: req.Fraction,
-				rows: req.SampleRows, seed: req.Seed,
+				rows: req.SampleRows, seed: req.Seed, partial: req.AllowPartial,
 			}
 			ag, ok := adaptiveGroups[ak]
 			if !ok {
@@ -539,7 +639,7 @@ func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
 			r = sampling.SampleSize(n, req.Fraction)
 		}
 		if r <= 0 {
-			results[i] = Result{Err: fmt.Errorf("engine: request %d: sample size is zero (fraction %v)", i, req.Fraction)}
+			results[i] = Result{Err: invalidf("engine: request %d: sample size is zero (fraction %v)", i, req.Fraction)}
 			continue
 		}
 		if req.Strata > 0 {
@@ -629,6 +729,15 @@ func (e *Engine) WhatIf(ctx context.Context, reqs []Request) []Result {
 			e.queueDepth.Dec()
 			e.inFlight.Inc()
 			defer e.inFlight.Dec()
+			// Last-resort trap: a panic escaping the per-stage recovers
+			// below must fail this item, never kill the pool worker (a
+			// dead worker would shrink the pool for the process lifetime).
+			defer func() {
+				if r := recover(); r != nil {
+					e.panicsRecovered.Add(1)
+					results[it.idx] = Result{Err: fmt.Errorf("engine: request %d: %w", it.idx, faults.AsError(r))}
+				}
+			}()
 			results[it.idx] = e.evaluate(ctx, it)
 		}
 		wg.Add(1)
@@ -664,10 +773,36 @@ func (e *Engine) evaluate(ctx context.Context, it *batchItem) Result {
 	return e.evaluateMiss(ctx, it)
 }
 
-// evaluateMiss computes one batch item: draw (or reuse) the group's
+// evaluateMiss computes one batch item behind its circuit breaker: the
+// gate may answer with a stale estimate (or ErrBreakerOpen) while the
+// breaker is open; otherwise the computation runs with panic isolation
+// and its outcome feeds the breaker and stale ledgers.
+func (e *Engine) evaluateMiss(ctx context.Context, it *batchItem) Result {
+	if res, ok := e.breakerGate(it); ok {
+		return res
+	}
+	res := e.computeItem(ctx, it)
+	e.noteOutcome(it, res)
+	return res
+}
+
+// computeItem runs one batch item's computation under the item-level
+// panic trap: a panic anywhere below — injected or organic — becomes this
+// item's error, carrying the injection point and stack.
+func (e *Engine) computeItem(ctx context.Context, it *batchItem) (res Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panicsRecovered.Add(1)
+			res = Result{Err: fmt.Errorf("engine: request %d: %w", it.idx, faults.AsError(r))}
+		}
+	}()
+	return e.evaluateItem(ctx, it)
+}
+
+// evaluateItem computes one batch item: draw (or reuse) the group's
 // sample, build (or reuse) the sorted index, compress with the item's
 // codec, and cache the result.
-func (e *Engine) evaluateMiss(ctx context.Context, it *batchItem) Result {
+func (e *Engine) evaluateItem(ctx context.Context, it *batchItem) Result {
 	if err := ctx.Err(); err != nil {
 		return Result{Err: fmt.Errorf("engine: request %d not started: %w", it.idx, err)}
 	}
@@ -693,6 +828,11 @@ func (e *Engine) evaluateMiss(ctx context.Context, it *batchItem) Result {
 	}
 	pg := it.pg
 	pg.once.Do(func() {
+		// The trap must live INSIDE the once closure: sync.Once marks the
+		// closure done even when it panics, so without it a panicking
+		// build would leave batch-mates a "done" group with nil prep and
+		// nil err.
+		defer e.trapShardPanic(&pg.err)
 		_, end := obs.StartSpan(ctx, stageSort)
 		defer end.End()
 		e.prepared.Add(1)
@@ -744,6 +884,10 @@ func (e *Engine) evaluateMiss(ctx context.Context, it *batchItem) Result {
 // pinned to the table's copy-on-write snapshot when one is published at
 // the group's epoch (lock-free, and every Row call sees the same rows).
 func (e *Engine) drawSample(sg *sampleGroup) {
+	// sampleGroups are once-shared: a panic escaping here would leave the
+	// group "done" with no arena and no error for every batch-mate, so
+	// the draw traps its own panics into sg.err.
+	defer e.trapShardPanic(&sg.err)
 	ar := value.NewRecordArena(sg.table.Schema(), int(sg.r))
 	if sp, ok := sg.table.(catalog.SampleProvider); ok && !sg.fresh {
 		if s, ok := sp.MaintainedSample(sg.r); ok && s.Epoch == sg.epoch {
@@ -812,6 +956,10 @@ func zFor(confidence float64) float64 {
 func (e *Engine) evaluateAdaptive(ctx context.Context, it *batchItem) Result {
 	ag := it.ag
 	ag.once.Do(func() {
+		// Trap inside the once closure: a panicking loop must latch an
+		// error for the whole group, not a "done" group with neither
+		// result nor error.
+		defer e.trapShardPanic(&ag.err)
 		if it.req.Strata > 0 {
 			// Stratified loops (sharded or not) build their arm set from
 			// the strata directories; shard composition happens inside.
@@ -819,7 +967,7 @@ func (e *Engine) evaluateAdaptive(ctx context.Context, it *batchItem) Result {
 			return
 		}
 		if sh, ok := it.req.Table.(catalog.Sharded); ok {
-			ag.res, ag.err = e.runShardedAdaptive(ctx, it.req, it.pkey, sh)
+			ag.res, ag.failed, ag.err = e.runShardedAdaptive(ctx, it.req, it.pkey, sh)
 			return
 		}
 		ag.res, ag.err = e.runAdaptive(ctx, it.req, it.pkey, it.r0g)
@@ -828,12 +976,17 @@ func (e *Engine) evaluateAdaptive(ctx context.Context, it *batchItem) Result {
 		return Result{Err: fmt.Errorf("engine: request %d: %w", it.idx, ag.err)}
 	}
 	res := ag.res
-	return Result{
+	out := Result{
 		Estimate:      res.Estimate,
 		AchievedError: res.AchievedError,
 		Rounds:        res.Rounds,
 		Converged:     res.Converged,
 	}
+	if len(ag.failed) > 0 {
+		out.Degraded = true
+		out.ShardsFailed = append([]int(nil), ag.failed...)
+	}
+	return out
 }
 
 // initialAdaptiveRows resolves an adaptive request's round-0 size:
@@ -951,6 +1104,8 @@ func (e *Engine) runAdaptive(ctx context.Context, req Request, pkey precisionKey
 // WOR gather when the table offers at least r0 reservoir rows at the
 // request's epoch, a fresh resumable WR draw otherwise.
 func (e *Engine) drawAdaptiveRound0(req Request, epoch uint64, r0 int64, g *round0Group) {
+	// Once-shared like drawSample: trap panics into the group's error.
+	defer e.trapShardPanic(&g.err)
 	if sp, ok := req.Table.(catalog.SampleProvider); ok && !req.FreshSample {
 		if s, ok := sp.MaintainedSample(r0); ok && s.Epoch == epoch {
 			e.maintainedHits.Add(1)
@@ -1053,33 +1208,35 @@ func (e *Engine) adaptiveLoop(ctx context.Context, req Request, opts core.Option
 	return res, nil
 }
 
-// validate rejects malformed requests before they reach the pool.
+// validate rejects malformed requests before they reach the pool. Every
+// rejection satisfies errors.Is(err, ErrInvalidRequest), which cfserve
+// maps to 400.
 func validate(req Request) error {
 	switch {
 	case req.Table == nil:
-		return fmt.Errorf("engine: Request.Table is required")
+		return invalidf("engine: Request.Table is required")
 	case req.Codec == nil:
-		return fmt.Errorf("engine: Request.Codec is required")
+		return invalidf("engine: Request.Codec is required")
 	case req.Table.NumRows() == 0:
-		return fmt.Errorf("engine: table %q is empty", req.Table.Name())
+		return invalidf("engine: table %q is empty", req.Table.Name())
 	case req.SampleRows < 0:
-		return fmt.Errorf("engine: negative sample size %d", req.SampleRows)
+		return invalidf("engine: negative sample size %d", req.SampleRows)
 	case req.TargetError < 0 || req.TargetError >= 1:
-		return fmt.Errorf("engine: target error %v outside (0,1)", req.TargetError)
+		return invalidf("engine: target error %v outside (0,1)", req.TargetError)
 	case req.Confidence != 0 && (req.Confidence <= 0 || req.Confidence >= 1):
-		return fmt.Errorf("engine: confidence %v outside (0,1)", req.Confidence)
+		return invalidf("engine: confidence %v outside (0,1)", req.Confidence)
 	case req.TargetError == 0 && req.Confidence != 0:
-		return fmt.Errorf("engine: Confidence requires TargetError")
+		return invalidf("engine: Confidence requires TargetError")
 	case req.TargetError == 0 && req.MaxSampleRows != 0:
-		return fmt.Errorf("engine: MaxSampleRows requires TargetError")
+		return invalidf("engine: MaxSampleRows requires TargetError")
 	case req.MaxSampleRows < 0:
-		return fmt.Errorf("engine: negative row budget %d", req.MaxSampleRows)
+		return invalidf("engine: negative row budget %d", req.MaxSampleRows)
 	case req.Strata < 0:
-		return fmt.Errorf("engine: negative strata count %d", req.Strata)
+		return invalidf("engine: negative strata count %d", req.Strata)
 	case req.TargetError > 0 && req.Fraction < 0:
-		return fmt.Errorf("engine: negative fraction %v", req.Fraction)
+		return invalidf("engine: negative fraction %v", req.Fraction)
 	case req.TargetError == 0 && req.SampleRows == 0 && (req.Fraction <= 0 || req.Fraction > 1):
-		return fmt.Errorf("engine: fraction %v outside (0,1]", req.Fraction)
+		return invalidf("engine: fraction %v outside (0,1]", req.Fraction)
 	}
 	return nil
 }

@@ -74,7 +74,7 @@ func flightKey(it *batchItem) any {
 		return adaptiveGroupKey{
 			pkey: it.pkey, target: it.req.TargetError, confidence: it.req.Confidence,
 			maxRows: it.req.MaxSampleRows, fraction: it.req.Fraction,
-			rows: it.req.SampleRows, seed: it.req.Seed,
+			rows: it.req.SampleRows, seed: it.req.Seed, partial: it.req.AllowPartial,
 		}
 	}
 	return it.key

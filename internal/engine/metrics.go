@@ -41,6 +41,11 @@ type metrics struct {
 	stratified      *obs.Counter
 	strataDirBuilds *obs.Counter
 	coalescedWaits  *obs.Counter
+	panicsRecovered *obs.Counter
+	shardRetries    *obs.Counter
+	degradedResults *obs.Counter
+	staleServed     *obs.Counter
+	breakerOpens    *obs.Counter
 
 	// strataRows ledgers rows drawn per stratum arm (label: the arm's index
 	// among its table's non-empty strata) — the skew of this vec is Neyman
@@ -91,6 +96,11 @@ const (
 	MetricStratified       = "samplecf_engine_stratified_estimates_total"
 	MetricStrataDirBuilds  = "samplecf_engine_strata_directory_builds_total"
 	MetricCoalescedWaits   = "samplecf_engine_coalesced_waits_total"
+	MetricPanicsRecovered  = "samplecf_engine_panics_recovered_total"
+	MetricShardRetries     = "samplecf_engine_shard_retries_total"
+	MetricDegradedResults  = "samplecf_engine_degraded_results_total"
+	MetricStaleServed      = "samplecf_engine_stale_served_total"
+	MetricBreakerOpens     = "samplecf_engine_breaker_opens_total"
 	MetricStrataRows       = "samplecf_engine_strata_rows_total"
 	MetricStrataCount      = "samplecf_engine_strata_count"
 	MetricScatterFanout    = "samplecf_engine_scatter_fanout_seconds"
@@ -126,6 +136,11 @@ func newMetrics(r *obs.Registry) metrics {
 		stratified:      r.Counter(MetricStratified, "Stratified estimates computed, fixed and adaptive (cache hits excluded)."),
 		strataDirBuilds: r.Counter(MetricStrataDirBuilds, "Strata-directory builds (stratify scans the directory cache did not absorb)."),
 		coalescedWaits:  r.Counter(MetricCoalescedWaits, "Results served by waiting on a concurrent identical request's in-flight computation."),
+		panicsRecovered: r.Counter(MetricPanicsRecovered, "Panics converted to per-item or per-shard errors by the engine's isolation traps."),
+		shardRetries:    r.Counter(MetricShardRetries, "Failed shard work units re-run with backoff."),
+		degradedResults: r.Counter(MetricDegradedResults, "Partial scatter-gathers served under Request.AllowPartial."),
+		staleServed:     r.Counter(MetricStaleServed, "Results served from the last-good-estimate cache while a breaker was open."),
+		breakerOpens:    r.Counter(MetricBreakerOpens, "Closed-to-open circuit breaker transitions."),
 		strataRows:      r.CounterVec(MetricStrataRows, "Rows drawn per stratum arm by stratified estimates.", "stratum"),
 		strataCountHist: r.Histogram(MetricStrataCount, "Arms per stratified estimate (a count, not a duration)."),
 

@@ -9,6 +9,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -19,6 +20,7 @@ import (
 	"samplecf/internal/catalog"
 	"samplecf/internal/core"
 	"samplecf/internal/obs"
+	"samplecf/internal/rng"
 	"samplecf/internal/sampling"
 	"samplecf/internal/stats"
 	"samplecf/internal/value"
@@ -225,6 +227,14 @@ func (e *Engine) planScatter(idx int, req Request, pageSize int, r int64, sh cat
 // own pool, where a worker waiting on sub-jobs submitted behind it would
 // deadlock under saturation — and the per-shard estimates (cached and
 // computed alike) gather into one stratified whole-table estimate.
+//
+// Failed shards retry with capped jittered backoff; shards still failed
+// after the retries either fail the whole request with every shard's
+// error joined, or — under Request.AllowPartial — drop out of the gather,
+// which then merges the survivors under renormalized stratified weights
+// (stats.StratifiedMean divides by Σw, so passing the survivors with
+// their plan-time weights IS the renormalization) and reports Degraded
+// with a widened interval.
 func (e *Engine) evaluateScatter(ctx context.Context, it *batchItem) Result {
 	e.shardScatters.Add(1)
 	t0 := time.Now()
@@ -234,45 +244,133 @@ func (e *Engine) evaluateScatter(ctx context.Context, it *batchItem) Result {
 			missed = append(missed, w)
 		}
 	}
-	sem := workgroup.NewSem(workgroup.Limit(len(missed)) - 1)
-	var wg sync.WaitGroup
-	for _, w := range missed {
-		if sem.TryAcquire() {
-			wg.Add(1)
-			go func(w *shardWork) {
-				defer wg.Done()
-				defer sem.Release()
-				e.evaluateShardWork(ctx, it, w)
-			}(w)
+	e.scatterShardWork(ctx, it, missed)
+	e.retryFailedShards(ctx, it, missed)
+
+	var failed, survivors []*shardWork
+	for _, w := range it.shards {
+		if w.err != nil {
+			failed = append(failed, w)
 		} else {
-			e.evaluateShardWork(ctx, it, w)
+			survivors = append(survivors, w)
 		}
 	}
-	wg.Wait()
-	for _, w := range missed {
-		if w.err != nil {
-			return Result{Err: fmt.Errorf("engine: request %d: shard %d: %w", it.idx, w.shard, w.err)}
+	if len(failed) > 0 && (!it.req.AllowPartial || len(survivors) == 0) {
+		errs := make([]error, 0, len(failed))
+		for _, w := range failed {
+			errs = append(errs, fmt.Errorf("shard %d: %w", w.shard, w.err))
 		}
+		return Result{Err: fmt.Errorf("engine: request %d: %w", it.idx, errors.Join(errs...))}
 	}
 	e.evaluated.Add(1)
 	shared := false
 	for _, w := range missed {
-		if w.sg.members > 1 {
+		if w.err == nil && w.sg.members > 1 {
 			shared = true
 		}
 	}
 	if shared {
 		e.samplesShared.Add(1)
 	}
-	est := mergeShardEstimates(it.shards)
+	est := mergeShardEstimates(survivors)
 	e.scatterHist.Observe(time.Since(t0))
+	if len(failed) > 0 {
+		e.degradedResults.Add(1)
+		ids := make([]int, len(failed))
+		for i, w := range failed {
+			ids[i] = w.shard
+		}
+		sort.Ints(ids)
+		// The degraded merge is never cached under the whole-table
+		// identity (the scatter path has no request-level cache entry to
+		// begin with), and the failed shards stayed out of the per-shard
+		// cache, so the next request retries them.
+		return Result{
+			Estimate:      est,
+			SharedSample:  shared,
+			Degraded:      true,
+			ShardsFailed:  ids,
+			AchievedError: degradedHalfWidth(survivors),
+		}
+	}
 	return Result{Estimate: est, SharedSample: shared}
 }
+
+// scatterShardWork fans a set of shard work units across the bounded
+// workgroup semaphore, each under the shard panic trap (goroutine and
+// inline fallback alike).
+func (e *Engine) scatterShardWork(ctx context.Context, it *batchItem, works []*shardWork) {
+	sem := workgroup.NewSem(workgroup.Limit(len(works)) - 1)
+	var wg sync.WaitGroup
+	for _, w := range works {
+		if sem.TryAcquire() {
+			wg.Add(1)
+			go func(w *shardWork) {
+				defer wg.Done()
+				defer sem.Release()
+				defer e.trapShardPanic(&w.err)
+				e.evaluateShardWork(ctx, it, w)
+			}(w)
+		} else {
+			func() {
+				defer e.trapShardPanic(&w.err)
+				e.evaluateShardWork(ctx, it, w)
+			}()
+		}
+	}
+	wg.Wait()
+}
+
+// retryFailedShards re-runs failed shard work units up to RetryMax times
+// with capped, jittered, ctx-aware backoff. Each retried unit gets fresh
+// private sample/prep groups: the shared once-groups latched the failure
+// for the whole batch, and only a new group can re-draw.
+func (e *Engine) retryFailedShards(ctx context.Context, it *batchItem, works []*shardWork) {
+	if e.cfg.RetryMax <= 0 {
+		return
+	}
+	backoff := e.cfg.RetryBackoff
+	jit := rng.New(it.req.Seed ^ retryJitterSalt)
+	for attempt := 0; attempt < e.cfg.RetryMax; attempt++ {
+		var failed []*shardWork
+		for _, w := range works {
+			if retryable(w.err) {
+				failed = append(failed, w)
+			}
+		}
+		if len(failed) == 0 {
+			return
+		}
+		if !backoffSleep(ctx, jit, backoff) {
+			return
+		}
+		e.shardRetries.Add(uint64(len(failed)))
+		for _, w := range failed {
+			w.err = nil
+			sg := &sampleGroup{table: w.table, r: w.rows, seed: w.seed, epoch: w.epoch,
+				fresh: it.req.FreshSample, members: 1}
+			w.sg = sg
+			w.pg = &prepGroup{sg: sg, keyCols: it.req.KeyColumns, members: 1}
+		}
+		e.scatterShardWork(ctx, it, failed)
+		if backoff *= 2; backoff > e.cfg.RetryBackoffCap {
+			backoff = e.cfg.RetryBackoffCap
+		}
+	}
+}
+
+// retryJitterSalt decorrelates the retry backoff stream from the sample
+// streams derived from the same request seed.
+const retryJitterSalt = 0x5ca77e27e7121e55
 
 // evaluateShardWork is the per-shard slice of evaluate: draw (or reuse)
 // the shard's sample group, build (or reuse) its sorted index, compress,
 // and cache under the per-shard key.
 func (e *Engine) evaluateShardWork(ctx context.Context, it *batchItem, w *shardWork) {
+	if err := scatterPoint.Check1(uint64(w.shard)); err != nil {
+		w.err = err
+		return
+	}
 	sg := w.sg
 	sg.once.Do(func() {
 		_, end := obs.StartSpan(ctx, stageDraw)
@@ -287,6 +385,9 @@ func (e *Engine) evaluateShardWork(ctx context.Context, it *batchItem, w *shardW
 	}
 	pg := w.pg
 	pg.once.Do(func() {
+		// Trap inside the once closure (see evaluateItem): sync.Once
+		// marks a panicking closure done, so the error must latch here.
+		defer e.trapShardPanic(&pg.err)
 		_, end := obs.StartSpan(ctx, stageSort)
 		defer end.End()
 		e.prepared.Add(1)
@@ -360,7 +461,13 @@ type shardLoop struct {
 // (per-shard maintained-sample routes would need per-shard budget-capping
 // and fallback plumbing for marginal gain — the whole-table maintained
 // route already covers unsharded tables).
-func (e *Engine) runShardedAdaptive(ctx context.Context, req Request, pkey precisionKey, sh catalog.Sharded) (core.AdaptiveResult, error) {
+//
+// Shard arms that fail persistently (after the retry policy) either fail
+// the loop with every arm's error joined, or — under AllowPartial — drop
+// out: the remaining arms' weights renormalize through the stratified
+// algebra and the failed shard indices return for the Degraded result.
+// A degraded outcome never publishes to the precision cache.
+func (e *Engine) runShardedAdaptive(ctx context.Context, req Request, pkey precisionKey, sh catalog.Sharded) (core.AdaptiveResult, []int, error) {
 	pageSize := req.PageSize
 	if pageSize == 0 {
 		pageSize = e.cfg.PageSize
@@ -373,7 +480,7 @@ func (e *Engine) runShardedAdaptive(ctx context.Context, req Request, pkey preci
 		total += counts[h]
 	}
 	if total == 0 {
-		return core.AdaptiveResult{}, fmt.Errorf("table %q is empty", req.Table.Name())
+		return core.AdaptiveResult{}, nil, fmt.Errorf("table %q is empty", req.Table.Name())
 	}
 	target := core.Precision{
 		TargetError:   req.TargetError,
@@ -405,6 +512,9 @@ func (e *Engine) runShardedAdaptive(ctx context.Context, req Request, pkey preci
 	// grow draws extra fresh rows from one shard's resumable stream and
 	// folds them into its prepared index (the first call prepares).
 	grow := func(l *shardLoop, extra int64) error {
+		if err := scatterPoint.Check1(uint64(l.shard)); err != nil {
+			return err
+		}
 		full := value.NewRecordArena(req.Table.Schema(), int(extra))
 		if err := sampling.ExtendWRInto(l.table, full, extra, l.seed, l.round); err != nil {
 			return err
@@ -428,30 +538,103 @@ func (e *Engine) runShardedAdaptive(ctx context.Context, req Request, pkey preci
 		return l.prep.ExtendFromArena(proj)
 	}
 
-	// scatter fans grow calls across the bounded workgroup semaphore (never
+	// runGrow is one arm's growth under the shard panic trap: a panicking
+	// arm records its error instead of killing the loop.
+	runGrow := func(l *shardLoop, extra int64) {
+		defer e.trapShardPanic(&l.err)
+		l.err = grow(l, extra)
+	}
+
+	// fan spreads grow calls across the bounded workgroup semaphore (never
 	// the engine pool — this already runs on a pool worker).
-	scatter := func(targets []*shardLoop, extras []int64) error {
+	fan := func(targets []*shardLoop, extras []int64) {
 		sem := workgroup.NewSem(workgroup.Limit(len(targets)) - 1)
 		var wg sync.WaitGroup
 		for i, l := range targets {
 			extra := extras[i]
 			if sem.TryAcquire() {
 				wg.Add(1)
-				go func(l *shardLoop) {
+				go func(l *shardLoop, extra int64) {
 					defer wg.Done()
 					defer sem.Release()
-					l.err = grow(l, extra)
-				}(l)
+					runGrow(l, extra)
+				}(l, extra)
 			} else {
-				l.err = grow(l, extra)
+				runGrow(l, extra)
 			}
 		}
 		wg.Wait()
-		for _, l := range targets {
-			if l.err != nil {
-				return fmt.Errorf("shard %d: %w", l.shard, l.err)
+	}
+
+	// scatter fans one growth round, retries failed arms with the same
+	// backoff policy as the fixed path, and returns the arms still failed.
+	scatter := func(targets []*shardLoop, extras []int64) []*shardLoop {
+		fan(targets, extras)
+		backoff := e.cfg.RetryBackoff
+		jit := rng.New(req.Seed ^ retryJitterSalt)
+		retryT, retryX := targets, extras
+		for attempt := 0; attempt < e.cfg.RetryMax; attempt++ {
+			var fl []*shardLoop
+			var fx []int64
+			for i, l := range retryT {
+				if retryable(l.err) {
+					fl = append(fl, l)
+					fx = append(fx, retryX[i])
+				}
+			}
+			if len(fl) == 0 {
+				break
+			}
+			if !backoffSleep(ctx, jit, backoff) {
+				break
+			}
+			e.shardRetries.Add(uint64(len(fl)))
+			for _, l := range fl {
+				l.err = nil
+			}
+			fan(fl, fx)
+			retryT, retryX = fl, fx
+			if backoff *= 2; backoff > e.cfg.RetryBackoffCap {
+				backoff = e.cfg.RetryBackoffCap
 			}
 		}
+		var failed []*shardLoop
+		for _, l := range targets {
+			if l.err != nil {
+				failed = append(failed, l)
+			}
+		}
+		return failed
+	}
+
+	// dropFailed removes persistently-failed arms from the live set under
+	// AllowPartial, recording their shard indices; without AllowPartial —
+	// or when nothing survives — it fails the loop with every failed
+	// arm's error joined.
+	var failedShards []int
+	dropFailed := func(failed []*shardLoop) error {
+		if len(failed) == 0 {
+			return nil
+		}
+		if !req.AllowPartial || len(failed) == len(loops) {
+			errs := make([]error, 0, len(failed))
+			for _, l := range failed {
+				errs = append(errs, fmt.Errorf("shard %d: %w", l.shard, l.err))
+			}
+			return errors.Join(errs...)
+		}
+		dead := make(map[*shardLoop]bool, len(failed))
+		for _, l := range failed {
+			dead[l] = true
+			failedShards = append(failedShards, l.shard)
+		}
+		live := loops[:0]
+		for _, l := range loops {
+			if !dead[l] {
+				live = append(live, l)
+			}
+		}
+		loops = live
 		return nil
 	}
 
@@ -461,11 +644,11 @@ func (e *Engine) runShardedAdaptive(ctx context.Context, req Request, pkey preci
 	for i, l := range loops {
 		round0[i] = alloc[l.shard]
 	}
-	err := scatter(loops, round0)
+	err := dropFailed(scatter(loops, round0))
 	e.stageDrawHist.Observe(time.Since(tDraw))
 	endDraw.End()
 	if err != nil {
-		return core.AdaptiveResult{}, err
+		return core.AdaptiveResult{}, nil, err
 	}
 
 	_, endRounds := obs.StartSpan(ctx, stageRounds)
@@ -475,18 +658,18 @@ func (e *Engine) runShardedAdaptive(ctx context.Context, req Request, pkey preci
 	var cf, half float64
 	for {
 		if err := ctx.Err(); err != nil {
-			return core.AdaptiveResult{}, err
+			return core.AdaptiveResult{}, nil, err
 		}
 		strata := make([]stats.Stratum, len(loops))
 		for i, l := range loops {
 			if l.dirty {
 				est, err := l.prep.Estimate(l.opts)
 				if err != nil {
-					return core.AdaptiveResult{}, fmt.Errorf("shard %d: %w", l.shard, err)
+					return core.AdaptiveResult{}, nil, fmt.Errorf("shard %d: %w", l.shard, err)
 				}
 				method, sd, err := l.prep.SDScale(l.opts, target, l.round)
 				if err != nil {
-					return core.AdaptiveResult{}, fmt.Errorf("shard %d: %w", l.shard, err)
+					return core.AdaptiveResult{}, nil, fmt.Errorf("shard %d: %w", l.shard, err)
 				}
 				l.est, l.method, l.sd, l.dirty = est, method, sd, false
 			}
@@ -546,8 +729,8 @@ func (e *Engine) runShardedAdaptive(ctx context.Context, req Request, pkey preci
 				scaled -= cut
 			}
 		}
-		if err := scatter(chosen, extras); err != nil {
-			return core.AdaptiveResult{}, err
+		if err := dropFailed(scatter(chosen, extras)); err != nil {
+			return core.AdaptiveResult{}, nil, err
 		}
 	}
 	e.stageRoundsHist.Observe(time.Since(tRounds))
@@ -564,8 +747,16 @@ func (e *Engine) runShardedAdaptive(ctx context.Context, req Request, pkey preci
 	e.adaptiveRounds.Add(uint64(res.Rounds))
 	e.adaptiveRows.Add(uint64(res.Estimate.SampleRows))
 	e.evaluated.Add(1)
+	if len(failedShards) > 0 {
+		// A degraded outcome answers only this request: the precision
+		// cache must never serve a survivors-only interval as a
+		// whole-table result.
+		e.degradedResults.Add(1)
+		sort.Ints(failedShards)
+		return res, failedShards, nil
+	}
 	e.precision.Put(pkey, res.Estimate, res.AchievedError/z, res.Rounds, res.Estimate.SampleRows)
-	return res, nil
+	return res, nil, nil
 }
 
 // clampUnit clamps a CI endpoint to the CF domain [0,1].

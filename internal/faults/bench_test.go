@@ -1,0 +1,44 @@
+package faults
+
+import "testing"
+
+// BenchmarkFaultPointDisarmed measures the permanent cost an injection
+// point adds to a production path when no schedule is armed: one atomic
+// pointer load, zero allocations. This is the number that justifies
+// leaving the checks compiled into the hot path.
+func BenchmarkFaultPointDisarmed(b *testing.B) {
+	p := Register("bench.disarmed")
+	b.Run("check", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := p.Check(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("check1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := p.Check1(uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFaultPointArmedMiss measures an armed point whose clauses do
+// not fire on this call — the cost paid by non-target calls while a chaos
+// schedule targets another arg.
+func BenchmarkFaultPointArmedMiss(b *testing.B) {
+	p := Register("bench.armedmiss")
+	if err := Arm("bench.armedmiss[7]:err@1+", 1); err != nil {
+		b.Fatal(err)
+	}
+	defer Disarm()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := p.Check1(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,564 @@
+// Package faults is a deterministic, seed-driven fault-injection registry
+// for chaos testing the serving path. Production code registers named
+// injection points (Register) and consults them at failure-prone sites
+// (Point.Check / Point.Check1); tests arm a replayable schedule string
+// (Arm) that makes chosen points return errors, panic, or stall for a
+// fixed latency on exact, deterministic hits.
+//
+// The design contract is the same as the obs package's nil-safe
+// instruments: a disarmed point costs one atomic pointer load and nothing
+// else — no allocation, no branch on shared mutable state, no lock — so
+// the checks can live on the estimation hot path permanently rather than
+// behind build tags. Armed behavior is fully determined by (schedule,
+// seed, per-clause hit counts): replaying the same schedule against the
+// same workload fires the same faults in the same order.
+//
+// Schedule grammar (clauses joined by ';'):
+//
+//	clause  := point [ '[' arg ']' ] ':' kind trigger
+//	kind    := 'err' | 'panic' | 'lat:' duration
+//	trigger := '@' N            fire on the Nth matching hit
+//	         | '@' N '+'        fire on every hit from the Nth on (persistent)
+//	         | '@' N ',' M ...  fire on each listed hit
+//	         | '@every' N       fire on every Nth hit
+//	         | '%' P            fire with probability P% (seeded, deterministic)
+//
+// Examples:
+//
+//	sampling.draw:err@1               first draw fails (transient)
+//	engine.scatter[1]:err@1+          shard 1 fails persistently
+//	compress.encode:panic@3           third page encode panics
+//	heap.scan:lat:5ms@every10         every 10th page read stalls 5ms
+//	sampling.draw:err%20              20% of draws fail, seeded
+//
+// The '[arg]' filter scopes a clause to calls carrying that argument
+// (Check1's arg — e.g. a shard index); its hit counter then counts only
+// matching calls, so per-shard schedules stay deterministic even when
+// shards run in parallel.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the effect an armed clause has when it fires.
+type Kind uint8
+
+const (
+	// KindError makes Check return an *InjectedError.
+	KindError Kind = iota + 1
+	// KindPanic makes Check panic with an *InjectedPanic.
+	KindPanic
+	// KindLatency makes Check sleep for the clause's duration, then
+	// continue (Check returns nil unless another clause also fires).
+	KindLatency
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "err"
+	case KindPanic:
+		return "panic"
+	case KindLatency:
+		return "lat"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ErrInjected is the sentinel every injected fault matches via errors.Is —
+// tests assert "this failure was mine" without string matching.
+var ErrInjected = errors.New("injected fault")
+
+// InjectedError is the error an armed KindError clause returns.
+type InjectedError struct {
+	Point string
+	Hit   uint64
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faults: injected error at %s (hit %d)", e.Point, e.Hit)
+}
+
+// Is matches ErrInjected.
+func (e *InjectedError) Is(target error) bool { return target == ErrInjected }
+
+// InjectedPanic is the value an armed KindPanic clause panics with.
+type InjectedPanic struct {
+	Point string
+	Hit   uint64
+}
+
+func (p *InjectedPanic) String() string {
+	return fmt.Sprintf("faults: injected panic at %s (hit %d)", p.Point, p.Hit)
+}
+
+// PanicError is a recovered panic converted into an error: the recovery
+// sites on the serving path (engine pool workers, workgroup fan-outs,
+// per-shard scatter goroutines) wrap whatever they recover in one of
+// these so the failure carries the injection point (when the panic was
+// injected) and the goroutine stack to the caller.
+type PanicError struct {
+	// Point is the injection point that fired, or "" for an organic panic.
+	Point string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	if e.Point != "" {
+		return fmt.Sprintf("panic recovered (injected at %s): %v", e.Point, e.Value)
+	}
+	return fmt.Sprintf("panic recovered: %v", e.Value)
+}
+
+// Is matches ErrInjected when the panic was injected.
+func (e *PanicError) Is(target error) bool { return target == ErrInjected && e.Point != "" }
+
+// AsError converts a recovered panic value into a *PanicError, capturing
+// the current goroutine's stack. Call it from inside the deferred recovery
+// function, on the goroutine that panicked, so the stack is the panicking
+// one. A value that already is a *PanicError passes through unchanged
+// (re-panics across goroutine boundaries keep the original stack).
+func AsError(r any) *PanicError {
+	if pe, ok := r.(*PanicError); ok {
+		return pe
+	}
+	pe := &PanicError{Value: r, Stack: debug.Stack()}
+	if ip, ok := r.(*InjectedPanic); ok {
+		pe.Point = ip.Point
+	}
+	return pe
+}
+
+// Firing records one fault that fired; the ledger (Fired) makes chaos runs
+// comparable: same schedule + same seed + same workload ⇒ same firings.
+type Firing struct {
+	Point string
+	// Arg is the Check1 argument of the firing call, -1 for plain Check.
+	Arg int64
+	// Hit is the clause-local hit count at which the fault fired.
+	Hit  uint64
+	Kind Kind
+}
+
+// trigMode discriminates a clause's trigger.
+type trigMode uint8
+
+const (
+	trigList trigMode = iota + 1
+	trigFrom
+	trigEvery
+	trigProb
+)
+
+// clause is one parsed schedule clause.
+type clause struct {
+	point string
+	arg   int64 // -1 = any
+	kind  Kind
+	delay time.Duration
+
+	trig    trigMode
+	hits    []uint64 // trigList
+	from    uint64   // trigFrom
+	every   uint64   // trigEvery
+	percent uint64   // trigProb, 1..100
+}
+
+func (c *clause) render(b *strings.Builder) {
+	b.WriteString(c.point)
+	if c.arg >= 0 {
+		fmt.Fprintf(b, "[%d]", c.arg)
+	}
+	b.WriteByte(':')
+	switch c.kind {
+	case KindError:
+		b.WriteString("err")
+	case KindPanic:
+		b.WriteString("panic")
+	case KindLatency:
+		fmt.Fprintf(b, "lat:%s", c.delay)
+	}
+	switch c.trig {
+	case trigList:
+		b.WriteByte('@')
+		for i, h := range c.hits {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "%d", h)
+		}
+	case trigFrom:
+		fmt.Fprintf(b, "@%d+", c.from)
+	case trigEvery:
+		fmt.Fprintf(b, "@every%d", c.every)
+	case trigProb:
+		fmt.Fprintf(b, "%%%d", c.percent)
+	}
+}
+
+// fires reports whether the clause fires on its hit-th matching call.
+func (c *clause) fires(hit, seed uint64) bool {
+	switch c.trig {
+	case trigList:
+		for _, h := range c.hits {
+			if h == hit {
+				return true
+			}
+		}
+		return false
+	case trigFrom:
+		return hit >= c.from
+	case trigEvery:
+		return hit%c.every == 0
+	case trigProb:
+		return splitmix(seed^hashString(c.point)^hit)%100 < c.percent
+	default:
+		return false
+	}
+}
+
+// Schedule is a parsed fault schedule.
+type Schedule struct {
+	clauses []clause
+}
+
+// String renders the schedule in canonical form; Parse(s.String()) yields
+// an equivalent schedule.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	for i := range s.clauses {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		s.clauses[i].render(&b)
+	}
+	return b.String()
+}
+
+// Parse parses a schedule string. It never panics on any input (fuzzed).
+func Parse(s string) (*Schedule, error) {
+	var sched Schedule
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		c, err := parseClause(part)
+		if err != nil {
+			return nil, fmt.Errorf("faults: clause %q: %w", part, err)
+		}
+		sched.clauses = append(sched.clauses, c)
+	}
+	if len(sched.clauses) == 0 {
+		return nil, errors.New("faults: empty schedule")
+	}
+	return &sched, nil
+}
+
+func parseClause(s string) (clause, error) {
+	c := clause{arg: -1}
+	colon := strings.IndexByte(s, ':')
+	if colon <= 0 {
+		return c, errors.New("missing ':kind'")
+	}
+	pt, rest := s[:colon], s[colon+1:]
+	if lb := strings.IndexByte(pt, '['); lb >= 0 {
+		if !strings.HasSuffix(pt, "]") {
+			return c, errors.New("unterminated '[' in arg filter")
+		}
+		arg, err := strconv.ParseUint(pt[lb+1:len(pt)-1], 10, 32)
+		if err != nil {
+			return c, fmt.Errorf("bad arg filter: %v", err)
+		}
+		c.arg = int64(arg)
+		pt = pt[:lb]
+	}
+	if !validPointName(pt) {
+		return c, fmt.Errorf("bad point name %q", pt)
+	}
+	c.point = pt
+	switch {
+	case strings.HasPrefix(rest, "err"):
+		c.kind, rest = KindError, rest[len("err"):]
+	case strings.HasPrefix(rest, "panic"):
+		c.kind, rest = KindPanic, rest[len("panic"):]
+	case strings.HasPrefix(rest, "lat:"):
+		rest = rest[len("lat:"):]
+		end := strings.IndexAny(rest, "@%")
+		if end < 0 {
+			return c, errors.New("latency clause missing trigger")
+		}
+		d, err := time.ParseDuration(rest[:end])
+		if err != nil {
+			return c, fmt.Errorf("bad latency duration: %v", err)
+		}
+		if d < 0 {
+			return c, fmt.Errorf("negative latency %s", d)
+		}
+		c.kind, c.delay, rest = KindLatency, d, rest[end:]
+	default:
+		return c, errors.New("unknown kind (want err, panic, or lat:<duration>)")
+	}
+	if rest == "" {
+		return c, errors.New("missing trigger ('@N', '@N+', '@N,M', '@everyN', or '%P')")
+	}
+	switch rest[0] {
+	case '%':
+		p, err := strconv.ParseUint(rest[1:], 10, 8)
+		if err != nil || p == 0 || p > 100 {
+			return c, fmt.Errorf("bad probability %q (want 1..100)", rest[1:])
+		}
+		c.trig, c.percent = trigProb, p
+	case '@':
+		spec := rest[1:]
+		switch {
+		case strings.HasPrefix(spec, "every"):
+			n, err := strconv.ParseUint(spec[len("every"):], 10, 32)
+			if err != nil || n == 0 {
+				return c, fmt.Errorf("bad period %q (want @everyN, N ≥ 1)", spec)
+			}
+			c.trig, c.every = trigEvery, n
+		case strings.HasSuffix(spec, "+"):
+			n, err := strconv.ParseUint(spec[:len(spec)-1], 10, 64)
+			if err != nil || n == 0 {
+				return c, fmt.Errorf("bad hit %q (want @N+, N ≥ 1)", spec)
+			}
+			c.trig, c.from = trigFrom, n
+		default:
+			for _, f := range strings.Split(spec, ",") {
+				n, err := strconv.ParseUint(f, 10, 64)
+				if err != nil || n == 0 {
+					return c, fmt.Errorf("bad hit %q (want positive integers)", f)
+				}
+				c.hits = append(c.hits, n)
+			}
+			c.trig = trigList
+		}
+	default:
+		return c, fmt.Errorf("bad trigger %q", rest)
+	}
+	return c, nil
+}
+
+// validPointName accepts dotted identifiers: letters, digits, '.', '_',
+// '-', starting with a letter.
+func validPointName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		b := s[i]
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z':
+		case i > 0 && (b >= '0' && b <= '9' || b == '.' || b == '_' || b == '-'):
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// armedClause is one clause plus its private hit counter, reset by Arm.
+type armedClause struct {
+	clause
+	count atomic.Uint64
+}
+
+// program is the armed state of one point: the clauses targeting it plus
+// the schedule seed. Swapped atomically so Check never locks.
+type program struct {
+	clauses []*armedClause
+	seed    uint64
+}
+
+// Point is one named injection site. The zero disarmed state — and a nil
+// *Point — make Check a single atomic load returning nil.
+type Point struct {
+	name string
+	prog atomic.Pointer[program]
+}
+
+// Name returns the point's registered name.
+func (p *Point) Name() string { return p.name }
+
+// Check consults the point with no call argument: armed clauses without an
+// arg filter match. It returns an *InjectedError, panics with an
+// *InjectedPanic, sleeps, or — the overwhelmingly common disarmed case —
+// returns nil after one atomic load.
+func (p *Point) Check() error {
+	if p == nil {
+		return nil
+	}
+	prog := p.prog.Load()
+	if prog == nil {
+		return nil
+	}
+	return p.fire(prog, -1)
+}
+
+// Check1 consults the point with a call argument (e.g. a shard index):
+// clauses with a matching arg filter — and clauses with none — match.
+func (p *Point) Check1(arg uint64) error {
+	if p == nil {
+		return nil
+	}
+	prog := p.prog.Load()
+	if prog == nil {
+		return nil
+	}
+	return p.fire(prog, int64(arg))
+}
+
+func (p *Point) fire(prog *program, arg int64) error {
+	for _, c := range prog.clauses {
+		if c.arg >= 0 && c.arg != arg {
+			continue
+		}
+		hit := c.count.Add(1)
+		if !c.fires(hit, prog.seed) {
+			continue
+		}
+		record(Firing{Point: p.name, Arg: arg, Hit: hit, Kind: c.kind})
+		switch c.kind {
+		case KindLatency:
+			time.Sleep(c.delay)
+		case KindPanic:
+			panic(&InjectedPanic{Point: p.name, Hit: hit})
+		default:
+			return &InjectedError{Point: p.name, Hit: hit}
+		}
+	}
+	return nil
+}
+
+// registry is the process-global point set plus the firing ledger.
+var registry = struct {
+	mu     sync.Mutex
+	points map[string]*Point
+
+	firedMu sync.Mutex
+	fired   []Firing
+}{points: make(map[string]*Point)}
+
+func record(f Firing) {
+	registry.firedMu.Lock()
+	registry.fired = append(registry.fired, f)
+	registry.firedMu.Unlock()
+}
+
+// Register returns the point named name, creating it disarmed on first
+// use. Registration is idempotent: every call with the same name returns
+// the same Point, so package-level `var p = faults.Register(...)` sites
+// across packages share one switchboard.
+func Register(name string) *Point {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if p, ok := registry.points[name]; ok {
+		return p
+	}
+	p := &Point{name: name}
+	registry.points[name] = p
+	return p
+}
+
+// Points lists every registered point name, sorted — the chaos suite
+// iterates this to prove each point has error and panic coverage.
+func Points() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	names := make([]string, 0, len(registry.points))
+	for n := range registry.points {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Arm parses schedule and arms the points it names, disarming every other
+// point and clearing the firing ledger and all hit counters — one Arm call
+// defines one complete, reproducible chaos scenario. A clause naming an
+// unregistered point is an error (it would silently never fire).
+func Arm(schedule string, seed uint64) error {
+	sched, err := Parse(schedule)
+	if err != nil {
+		return err
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	byPoint := make(map[string][]clause)
+	for _, c := range sched.clauses {
+		if _, ok := registry.points[c.point]; !ok {
+			return fmt.Errorf("faults: unregistered injection point %q", c.point)
+		}
+		byPoint[c.point] = append(byPoint[c.point], c)
+	}
+	registry.firedMu.Lock()
+	registry.fired = nil
+	registry.firedMu.Unlock()
+	for name, p := range registry.points {
+		cs, ok := byPoint[name]
+		if !ok {
+			p.prog.Store(nil)
+			continue
+		}
+		prog := &program{seed: seed, clauses: make([]*armedClause, len(cs))}
+		for i, c := range cs {
+			prog.clauses[i] = &armedClause{clause: c}
+		}
+		p.prog.Store(prog)
+	}
+	return nil
+}
+
+// Disarm returns every point to the zero-cost disarmed state. The firing
+// ledger survives so tests can assert on it after disarming.
+func Disarm() {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, p := range registry.points {
+		p.prog.Store(nil)
+	}
+}
+
+// Fired returns a copy of the firing ledger accumulated since the last
+// Arm. Order reflects real interleaving; replay comparisons across
+// parallel runs should sort first.
+func Fired() []Firing {
+	registry.firedMu.Lock()
+	defer registry.firedMu.Unlock()
+	out := make([]Firing, len(registry.fired))
+	copy(out, registry.fired)
+	return out
+}
+
+// splitmix is splitmix64: the probability trigger's per-hit coin, fully
+// determined by (seed, point, hit).
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString is FNV-1a.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,305 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Points in this file use test-local names so they never collide with the
+// production points other packages register.
+
+func TestDisarmedIsNil(t *testing.T) {
+	p := Register("test.disarmed")
+	if err := p.Check(); err != nil {
+		t.Fatalf("disarmed Check: %v", err)
+	}
+	if err := p.Check1(7); err != nil {
+		t.Fatalf("disarmed Check1: %v", err)
+	}
+	var nilPoint *Point
+	if err := nilPoint.Check(); err != nil {
+		t.Fatalf("nil point Check: %v", err)
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	a := Register("test.same")
+	b := Register("test.same")
+	if a != b {
+		t.Fatal("Register returned distinct points for one name")
+	}
+}
+
+func TestErrorOnNthHit(t *testing.T) {
+	p := Register("test.nth")
+	if err := Arm("test.nth:err@3", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer Disarm()
+	for i := 1; i <= 5; i++ {
+		err := p.Check()
+		if i == 3 {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: want injected error, got %v", i, err)
+			}
+			var ie *InjectedError
+			if !errors.As(err, &ie) || ie.Point != "test.nth" || ie.Hit != 3 {
+				t.Fatalf("hit %d: wrong error detail: %#v", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("hit %d: unexpected error %v", i, err)
+		}
+	}
+}
+
+func TestPersistentFrom(t *testing.T) {
+	p := Register("test.from")
+	if err := Arm("test.from:err@2+", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer Disarm()
+	if err := p.Check(); err != nil {
+		t.Fatalf("hit 1: %v", err)
+	}
+	for i := 2; i <= 4; i++ {
+		if err := p.Check(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: want persistent error, got %v", i, err)
+		}
+	}
+}
+
+func TestHitList(t *testing.T) {
+	p := Register("test.list")
+	if err := Arm("test.list:err@1,4", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer Disarm()
+	var fired []int
+	for i := 1; i <= 5; i++ {
+		if p.Check() != nil {
+			fired = append(fired, i)
+		}
+	}
+	if fmt.Sprint(fired) != "[1 4]" {
+		t.Fatalf("fired on hits %v, want [1 4]", fired)
+	}
+}
+
+func TestEveryN(t *testing.T) {
+	p := Register("test.every")
+	if err := Arm("test.every:err@every3", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer Disarm()
+	var fired []int
+	for i := 1; i <= 9; i++ {
+		if p.Check() != nil {
+			fired = append(fired, i)
+		}
+	}
+	if fmt.Sprint(fired) != "[3 6 9]" {
+		t.Fatalf("fired on hits %v, want [3 6 9]", fired)
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	p := Register("test.prob")
+	run := func(seed uint64) []int {
+		if err := Arm("test.prob:err%30", seed); err != nil {
+			t.Fatal(err)
+		}
+		var fired []int
+		for i := 1; i <= 200; i++ {
+			if p.Check() != nil {
+				fired = append(fired, i)
+			}
+		}
+		Disarm()
+		return fired
+	}
+	a, b := run(42), run(42)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different firings:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("30%% trigger fired %d/200 times", len(a))
+	}
+	c := run(43)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical firings (suspicious)")
+	}
+}
+
+func TestArgFilter(t *testing.T) {
+	p := Register("test.arg")
+	if err := Arm("test.arg[2]:err@1+", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer Disarm()
+	if err := p.Check1(1); err != nil {
+		t.Fatalf("arg 1: %v", err)
+	}
+	if err := p.Check(); err != nil {
+		t.Fatalf("no arg: %v", err)
+	}
+	if err := p.Check1(2); !errors.Is(err, ErrInjected) {
+		t.Fatalf("arg 2: want injected, got %v", err)
+	}
+	// The filtered clause's counter only counts matching calls.
+	if err := p.Check1(2); !errors.Is(err, ErrInjected) {
+		t.Fatalf("arg 2 again: want injected, got %v", err)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	p := Register("test.panic")
+	if err := Arm("test.panic:panic@1", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer Disarm()
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		_ = p.Check()
+	}()
+	ip, ok := recovered.(*InjectedPanic)
+	if !ok || ip.Point != "test.panic" {
+		t.Fatalf("recovered %#v, want *InjectedPanic at test.panic", recovered)
+	}
+	pe := AsError(recovered)
+	if pe.Point != "test.panic" || !errors.Is(pe, ErrInjected) || len(pe.Stack) == 0 {
+		t.Fatalf("AsError: %#v", pe)
+	}
+}
+
+func TestLatencyKind(t *testing.T) {
+	p := Register("test.lat")
+	if err := Arm("test.lat:lat:30ms@1", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer Disarm()
+	t0 := time.Now()
+	if err := p.Check(); err != nil {
+		t.Fatalf("latency clause returned error: %v", err)
+	}
+	if d := time.Since(t0); d < 25*time.Millisecond {
+		t.Fatalf("latency clause stalled only %v", d)
+	}
+}
+
+func TestFiredLedgerAndReplay(t *testing.T) {
+	p := Register("test.ledger")
+	drive := func() []Firing {
+		if err := Arm("test.ledger:err@2;test.ledger:panic@4", 9); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			func() {
+				defer func() { recover() }()
+				_ = p.Check()
+			}()
+		}
+		Disarm()
+		return Fired()
+	}
+	a, b := drive(), drive()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("replay diverged:\n%v\n%v", a, b)
+	}
+	if len(a) != 2 || a[0].Kind != KindError || a[0].Hit != 2 || a[1].Kind != KindPanic || a[1].Hit != 4 {
+		t.Fatalf("ledger: %v", a)
+	}
+}
+
+func TestArmUnregisteredPoint(t *testing.T) {
+	if err := Arm("test.never-registered-xyz:err@1", 1); err == nil {
+		Disarm()
+		t.Fatal("Arm accepted an unregistered point")
+	}
+}
+
+func TestArmDisarmsOthers(t *testing.T) {
+	a := Register("test.swap-a")
+	b := Register("test.swap-b")
+	if err := Arm("test.swap-a:err@1+", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Arm("test.swap-b:err@1+", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer Disarm()
+	if err := a.Check(); err != nil {
+		t.Fatalf("point a should have been disarmed by the second Arm: %v", err)
+	}
+	if err := b.Check(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("point b should be armed: %v", err)
+	}
+}
+
+func TestConcurrentChecks(t *testing.T) {
+	p := Register("test.concurrent")
+	if err := Arm("test.concurrent:err@every7", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer Disarm()
+	const goroutines, perG = 8, 700
+	var wg sync.WaitGroup
+	var hits sync.Map
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < perG; i++ {
+				if p.Check() != nil {
+					n++
+				}
+			}
+			hits.Store(&n, n)
+		}()
+	}
+	wg.Wait()
+	total := 0
+	hits.Range(func(_, v any) bool { total += v.(int); return true })
+	if want := goroutines * perG / 7; total != want {
+		t.Fatalf("every7 fired %d times across %d hits, want %d", total, goroutines*perG, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{
+		"", ";;", "nocolon", ":err@1", "p:@1", "p:err", "p:err@0", "p:err@",
+		"p:err@x", "p:err@1,0", "p:err%0", "p:err%101", "p:err%x",
+		"p:lat@1", "p:lat:xs@1", "p:lat:-5ms@1", "p:wat@1", "p[:err@1",
+		"p[x]:err@1", "p:err@every0", "p:err@+", "1p:err@1", "p q:err@1",
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestParseCanonicalRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"a.b:err@1", "a.b[3]:panic@2+", "a:lat:5ms@every10",
+		"a:err%20", "a:err@1,2,9;b.c:panic@4",
+	} {
+		Register("a")
+		Register("a.b")
+		Register("b.c")
+		sched, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		again, err := Parse(sched.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)=%q): %v", s, sched.String(), err)
+		}
+		if sched.String() != again.String() {
+			t.Fatalf("round trip drifted: %q -> %q -> %q", s, sched.String(), again.String())
+		}
+	}
+}

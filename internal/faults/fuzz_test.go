@@ -1,0 +1,43 @@
+package faults
+
+import "testing"
+
+// FuzzFaultSchedule drives the schedule parser with arbitrary input: it
+// must never panic, and any schedule it accepts must render to a canonical
+// form that re-parses to the same canonical form (so replaying a logged
+// schedule is always possible).
+func FuzzFaultSchedule(f *testing.F) {
+	for _, seed := range []string{
+		"sampling.draw:err@1",
+		"engine.scatter[1]:err@1+",
+		"compress.encode:panic@3",
+		"heap.scan:lat:5ms@every10",
+		"sampling.draw:err%20",
+		"a:err@1,2,9;b.c:panic@4",
+		"a:lat:1h2m3s@2+",
+		" a:err@1 ; b:panic@2 ",
+		"p:err@18446744073709551615",
+		"p[4294967295]:err@1",
+		"p:err@every4294967295",
+		"",
+		";;;",
+		"p:lat:@1",
+		"p:err%",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sched, err := Parse(s)
+		if err != nil {
+			return
+		}
+		canon := sched.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, s, err)
+		}
+		if got := again.String(); got != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q -> %q", s, canon, got)
+		}
+	})
+}

@@ -1,0 +1,10 @@
+package heap
+
+import "samplecf/internal/faults"
+
+// scanPoint is the heap-scan injection point: consulted on every
+// row-directory fetch and block-sampling page read — the two paths a draw
+// takes into real storage — so a chaos schedule can fail or stall "the Nth
+// storage access" a live-table estimate performs. Disarmed cost: one
+// atomic load per access.
+var scanPoint = faults.Register("heap.scan")

@@ -43,6 +43,9 @@ func (d *RowDir) NumRows() int64 { return int64(len(d.rids)) }
 // Row implements sampling.RowSource: it fetches the i-th live row from
 // its slotted page.
 func (d *RowDir) Row(i int64) (value.Row, error) {
+	if err := scanPoint.Check(); err != nil {
+		return nil, err
+	}
 	if i < 0 || i >= int64(len(d.rids)) {
 		return nil, fmt.Errorf("heap: row %d out of range [0,%d)", i, len(d.rids))
 	}
@@ -74,6 +77,9 @@ func (p *FilePages) NumPages() int { return p.pages }
 
 // PageRows implements sampling.PageSource: all live rows on page i.
 func (p *FilePages) PageRows(i int) ([]value.Row, error) {
+	if err := scanPoint.Check(); err != nil {
+		return nil, err
+	}
 	if i < 0 || i >= p.pages {
 		return nil, fmt.Errorf("heap: page %d out of range [0,%d)", i, p.pages)
 	}

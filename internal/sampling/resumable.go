@@ -25,6 +25,9 @@ import (
 // the concatenation of rounds 0..k is itself a uniform WR sample of
 // Σ sizes rows.
 func ExtendWRInto(src RowSource, ar *value.RecordArena, extra int64, seed uint64, round int) error {
+	if err := drawPoint.Check(); err != nil {
+		return err
+	}
 	if round < 0 {
 		return fmt.Errorf("sampling: negative round %d", round)
 	}

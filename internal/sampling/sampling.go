@@ -133,6 +133,9 @@ func WORIndices(n, r int64, g *rng.RNG) ([]int64, error) {
 // intermediate []value.Row. The draw sequence is identical to UniformWR's,
 // so a given (source, r, seed) yields the same sample either way.
 func UniformWRInto(src RowSource, r int64, g *rng.RNG, ar *value.RecordArena) error {
+	if err := drawPoint.Check(); err != nil {
+		return err
+	}
 	n := src.NumRows()
 	if n == 0 {
 		return fmt.Errorf("sampling: source is empty")

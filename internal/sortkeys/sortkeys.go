@@ -41,6 +41,7 @@ import (
 	"sync"
 
 	"samplecf/internal/distinct"
+	"samplecf/internal/faults"
 	"samplecf/internal/workgroup"
 )
 
@@ -182,6 +183,13 @@ type sorter struct {
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	global  *hist
+	// panicked holds the first panic trapped on a spawned bucket goroutine
+	// (as a *faults.PanicError carrying that goroutine's stack); run
+	// re-raises it on the calling goroutine after every worker has exited,
+	// so a poisoned bucket can never crash the process from a goroutine no
+	// caller can recover on — and the scratch buffer is never repooled
+	// while a worker still writes to it.
+	panicked *faults.PanicError
 }
 
 // scratchPool recycles the O(n) distribution scratch across sorts: loops
@@ -228,8 +236,22 @@ func run(keys []byte, w int, perm []int32, workers int, g *hist) {
 	if g != nil {
 		local = &hist{}
 	}
-	s.msd(perm, 0, n, 0, local)
+	var inline *faults.PanicError
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				inline = faults.AsError(r)
+			}
+		}()
+		s.msd(perm, 0, n, 0, local)
+	}()
 	s.wg.Wait()
+	if s.panicked != nil {
+		panic(s.panicked)
+	}
+	if inline != nil {
+		panic(inline)
+	}
 	if g != nil {
 		g.merge(local)
 	}
@@ -240,6 +262,16 @@ func run(keys []byte, w int, perm []int32, workers int, g *hist) {
 func (s *sorter) spawned(perm []int32, lo, hi, depth int) {
 	defer s.wg.Done()
 	defer s.sem.Release()
+	defer func() {
+		if r := recover(); r != nil {
+			pe := faults.AsError(r)
+			s.mu.Lock()
+			if s.panicked == nil {
+				s.panicked = pe
+			}
+			s.mu.Unlock()
+		}
+	}()
 	metricParallelBuckets.Inc()
 	var h *hist
 	if s.global != nil {

@@ -11,6 +11,7 @@ package workgroup
 import (
 	"runtime"
 
+	"samplecf/internal/faults"
 	"samplecf/internal/obs"
 )
 
@@ -77,4 +78,18 @@ func (s Sem) TryAcquire() bool {
 func (s Sem) Release() {
 	<-s
 	metricActive.Dec()
+}
+
+// Recover is the fan-out panic trap: `defer workgroup.Recover(&err)` at
+// the top of a worker-group goroutine (or of the inline fallback running
+// the same work) converts a panic into a *faults.PanicError stored in
+// *errp — carrying the injection point when the panic was injected, and
+// this goroutine's stack either way — so one poisoned unit of work
+// surfaces as that unit's error instead of crashing the process. The
+// stored error overwrites *errp: a panic mid-work supersedes whatever
+// partial error the work had produced.
+func Recover(errp *error) {
+	if r := recover(); r != nil {
+		*errp = faults.AsError(r)
+	}
 }
